@@ -1,0 +1,49 @@
+//! Figure 11: theoretical (1/|VΨ|) vs actual approximation ratios of the
+//! (kmax, Ψ)-core family and PeelApp, against CoreExact's ρopt.
+
+use dsd_core::{core_app, core_exact, peel_app};
+use dsd_datasets::dataset;
+use dsd_motif::Pattern;
+
+use crate::util::print_table;
+
+/// Runs the Figure-11 quality measurement.
+pub fn run(quick: bool) {
+    let hs: Vec<usize> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let names = if quick {
+        vec!["Netscience"]
+    } else {
+        vec!["Netscience", "As-Caida"]
+    };
+    for name in names {
+        let d = dataset(name).expect("registry dataset");
+        let g = d.generate();
+        let mut rows = Vec::new();
+        for &h in &hs {
+            let psi = Pattern::clique(h);
+            let (opt, _) = core_exact(&g, &psi);
+            if opt.density == 0.0 {
+                rows.push(vec![format!("{h}-clique"), "no instances".into(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let core = core_app(&g, &psi);
+            let peel = peel_app(&g, &psi);
+            let r_core = core.result.density / opt.density;
+            let r_peel = peel.density / opt.density;
+            assert!(r_core + 1e-9 >= 1.0 / h as f64, "{name} h={h}: guarantee broken");
+            assert!(r_peel + 1e-9 >= 1.0 / h as f64, "{name} h={h}: guarantee broken");
+            rows.push(vec![
+                format!("{h}-clique"),
+                format!("{:.4}", 1.0 / h as f64),
+                format!("{r_core:.4}"),
+                format!("{r_peel:.4}"),
+                format!("{:.4}", opt.density),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11 ({name}): approximation ratios"),
+            &["Ψ", "theory 1/|VΨ|", "CoreApp R", "PeelApp R", "ρopt"].map(String::from),
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 20 (Appendix E): approximation CDS algorithms on the three
+//! additional datasets (Flickr, Google, Foursquare stand-ins).
+
+use dsd_core::{core_app, inc_app, peel_app};
+use dsd_datasets::{all_datasets, DatasetKind};
+use dsd_motif::Pattern;
+
+use crate::util::{print_table, secs, time};
+
+/// Runs the Figure-20 comparison.
+pub fn run(quick: bool) {
+    let hs: Vec<usize> = if quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+    let datasets: Vec<_> = all_datasets()
+        .into_iter()
+        .filter(|d| d.kind == DatasetKind::Extra)
+        .take(if quick { 1 } else { 3 })
+        .collect();
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let g = d.generate();
+        for &h in &hs {
+            let psi = Pattern::clique(h);
+            let (peel_r, peel_t) = time(|| peel_app(&g, &psi));
+            let (inc_r, inc_t) = time(|| inc_app(&g, &psi));
+            let (core_r, core_t) = time(|| core_app(&g, &psi));
+            assert_eq!(inc_r.kmax, core_r.kmax);
+            std::hint::black_box(peel_r.density);
+            rows.push(vec![
+                d.name.to_string(),
+                format!("{h}-clique"),
+                secs(peel_t),
+                secs(inc_t),
+                secs(core_t),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 20: approximation CDS on additional datasets (seconds)",
+        &["dataset", "Ψ", "PeelApp", "IncApp", "CoreApp"].map(String::from),
+        &rows,
+    );
+}

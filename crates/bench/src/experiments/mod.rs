@@ -1,0 +1,17 @@
+//! One module per paper table/figure. Each `run(quick)` prints the same
+//! rows/series the paper reports; `EXPERIMENTS.md` records paper-vs-measured
+//! shape checks.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod fig15_16;
+pub mod fig17_21;
+pub mod fig18;
+pub mod fig20;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,37 @@
+//! Table 3: percentage of CoreExact's time spent in core decomposition.
+
+use dsd_core::core_exact;
+use dsd_datasets::dataset;
+use dsd_motif::Pattern;
+
+use crate::util::print_table;
+
+/// Runs the Table-3 measurement.
+pub fn run(quick: bool) {
+    let hs: Vec<usize> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let names = if quick {
+        vec!["As-733"]
+    } else {
+        vec!["As-733", "Ca-HepTh"]
+    };
+    let mut rows = Vec::new();
+    for name in names {
+        let d = dataset(name).expect("registry dataset");
+        let g = d.generate();
+        let mut row = vec![name.to_string()];
+        for &h in &hs {
+            let (_, stats) = core_exact(&g, &Pattern::clique(h));
+            let pct = 100.0 * stats.decomposition_nanos as f64 / stats.total_nanos.max(1) as f64;
+            row.push(format!("{pct:.2}%"));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("dataset".to_string())
+        .chain(hs.iter().map(|h| format!("{h}-clique")))
+        .collect();
+    print_table(
+        "Table 3: % of CoreExact time in core decomposition",
+        &header,
+        &rows,
+    );
+}

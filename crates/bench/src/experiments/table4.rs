@@ -1,0 +1,35 @@
+//! Table 4: EMcore vs CoreApp for the classical (edge) kmax-core on the
+//! large dataset stand-ins.
+
+use dsd_core::{core_app, emcore_max_core};
+use dsd_datasets::{all_datasets, DatasetKind};
+use dsd_motif::Pattern;
+
+use crate::util::{print_table, secs, time};
+
+/// Runs the Table-4 comparison.
+pub fn run(quick: bool) {
+    let datasets: Vec<_> = all_datasets()
+        .into_iter()
+        .filter(|d| d.kind == DatasetKind::LargeReal)
+        .take(if quick { 2 } else { 5 })
+        .collect();
+    let mut rows = Vec::new();
+    for d in &datasets {
+        let g = d.generate();
+        let (em, em_t) = time(|| emcore_max_core(&g));
+        let (ca, ca_t) = time(|| core_app(&g, &Pattern::edge()));
+        assert_eq!(em.kmax, ca.kmax, "{}: kmax mismatch", d.name);
+        rows.push(vec![
+            d.name.to_string(),
+            secs(em_t),
+            secs(ca_t),
+            em.kmax.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 4: EMcore vs CoreApp, edge kmax-core (seconds)",
+        &["dataset", "EMcore", "CoreApp", "kmax"].map(String::from),
+        &rows,
+    );
+}

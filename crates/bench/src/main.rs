@@ -1,0 +1,71 @@
+//! `dsd-bench`: the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section 8 and Appendices A/E).
+//!
+//! Usage:
+//!
+//! ```text
+//! dsd-bench <experiment> [--full]
+//! dsd-bench all [--full]
+//! ```
+//!
+//! Experiments: `fig8-exact`, `fig8-approx`, `fig9`, `fig10`, `table3`,
+//! `table4`, `fig11`, `fig12`, `fig13`, `fig14`, `table5`, `fig15`,
+//! `fig16`, `fig17`, `fig18`, `fig20`, `fig21`. By default each runs in quick mode (reduced
+//! h-range / dataset subset); `--full` runs the complete grid.
+
+mod experiments;
+mod util;
+
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[(&str, fn(bool))] = &[
+    ("fig8-exact", experiments::fig8::run_exact),
+    ("fig8-approx", experiments::fig8::run_approx),
+    ("fig9", experiments::fig9::run),
+    ("fig10", experiments::fig10::run),
+    ("table3", experiments::table3::run),
+    ("table4", experiments::table4::run),
+    ("fig11", experiments::fig11::run),
+    ("fig12", experiments::fig12::run),
+    ("fig13", experiments::fig13_14::run_exact),
+    ("fig14", experiments::fig13_14::run_approx),
+    ("table5", experiments::table5::run),
+    ("fig15", experiments::fig15_16::run_exact),
+    ("fig16", experiments::fig15_16::run_approx),
+    ("fig17", experiments::fig17_21::run_fig17),
+    ("fig21", experiments::fig17_21::run_fig21),
+    ("fig18", experiments::fig18::run),
+    ("fig20", experiments::fig20::run),
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dsd-bench <experiment|all> [--full]");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let quick = !full;
+    let Some(which) = args.iter().find(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    if which == "all" {
+        for (name, run) in EXPERIMENTS {
+            println!("\n########## {name} ##########");
+            run(quick);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match EXPERIMENTS.iter().find(|(name, _)| name == which) {
+        Some((_, run)) => {
+            run(quick);
+            ExitCode::SUCCESS
+        }
+        None => usage(),
+    }
+}

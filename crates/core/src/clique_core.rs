@@ -1,0 +1,301 @@
+//! (k, Ψ)-core decomposition — Algorithm 3 of the paper.
+//!
+//! Repeatedly removes the vertex of minimum instance-degree, recording the
+//! running-max threshold as each vertex's clique-core number. A lazy
+//! min-heap replaces the paper's bin-sort because pattern degrees are
+//! unbounded `u64`s (the bin-sort's O(deg) buckets are only practical for
+//! h = 2); complexity gains an `O(log n)` factor on the same decrement
+//! stream, which the Lemma-6 enumeration cost dominates anyway.
+//!
+//! The decomposition simultaneously tracks the densest *residual* subgraph
+//! seen while peeling — this is the ρ′ of Pruning1 **and** exactly the
+//! subgraph `PeelApp` (Algorithm 2) returns, so `peel.rs` and `approx.rs`
+//! are thin wrappers over this engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+
+use crate::oracle::DensityOracle;
+
+/// Result of a (k, Ψ)-core decomposition of `g[alive]`.
+#[derive(Clone, Debug)]
+pub struct CliqueCoreDecomposition {
+    /// `core[v]` = clique-core number `core_G(v, Ψ)` (0 outside the
+    /// decomposed set).
+    pub core: Vec<u64>,
+    /// Maximum clique-core number `kmax`.
+    pub kmax: u64,
+    /// Vertices in removal (peel) order; the residual graph after `i`
+    /// removals is `peel_order[i..]`.
+    pub peel_order: Vec<VertexId>,
+    /// Initial instance-degrees `deg(v, Ψ)` in the decomposed subgraph.
+    pub degrees: Vec<u64>,
+    /// Total instances `μ` of the decomposed subgraph.
+    pub mu: u64,
+    /// Index into `peel_order` of the densest residual graph (ρ′ tracking).
+    best_suffix: usize,
+    /// ρ′ — the highest density among all residual graphs.
+    pub best_density: f64,
+}
+
+impl CliqueCoreDecomposition {
+    /// The (k, Ψ)-core as a vertex set (vertices with core number ≥ k).
+    pub fn core_set(&self, k: u64) -> VertexSet {
+        let mut s = VertexSet::empty(self.core.len());
+        for &v in &self.peel_order {
+            if self.core[v as usize] >= k {
+                s.insert(v);
+            }
+        }
+        s
+    }
+
+    /// The (kmax, Ψ)-core.
+    pub fn max_core(&self) -> VertexSet {
+        self.core_set(self.kmax)
+    }
+
+    /// The densest residual subgraph seen during peeling — PeelApp's `S*`
+    /// and the source of the ρ′ lower bound (Pruning1).
+    pub fn best_residual(&self) -> Vec<VertexId> {
+        self.peel_order[self.best_suffix..].to_vec()
+    }
+}
+
+/// Runs Algorithm 3 on the whole graph.
+pub fn decompose(g: &Graph, oracle: &dyn DensityOracle) -> CliqueCoreDecomposition {
+    decompose_within(g, oracle, &VertexSet::full(g.num_vertices()))
+}
+
+/// Runs Algorithm 3 on `g[alive]`.
+pub fn decompose_within(
+    g: &Graph,
+    oracle: &dyn DensityOracle,
+    alive: &VertexSet,
+) -> CliqueCoreDecomposition {
+    let n = g.num_vertices();
+    let mut live = alive.clone();
+    let degrees = oracle.degrees(g, &live);
+    let mut deg = degrees.clone();
+    let mut mu_total: u64 = degrees.iter().sum::<u64>() / oracle.psi_size() as u64;
+
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::with_capacity(live.len());
+    for v in live.iter() {
+        heap.push(Reverse((deg[v as usize], v)));
+    }
+
+    let mut core = vec![0u64; n];
+    let mut peel_order = Vec::with_capacity(live.len());
+    let mut running_k = 0u64;
+    let mut kmax = 0u64;
+    let mut mu = mu_total;
+    let mut best_suffix = 0usize;
+    let mut best_density = if live.is_empty() {
+        0.0
+    } else {
+        mu as f64 / live.len() as f64
+    };
+
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if !live.contains(v) || d != deg[v as usize] {
+            continue; // stale heap entry
+        }
+        // Peel v: its clique-core number is the running-max threshold.
+        running_k = running_k.max(d);
+        core[v as usize] = running_k;
+        kmax = kmax.max(running_k);
+
+        // Instances through v die; decrement co-members (Alg. 3 lines 6-9).
+        for (u, amount) in oracle.removal_decrements(g, &live, v) {
+            debug_assert!(live.contains(u) && u != v);
+            deg[u as usize] -= amount.min(deg[u as usize]);
+            heap.push(Reverse((deg[u as usize], u)));
+        }
+        mu -= d;
+        live.remove(v);
+        peel_order.push(v);
+
+        // ρ′ tracking over the residual graph.
+        if !live.is_empty() {
+            let density = mu as f64 / live.len() as f64;
+            if density > best_density {
+                best_density = density;
+                best_suffix = peel_order.len();
+            }
+        }
+    }
+    debug_assert_eq!(mu, 0, "all instances must be accounted for");
+    // `peel_order[best_suffix..]` only covers removed vertices; since we
+    // peel to exhaustion, every vertex ends up in `peel_order`, so suffixes
+    // are complete residual graphs.
+    mu_total = degrees.iter().sum::<u64>() / oracle.psi_size() as u64;
+    CliqueCoreDecomposition {
+        core,
+        kmax,
+        peel_order,
+        degrees,
+        mu: mu_total,
+        best_suffix,
+        best_density,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{density, oracle_for};
+    use dsd_motif::Pattern;
+
+    /// Figure 3(b)'s graph: 4-clique {A,B,C,D}, triangle {D,E,F}, edge
+    /// {G,H}. With Ψ = triangle: {A,B,C,D} is the (3,Ψ)-core (each vertex
+    /// in 3 of the 4 triangle instances); {D,E,F} adds a (1,Ψ)-core; G,H
+    /// have clique-core number 0.
+    fn figure3() -> Graph {
+        let (a, b, c, d, e, f, g_, h) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+        Graph::from_edges(
+            8,
+            &[
+                (a, b),
+                (a, c),
+                (a, d),
+                (b, c),
+                (b, d),
+                (c, d),
+                (d, e),
+                (e, f),
+                (d, f),
+                (g_, h),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3b_triangle_cores() {
+        let g = figure3();
+        let oracle = oracle_for(&Pattern::triangle());
+        let dec = decompose(&g, oracle.as_ref());
+        assert_eq!(dec.kmax, 3);
+        assert_eq!(dec.max_core().to_vec(), vec![0, 1, 2, 3]);
+        // D is in both triangles regions: core number 3 (from the clique).
+        assert_eq!(dec.core[3], 3);
+        // E, F participate in 1 triangle.
+        assert_eq!(dec.core[4], 1);
+        assert_eq!(dec.core[5], 1);
+        // G, H in none.
+        assert_eq!(dec.core[6], 0);
+        assert_eq!(dec.core[7], 0);
+    }
+
+    #[test]
+    fn edge_psi_matches_classical_kcore() {
+        let g = figure3();
+        let oracle = oracle_for(&Pattern::edge());
+        let dec = decompose(&g, oracle.as_ref());
+        let classical = crate::kcore::k_core_decomposition(&g);
+        for v in g.vertices() {
+            assert_eq!(
+                dec.core[v as usize], classical.core[v as usize] as u64,
+                "vertex {v}"
+            );
+        }
+        assert_eq!(dec.kmax, classical.kmax as u64);
+    }
+
+    #[test]
+    fn core_member_degree_at_least_k_inside_core() {
+        let g = figure3();
+        for psi in [Pattern::edge(), Pattern::triangle(), Pattern::two_star()] {
+            let oracle = oracle_for(&psi);
+            let dec = decompose(&g, oracle.as_ref());
+            for k in 1..=dec.kmax {
+                let core = dec.core_set(k);
+                if core.is_empty() {
+                    continue;
+                }
+                let deg = oracle.degrees(&g, &core);
+                for v in core.iter() {
+                    assert!(
+                        deg[v as usize] >= k,
+                        "{}: vertex {v} in ({k},Ψ)-core has degree {}",
+                        psi.name(),
+                        deg[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_density_bounds() {
+        let g = figure3();
+        for psi in [Pattern::edge(), Pattern::triangle(), Pattern::diamond()] {
+            let oracle = oracle_for(&psi);
+            let dec = decompose(&g, oracle.as_ref());
+            if dec.kmax == 0 {
+                continue;
+            }
+            let core = dec.max_core();
+            let rho = density(oracle.as_ref(), &g, &core);
+            let lower = dec.kmax as f64 / psi.vertex_count() as f64;
+            assert!(
+                rho + 1e-9 >= lower && rho <= dec.kmax as f64 + 1e-9,
+                "{}: ρ = {rho}, bounds [{lower}, {}]",
+                psi.name(),
+                dec.kmax
+            );
+        }
+    }
+
+    #[test]
+    fn best_residual_density_is_achieved() {
+        let g = figure3();
+        let oracle = oracle_for(&Pattern::edge());
+        let dec = decompose(&g, oracle.as_ref());
+        let members = dec.best_residual();
+        let set = VertexSet::from_members(8, &members);
+        let rho = density(oracle.as_ref(), &g, &set);
+        assert!((rho - dec.best_density).abs() < 1e-9);
+        // Figure 5 analogue: peeling cannot beat the true EDS here (the
+        // 4-clique has density 6/4 = 1.5).
+        assert!(dec.best_density >= 1.5 - 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_decomposition() {
+        let g = Graph::empty(3);
+        let oracle = oracle_for(&Pattern::triangle());
+        let dec = decompose(&g, oracle.as_ref());
+        assert_eq!(dec.kmax, 0);
+        assert_eq!(dec.mu, 0);
+        assert_eq!(dec.peel_order.len(), 3);
+        assert_eq!(dec.best_density, 0.0);
+    }
+
+    #[test]
+    fn nested_cores_property() {
+        let g = figure3();
+        let oracle = oracle_for(&Pattern::triangle());
+        let dec = decompose(&g, oracle.as_ref());
+        for k in 0..dec.kmax {
+            let lo = dec.core_set(k);
+            let hi = dec.core_set(k + 1);
+            for v in hi.iter() {
+                assert!(lo.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_decomposition_ignores_dead_vertices() {
+        let g = figure3();
+        let oracle = oracle_for(&Pattern::triangle());
+        let mut alive = VertexSet::full(8);
+        alive.remove(0);
+        let dec = decompose_within(&g, oracle.as_ref(), &alive);
+        // Without A the 4-clique degenerates to a triangle {B,C,D}.
+        assert_eq!(dec.kmax, 1);
+        assert_eq!(dec.core[0], 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! Algorithm 4 (`CoreExact`) and its pattern generalization `CorePExact`.
+//!
+//! The core-based exact algorithm applies three optimizations on top of the
+//! flow/binary-search framework of Algorithm 1:
+//!
+//! 1. **Tighter α bounds** — Theorem 1 gives `ρopt ∈ [kmax/|VΨ|, kmax]`,
+//!    and the densest *residual* graph seen during core decomposition
+//!    tightens the lower bound further (Pruning1: ρ′).
+//! 2. **Locating the CDS in a core** — Lemma 7 places the CDS inside the
+//!    `(⌈ρopt⌉, Ψ)`-core, so the flow network is built on the located
+//!    `(k″, Ψ)`-core's connected components (Pruning2 lifts `k″` with the
+//!    densest component's density ρ″) instead of the whole graph.
+//! 3. **Shrinking networks** — every time the binary search raises the
+//!    lower bound `l`, the component is re-intersected with the
+//!    `(⌈l⌉, Ψ)`-core, so later min-cut probes run on smaller networks
+//!    (Pruning3 additionally localizes the stopping gap to `|VC|`).
+//!
+//! Deviation noted for reviewers: Algorithm 4 as printed shares the upper
+//! bound `u` across components, which would starve the binary search of
+//! later components once an earlier one converges; we keep `u` per
+//! component (initialized to the global `kmax` bound), which is sound and
+//! matches the published evaluation's behaviour. We also seed the answer
+//! with the ρ′/ρ″-achieving subgraph so the optimum is returned even when
+//! no strictly-denser subgraph exists (`S = {s}` everywhere).
+
+use std::time::Instant;
+
+use dsd_graph::{connected_components_within, Graph, VertexId, VertexSet};
+use dsd_motif::Pattern;
+
+use crate::clique_core::{decompose, CliqueCoreDecomposition};
+use crate::exact::{build_network_for, density_gap, ExactStats};
+use crate::flownet::FlowBackend;
+use crate::oracle::{density, oracle_for, DensityOracle};
+use crate::types::DsdResult;
+
+/// Pruning/backend switches (Figure 10's P1/P2/P3 ablation).
+#[derive(Clone, Copy, Debug)]
+pub struct CoreExactConfig {
+    /// Pruning1: locate via the densest residual graph ρ′.
+    pub pruning1: bool,
+    /// Pruning2: lift the located core with per-component densities ρ″.
+    pub pruning2: bool,
+    /// Pruning3: component-local binary-search stopping gap.
+    pub pruning3: bool,
+    /// Max-flow backend for the min-cut probes.
+    pub backend: FlowBackend,
+}
+
+impl Default for CoreExactConfig {
+    fn default() -> Self {
+        CoreExactConfig {
+            pruning1: true,
+            pruning2: true,
+            pruning3: true,
+            backend: FlowBackend::Dinic,
+        }
+    }
+}
+
+/// Instrumentation from a CoreExact run (Figures 9–10, Table 3).
+#[derive(Clone, Debug, Default)]
+pub struct CoreExactStats {
+    /// Wall time of the (k, Ψ)-core decomposition.
+    pub decomposition_nanos: u128,
+    /// Total wall time.
+    pub total_nanos: u128,
+    /// Binary-search probes and the flow-network node count at each
+    /// (Figure 9's series; index 0 is the first located network).
+    pub exact: ExactStats,
+    /// kmax of the decomposition.
+    pub kmax: u64,
+    /// ρ′ — best residual density (Pruning1 lower bound).
+    pub rho_prime: f64,
+    /// Core order the CDS was located in after pruning.
+    pub located_k: u64,
+    /// Vertices in the located core.
+    pub located_size: usize,
+}
+
+fn ceil_k(x: f64) -> u64 {
+    if x <= 0.0 {
+        0
+    } else {
+        x.ceil() as u64
+    }
+}
+
+/// Intersects `members` with the `(k, Ψ)`-core (by global core numbers).
+fn restrict_to_core(members: &[VertexId], dec: &CliqueCoreDecomposition, k: u64) -> Vec<VertexId> {
+    members
+        .iter()
+        .copied()
+        .filter(|&v| dec.core[v as usize] >= k)
+        .collect()
+}
+
+fn density_of(oracle: &dyn DensityOracle, g: &Graph, vs: &[VertexId]) -> f64 {
+    let set = VertexSet::from_members(g.num_vertices(), vs);
+    density(oracle, g, &set)
+}
+
+/// Runs CoreExact (cliques) / CorePExact (general patterns) with the given
+/// configuration.
+pub fn core_exact_with(
+    g: &Graph,
+    psi: &Pattern,
+    config: CoreExactConfig,
+) -> (DsdResult, CoreExactStats) {
+    let t_total = Instant::now();
+    let oracle = oracle_for(psi);
+    let size = psi.vertex_count() as f64;
+    let mut stats = CoreExactStats::default();
+
+    // Step 1: (k, Ψ)-core decomposition (Algorithm 3), tracking ρ′.
+    let t_dec = Instant::now();
+    let dec = decompose(g, oracle.as_ref());
+    stats.decomposition_nanos = t_dec.elapsed().as_nanos();
+    stats.kmax = dec.kmax;
+    stats.rho_prime = dec.best_density;
+
+    if dec.kmax == 0 {
+        stats.total_nanos = t_total.elapsed().as_nanos();
+        return (DsdResult::empty(), stats);
+    }
+
+    // Lower bound and initial answer. Theorem 1 guarantees the (kmax,
+    // Ψ)-core achieves at least kmax/|VΨ|; Pruning1 may beat it with the
+    // ρ′-achieving residual graph.
+    let kmax_bound = dec.kmax as f64 / size;
+    let mut best_vs: Vec<VertexId>;
+    let mut best_rho: f64;
+    {
+        let core_vs = dec.max_core().to_vec();
+        let core_rho = density_of(oracle.as_ref(), g, &core_vs);
+        if config.pruning1 && dec.best_density > core_rho {
+            best_vs = dec.best_residual();
+            best_rho = dec.best_density;
+        } else {
+            best_vs = core_vs;
+            best_rho = core_rho;
+        }
+    }
+    let mut l = if config.pruning1 {
+        dec.best_density.max(kmax_bound)
+    } else {
+        kmax_bound
+    };
+
+    // Step 2: locate the CDS in the (k″, Ψ)-core.
+    let mut k_loc = ceil_k(l).max(1);
+    let mut core_set = dec.core_set(k_loc);
+    if config.pruning2 {
+        // ρ″: densest connected component of the located core.
+        let ccs = connected_components_within(g, &core_set);
+        let mut rho2 = 0.0f64;
+        let mut rho2_vs: Vec<VertexId> = Vec::new();
+        for members in ccs.all_members() {
+            let rho = density_of(oracle.as_ref(), g, &members);
+            if rho > rho2 {
+                rho2 = rho;
+                rho2_vs = members;
+            }
+        }
+        if rho2 > best_rho {
+            best_rho = rho2;
+            best_vs = rho2_vs;
+        }
+        if rho2 > l {
+            l = rho2;
+        }
+        let k2 = ceil_k(rho2);
+        if k2 > k_loc {
+            k_loc = k2;
+            core_set = dec.core_set(k_loc);
+        }
+    }
+    stats.located_k = k_loc;
+    stats.located_size = core_set.len();
+
+    // Step 3: per-component flow/binary search on shrinking networks.
+    let u_global = dec.kmax as f64;
+    let ccs = connected_components_within(g, &core_set);
+    for mut comp in ccs.all_members() {
+        // Line 6: if l has outgrown the located core level, shrink first.
+        let mut comp_k = k_loc;
+        let lk = ceil_k(l);
+        if lk > comp_k {
+            comp = restrict_to_core(&comp, &dec, lk);
+            comp_k = lk;
+        }
+        if comp.len() < psi.vertex_count() {
+            continue;
+        }
+        let mut net = build_network_for(g, &comp, psi, true);
+        // Lines 7-9: can this component beat the current lower bound at all?
+        stats.exact.iterations += 1;
+        stats.exact.network_nodes.push(net.num_nodes());
+        let first = match net.solve(l, config.backend) {
+            None => continue,
+            Some(w) => w,
+        };
+        let rho_w = density_of(oracle.as_ref(), g, &first);
+        if rho_w > best_rho {
+            best_rho = rho_w;
+            best_vs = first;
+        }
+
+        let mut u = u_global;
+        let gap = if config.pruning3 {
+            density_gap(comp.len())
+        } else {
+            density_gap(g.num_vertices())
+        };
+        while u - l >= gap {
+            let alpha = (l + u) / 2.0;
+            stats.exact.iterations += 1;
+            stats.exact.network_nodes.push(net.num_nodes());
+            match net.solve(alpha, config.backend) {
+                None => u = alpha,
+                Some(w) => {
+                    let rho_w = density_of(oracle.as_ref(), g, &w);
+                    if rho_w > best_rho {
+                        best_rho = rho_w;
+                        best_vs = w;
+                    }
+                    // Line 17: a higher lower bound lets us relocate the
+                    // component in a deeper core and rebuild smaller.
+                    let ak = ceil_k(alpha);
+                    if ak > comp_k {
+                        let shrunk = restrict_to_core(&comp, &dec, ak);
+                        if shrunk.len() < comp.len() && shrunk.len() >= psi.vertex_count() {
+                            comp = shrunk;
+                            comp_k = ak;
+                            net = build_network_for(g, &comp, psi, true);
+                        } else {
+                            comp_k = ak;
+                        }
+                    }
+                    l = alpha;
+                }
+            }
+        }
+    }
+
+    best_vs.sort_unstable();
+    stats.total_nanos = t_total.elapsed().as_nanos();
+    (
+        DsdResult {
+            vertices: best_vs,
+            density: best_rho,
+        },
+        stats,
+    )
+}
+
+/// Runs CoreExact / CorePExact with the default (all prunings) config.
+pub fn core_exact(g: &Graph, psi: &Pattern) -> (DsdResult, CoreExactStats) {
+    core_exact_with(g, psi, CoreExactConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact;
+
+    fn assert_same_density(g: &Graph, psi: &Pattern) {
+        let (e, _) = exact(g, psi, FlowBackend::Dinic);
+        let (c, _) = core_exact(g, psi);
+        assert!(
+            (e.density - c.density).abs() < 1e-7,
+            "{}: exact {} vs core-exact {}",
+            psi.name(),
+            e.density,
+            c.density
+        );
+    }
+
+    /// Figure 5's graph: S1 = 7-vertex component of density 15/7, S2 = a
+    /// 5-clique-ish block, S3 = the 3-core. We build a graph with kmax = 4
+    /// where the peeling lower bound ρ′ locates the EDS in the 3-core.
+    fn figure5_like() -> Graph {
+        // Component X: K5 on {0..4} (density 2.0), component Y: 7 vertices
+        // {5..11} with 15 edges (density 15/7 ≈ 2.14 > 2.0).
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        // 7-vertex graph with 15 edges: K6 on {5..10} (15 edges) — that's
+        // 6 vertices; add vertex 11 with one edge to stay at density
+        // 15/12? Use K6 plus pendant: 16 edges / 7 = 2.28 > 2.28... keep
+        // K6 {5..10} (density 2.5) and pendant 11-5.
+        for u in 5..11u32 {
+            for v in (u + 1)..11 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((11, 5));
+        Graph::from_edges(12, &edges)
+    }
+
+    #[test]
+    fn matches_exact_on_edge_density() {
+        let g = figure5_like();
+        assert_same_density(&g, &Pattern::edge());
+        let (r, _) = core_exact(&g, &Pattern::edge());
+        // K6 has density 2.5, K5 2.0.
+        assert_eq!(r.vertices, vec![5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn matches_exact_on_triangle_density() {
+        let g = figure5_like();
+        assert_same_density(&g, &Pattern::triangle());
+        let (r, _) = core_exact(&g, &Pattern::triangle());
+        // K6 has C(6,3)/6 = 20/6 triangles per vertex vs K5's 10/5 = 2.
+        assert_eq!(r.vertices, vec![5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn all_pruning_combinations_agree() {
+        let g = figure5_like();
+        let (reference, _) = exact(&g, &Pattern::triangle(), FlowBackend::Dinic);
+        for p1 in [false, true] {
+            for p2 in [false, true] {
+                for p3 in [false, true] {
+                    let config = CoreExactConfig {
+                        pruning1: p1,
+                        pruning2: p2,
+                        pruning3: p3,
+                        backend: FlowBackend::Dinic,
+                    };
+                    let (r, _) = core_exact_with(&g, &Pattern::triangle(), config);
+                    assert!(
+                        (r.density - reference.density).abs() < 1e-7,
+                        "prunings {p1}{p2}{p3}: {} vs {}",
+                        r.density,
+                        reference.density
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_and_no_instance_cases() {
+        let g = Graph::empty(5);
+        let (r, s) = core_exact(&g, &Pattern::triangle());
+        assert!(r.is_empty());
+        assert_eq!(s.kmax, 0);
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let (r2, _) = core_exact(&star, &Pattern::triangle());
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn pattern_core_exact_matches_pexact() {
+        let g = figure5_like();
+        for psi in [Pattern::two_star(), Pattern::diamond(), Pattern::c3_star()] {
+            assert_same_density(&g, &psi);
+        }
+    }
+
+    #[test]
+    fn network_sizes_shrink_or_hold() {
+        // On a graph with a big sparse fringe, the located network must be
+        // much smaller than the graph.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        for i in 6..60u32 {
+            edges.push((i, (i * 7) % 6));
+        }
+        let g = Graph::from_edges(60, &edges);
+        let (r, stats) = core_exact(&g, &Pattern::triangle());
+        assert_eq!(r.vertices, vec![0, 1, 2, 3, 4, 5]);
+        assert!(stats.located_size <= 8, "located {} vertices", stats.located_size);
+        // Every recorded network is far smaller than a whole-graph build.
+        let (_, full_stats) = exact(&g, &Pattern::triangle(), FlowBackend::Dinic);
+        let full = full_stats.network_nodes[0];
+        for &nodes in &stats.exact.network_nodes {
+            assert!(nodes < full, "core network {nodes} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn rho_prime_bounds_kmax_over_psi() {
+        let g = figure5_like();
+        let (_, stats) = core_exact(&g, &Pattern::triangle());
+        assert!(stats.rho_prime + 1e-9 >= stats.kmax as f64 / 3.0 || stats.rho_prime > 0.0);
+        assert!(stats.located_k >= 1);
+    }
+}

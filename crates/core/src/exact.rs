@@ -1,0 +1,215 @@
+//! Algorithm 1 (`Exact`) and Algorithm 8 (`PExact`): flow-based exact DSD
+//! by binary search over the guessed density α.
+//!
+//! The network is constructed over the entire graph and re-solved per guess
+//! (the paper's stated weakness that `CoreExact` repairs). Dispatch:
+//! h = 2 → Goldberg's simplified network; h-clique (h ≥ 3) → Algorithm 1's
+//! (h−1)-clique network; general pattern → Algorithm 8's instance network.
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+use dsd_motif::pattern::{Pattern, PatternKind};
+
+use crate::flownet::{
+    build_clique_network, build_edge_network, build_pattern_network, DensityNetwork, FlowBackend,
+};
+use crate::oracle::{density, oracle_for};
+use crate::types::DsdResult;
+
+/// Instrumentation from an exact run.
+#[derive(Clone, Debug, Default)]
+pub struct ExactStats {
+    /// Number of binary-search iterations (min-cut probes).
+    pub iterations: usize,
+    /// Flow-network node count at each iteration (constant for `Exact`,
+    /// shrinking for `CoreExact` — the Figure-9 series).
+    pub network_nodes: Vec<usize>,
+    /// Initial `[l, u]` bounds on α.
+    pub initial_bounds: (f64, f64),
+}
+
+/// Builds the Algorithm-1/8 network for Ψ over `g[members]`.
+///
+/// `grouped` selects `construct+` (Algorithm 7) for general patterns; it is
+/// ignored for cliques, whose Algorithm-1 network has no duplicate vertex
+/// sets to group.
+pub(crate) fn build_network_for(
+    g: &Graph,
+    members: &[VertexId],
+    psi: &Pattern,
+    grouped: bool,
+) -> DensityNetwork {
+    match psi.kind() {
+        PatternKind::Clique(2) => build_edge_network(g, members),
+        PatternKind::Clique(h) => build_clique_network(g, members, h),
+        _ => build_pattern_network(g, members, psi, grouped),
+    }
+}
+
+/// The binary-search stopping gap `1 / (n(n−1))` (Lemma 12: distinct
+/// densities differ by at least this much).
+pub(crate) fn density_gap(n: usize) -> f64 {
+    if n < 2 {
+        1.0
+    } else {
+        1.0 / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+/// Runs `Exact` (cliques) / `PExact` (patterns) on the whole graph.
+pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, ExactStats) {
+    let oracle = oracle_for(psi);
+    let n = g.num_vertices();
+    let alive = VertexSet::full(n);
+    let degrees = oracle.degrees(g, &alive);
+    let max_deg = degrees.iter().copied().max().unwrap_or(0);
+    let mut stats = ExactStats::default();
+    if max_deg == 0 {
+        return (DsdResult::empty(), stats);
+    }
+
+    let mut l = 0.0f64;
+    let mut u = max_deg as f64;
+    stats.initial_bounds = (l, u);
+    let gap = density_gap(n);
+    let members: Vec<VertexId> = g.vertices().collect();
+    // PExact uses the ungrouped Algorithm-8 network; construct+ belongs to
+    // CorePExact.
+    let mut net = build_network_for(g, &members, psi, false);
+    let mut best: Vec<VertexId> = Vec::new();
+
+    while u - l >= gap {
+        let alpha = (l + u) / 2.0;
+        stats.iterations += 1;
+        stats.network_nodes.push(net.num_nodes());
+        match net.solve(alpha, backend) {
+            Some(witness) => {
+                l = alpha;
+                best = witness;
+            }
+            None => u = alpha,
+        }
+    }
+    debug_assert!(!best.is_empty(), "μ > 0 guarantees a feasible guess");
+    best.sort_unstable();
+    let set = VertexSet::from_members(n, &best);
+    let rho = density(oracle.as_ref(), g, &set);
+    (
+        DsdResult {
+            vertices: best,
+            density: rho,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_d(g: &Graph, psi: &Pattern) -> DsdResult {
+        exact(g, psi, FlowBackend::Dinic).0
+    }
+
+    /// Figure 1(a)-style: K4 with a tail — EDS is the K4 at ρ = 1.5.
+    #[test]
+    fn eds_of_k4_tail() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        let r = exact_d(&g, &Pattern::edge());
+        assert_eq!(r.vertices, vec![0, 1, 2, 3]);
+        assert!((r.density - 1.5).abs() < 1e-9);
+    }
+
+    /// The paper's running example: with Ψ = edge the densest subgraph is
+    /// S1 (density 11/7); with Ψ = triangle it is S2.
+    #[test]
+    fn triangle_cds_differs_from_eds() {
+        // Build: S1 = 7-vertex 11-edge near-clique with no triangles...
+        // Simplest contrast graph: C5 (edge-density 1, no triangles) vs
+        // two triangles sharing an edge (4 vertices, 5 edges, 2 triangles).
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)];
+        edges.extend_from_slice(&[(5, 6), (6, 7), (5, 7), (5, 8), (7, 8)]);
+        let g = Graph::from_edges(9, &edges);
+        let eds = exact_d(&g, &Pattern::edge());
+        // K4-e has density 5/4 > C5's 1.
+        assert_eq!(eds.vertices, vec![5, 6, 7, 8]);
+        let cds = exact_d(&g, &Pattern::triangle());
+        assert_eq!(cds.vertices, vec![5, 6, 7, 8]);
+        assert!((cds.density - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_instances_gives_empty() {
+        // A star has no triangles.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let r = exact_d(&g, &Pattern::triangle());
+        assert!(r.is_empty());
+        assert_eq!(r.density, 0.0);
+    }
+
+    #[test]
+    fn whole_clique_is_its_own_cds() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        for h in 2..=5 {
+            let r = exact_d(&g, &Pattern::clique(h));
+            assert_eq!(r.vertices, vec![0, 1, 2, 3, 4], "h = {h}");
+        }
+    }
+
+    #[test]
+    fn pexact_diamond_on_figure6_style_graph() {
+        // K4 on {0,3,4,5} (3 diamonds), 4-cycle 0-1-2-3 (1 diamond),
+        // tail 5-6-7. PDS = the K4: 3/4 beats 4/6-ish supersets.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let r = exact_d(&g, &Pattern::diamond());
+        assert_eq!(r.vertices, vec![0, 3, 4, 5]);
+        assert!((r.density - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pexact_two_star_picks_hub() {
+        // A big star: 2-star density maximized by the full star.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let r = exact_d(&g, &Pattern::two_star());
+        assert_eq!(r.vertices, vec![0, 1, 2, 3, 4, 5]);
+        // C(5,2) = 10 wedges over 6 vertices.
+        assert!((r.density - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (4, 6), (3, 6)],
+        );
+        for psi in [Pattern::edge(), Pattern::triangle()] {
+            let a = exact(&g, &psi, FlowBackend::Dinic).0;
+            let b = exact(&g, &psi, FlowBackend::PushRelabel).0;
+            assert_eq!(a.vertices, b.vertices, "{}", psi.name());
+            assert!((a.density - b.density).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Flow-network constructions for the exact DSD algorithms.
+//!
+//! Three constructions from the paper, all sharing the same decision
+//! semantics — after a max-flow at guess density `α`, the source side `S`
+//! of a minimum st-cut satisfies `S ≠ {s}` iff some subgraph has density
+//! **strictly greater than** `α` (Lemma 14), and the graph vertices in
+//! `S \ {s}` induce such a subgraph:
+//!
+//! * [`build_edge_network`] — Goldberg's simplified network for h = 2
+//!   (Section 4.1's remark): `s→v` cap `m`, `v→t` cap `m + 2α − deg(v)`,
+//!   `u↔v` cap 1 per edge;
+//! * [`build_clique_network`] — Algorithm 1 lines 5–15 for h ≥ 3:
+//!   one node per (h−1)-clique instance ψ, `ψ→v` cap ∞ for `v ∈ ψ`,
+//!   `v→ψ` cap 1 when `ψ ∪ {v}` is an h-clique;
+//! * [`build_pattern_network`] — Algorithm 8 (one node per pattern
+//!   instance, `v→ψ` cap 1, `ψ→v` cap `|VΨ|−1`) and Algorithm 7's
+//!   `construct+` variant (one node per *group* of instances sharing a
+//!   vertex set, capacities scaled by `|g|`), selected by `grouped`.
+//!
+//! Only the `v→t` capacities depend on α, so a network is built once per
+//! candidate subgraph and re-solved for each binary-search guess via
+//! [`DensityNetwork::solve`].
+
+use dsd_flow::{min_cut_source_side, Dinic, EdgeId, FlowNetwork, MaxFlow, NodeId};
+use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
+use dsd_motif::{kclist, pattern_enum, Pattern};
+
+/// Which max-flow backend solves the min-cut probes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlowBackend {
+    /// Dinic blocking flow (default; matches the reference implementations).
+    #[default]
+    Dinic,
+    /// Highest-label push-relabel with gap heuristic.
+    PushRelabel,
+}
+
+impl FlowBackend {
+    fn solver(self) -> Box<dyn MaxFlow> {
+        match self {
+            FlowBackend::Dinic => Box::new(Dinic::new()),
+            FlowBackend::PushRelabel => Box::new(dsd_flow::PushRelabel::new()),
+        }
+    }
+}
+
+/// A density-decision flow network over an induced subgraph.
+pub struct DensityNetwork {
+    net: FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    /// Parent-graph ids of the vertex nodes; node id of `members[i]` is
+    /// `i + 1`.
+    members: Vec<VertexId>,
+    /// `v→t` edge per vertex plus its α-free base capacity.
+    alpha_edges: Vec<(EdgeId, f64)>,
+    /// Multiplier applied to α on `v→t` edges (`|VΨ|`, or 2 for Goldberg).
+    alpha_scale: f64,
+    /// α of the previous solve, for warm starts.
+    last_alpha: Option<f64>,
+    /// Whether monotone warm starts are enabled (see [`Self::set_warm_start`]).
+    warm_start: bool,
+}
+
+impl DensityNetwork {
+    /// Number of flow nodes (the Figure-9 metric).
+    pub fn num_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
+
+    /// Number of directed (forward) edges.
+    pub fn num_edges(&self) -> usize {
+        self.net.num_edges()
+    }
+
+    /// Number of graph vertices carried by the network.
+    pub fn num_vertices(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Enables or disables monotone warm starts (default: on).
+    ///
+    /// Only the `v→t` capacities depend on α, and they *increase* with α,
+    /// so when consecutive probes have non-decreasing α the previous flow
+    /// stays feasible and only needs augmenting — the simple monotone form
+    /// of the parametric max-flow idea of Gallo–Grigoriadis–Tarjan [29],
+    /// which the paper cites as the classical EDS machinery. Decreasing-α
+    /// probes fall back to a cold solve automatically.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start = enabled;
+    }
+
+    /// Decides whether some subgraph beats density `alpha`.
+    ///
+    /// Returns `Some(vertices)` (parent-graph ids of `S \ {s}`) when such a
+    /// subgraph exists, `None` otherwise.
+    pub fn solve(&mut self, alpha: f64, backend: FlowBackend) -> Option<Vec<VertexId>> {
+        let scale = self.alpha_scale;
+        for i in 0..self.alpha_edges.len() {
+            let (e, base) = self.alpha_edges[i];
+            self.net.set_cap(e, (base + scale * alpha).max(0.0));
+        }
+        // Warm start: feasibility of the old flow is preserved when all
+        // capacity changes are increases. Push-relabel's invariants don't
+        // survive a capacity change, so warm starts are Dinic-only.
+        let warm = self.warm_start
+            && backend == FlowBackend::Dinic
+            && self.last_alpha.is_some_and(|last| alpha >= last);
+        if !warm {
+            self.net.reset_flow();
+        }
+        self.last_alpha = Some(alpha);
+        let mut solver = backend.solver();
+        let _ = solver.max_flow(&mut self.net, self.s, self.t);
+        let side = min_cut_source_side(&self.net, self.s);
+        if side.len() <= 1 {
+            return None;
+        }
+        let vertices: Vec<VertexId> = side
+            .iter()
+            .filter(|&&node| node != self.s && (node as usize) <= self.members.len())
+            .map(|&node| self.members[node as usize - 1])
+            .collect();
+        if vertices.is_empty() {
+            None
+        } else {
+            Some(vertices)
+        }
+    }
+
+}
+
+/// Builds Goldberg's h = 2 network over `g[members]`.
+pub fn build_edge_network(g: &Graph, members: &[VertexId]) -> DensityNetwork {
+    let sub = InducedSubgraph::new(g, members);
+    let n = sub.graph.num_vertices();
+    let m = sub.graph.num_edges() as f64;
+    let s: NodeId = 0;
+    let t: NodeId = (n + 1) as NodeId;
+    let mut net = FlowNetwork::with_capacity(n + 2, 2 * sub.graph.num_edges() + 2 * n);
+    let mut alpha_edges = Vec::with_capacity(n);
+    for v in 0..n {
+        let node = (v + 1) as NodeId;
+        net.add_edge(s, node, m);
+        // cap = m + 2α − deg(v): base m − deg(v), α-scale 2.
+        let base = m - sub.graph.degree(v as VertexId) as f64;
+        let e = net.add_edge(node, t, 0.0);
+        alpha_edges.push((e, base));
+    }
+    for (u, v) in sub.graph.edges() {
+        net.add_edge((u + 1) as NodeId, (v + 1) as NodeId, 1.0);
+        net.add_edge((v + 1) as NodeId, (u + 1) as NodeId, 1.0);
+    }
+    DensityNetwork {
+        net,
+        s,
+        t,
+        members: sub.orig,
+        alpha_edges,
+        alpha_scale: 2.0,
+        last_alpha: None,
+        warm_start: true,
+    }
+}
+
+/// Builds the Algorithm-1 network for the h-clique (`h ≥ 3`) over
+/// `g[members]`.
+pub fn build_clique_network(g: &Graph, members: &[VertexId], h: usize) -> DensityNetwork {
+    assert!(h >= 3, "use build_edge_network for h = 2");
+    let sub = InducedSubgraph::new(g, members);
+    let n = sub.graph.num_vertices();
+    let alive = VertexSet::full(n);
+    let deg = kclist::clique_degrees_within(&sub.graph, h, &alive);
+
+    // Collect Λ = (h−1)-clique instances.
+    let mut lambda: Vec<Vec<VertexId>> = Vec::new();
+    kclist::for_each_clique_within(&sub.graph, h - 1, &alive, |c| {
+        lambda.push(c.to_vec());
+    });
+
+    let s: NodeId = 0;
+    let t: NodeId = (n + lambda.len() + 1) as NodeId;
+    let mut net = FlowNetwork::new(n + lambda.len() + 2);
+    let mut alpha_edges = Vec::with_capacity(n);
+    for v in 0..n {
+        let node = (v + 1) as NodeId;
+        net.add_edge(s, node, deg[v] as f64);
+        let e = net.add_edge(node, t, 0.0);
+        alpha_edges.push((e, 0.0));
+    }
+    let mut scratch: Vec<VertexId> = Vec::new();
+    for (i, psi) in lambda.iter().enumerate() {
+        let psi_node = (n + 1 + i) as NodeId;
+        for &v in psi {
+            net.add_edge(psi_node, (v + 1) as NodeId, FlowNetwork::INF);
+        }
+        // v → ψ when ψ ∪ {v} is an h-clique: v adjacent to every member.
+        scratch.clear();
+        common_neighbors(&sub.graph, psi, &mut scratch);
+        for &v in &scratch {
+            net.add_edge((v + 1) as NodeId, psi_node, 1.0);
+        }
+    }
+    DensityNetwork {
+        net,
+        s,
+        t,
+        members: sub.orig,
+        alpha_edges,
+        alpha_scale: h as f64,
+        last_alpha: None,
+        warm_start: true,
+    }
+}
+
+/// Vertices adjacent to every member of `clique` (excluding the members).
+fn common_neighbors(g: &Graph, clique: &[VertexId], out: &mut Vec<VertexId>) {
+    debug_assert!(!clique.is_empty());
+    // Start from the smallest neighbourhood.
+    let &anchor = clique
+        .iter()
+        .min_by_key(|&&v| g.degree(v))
+        .expect("non-empty clique");
+    'cand: for &v in g.neighbors(anchor) {
+        if clique.contains(&v) {
+            continue;
+        }
+        for &u in clique {
+            if u != anchor && !g.has_edge(v, u) {
+                continue 'cand;
+            }
+        }
+        out.push(v);
+    }
+}
+
+/// Builds the pattern network over `g[members]`: Algorithm 8 when
+/// `grouped = false`, `construct+` (Algorithm 7) when `grouped = true`.
+pub fn build_pattern_network(
+    g: &Graph,
+    members: &[VertexId],
+    psi: &Pattern,
+    grouped: bool,
+) -> DensityNetwork {
+    let sub = InducedSubgraph::new(g, members);
+    let n = sub.graph.num_vertices();
+    let alive = VertexSet::full(n);
+    let size = psi.vertex_count();
+    let instances = pattern_enum::instances(&sub.graph, psi, &alive);
+    let mut deg = vec![0u64; n];
+    for inst in &instances {
+        for &v in &inst.vertices {
+            deg[v as usize] += 1;
+        }
+    }
+
+    // (vertex set, weight |g|) per flow node: groups or single instances.
+    let units: Vec<(Vec<VertexId>, u64)> = if grouped {
+        pattern_enum::group_instances(&instances)
+            .into_iter()
+            .map(|grp| (grp.vertices, grp.count))
+            .collect()
+    } else {
+        instances
+            .into_iter()
+            .map(|inst| (inst.vertices, 1))
+            .collect()
+    };
+
+    let s: NodeId = 0;
+    let t: NodeId = (n + units.len() + 1) as NodeId;
+    let mut net = FlowNetwork::new(n + units.len() + 2);
+    let mut alpha_edges = Vec::with_capacity(n);
+    for v in 0..n {
+        let node = (v + 1) as NodeId;
+        net.add_edge(s, node, deg[v] as f64);
+        let e = net.add_edge(node, t, 0.0);
+        alpha_edges.push((e, 0.0));
+    }
+    for (i, (vs, weight)) in units.iter().enumerate() {
+        let unit_node = (n + 1 + i) as NodeId;
+        for &v in vs {
+            net.add_edge((v + 1) as NodeId, unit_node, *weight as f64);
+            net.add_edge(
+                unit_node,
+                (v + 1) as NodeId,
+                (*weight * (size as u64 - 1)) as f64,
+            );
+        }
+    }
+    DensityNetwork {
+        net,
+        s,
+        t,
+        members: sub.orig,
+        alpha_edges,
+        alpha_scale: size as f64,
+        last_alpha: None,
+        warm_start: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(g: &Graph) -> Vec<VertexId> {
+        g.vertices().collect()
+    }
+
+    /// Figure 1(a)'s EDS intuition: a 4-clique plus a tail. ρopt = 6/4.
+    fn k4_tail() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn edge_network_decides_density_threshold() {
+        let g = k4_tail();
+        let mut net = build_edge_network(&g, &all(&g));
+        // ρopt = 1.5 (the K4): feasible below, infeasible at/above.
+        let below = net.solve(1.4, FlowBackend::Dinic);
+        assert!(below.is_some());
+        let mut got = below.unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(net.solve(1.5, FlowBackend::Dinic).is_none());
+        assert!(net.solve(2.0, FlowBackend::Dinic).is_none());
+    }
+
+    #[test]
+    fn edge_network_backends_agree() {
+        let g = k4_tail();
+        let mut net = build_edge_network(&g, &all(&g));
+        for alpha in [0.3, 0.9, 1.3, 1.49, 1.51, 1.9] {
+            let a = net.solve(alpha, FlowBackend::Dinic).is_some();
+            let b = net.solve(alpha, FlowBackend::PushRelabel).is_some();
+            assert_eq!(a, b, "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn clique_network_matches_example_1() {
+        // Example 1 / Figure 2: A-B, B-C, B-D, C-D with Ψ = triangle.
+        // One triangle {B,C,D}: ρopt = 1/3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let mut net = build_clique_network(&g, &all(&g), 3);
+        // Λ = 4 edges (2-cliques) -> nodes: s + 4 vertices + 4 + t = 10.
+        assert_eq!(net.num_nodes(), 10);
+        let feasible = net.solve(0.2, FlowBackend::Dinic);
+        assert!(feasible.is_some());
+        let mut got = feasible.unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(net.solve(1.0 / 3.0, FlowBackend::Dinic).is_none());
+    }
+
+    #[test]
+    fn clique_network_on_subset_uses_parent_ids() {
+        let g = k4_tail();
+        // Restrict to the K4 plus the tail vertex 4.
+        let mut net = build_clique_network(&g, &[0, 1, 2, 3, 4], 3);
+        let got = net.solve(0.5, FlowBackend::Dinic);
+        let mut got = got.unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        // K4 triangle density = 4 triangles / 4 vertices = 1.
+        assert!(net.solve(1.0, FlowBackend::Dinic).is_none());
+    }
+
+    #[test]
+    fn pattern_network_matches_clique_semantics() {
+        // For Ψ = triangle, the Algorithm-8 network must make the same
+        // decisions as the Algorithm-1 network.
+        let g = k4_tail();
+        let psi = Pattern::triangle();
+        let mut pnet = build_pattern_network(&g, &all(&g), &psi, false);
+        let mut gnet = build_pattern_network(&g, &all(&g), &psi, true);
+        let mut cnet = build_clique_network(&g, &all(&g), 3);
+        for alpha in [0.1, 0.5, 0.9, 0.99, 1.0, 1.5] {
+            let a = pnet.solve(alpha, FlowBackend::Dinic).is_some();
+            let b = gnet.solve(alpha, FlowBackend::Dinic).is_some();
+            let c = cnet.solve(alpha, FlowBackend::Dinic).is_some();
+            assert_eq!(a, c, "ungrouped vs clique at {alpha}");
+            assert_eq!(b, c, "grouped vs clique at {alpha}");
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solves() {
+        let g = k4_tail();
+        // A binary-search-like α sequence: up, up, down, up.
+        let alphas = [0.5, 1.0, 1.25, 0.9, 1.4, 1.6, 1.45];
+        let mut warm = build_edge_network(&g, &all(&g));
+        warm.set_warm_start(true);
+        let mut cold = build_edge_network(&g, &all(&g));
+        cold.set_warm_start(false);
+        for &alpha in &alphas {
+            let a = warm.solve(alpha, FlowBackend::Dinic);
+            let b = cold.solve(alpha, FlowBackend::Dinic);
+            assert_eq!(a.is_some(), b.is_some(), "alpha = {alpha}");
+            if let (Some(mut va), Some(mut vb)) = (a, b) {
+                va.sort_unstable();
+                vb.sort_unstable();
+                assert_eq!(va, vb, "alpha = {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_on_clique_network() {
+        let g = k4_tail();
+        let mut warm = build_clique_network(&g, &all(&g), 3);
+        let mut cold = build_clique_network(&g, &all(&g), 3);
+        cold.set_warm_start(false);
+        for &alpha in &[0.2, 0.6, 0.8, 0.3, 0.95, 1.0, 1.2] {
+            assert_eq!(
+                warm.solve(alpha, FlowBackend::Dinic).is_some(),
+                cold.solve(alpha, FlowBackend::Dinic).is_some(),
+                "alpha = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_network_is_never_larger() {
+        // K4: three 4-cycles share one vertex set -> grouping shrinks Λ.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]);
+        let psi = Pattern::diamond();
+        let ungrouped = build_pattern_network(&g, &all(&g), &psi, false);
+        let grouped = build_pattern_network(&g, &all(&g), &psi, true);
+        assert!(grouped.num_nodes() < ungrouped.num_nodes());
+        assert_eq!(ungrouped.num_nodes(), 1 + 4 + 3 + 1);
+        assert_eq!(grouped.num_nodes(), 1 + 4 + 1 + 1);
+    }
+
+    #[test]
+    fn diamond_grouped_and_ungrouped_agree_on_decisions() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3), (3, 4), (4, 5)],
+        );
+        let psi = Pattern::diamond();
+        let mut a = build_pattern_network(&g, &all(&g), &psi, false);
+        let mut b = build_pattern_network(&g, &all(&g), &psi, true);
+        for alpha in [0.1, 0.4, 0.74, 0.76, 1.0] {
+            assert_eq!(
+                a.solve(alpha, FlowBackend::Dinic).is_some(),
+                b.solve(alpha, FlowBackend::Dinic).is_some(),
+                "alpha = {alpha}"
+            );
+        }
+    }
+}

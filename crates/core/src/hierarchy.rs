@@ -1,0 +1,166 @@
+//! Core-hierarchy utilities on top of a (k, Ψ)-core decomposition.
+//!
+//! The paper's Theorem 1 is a statement about the whole nested family
+//! `R_0 ⊇ R_1 ⊇ … ⊇ R_kmax`; downstream users (visualization, community
+//! hierarchies, the index structures the paper's introduction motivates)
+//! want that family as data. This module materializes per-level summaries
+//! and membership without re-running the decomposition.
+
+use dsd_graph::{connected_components_within, Graph, VertexSet};
+
+use crate::clique_core::CliqueCoreDecomposition;
+use crate::oracle::{density, DensityOracle};
+
+/// Summary of one level of the core hierarchy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreLevel {
+    /// Core order `k`.
+    pub k: u64,
+    /// Number of vertices with core number ≥ k.
+    pub size: usize,
+    /// Number of connected components of the (k, Ψ)-core.
+    pub components: usize,
+    /// Ψ-density of the (k, Ψ)-core.
+    pub density: f64,
+    /// Theorem-1 lower bound `k / |VΨ|`.
+    pub lower_bound: f64,
+}
+
+/// Materializes the full hierarchy `k = 0 ..= kmax`.
+///
+/// Each level satisfies Theorem 1: `lower_bound ≤ density ≤ kmax`
+/// (debug-asserted).
+pub fn core_hierarchy(
+    g: &Graph,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> Vec<CoreLevel> {
+    let mut levels = Vec::with_capacity(dec.kmax as usize + 1);
+    for k in 0..=dec.kmax {
+        let set = dec.core_set(k);
+        let cc = connected_components_within(g, &set);
+        let rho = density(oracle, g, &set);
+        let lower = k as f64 / oracle.psi_size() as f64;
+        debug_assert!(k == 0 || set.is_empty() || rho + 1e-9 >= lower);
+        debug_assert!(rho <= dec.kmax as f64 + 1e-9);
+        levels.push(CoreLevel {
+            k,
+            size: set.len(),
+            components: cc.num_components,
+            density: rho,
+            lower_bound: lower,
+        });
+    }
+    levels
+}
+
+/// The *core spectrum*: for each vertex, the density of the innermost core
+/// containing it. A cheap per-vertex "how dense is my context" signal used
+/// for ranking (the paper's social-piggybacking motivation).
+pub fn core_spectrum(
+    g: &Graph,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> Vec<f64> {
+    let levels = core_hierarchy(g, oracle, dec);
+    dec.core
+        .iter()
+        .map(|&k| levels[k as usize].density)
+        .collect()
+}
+
+/// The innermost non-empty level whose density is at least `threshold`,
+/// if any — a "find me a ≥ρ community" query answered from the hierarchy
+/// alone (no flow computation), justified by Theorem 1's lower bounds.
+pub fn first_level_with_density(
+    g: &Graph,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+    threshold: f64,
+) -> Option<(u64, VertexSet)> {
+    for k in (0..=dec.kmax).rev() {
+        let set = dec.core_set(k);
+        if set.is_empty() {
+            continue;
+        }
+        if density(oracle, g, &set) >= threshold {
+            // Innermost-first scan: the first hit is the densest level
+            // meeting the bar with the smallest membership.
+            return Some((k, set));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique_core::decompose;
+    use crate::oracle::oracle_for;
+    use dsd_motif::Pattern;
+
+    fn nested_graph() -> Graph {
+        // K6 core {0..5}, ring of triangles around it, pendant chain.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend_from_slice(&[(6, 7), (7, 8), (6, 8), (8, 0)]);
+        edges.extend_from_slice(&[(9, 10), (10, 11)]);
+        Graph::from_edges(12, &edges)
+    }
+
+    #[test]
+    fn hierarchy_levels_are_monotone() {
+        let g = nested_graph();
+        let oracle = oracle_for(&Pattern::triangle());
+        let dec = decompose(&g, oracle.as_ref());
+        let levels = core_hierarchy(&g, oracle.as_ref(), &dec);
+        assert_eq!(levels.len(), dec.kmax as usize + 1);
+        for w in levels.windows(2) {
+            assert!(w[1].size <= w[0].size, "sizes must shrink");
+            assert!(w[1].k == w[0].k + 1);
+        }
+        // Innermost level is the K6 (each vertex in C(5,2) = 10 triangles).
+        let top = levels.last().unwrap();
+        assert_eq!(top.size, 6);
+        assert_eq!(top.components, 1);
+    }
+
+    #[test]
+    fn spectrum_assigns_inner_density_to_core_members() {
+        let g = nested_graph();
+        let oracle = oracle_for(&Pattern::edge());
+        let dec = decompose(&g, oracle.as_ref());
+        let spectrum = core_spectrum(&g, oracle.as_ref(), &dec);
+        // K6 members see the densest context.
+        let hub = spectrum[0];
+        let leaf = spectrum[11];
+        assert!(hub > leaf);
+    }
+
+    #[test]
+    fn first_level_query() {
+        let g = nested_graph();
+        let oracle = oracle_for(&Pattern::edge());
+        let dec = decompose(&g, oracle.as_ref());
+        // K6 has edge density 15/6 = 2.5.
+        let (k, set) = first_level_with_density(&g, oracle.as_ref(), &dec, 2.4).unwrap();
+        assert!(k >= 5);
+        assert_eq!(set.to_vec(), vec![0, 1, 2, 3, 4, 5]);
+        assert!(first_level_with_density(&g, oracle.as_ref(), &dec, 100.0).is_none());
+    }
+
+    #[test]
+    fn empty_graph_hierarchy() {
+        let g = Graph::empty(3);
+        let oracle = oracle_for(&Pattern::triangle());
+        let dec = decompose(&g, oracle.as_ref());
+        let levels = core_hierarchy(&g, oracle.as_ref(), &dec);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].k, 0);
+        assert_eq!(levels[0].size, 3);
+    }
+}

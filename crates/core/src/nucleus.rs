@@ -1,0 +1,194 @@
+//! Nucleus-decomposition baseline (Sariyüce, Seshadhri, Pinar, PVLDB 2018).
+//!
+//! The paper compares its core decomposition against the local
+//! `(1, h)`-nucleus algorithm ("AND": asynchronous nucleus decomposition):
+//! every vertex starts at its clique-degree and repeatedly replaces its
+//! value with the **h-index** of `{min over the other members of each
+//! clique containing it}`, converging to exactly the clique-core numbers.
+//! We materialize the clique incidence once (the same cost Algorithm 3
+//! pays for initial degrees) and iterate asynchronously to a fixpoint.
+
+use dsd_graph::{Graph, VertexId};
+use dsd_motif::kclist;
+
+use crate::approx::ApproxResult;
+use crate::oracle::{density, oracle_for};
+use crate::types::DsdResult;
+use dsd_graph::VertexSet;
+use dsd_motif::Pattern;
+
+/// Clique-core numbers via local h-index iteration.
+#[derive(Clone, Debug)]
+pub struct NucleusDecomposition {
+    /// Converged clique-core numbers.
+    pub core: Vec<u64>,
+    /// Maximum clique-core number.
+    pub kmax: u64,
+    /// Number of full sweeps until the fixpoint.
+    pub rounds: usize,
+}
+
+/// h-index of a list of values: the largest `x` such that at least `x`
+/// values are ≥ `x`. Consumes/reorders the scratch buffer.
+fn h_index(values: &mut Vec<u64>) -> u64 {
+    values.sort_unstable_by(|a, b| b.cmp(a));
+    let mut h = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        if v >= (i + 1) as u64 {
+            h = (i + 1) as u64;
+        } else {
+            break;
+        }
+    }
+    h
+}
+
+/// Runs the (1, h)-nucleus decomposition for the h-clique.
+pub fn nucleus_decomposition(g: &Graph, h: usize) -> NucleusDecomposition {
+    assert!(h >= 2);
+    let n = g.num_vertices();
+    // Materialize clique incidence.
+    let mut cliques: Vec<Vec<VertexId>> = Vec::new();
+    kclist::for_each_clique(g, h, |c| cliques.push(c.to_vec()));
+    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, c) in cliques.iter().enumerate() {
+        for &v in c {
+            incidence[v as usize].push(i as u32);
+        }
+    }
+    // τ₀ = clique-degree.
+    let mut tau: Vec<u64> = incidence.iter().map(|inc| inc.len() as u64).collect();
+    let mut rounds = 0usize;
+    let mut scratch: Vec<u64> = Vec::new();
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for v in 0..n {
+            if incidence[v].is_empty() {
+                continue;
+            }
+            scratch.clear();
+            for &ci in &incidence[v] {
+                let value = cliques[ci as usize]
+                    .iter()
+                    .filter(|&&u| u as usize != v)
+                    .map(|&u| tau[u as usize])
+                    .min()
+                    .unwrap_or(0);
+                scratch.push(value);
+            }
+            let new_tau = h_index(&mut scratch);
+            if new_tau != tau[v] {
+                // Asynchronous update: later vertices in this sweep see it.
+                tau[v] = new_tau;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let kmax = tau.iter().copied().max().unwrap_or(0);
+    NucleusDecomposition {
+        core: tau,
+        kmax,
+        rounds,
+    }
+}
+
+/// The Nucleus approximation baseline: the (kmax, Ψ)-core extracted from
+/// the nucleus decomposition (same output as IncApp/CoreApp).
+pub fn nucleus_app(g: &Graph, h: usize) -> ApproxResult {
+    let dec = nucleus_decomposition(g, h);
+    let vertices: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| dec.core[v as usize] >= dec.kmax && dec.kmax > 0)
+        .collect();
+    let psi = Pattern::clique(h);
+    let oracle = oracle_for(&psi);
+    let set = VertexSet::from_members(g.num_vertices(), &vertices);
+    let rho = density(oracle.as_ref(), g, &set);
+    ApproxResult {
+        result: DsdResult {
+            vertices,
+            density: rho,
+        },
+        kmax: dec.kmax,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clique_core::decompose;
+    use crate::oracle::oracle_for;
+
+    fn random_graph(seed: u64, n: usize, percent: u64) -> Graph {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = dsd_graph::GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() % 100 < percent {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn h_index_basics() {
+        assert_eq!(h_index(&mut vec![3, 3, 3]), 3);
+        assert_eq!(h_index(&mut vec![5, 1, 1]), 1);
+        assert_eq!(h_index(&mut vec![]), 0);
+        assert_eq!(h_index(&mut vec![10, 9, 8, 7]), 4);
+    }
+
+    #[test]
+    fn converges_to_clique_core_numbers() {
+        for seed in 1..10u64 {
+            let g = random_graph(seed, 14, 35);
+            for h in 2..=4usize {
+                let nuc = nucleus_decomposition(&g, h);
+                let oracle = oracle_for(&Pattern::clique(h));
+                let dec = decompose(&g, oracle.as_ref());
+                assert_eq!(nuc.core, dec.core, "seed {seed} h {h}");
+                assert_eq!(nuc.kmax, dec.kmax);
+            }
+        }
+    }
+
+    #[test]
+    fn h2_matches_classical_core_numbers() {
+        let g = random_graph(42, 20, 25);
+        let nuc = nucleus_decomposition(&g, 2);
+        let classical = crate::kcore::k_core_decomposition(&g);
+        for v in g.vertices() {
+            assert_eq!(nuc.core[v as usize], classical.core[v as usize] as u64);
+        }
+    }
+
+    #[test]
+    fn nucleus_app_matches_inc_app() {
+        let g = random_graph(7, 16, 40);
+        for h in 2..=4usize {
+            let a = nucleus_app(&g, h);
+            let b = crate::approx::inc_app(&g, &Pattern::clique(h));
+            assert_eq!(a.kmax, b.kmax, "h {h}");
+            assert_eq!(a.result.vertices, b.result.vertices, "h {h}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        let nuc = nucleus_decomposition(&g, 3);
+        assert_eq!(nuc.kmax, 0);
+        assert_eq!(nuc.core, vec![0; 4]);
+    }
+}

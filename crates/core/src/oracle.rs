@@ -1,0 +1,493 @@
+//! Density oracles: a uniform interface over h-cliques and general patterns.
+//!
+//! Every DSD algorithm in the paper needs exactly two primitives from Ψ:
+//! per-vertex instance counts (clique-/pattern-degrees, Definitions 3 and 9)
+//! and the degree *decrements* caused by peeling a vertex (the inner loop of
+//! Algorithm 3). The oracle dispatches to the cheapest sound implementation:
+//!
+//! * h-cliques → kClist enumeration (`dsd-motif::kclist`);
+//! * x-stars and diamonds → Appendix-D closed forms (`dsd-motif::special`);
+//! * anything else → generic backtracking enumeration
+//!   (`dsd-motif::pattern_enum`).
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+use dsd_motif::pattern::{Pattern, PatternKind};
+use dsd_motif::{kclist, pattern_enum, special};
+
+/// Degree/decrement oracle for a fixed pattern Ψ.
+pub trait DensityOracle {
+    /// `|VΨ|`, the number of pattern vertices.
+    fn psi_size(&self) -> usize;
+
+    /// Instance-degrees `deg(v, Ψ)` of every vertex of `g[alive]`
+    /// (0 outside `alive`).
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64>;
+
+    /// Degree losses `(u, amount)` suffered by *other* alive vertices when
+    /// `v` is removed. `v` must still be in `alive` when called; the caller
+    /// removes it afterwards. `v`'s own loss equals its current degree.
+    fn removal_decrements(&self, g: &Graph, alive: &VertexSet, v: VertexId)
+        -> Vec<(VertexId, u64)>;
+
+    /// Total number of instances `μ(g[alive], Ψ)`.
+    ///
+    /// Default: `Σ deg / |VΨ|`.
+    fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
+        let total: u64 = self.degrees(g, alive).iter().sum();
+        total / self.psi_size() as u64
+    }
+}
+
+/// h-clique oracle backed by kClist.
+pub struct CliqueOracle {
+    h: usize,
+}
+
+impl CliqueOracle {
+    /// Oracle for the h-clique, `h >= 2`.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 2, "h-clique density needs h >= 2");
+        CliqueOracle { h }
+    }
+}
+
+impl DensityOracle for CliqueOracle {
+    fn psi_size(&self) -> usize {
+        self.h
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        kclist::clique_degrees_within(g, self.h, alive)
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        let mut acc = std::collections::HashMap::new();
+        kclist::for_each_clique_containing(g, self.h, v, alive, |others| {
+            for &u in others {
+                *acc.entry(u).or_insert(0u64) += 1;
+            }
+        });
+        let mut out: Vec<(VertexId, u64)> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
+        kclist::count_cliques_within(g, self.h, alive)
+    }
+}
+
+/// h-clique oracle whose bulk degree pass runs on multiple threads
+/// (Section 6.3's parallelizability remark; decremental updates stay
+/// sequential because peeling is inherently ordered).
+pub struct ParallelCliqueOracle {
+    inner: CliqueOracle,
+    threads: usize,
+}
+
+impl ParallelCliqueOracle {
+    /// Oracle for the h-clique using `threads` workers for degree passes.
+    pub fn new(h: usize, threads: usize) -> Self {
+        ParallelCliqueOracle {
+            inner: CliqueOracle::new(h),
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl DensityOracle for ParallelCliqueOracle {
+    fn psi_size(&self) -> usize {
+        self.inner.h
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        dsd_motif::clique_degrees_parallel_within(g, self.inner.h, alive, self.threads)
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        self.inner.removal_decrements(g, alive, v)
+    }
+
+    fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
+        self.inner.count(g, alive)
+    }
+}
+
+/// x-star oracle using the Appendix-D closed forms.
+pub struct StarOracle {
+    x: usize,
+}
+
+impl DensityOracle for StarOracle {
+    fn psi_size(&self) -> usize {
+        self.x + 1
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        special::star_degrees(g, self.x, alive)
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        special::star_decrements(g, self.x, alive, v)
+    }
+}
+
+/// Diamond (4-cycle) oracle using the Appendix-D grouping.
+pub struct DiamondOracle;
+
+impl DensityOracle for DiamondOracle {
+    fn psi_size(&self) -> usize {
+        4
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        special::diamond_degrees(g, alive)
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        special::diamond_decrements(g, alive, v)
+    }
+}
+
+/// Generic pattern oracle via backtracking enumeration.
+///
+/// Every query re-enumerates; see [`MaterializedPatternOracle`] for the
+/// decomposition-friendly variant that enumerates once.
+pub struct GenericPatternOracle {
+    pattern: Pattern,
+}
+
+impl DensityOracle for GenericPatternOracle {
+    fn psi_size(&self) -> usize {
+        self.pattern.vertex_count()
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        pattern_enum::pattern_degrees(g, &self.pattern, alive)
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        let mut acc = std::collections::HashMap::new();
+        for inst in pattern_enum::instances_containing(g, &self.pattern, v, alive) {
+            for &u in &inst.vertices {
+                if u != v {
+                    *acc.entry(u).or_insert(0u64) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(VertexId, u64)> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
+        pattern_enum::count_instances(g, &self.pattern, alive)
+    }
+}
+
+/// A pattern oracle that enumerates the instance set **once** and answers
+/// every later query from the materialized incidence lists.
+///
+/// Pattern-core decomposition (Algorithm 3) calls `removal_decrements`
+/// once per vertex; re-running anchored subgraph matching each time (as
+/// [`GenericPatternOracle`] does) dominates CorePExact's runtime. This
+/// oracle trades memory (`O(Σ instance sizes)`) for `O(|ψ|)`-per-dead-
+/// instance updates — the in-memory analogue of the paper's remark that
+/// pattern-degrees should be computed by one enumeration pass [53].
+///
+/// The materialization is keyed to the first graph it sees; using one
+/// oracle value across different graphs is a bug (debug-asserted).
+pub struct MaterializedPatternOracle {
+    pattern: Pattern,
+    cache: std::cell::OnceCell<InstanceCache>,
+}
+
+struct InstanceCache {
+    /// Fingerprint of the graph the cache was built for.
+    fingerprint: (usize, usize),
+    /// Member lists of all instances in the full graph.
+    instances: Vec<Vec<VertexId>>,
+    /// `incidence[v]` = indices into `instances` containing `v`.
+    incidence: Vec<Vec<u32>>,
+}
+
+impl MaterializedPatternOracle {
+    /// Creates the oracle for `psi`.
+    pub fn new(psi: &Pattern) -> Self {
+        MaterializedPatternOracle {
+            pattern: psi.clone(),
+            cache: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn cache(&self, g: &Graph) -> &InstanceCache {
+        let cache = self.cache.get_or_init(|| {
+            let alive = VertexSet::full(g.num_vertices());
+            let instances: Vec<Vec<VertexId>> =
+                pattern_enum::instances(g, &self.pattern, &alive)
+                    .into_iter()
+                    .map(|inst| inst.vertices)
+                    .collect();
+            let mut incidence = vec![Vec::new(); g.num_vertices()];
+            for (i, inst) in instances.iter().enumerate() {
+                for &v in inst {
+                    incidence[v as usize].push(i as u32);
+                }
+            }
+            InstanceCache {
+                fingerprint: (g.num_vertices(), g.num_edges()),
+                instances,
+                incidence,
+            }
+        });
+        debug_assert_eq!(
+            cache.fingerprint,
+            (g.num_vertices(), g.num_edges()),
+            "MaterializedPatternOracle reused across graphs"
+        );
+        cache
+    }
+}
+
+impl DensityOracle for MaterializedPatternOracle {
+    fn psi_size(&self) -> usize {
+        self.pattern.vertex_count()
+    }
+
+    fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
+        let cache = self.cache(g);
+        let mut deg = vec![0u64; g.num_vertices()];
+        for inst in &cache.instances {
+            if inst.iter().all(|&v| alive.contains(v)) {
+                for &v in inst {
+                    deg[v as usize] += 1;
+                }
+            }
+        }
+        deg
+    }
+
+    fn removal_decrements(
+        &self,
+        g: &Graph,
+        alive: &VertexSet,
+        v: VertexId,
+    ) -> Vec<(VertexId, u64)> {
+        let cache = self.cache(g);
+        let mut acc = std::collections::HashMap::new();
+        for &idx in &cache.incidence[v as usize] {
+            let inst = &cache.instances[idx as usize];
+            // The instance is live iff all members (v included) are alive;
+            // v must still be alive by the oracle contract, and callers
+            // that have already removed v get the same semantics because
+            // `v`'s own membership is exempted.
+            if inst.iter().all(|&u| u == v || alive.contains(u)) {
+                for &u in inst {
+                    if u != v {
+                        *acc.entry(u).or_insert(0u64) += 1;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(VertexId, u64)> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
+        let cache = self.cache(g);
+        cache
+            .instances
+            .iter()
+            .filter(|inst| inst.iter().all(|&v| alive.contains(v)))
+            .count() as u64
+    }
+}
+
+/// Picks the cheapest sound oracle for `psi`.
+///
+/// General patterns get the materialized oracle: one enumeration pass,
+/// then O(1)-amortized decrement queries (the decomposition workload).
+pub fn oracle_for(psi: &Pattern) -> Box<dyn DensityOracle> {
+    match psi.kind() {
+        PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
+        PatternKind::Star(x) => Box::new(StarOracle { x }),
+        PatternKind::Diamond => Box::new(DiamondOracle),
+        PatternKind::General => Box::new(MaterializedPatternOracle::new(psi)),
+    }
+}
+
+/// Pattern-density `ρ(g[alive], Ψ) = μ / |alive|` (Definitions 4 and 10).
+pub fn density(oracle: &dyn DensityOracle, g: &Graph, alive: &VertexSet) -> f64 {
+    if alive.is_empty() {
+        0.0
+    } else {
+        oracle.count(g, alive) as f64 / alive.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(g: &Graph) -> VertexSet {
+        VertexSet::full(g.num_vertices())
+    }
+
+    fn wheel6() -> Graph {
+        // Hub 0 + 6-cycle rim.
+        Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_dispatch_matches_generic_on_all_figure7_patterns() {
+        let g = wheel6();
+        let alive = full(&g);
+        for p in Pattern::figure7() {
+            let fast = oracle_for(&p);
+            let generic = GenericPatternOracle { pattern: p.clone() };
+            assert_eq!(
+                fast.degrees(&g, &alive),
+                generic.degrees(&g, &alive),
+                "degrees mismatch for {}",
+                p.name()
+            );
+            assert_eq!(
+                fast.count(&g, &alive),
+                generic.count(&g, &alive),
+                "count mismatch for {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clique_oracle_decrements_match_instance_loss() {
+        let g = wheel6();
+        let oracle = CliqueOracle::new(3);
+        let mut alive = full(&g);
+        let before = oracle.degrees(&g, &alive);
+        let dec = oracle.removal_decrements(&g, &alive, 0);
+        alive.remove(0);
+        let after = oracle.degrees(&g, &alive);
+        for (v, amount) in dec {
+            assert_eq!(before[v as usize] - after[v as usize], amount);
+        }
+    }
+
+    #[test]
+    fn generic_oracle_decrements_match_instance_loss() {
+        let g = wheel6();
+        let psi = Pattern::two_triangle();
+        let oracle = oracle_for(&psi);
+        let mut alive = full(&g);
+        let before = oracle.degrees(&g, &alive);
+        let dec = oracle.removal_decrements(&g, &alive, 0);
+        alive.remove(0);
+        let after = oracle.degrees(&g, &alive);
+        let decmap: std::collections::HashMap<_, _> = dec.into_iter().collect();
+        for v in alive.iter() {
+            let expect = before[v as usize] - after[v as usize];
+            assert_eq!(decmap.get(&v).copied().unwrap_or(0), expect, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn materialized_oracle_matches_generic_everywhere() {
+        let g = wheel6();
+        for p in Pattern::figure7() {
+            let mat = MaterializedPatternOracle::new(&p);
+            let gen = GenericPatternOracle { pattern: p.clone() };
+            let mut alive = full(&g);
+            assert_eq!(mat.degrees(&g, &alive), gen.degrees(&g, &alive), "{}", p.name());
+            assert_eq!(mat.count(&g, &alive), gen.count(&g, &alive), "{}", p.name());
+            // After removals too.
+            for victim in [0u32, 3] {
+                assert_eq!(
+                    mat.removal_decrements(&g, &alive, victim),
+                    gen.removal_decrements(&g, &alive, victim),
+                    "{} victim {victim}",
+                    p.name()
+                );
+                alive.remove(victim);
+                assert_eq!(
+                    mat.degrees(&g, &alive),
+                    gen.degrees(&g, &alive),
+                    "{} after removing {victim}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_oracle_full_decomposition_matches() {
+        let g = wheel6();
+        let psi = Pattern::two_triangle();
+        let mat = MaterializedPatternOracle::new(&psi);
+        let gen = GenericPatternOracle {
+            pattern: psi.clone(),
+        };
+        let a = crate::clique_core::decompose(&g, &mat);
+        let b = crate::clique_core::decompose(&g, &gen);
+        assert_eq!(a.core, b.core);
+        assert_eq!(a.kmax, b.kmax);
+        assert!((a.best_density - b.best_density).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_triangle_cds_figure_1a() {
+        // S2 from Figure 1(a): 4 vertices, two triangles -> ρ = 2/4.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)]);
+        let oracle = oracle_for(&Pattern::triangle());
+        assert!((density(oracle.as_ref(), &g, &full(&g)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_empty_set_is_zero() {
+        let g = wheel6();
+        let oracle = oracle_for(&Pattern::edge());
+        assert_eq!(density(oracle.as_ref(), &g, &VertexSet::empty(7)), 0.0);
+    }
+}

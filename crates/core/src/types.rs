@@ -1,0 +1,33 @@
+//! Shared result types.
+
+use dsd_graph::VertexId;
+
+/// A densest-subgraph answer: the vertex set and its Ψ-density.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsdResult {
+    /// Sorted member vertices of the reported subgraph (empty when the
+    /// graph contains no instance of Ψ at all).
+    pub vertices: Vec<VertexId>,
+    /// `ρ(G[vertices], Ψ)` — instances over vertex count.
+    pub density: f64,
+}
+
+impl DsdResult {
+    /// The empty result (density 0).
+    pub fn empty() -> Self {
+        DsdResult {
+            vertices: Vec::new(),
+            density: 0.0,
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}

@@ -1,0 +1,117 @@
+//! Erdős–Rényi G(n, p) generator (GTgraph "Random" model).
+//!
+//! Uses geometric edge skipping so generation is O(m) rather than O(n²):
+//! successive present edges in the lexicographic edge enumeration are
+//! separated by Geometric(p) gaps.
+
+use dsd_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates G(n, p) with the given seed.
+pub fn er(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: u64 = n as u64 * (n as u64 - 1) / 2;
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Geometric skipping over the C(n,2) possible edges.
+    let log1p = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log1p).floor() as u64;
+        idx = idx.saturating_add(skip);
+        if idx >= total {
+            break;
+        }
+        let (u, v) = unrank_edge(idx, n as u64);
+        b.add_edge(u, v);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Maps a lexicographic index to the edge (u, v), u < v.
+fn unrank_edge(idx: u64, n: u64) -> (VertexId, VertexId) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u... solve by scanning rows
+    // arithmetically: row u has n-1-u entries.
+    let mut u = 0u64;
+    let mut remaining = idx;
+    loop {
+        let row = n - 1 - u;
+        if remaining < row {
+            return (u as VertexId, (u + 1 + remaining) as VertexId);
+        }
+        remaining -= row;
+        u += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = er(100, 0.05, 7);
+        let b = er(100, 0.05, 7);
+        assert_eq!(a, b);
+        let c = er(100, 0.05, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.02;
+        let g = er(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "got {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(er(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(er(5, 1.0, 1).num_edges(), 10);
+        assert_eq!(er(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(er(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn unrank_is_lexicographic() {
+        let n = 5u64;
+        let mut idx = 0u64;
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                assert_eq!(unrank_edge(idx, n), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn er_degrees_are_flat() {
+        // The paper's ER observation: degrees concentrate, defeating core
+        // pruning. Check max/min degree ratio is small.
+        let g = er(500, 0.05, 3);
+        let degs = g.degrees();
+        let max = *degs.iter().max().unwrap() as f64;
+        let min = *degs.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 4.0, "max {max} min {min}");
+    }
+}

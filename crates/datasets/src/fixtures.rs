@@ -1,0 +1,143 @@
+//! The paper's figure graphs as test fixtures, with their hand-checkable
+//! answers documented.
+
+use dsd_graph::Graph;
+
+/// Figure 1(a): a graph whose edge-densest subgraph S1 (7 vertices, 11
+/// edges, density 11/7) differs from its triangle-densest subgraph S2
+/// (two triangles sharing an edge, triangle-density 1/2).
+///
+/// The published figure's exact edges aren't recoverable from the text, so
+/// we realize the stated properties exactly: S1 = K{3,4} minus one edge
+/// (triangle-free, density 11/7) on vertices 0–6, S2 = a diamond on
+/// vertices 7–10, joined by a single bridge.
+pub fn figure1a() -> Graph {
+    let mut edges = Vec::new();
+    // K{3,4} on {0,1,2} × {3,4,5,6} minus edge (2,6).
+    for a in 0..3u32 {
+        for b in 3..7u32 {
+            if !(a == 2 && b == 6) {
+                edges.push((a, b));
+            }
+        }
+    }
+    // S2: diamond (two triangles sharing edge 7-9).
+    edges.extend_from_slice(&[(7, 8), (8, 9), (7, 9), (7, 10), (9, 10)]);
+    // Bridge.
+    edges.push((6, 7));
+    Graph::from_edges(11, &edges)
+}
+
+/// Vertices of Figure 1(a)'s S1 (the EDS).
+pub const FIGURE1A_S1: [u32; 7] = [0, 1, 2, 3, 4, 5, 6];
+/// Vertices of Figure 1(a)'s S2 (the triangle-CDS).
+pub const FIGURE1A_S2: [u32; 4] = [7, 8, 9, 10];
+
+/// Figure 2(a): A–B, B–C, B–D, C–D (A=0 … D=3). One triangle {B, C, D};
+/// its Algorithm-1 flow network (Ψ = triangle) has 10 nodes.
+pub fn figure2a() -> Graph {
+    Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)])
+}
+
+/// Figure 3: 4-clique {A,B,C,D}, triangle {D,E,F}, isolated edge {G,H}
+/// (A=0 … H=7). Classical cores: 3-core = {A,B,C,D}; triangle-(k,Ψ)-cores:
+/// (3,Ψ)-core = {A,B,C,D}, E/F at 1, G/H at 0.
+pub fn figure3() -> Graph {
+    let (a, b, c, d, e, f, g_, h) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+    Graph::from_edges(
+        8,
+        &[
+            (a, b),
+            (a, c),
+            (a, d),
+            (b, c),
+            (b, d),
+            (c, d),
+            (d, e),
+            (e, f),
+            (d, f),
+            (g_, h),
+        ],
+    )
+}
+
+/// Figure 5's role: a graph where peeling's residual-density bound ρ′
+/// locates the EDS in a small high-order core, and the kmax-core (here the
+/// K5) is *not* the EDS (the K6 component is denser). K5 on 0–4, K6 on
+/// 5–10, pendant 11.
+pub fn figure5_like() -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            edges.push((u, v));
+        }
+    }
+    for u in 5..11u32 {
+        for v in (u + 1)..11 {
+            edges.push((u, v));
+        }
+    }
+    edges.push((11, 5));
+    Graph::from_edges(12, &edges)
+}
+
+/// Figure 6(a): a graph with exactly 4 diamond (4-cycle) instances in two
+/// vertex-set groups — g1 = {A,B,C,D} (1 instance), g2 = {A,D,E,F} (3
+/// instances, a K4) — plus a tail F–G–H. A=0 … H=7.
+pub fn figure6a() -> Graph {
+    let (a, b, c, d, e, f, g_, h) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+    Graph::from_edges(
+        8,
+        &[
+            (a, b),
+            (b, c),
+            (c, d),
+            (a, d),
+            (a, e),
+            (a, f),
+            (d, e),
+            (d, f),
+            (e, f),
+            (f, g_),
+            (g_, h),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1a_shape() {
+        let g = figure1a();
+        assert_eq!(g.num_vertices(), 11);
+        // 11 (S1) + 5 (S2) + 1 bridge.
+        assert_eq!(g.num_edges(), 17);
+    }
+
+    #[test]
+    fn figure2a_shape() {
+        let g = figure2a();
+        assert_eq!((g.num_vertices(), g.num_edges()), (4, 4));
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let g = figure3();
+        assert_eq!((g.num_vertices(), g.num_edges()), (8, 10));
+    }
+
+    #[test]
+    fn figure5_like_shape() {
+        let g = figure5_like();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 10 + 15 + 1);
+    }
+
+    #[test]
+    fn figure6a_shape() {
+        let g = figure6a();
+        assert_eq!((g.num_vertices(), g.num_edges()), (8, 11));
+    }
+}

@@ -1,0 +1,184 @@
+//! Planted-structure generators: ground-truth dense subgraphs and the
+//! case-study networks of Figures 17 and 21.
+
+use dsd_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated graph together with its planted ground truth.
+#[derive(Clone, Debug)]
+pub struct Planted {
+    /// The graph.
+    pub graph: Graph,
+    /// Vertices of the planted dense block (sorted).
+    pub planted: Vec<VertexId>,
+}
+
+/// Plants a near-clique (G(k, p_dense)) inside a sparse G(n, p_sparse)
+/// background. Used by the recovery example and the approximation-ratio
+/// tests: for `p_dense` ≫ `p_sparse` the planted block is the densest
+/// subgraph with overwhelming probability.
+pub fn planted_dense(
+    n: usize,
+    k: usize,
+    p_dense: f64,
+    p_sparse: f64,
+    seed: u64,
+) -> Planted {
+    assert!(k <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            let p = if (u as usize) < k && (v as usize) < k {
+                p_dense
+            } else {
+                p_sparse
+            };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    Planted {
+        graph: b.build(),
+        planted: (0..k as VertexId).collect(),
+    }
+}
+
+/// Figure-17-style collaboration network: `groups` research groups, each a
+/// near-clique of `group_size` members (papers among peers → triangles),
+/// plus `advisors` hub vertices connected in a star to many students across
+/// groups (advisor–student papers → 2-star structure, few triangles).
+///
+/// Triangle-PDS lands on the tightest group; 2-star-PDS lands on the
+/// advisor hubs — the semantic contrast of the case study.
+pub fn collaboration_network(
+    groups: usize,
+    group_size: usize,
+    advisors: usize,
+    students_per_advisor: usize,
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = groups * group_size + advisors + advisors * students_per_advisor;
+    let mut b = GraphBuilder::new(n);
+    // Groups: near-cliques (drop 10% of inner edges).
+    for g in 0..groups {
+        let base = g * group_size;
+        for u in 0..group_size {
+            for v in (u + 1)..group_size {
+                if rng.gen::<f64>() < 0.9 {
+                    b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+                }
+            }
+        }
+    }
+    let adv_base = groups * group_size;
+    let stu_base = adv_base + advisors;
+    // Advisors: hubs over their own students (no student-student edges).
+    for a in 0..advisors {
+        let advisor = (adv_base + a) as VertexId;
+        for s in 0..students_per_advisor {
+            b.add_edge(advisor, (stu_base + a * students_per_advisor + s) as VertexId);
+        }
+        // Advisors co-author with one member of each group.
+        for g in 0..groups {
+            let member = (g * group_size + (a + g) % group_size) as VertexId;
+            b.add_edge(advisor, member);
+        }
+    }
+    b.build()
+}
+
+/// Figure-21-style PPI network: overlapping functional modules realized as
+/// different motifs (a clique module, a cycle module, a star module) hung
+/// on a sparse power-law background — so different patterns Ψ select
+/// different PDS's, like the yeast case study.
+pub fn ppi_like(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 220usize;
+    let mut b = GraphBuilder::new(n);
+    // Module 1 (vertices 0..8): near-clique — 4-clique-dense.
+    for u in 0..8u32 {
+        for v in (u + 1)..8 {
+            if rng.gen::<f64>() < 0.95 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    // Module 2 (8..24): dense bipartite-ish block — diamond(4-cycle)-dense,
+    // triangle-free-ish.
+    for u in 8..16u32 {
+        for v in 16..24u32 {
+            if rng.gen::<f64>() < 0.8 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    // Module 3 (24..45): hubs with leaves — 2-star/3-star-dense.
+    for hub in 24..28u32 {
+        for leaf in 28..45u32 {
+            if rng.gen::<f64>() < 0.8 {
+                b.add_edge(hub, leaf);
+            }
+        }
+    }
+    // Sparse background chain + random edges.
+    for v in 45..n as u32 {
+        b.add_edge(v, v - 1);
+        let u = rng.gen_range(0..v);
+        b.add_edge(v, u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_block_is_densest() {
+        let p = planted_dense(120, 14, 0.95, 0.02, 77);
+        // Count edges inside vs outside the block.
+        let inside = p
+            .graph
+            .edges()
+            .filter(|&(u, v)| (u as usize) < 14 && (v as usize) < 14)
+            .count();
+        let density_in = inside as f64 / 14.0;
+        let density_all = p.graph.edge_density();
+        assert!(density_in > 2.0 * density_all);
+        assert_eq!(p.planted.len(), 14);
+    }
+
+    #[test]
+    fn collaboration_network_shapes() {
+        let g = collaboration_network(3, 6, 2, 8, 1);
+        assert_eq!(g.num_vertices(), 3 * 6 + 2 + 16);
+        // Advisors have the highest degrees.
+        let adv = 3 * 6; // first advisor id
+        assert!(g.degree(adv as VertexId) >= 8);
+    }
+
+    #[test]
+    fn ppi_modules_exist() {
+        let g = ppi_like(5);
+        assert_eq!(g.num_vertices(), 220);
+        // Module 1 is near-complete.
+        let m1_edges = g
+            .edges()
+            .filter(|&(u, v)| u < 8 && v < 8)
+            .count();
+        assert!(m1_edges >= 24, "module 1 has {m1_edges} edges");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ppi_like(9), ppi_like(9));
+        assert_eq!(
+            collaboration_network(2, 5, 1, 4, 3),
+            collaboration_network(2, 5, 1, 4, 3)
+        );
+    }
+}

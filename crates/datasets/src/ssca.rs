@@ -1,0 +1,91 @@
+//! SSCA#2-style generator: random-size planted cliques with inter-clique
+//! noise (the GTgraph "SSCA" model — "made by random-sized cliques").
+
+use dsd_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an SSCA#2-like graph: vertices are partitioned into cliques of
+/// size `1..=max_clique`, then each vertex gains `inter_edges` random
+/// inter-clique edges on average.
+pub fn ssca(n: usize, max_clique: usize, inter_edges: f64, seed: u64) -> Graph {
+    assert!(max_clique >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Partition into cliques.
+    let mut start = 0usize;
+    while start < n {
+        let size = rng.gen_range(1..=max_clique).min(n - start);
+        for u in start..start + size {
+            for v in (u + 1)..start + size {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+        start += size;
+    }
+    // Inter-clique noise.
+    let extra = (n as f64 * inter_edges / 2.0) as usize;
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ssca(200, 10, 1.0, 3), ssca(200, 10, 1.0, 3));
+    }
+
+    #[test]
+    fn contains_planted_cliques() {
+        // With max_clique = 8 and no noise, kmax (edge core) should be 7
+        // with high probability over a 500-vertex run.
+        let g = ssca(500, 8, 0.0, 11);
+        let dec = dsd_core_free_kcore(&g);
+        assert_eq!(dec, 7, "largest planted clique should be size 8");
+    }
+
+    /// Minimal local core-number computation so this crate stays
+    /// independent of dsd-core: peel by degree, return kmax.
+    fn dsd_core_free_kcore(g: &Graph) -> usize {
+        let n = g.num_vertices();
+        let mut deg = g.degrees();
+        let mut alive = vec![true; n];
+        let mut kmax = 0usize;
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| alive[v])
+                .min_by_key(|&v| deg[v])
+                .unwrap();
+            kmax = kmax.max(deg[v]);
+            alive[v] = false;
+            for &u in g.neighbors(v as VertexId) {
+                if alive[u as usize] {
+                    deg[u as usize] -= 1;
+                }
+            }
+        }
+        kmax
+    }
+
+    #[test]
+    fn noise_connects_cliques() {
+        let quiet = ssca(300, 6, 0.0, 5);
+        let noisy = ssca(300, 6, 2.0, 5);
+        assert!(noisy.num_edges() > quiet.num_edges());
+    }
+
+    #[test]
+    fn single_vertex_cliques_allowed() {
+        let g = ssca(10, 1, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

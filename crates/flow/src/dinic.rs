@@ -1,0 +1,160 @@
+//! Dinic's algorithm: BFS level graph + DFS blocking flows.
+//!
+//! With `f64` capacities the usual termination argument (integral
+//! augmentation) does not apply verbatim; we follow the standard practice of
+//! the reference DSD implementations and treat residuals below [`EPS`] as
+//! saturated. Level counts still bound the number of phases by `O(V)`.
+
+use crate::network::{EdgeId, FlowNetwork, NodeId, EPS};
+use crate::MaxFlow;
+
+/// Dinic max-flow solver. Stateless between runs; scratch buffers are kept
+/// to amortize allocations across the many min-cut probes of a binary
+/// search.
+#[derive(Default)]
+pub struct Dinic {
+    level: Vec<i32>,
+    iter: Vec<usize>,
+    queue: Vec<NodeId>,
+}
+
+impl Dinic {
+    /// Creates a solver (scratch space grows on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bfs(&mut self, net: &FlowNetwork, s: NodeId, t: NodeId) -> bool {
+        self.level.clear();
+        self.level.resize(net.num_nodes(), -1);
+        self.queue.clear();
+        self.queue.push(s);
+        self.level[s as usize] = 0;
+        let mut qi = 0;
+        while qi < self.queue.len() {
+            let v = self.queue[qi];
+            qi += 1;
+            for &eid in net.out_edges(v) {
+                let e = net.edge(eid);
+                if e.residual() > EPS && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[v as usize] + 1;
+                    self.queue.push(e.to);
+                }
+            }
+        }
+        self.level[t as usize] >= 0
+    }
+
+    fn dfs(&mut self, net: &mut FlowNetwork, v: NodeId, t: NodeId, f: f64) -> f64 {
+        if v == t {
+            return f;
+        }
+        while self.iter[v as usize] < net.out_edges(v).len() {
+            let eid: EdgeId = net.out_edges(v)[self.iter[v as usize]];
+            let (to, residual) = {
+                let e = net.edge(eid);
+                (e.to, e.residual())
+            };
+            if residual > EPS && self.level[to as usize] == self.level[v as usize] + 1 {
+                let d = self.dfs(net, to, t, f.min(residual));
+                if d > EPS {
+                    net.push(eid, d);
+                    return d;
+                }
+            }
+            self.iter[v as usize] += 1;
+        }
+        0.0
+    }
+}
+
+impl MaxFlow for Dinic {
+    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut total = 0.0;
+        while self.bfs(net, s, t) {
+            self.iter.clear();
+            self.iter.resize(net.num_nodes(), 0);
+            loop {
+                let f = self.dfs(net, s, t, f64::INFINITY);
+                if f <= EPS {
+                    break;
+                }
+                total += f;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_cut_source_side;
+
+    #[test]
+    fn simple_series_parallel() {
+        // s=0, t=3; two disjoint paths of capacity 3 and 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(1, 3, 3.0);
+        net.add_edge(0, 2, 2.0);
+        net.add_edge(2, 3, 2.0);
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert!((f - 5.0).abs() < 1e-9);
+        assert!(net.conserves_flow(0, 3));
+    }
+
+    #[test]
+    fn bottleneck_in_middle() {
+        // Classic diamond with a cross edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10.0);
+        net.add_edge(0, 2, 10.0);
+        net.add_edge(1, 2, 1.0);
+        net.add_edge(1, 3, 5.0);
+        net.add_edge(2, 3, 6.0);
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert!((f - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 7.0);
+        let f = Dinic::new().max_flow(&mut net, 0, 2);
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1.5);
+        net.add_edge(1, 2, 0.75);
+        let f = Dinic::new().max_flow(&mut net, 0, 2);
+        assert!((f - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_extraction() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(1, 2, 100.0);
+        net.add_edge(2, 3, 100.0);
+        let _ = Dinic::new().max_flow(&mut net, 0, 3);
+        // The bottleneck is s→1, so S = {s} only.
+        assert_eq!(min_cut_source_side(&net, 0), vec![0]);
+    }
+
+    #[test]
+    fn infinite_edges_never_cut() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2.0);
+        net.add_edge(1, 2, FlowNetwork::INF);
+        net.add_edge(2, 3, 1.0);
+        let f = Dinic::new().max_flow(&mut net, 0, 3);
+        assert!((f - 1.0).abs() < 1e-9);
+        let s_side = min_cut_source_side(&net, 0);
+        assert_eq!(s_side, vec![0, 1, 2]);
+    }
+}

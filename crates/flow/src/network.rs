@@ -1,0 +1,195 @@
+//! Flow network arena.
+
+/// Node identifier inside a [`FlowNetwork`].
+pub type NodeId = u32;
+/// Edge identifier inside a [`FlowNetwork`]. Even ids are forward edges,
+/// `id ^ 1` is the paired residual edge.
+pub type EdgeId = u32;
+
+/// Numerical slack used when comparing `f64` capacities. Binary-search
+/// densities are dyadic rationals well above this magnitude.
+pub const EPS: f64 = 1e-10;
+
+/// A directed edge with capacity and current flow.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Capacity (use [`FlowNetwork::INF`] for unbounded edges).
+    pub cap: f64,
+    /// Flow currently routed on the edge.
+    pub flow: f64,
+}
+
+impl Edge {
+    /// Residual capacity `cap - flow`.
+    #[inline]
+    pub fn residual(&self) -> f64 {
+        self.cap - self.flow
+    }
+}
+
+/// A directed flow network stored as an edge arena with per-node adjacency.
+///
+/// Every [`add_edge`](FlowNetwork::add_edge) inserts a forward edge and a
+/// zero-capacity reverse edge at ids `2k` / `2k + 1`, so the reverse of edge
+/// `e` is always `e ^ 1` — the classic residual-pairing trick.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    edges: Vec<Edge>,
+    /// `head[v]` = edge ids leaving `v`.
+    head: Vec<Vec<EdgeId>>,
+}
+
+impl FlowNetwork {
+    /// Capacity standing in for +∞ (used by Algorithm 1's ψ→v edges).
+    pub const INF: f64 = 1e100;
+
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            edges: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// A network with `n` nodes, pre-reserving space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut net = Self::new(n);
+        net.edges.reserve(2 * m);
+        net
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of *forward* edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and returns
+    /// its id. Negative capacities are clamped to zero.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: f64) -> EdgeId {
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge {
+            to,
+            cap: cap.max(0.0),
+            flow: 0.0,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0.0,
+            flow: 0.0,
+        });
+        self.head[from as usize].push(id);
+        self.head[to as usize].push(id + 1);
+        id
+    }
+
+    /// The edge with id `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// Edge ids leaving `v` (forward and residual alike).
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.head[v as usize]
+    }
+
+    /// Replaces the capacity of edge `e` (negative values clamp to zero).
+    ///
+    /// Used by the binary-search drivers, where only the `v→t` capacities
+    /// depend on the guessed density α; call [`reset_flow`](Self::reset_flow)
+    /// before re-solving.
+    #[inline]
+    pub fn set_cap(&mut self, e: EdgeId, cap: f64) {
+        self.edges[e as usize].cap = cap.max(0.0);
+    }
+
+    /// Pushes `amount` along edge `e` (and pulls it back on `e ^ 1`).
+    #[inline]
+    pub fn push(&mut self, e: EdgeId, amount: f64) {
+        self.edges[e as usize].flow += amount;
+        self.edges[(e ^ 1) as usize].flow -= amount;
+    }
+
+    /// Resets all flow to zero, keeping topology and capacities.
+    pub fn reset_flow(&mut self) {
+        for e in &mut self.edges {
+            e.flow = 0.0;
+        }
+    }
+
+    /// Total flow currently leaving `s` (equals the max-flow value after a
+    /// solver run).
+    pub fn outflow(&self, s: NodeId) -> f64 {
+        self.out_edges(s)
+            .iter()
+            .map(|&e| {
+                let edge = self.edge(e);
+                // Residual (odd) edges carry negative flow for inbound
+                // traffic; summing all `flow` on out-edges nets correctly.
+                edge.flow
+            })
+            .sum()
+    }
+
+    /// Checks flow conservation at every node except `s` and `t`; used by
+    /// tests and debug assertions.
+    pub fn conserves_flow(&self, s: NodeId, t: NodeId) -> bool {
+        let mut balance = vec![0.0f64; self.num_nodes()];
+        for (i, e) in self.edges.iter().enumerate() {
+            if i % 2 == 0 {
+                // Forward edge from `edges[i+1].to` to `e.to` carrying e.flow.
+                let from = self.edges[i + 1].to;
+                balance[from as usize] -= e.flow;
+                balance[e.to as usize] += e.flow;
+            }
+        }
+        balance
+            .iter()
+            .enumerate()
+            .all(|(v, &b)| v == s as usize || v == t as usize || b.abs() < 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_edges() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 5.0);
+        assert_eq!(e, 0);
+        assert_eq!(net.edge(e).to, 1);
+        assert_eq!(net.edge(e ^ 1).to, 0);
+        assert_eq!(net.edge(e ^ 1).cap, 0.0);
+        assert_eq!(net.num_edges(), 1);
+    }
+
+    #[test]
+    fn push_updates_residuals() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 4.0);
+        net.push(e, 3.0);
+        assert!((net.edge(e).residual() - 1.0).abs() < 1e-12);
+        assert!((net.edge(e ^ 1).residual() - 3.0).abs() < 1e-12);
+        net.reset_flow();
+        assert_eq!(net.edge(e).flow, 0.0);
+    }
+
+    #[test]
+    fn negative_capacity_clamped() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, -2.0);
+        assert_eq!(net.edge(e).cap, 0.0);
+    }
+}

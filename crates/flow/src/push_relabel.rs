@@ -1,0 +1,223 @@
+//! Highest-label push-relabel with the gap heuristic.
+//!
+//! Provided as an alternative max-flow backend: the paper's flow networks
+//! are shallow (s → vertices → clique nodes → t), a regime where
+//! push-relabel and Dinic trade places depending on capacity skew. The
+//! `dsd-bench flow_solvers` bench compares the two; tests cross-validate
+//! their flow values on random networks.
+
+use crate::network::{FlowNetwork, NodeId, EPS};
+use crate::MaxFlow;
+
+/// Push-relabel max-flow solver (highest-label selection, gap heuristic).
+#[derive(Default)]
+pub struct PushRelabel {
+    height: Vec<usize>,
+    excess: Vec<f64>,
+    /// Buckets of active nodes by height.
+    buckets: Vec<Vec<NodeId>>,
+    /// Number of nodes at each height (for the gap heuristic).
+    height_count: Vec<usize>,
+    current_arc: Vec<usize>,
+}
+
+impl PushRelabel {
+    /// Creates a solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn activate(&mut self, v: NodeId, s: NodeId, t: NodeId, highest: &mut usize) {
+        if v != s && v != t && self.excess[v as usize] > EPS {
+            let h = self.height[v as usize];
+            *highest = (*highest).max(h);
+            self.buckets[h].push(v);
+        }
+    }
+}
+
+impl MaxFlow for PushRelabel {
+    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = net.num_nodes();
+        self.height = vec![0; n];
+        self.excess = vec![0.0; n];
+        self.buckets = vec![Vec::new(); 2 * n + 1];
+        self.height_count = vec![0; 2 * n + 1];
+        self.current_arc = vec![0; n];
+
+        self.height[s as usize] = n;
+        self.height_count[0] = n - 1;
+        self.height_count[n] += 1;
+
+        // Saturate all source arcs.
+        let src_edges: Vec<_> = net.out_edges(s).to_vec();
+        let mut highest = 0usize;
+        for eid in src_edges {
+            let (to, residual) = {
+                let e = net.edge(eid);
+                (e.to, e.residual())
+            };
+            if residual > EPS {
+                net.push(eid, residual);
+                self.excess[to as usize] += residual;
+                self.excess[s as usize] -= residual;
+                self.activate(to, s, t, &mut highest);
+            }
+        }
+
+        while highest > 0 || !self.buckets[0].is_empty() {
+            // Find the highest non-empty bucket.
+            while highest > 0 && self.buckets[highest].is_empty() {
+                highest -= 1;
+            }
+            let Some(v) = self.buckets[highest].pop() else {
+                if highest == 0 {
+                    break;
+                }
+                continue;
+            };
+            if self.excess[v as usize] <= EPS || v == s || v == t {
+                continue;
+            }
+            // Discharge v.
+            while self.excess[v as usize] > EPS {
+                let arcs = net.out_edges(v).len();
+                if self.current_arc[v as usize] >= arcs {
+                    // Relabel.
+                    let old_h = self.height[v as usize];
+                    let mut min_h = usize::MAX;
+                    for &eid in net.out_edges(v) {
+                        let e = net.edge(eid);
+                        if e.residual() > EPS {
+                            min_h = min_h.min(self.height[e.to as usize]);
+                        }
+                    }
+                    if min_h == usize::MAX {
+                        // No admissible arcs at all; excess is trapped (can
+                        // only happen with zero-capacity pathologies).
+                        break;
+                    }
+                    let new_h = min_h + 1;
+                    self.height_count[old_h] -= 1;
+                    // Gap heuristic: if a height level empties below n, all
+                    // nodes above it (below n) are unreachable from t.
+                    if self.height_count[old_h] == 0 && old_h < n {
+                        for u in 0..n {
+                            let hu = self.height[u];
+                            if hu > old_h && hu < n && u != s as usize {
+                                self.height_count[hu] -= 1;
+                                self.height_count[n + 1] += 1;
+                                self.height[u] = n + 1;
+                            }
+                        }
+                    }
+                    if new_h >= 2 * n + 1 {
+                        break;
+                    }
+                    self.height[v as usize] = new_h;
+                    self.height_count[new_h] += 1;
+                    self.current_arc[v as usize] = 0;
+                    if new_h > 2 * n {
+                        break;
+                    }
+                    continue;
+                }
+                let eid = net.out_edges(v)[self.current_arc[v as usize]];
+                let (to, residual) = {
+                    let e = net.edge(eid);
+                    (e.to, e.residual())
+                };
+                if residual > EPS && self.height[v as usize] == self.height[to as usize] + 1 {
+                    let delta = residual.min(self.excess[v as usize]);
+                    net.push(eid, delta);
+                    self.excess[v as usize] -= delta;
+                    let was_inactive = self.excess[to as usize] <= EPS;
+                    self.excess[to as usize] += delta;
+                    if was_inactive {
+                        self.activate(to, s, t, &mut highest);
+                    }
+                } else {
+                    self.current_arc[v as usize] += 1;
+                }
+            }
+            highest = highest.min(2 * n);
+            // v may still carry excess after a relabel; requeue it.
+            if self.excess[v as usize] > EPS && self.height[v as usize] <= 2 * n {
+                let h = self.height[v as usize];
+                self.buckets[h].push(v);
+                highest = highest.max(h);
+            }
+        }
+        self.excess[t as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+
+    fn random_network(seed: u64, n: usize, m: usize) -> FlowNetwork {
+        // Tiny xorshift so the test has no external deps.
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut net = FlowNetwork::new(n);
+        for _ in 0..m {
+            let u = (next() % n as u64) as NodeId;
+            let v = (next() % n as u64) as NodeId;
+            if u != v {
+                let cap = (next() % 100) as f64 / 7.0;
+                net.add_edge(u, v, cap);
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn matches_dinic_on_random_networks() {
+        for seed in 1..30u64 {
+            let netd = random_network(seed, 12, 40);
+            let mut a = netd.clone();
+            let mut b = netd;
+            let fa = Dinic::new().max_flow(&mut a, 0, 11);
+            let fb = PushRelabel::new().max_flow(&mut b, 0, 11);
+            assert!(
+                (fa - fb).abs() < 1e-6,
+                "seed {seed}: dinic {fa} vs push-relabel {fb}"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2.5);
+        net.add_edge(1, 2, 1.25);
+        let f = PushRelabel::new().max_flow(&mut net, 0, 2);
+        assert!((f - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_path_gives_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 3.0);
+        net.add_edge(2, 3, 3.0);
+        let f = PushRelabel::new().max_flow(&mut net, 0, 3);
+        assert!(f.abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1.0);
+        net.add_edge(0, 1, 2.0);
+        let f = PushRelabel::new().max_flow(&mut net, 0, 1);
+        assert!((f - 3.0).abs() < 1e-9);
+    }
+}

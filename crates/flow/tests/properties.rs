@@ -1,0 +1,137 @@
+//! Property-based tests of the max-flow substrate: the two solvers agree,
+//! flows are conserved and capacity-feasible, and max-flow equals the
+//! capacity of the extracted minimum cut (strong duality).
+
+use dsd_flow::{min_cut_source_side, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, EPS};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct NetSpec {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+fn net_strategy() -> impl Strategy<Value = NetSpec> {
+    (3..=10usize).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.0f64..20.0);
+        proptest::collection::vec(edge, 1..40).prop_map(move |edges| NetSpec { n, edges })
+    })
+}
+
+fn build(spec: &NetSpec) -> FlowNetwork {
+    let mut net = FlowNetwork::new(spec.n);
+    for &(u, v, cap) in &spec.edges {
+        if u != v {
+            net.add_edge(u, v, cap);
+        }
+    }
+    net
+}
+
+/// Sum of capacities crossing from the source side to the rest.
+fn cut_capacity(net: &FlowNetwork, side: &[NodeId]) -> f64 {
+    let inside = |v: NodeId| side.contains(&v);
+    let mut cap = 0.0;
+    for v in side {
+        for &e in net.out_edges(*v) {
+            // Forward edges only (even ids).
+            if e % 2 == 0 {
+                let edge = net.edge(e);
+                if !inside(edge.to) {
+                    cap += edge.cap;
+                }
+            }
+        }
+    }
+    cap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dinic_equals_push_relabel(spec in net_strategy()) {
+        let s: NodeId = 0;
+        let t: NodeId = (spec.n - 1) as NodeId;
+        let mut a = build(&spec);
+        let mut b = build(&spec);
+        let fa = Dinic::new().max_flow(&mut a, s, t);
+        let fb = PushRelabel::new().max_flow(&mut b, s, t);
+        prop_assert!((fa - fb).abs() < 1e-6, "dinic {fa} vs push-relabel {fb}");
+    }
+
+    #[test]
+    fn flow_is_conserved_and_feasible(spec in net_strategy()) {
+        let s: NodeId = 0;
+        let t: NodeId = (spec.n - 1) as NodeId;
+        let mut net = build(&spec);
+        let f = Dinic::new().max_flow(&mut net, s, t);
+        prop_assert!(f >= -EPS);
+        prop_assert!(net.conserves_flow(s, t));
+        // No forward edge exceeds its capacity.
+        for v in 0..spec.n as NodeId {
+            for &e in net.out_edges(v) {
+                if e % 2 == 0 {
+                    let edge = net.edge(e);
+                    prop_assert!(edge.flow <= edge.cap + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Strong duality: the extracted source side is a cut of capacity
+    /// equal to the max flow.
+    #[test]
+    fn max_flow_equals_min_cut(spec in net_strategy()) {
+        let s: NodeId = 0;
+        let t: NodeId = (spec.n - 1) as NodeId;
+        let mut net = build(&spec);
+        let f = Dinic::new().max_flow(&mut net, s, t);
+        let side = min_cut_source_side(&net, s);
+        prop_assert!(side.contains(&s));
+        prop_assert!(!side.contains(&t));
+        let cap = cut_capacity(&net, &side);
+        prop_assert!((f - cap).abs() < 1e-6, "flow {f} vs cut {cap}");
+    }
+
+    /// Re-solving after reset gives the same value (solver statelessness).
+    #[test]
+    fn reset_and_resolve_is_idempotent(spec in net_strategy()) {
+        let s: NodeId = 0;
+        let t: NodeId = (spec.n - 1) as NodeId;
+        let mut net = build(&spec);
+        let f1 = Dinic::new().max_flow(&mut net, s, t);
+        net.reset_flow();
+        let f2 = Dinic::new().max_flow(&mut net, s, t);
+        prop_assert!((f1 - f2).abs() < 1e-9);
+    }
+
+    /// Warm continuation: after raising a saturated edge's capacity, more
+    /// augmentation can only increase the flow, and equals a cold solve.
+    #[test]
+    fn monotone_capacity_increase_warm_start(spec in net_strategy(), bump in 0.0f64..10.0) {
+        let s: NodeId = 0;
+        let t: NodeId = (spec.n - 1) as NodeId;
+        let mut warm = build(&spec);
+        let f1 = Dinic::new().max_flow(&mut warm, s, t);
+        // Raise every forward capacity by `bump` and continue augmenting
+        // on the existing flow.
+        let mut cold = build(&spec);
+        for v in 0..spec.n as NodeId {
+            let out: Vec<_> = warm.out_edges(v).to_vec();
+            for e in out {
+                if e % 2 == 0 {
+                    let cap = warm.edge(e).cap;
+                    warm.set_cap(e, cap + bump);
+                    cold.set_cap(e, cap + bump);
+                }
+            }
+        }
+        let f_warm_extra = Dinic::new().max_flow(&mut warm, s, t);
+        let f_warm_total = f1 + f_warm_extra;
+        let f_cold = Dinic::new().max_flow(&mut cold, s, t);
+        prop_assert!(f_warm_total + 1e-6 >= f1);
+        prop_assert!((f_warm_total - f_cold).abs() < 1e-6,
+            "warm {f_warm_total} vs cold {f_cold}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Logical vertex subsets and materialized induced subgraphs.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// A mutable subset of a graph's vertices, backed by a bitmap.
+///
+/// Peeling algorithms (Algorithm 2/3 in the paper) logically delete vertices
+/// one at a time; `VertexSet` gives them an O(1) membership test without
+/// rebuilding adjacency.
+#[derive(Clone, Debug)]
+pub struct VertexSet {
+    alive: Vec<bool>,
+    count: usize,
+}
+
+impl VertexSet {
+    /// A set containing all `n` vertices.
+    pub fn full(n: usize) -> Self {
+        VertexSet {
+            alive: vec![true; n],
+            count: n,
+        }
+    }
+
+    /// An empty set over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        VertexSet {
+            alive: vec![false; n],
+            count: 0,
+        }
+    }
+
+    /// Builds a set from an explicit member list.
+    pub fn from_members(n: usize, members: &[VertexId]) -> Self {
+        let mut s = Self::empty(n);
+        for &v in members {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Whether `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Inserts `v`; no-op if already present.
+    pub fn insert(&mut self, v: VertexId) {
+        if !self.alive[v as usize] {
+            self.alive[v as usize] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Removes `v`; no-op if absent.
+    pub fn remove(&mut self, v: VertexId) {
+        if self.alive[v as usize] {
+            self.alive[v as usize] = false;
+            self.count -= 1;
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the universe (the underlying graph's vertex count).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Iterator over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| i as VertexId)
+    }
+
+    /// Collects members into a vector.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        self.iter().collect()
+    }
+
+    /// Intersection with another set over the same universe.
+    pub fn intersect(&self, other: &VertexSet) -> VertexSet {
+        assert_eq!(self.universe(), other.universe());
+        let mut out = VertexSet::empty(self.universe());
+        for v in self.iter() {
+            if other.contains(v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Degree of `v` restricted to alive neighbours.
+    pub fn restricted_degree(&self, g: &Graph, v: VertexId) -> usize {
+        g.neighbors(v).iter().filter(|&&u| self.contains(u)).count()
+    }
+}
+
+/// A materialized induced subgraph `G[T]` with id maps back to the parent.
+///
+/// Core-based algorithms repeatedly recurse into the subgraph induced by a
+/// core or a connected component; materializing keeps the inner loops (clique
+/// listing, flow construction) running over dense, renumbered CSR data.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The renumbered subgraph.
+    pub graph: Graph,
+    /// `orig[new]` = vertex id in the parent graph.
+    pub orig: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Materializes `G[members]`. `members` may be in any order; vertex ids
+    /// in the result follow the sorted order of `members`.
+    pub fn new(g: &Graph, members: &[VertexId]) -> Self {
+        let mut orig: Vec<VertexId> = members.to_vec();
+        orig.sort_unstable();
+        orig.dedup();
+        let mut new_id = vec![u32::MAX; g.num_vertices()];
+        for (i, &v) in orig.iter().enumerate() {
+            new_id[v as usize] = i as VertexId;
+        }
+        let mut b = GraphBuilder::new(orig.len());
+        for (i, &v) in orig.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                let nu = new_id[u as usize];
+                if nu != u32::MAX && (i as VertexId) < nu {
+                    b.add_edge(i as VertexId, nu);
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            orig,
+        }
+    }
+
+    /// Materializes the subgraph induced by a [`VertexSet`].
+    pub fn from_set(g: &Graph, set: &VertexSet) -> Self {
+        Self::new(g, &set.to_vec())
+    }
+
+    /// Maps a subgraph vertex id back to the parent graph.
+    #[inline]
+    pub fn to_parent(&self, v: VertexId) -> VertexId {
+        self.orig[v as usize]
+    }
+
+    /// Maps a set of subgraph ids back to parent ids.
+    pub fn to_parent_vec(&self, vs: &[VertexId]) -> Vec<VertexId> {
+        vs.iter().map(|&v| self.to_parent(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn vertex_set_basics() {
+        let mut s = VertexSet::full(4);
+        assert_eq!(s.len(), 4);
+        s.remove(2);
+        s.remove(2);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(2));
+        s.insert(2);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn restricted_degree_ignores_dead_neighbors() {
+        let g = path5();
+        let mut s = VertexSet::full(5);
+        assert_eq!(s.restricted_degree(&g, 1), 2);
+        s.remove(0);
+        assert_eq!(s.restricted_degree(&g, 1), 1);
+        s.remove(2);
+        assert_eq!(s.restricted_degree(&g, 1), 0);
+    }
+
+    #[test]
+    fn intersect() {
+        let a = VertexSet::from_members(6, &[0, 1, 2, 3]);
+        let b = VertexSet::from_members(6, &[2, 3, 4]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_maps_back() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[1, 2, 4]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        // Only the 1-2 edge survives; 4 is isolated.
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert!(sub.graph.has_edge(0, 1));
+        assert_eq!(sub.to_parent(0), 1);
+        assert_eq!(sub.to_parent(2), 4);
+        assert_eq!(sub.to_parent_vec(&[0, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_members() {
+        let g = path5();
+        let sub = InducedSubgraph::new(&g, &[3, 3, 2]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_of_full_set_is_isomorphic() {
+        let g = path5();
+        let sub = InducedSubgraph::from_set(&g, &VertexSet::full(5));
+        assert_eq!(sub.graph, g);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the graph substrate.
+
+use dsd_graph::{
+    connected_components, degeneracy_order, Graph, GraphBuilder, InducedSubgraph, VertexSet,
+};
+use proptest::prelude::*;
+
+fn edges_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n).prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The builder produces a simple graph: no self-loops, no duplicates,
+    /// symmetric adjacency, sorted neighbour lists.
+    #[test]
+    fn builder_invariants((n, edges) in edges_strategy(40)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let mut half_edge_count = 0usize;
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            half_edge_count += nbrs.len();
+            // sorted + unique
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            // no self loops, symmetric
+            for &u in nbrs {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+        prop_assert_eq!(half_edge_count, 2 * g.num_edges());
+        // Edge count equals the deduplicated canonical pair count.
+        let mut canon: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        prop_assert_eq!(g.num_edges(), canon.len());
+    }
+
+    /// Induced subgraphs keep exactly the edges with both endpoints inside.
+    #[test]
+    fn induced_subgraph_preserves_inside_edges((n, edges) in edges_strategy(30)) {
+        let g = Graph::from_edges(n, &edges);
+        // Take every other vertex.
+        let members: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let sub = InducedSubgraph::new(&g, &members);
+        let inside: usize = g
+            .edges()
+            .filter(|&(u, v)| u % 2 == 0 && v % 2 == 0)
+            .count();
+        prop_assert_eq!(sub.graph.num_edges(), inside);
+        // Every subgraph edge maps to a parent edge.
+        for (u, v) in sub.graph.edges() {
+            prop_assert!(g.has_edge(sub.to_parent(u), sub.to_parent(v)));
+        }
+    }
+
+    /// Connected-component labels partition the vertex set and are closed
+    /// under adjacency.
+    #[test]
+    fn components_partition((n, edges) in edges_strategy(40)) {
+        let g = Graph::from_edges(n, &edges);
+        let cc = connected_components(&g);
+        for v in g.vertices() {
+            prop_assert!(cc.label[v as usize] != u32::MAX);
+            for &u in g.neighbors(v) {
+                prop_assert_eq!(cc.label[u as usize], cc.label[v as usize]);
+            }
+        }
+        let total: usize = cc.all_members().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// The degeneracy equals the maximum classical core number (textbook
+    /// identity), and out-degrees in the orientation respect it.
+    #[test]
+    fn degeneracy_is_max_core((n, edges) in edges_strategy(30)) {
+        let g = Graph::from_edges(n, &edges);
+        let d = degeneracy_order(&g);
+        // Max core number via naive repeated peeling.
+        let mut alive = VertexSet::full(n);
+        let mut kmax = 0usize;
+        while !alive.is_empty() {
+            let (v, deg) = alive
+                .iter()
+                .map(|v| (v, alive.restricted_degree(&g, v)))
+                .min_by_key(|&(_, d)| d)
+                .unwrap();
+            kmax = kmax.max(deg);
+            alive.remove(v);
+        }
+        prop_assert_eq!(d.degeneracy, kmax);
+        for v in g.vertices() {
+            prop_assert!(d.out_neighbors(&g, v).count() <= d.degeneracy);
+        }
+    }
+
+    /// Edge-list round trip is the identity.
+    #[test]
+    fn io_round_trip((n, edges) in edges_strategy(25)) {
+        let g = Graph::from_edges(n, &edges);
+        let text = dsd_graph::io::to_edge_list_string(&g);
+        let g2 = dsd_graph::io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Parallel clique-degree computation.
+//!
+//! Section 6.3 of the paper notes that its approximation solutions
+//! parallelize because the underlying (k, Ψ)-core machinery does: the
+//! dominant cost is the initial clique-degree pass, and the kClist
+//! recursion is embarrassingly parallel over root vertices (every clique
+//! is discovered exactly once, from its lowest-ranked member). This module
+//! implements that over crossbeam's scoped threads: the degeneracy DAG is
+//! built once and shared read-only; each worker owns a root range and a
+//! private degree accumulator, merged at the end.
+
+use crossbeam::thread;
+use dsd_graph::{degeneracy_order, Graph, VertexId, VertexSet};
+
+/// Shared read-only clique-listing context.
+fn build_out_lists(g: &Graph, alive: &VertexSet) -> Vec<Vec<VertexId>> {
+    let dag = degeneracy_order(g);
+    let n = g.num_vertices();
+    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in alive.iter() {
+        out[v as usize] = dag
+            .out_neighbors(g, v)
+            .filter(|&u| alive.contains(u))
+            .collect();
+        out[v as usize].sort_unstable();
+    }
+    out
+}
+
+fn intersect_sorted(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn rec_degrees(
+    out: &[Vec<VertexId>],
+    clique: &mut Vec<VertexId>,
+    cand: Vec<VertexId>,
+    h: usize,
+    pool: &mut Vec<Vec<VertexId>>,
+    deg: &mut [u64],
+) {
+    if clique.len() + 1 == h {
+        // Each completed clique credits every member once.
+        for &member in clique.iter() {
+            deg[member as usize] += cand.len() as u64;
+        }
+        for &u in &cand {
+            deg[u as usize] += 1;
+        }
+        return;
+    }
+    if clique.len() + cand.len() < h {
+        return;
+    }
+    for &u in cand.iter() {
+        let mut next = pool.pop().unwrap_or_default();
+        next.clear();
+        intersect_sorted(&cand, &out[u as usize], &mut next);
+        if clique.len() + 1 + next.len() >= h {
+            clique.push(u);
+            rec_degrees(out, clique, std::mem::take(&mut next), h, pool, deg);
+            clique.pop();
+        }
+        pool.push(next);
+    }
+}
+
+/// Parallel [`crate::clique_degrees`]: identical output, `threads` workers.
+///
+/// Falls back to a single-threaded pass for `threads <= 1`.
+pub fn clique_degrees_parallel(g: &Graph, h: usize, threads: usize) -> Vec<u64> {
+    clique_degrees_parallel_within(g, h, &VertexSet::full(g.num_vertices()), threads)
+}
+
+/// Alive-restricted variant of [`clique_degrees_parallel`].
+pub fn clique_degrees_parallel_within(
+    g: &Graph,
+    h: usize,
+    alive: &VertexSet,
+    threads: usize,
+) -> Vec<u64> {
+    assert!(h >= 1);
+    let n = g.num_vertices();
+    if h == 1 {
+        let mut deg = vec![0u64; n];
+        for v in alive.iter() {
+            deg[v as usize] = 1;
+        }
+        return deg;
+    }
+    if threads <= 1 || n < 256 {
+        return crate::kclist::clique_degrees_within(g, h, alive);
+    }
+    let out = build_out_lists(g, alive);
+    let roots: Vec<VertexId> = alive.iter().collect();
+    // Static interleaved partition: root costs are skewed (hubs first in id
+    // order would imbalance contiguous chunks; striding mixes them).
+    let results = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let out = &out;
+            let roots = &roots;
+            handles.push(scope.spawn(move |_| {
+                let mut deg = vec![0u64; n];
+                let mut clique = Vec::with_capacity(h);
+                let mut pool: Vec<Vec<VertexId>> = Vec::new();
+                for &v in roots.iter().skip(t).step_by(threads) {
+                    clique.push(v);
+                    rec_degrees(
+                        out,
+                        &mut clique,
+                        out[v as usize].clone(),
+                        h,
+                        &mut pool,
+                        &mut deg,
+                    );
+                    clique.pop();
+                }
+                deg
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|hnd| hnd.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("thread scope");
+
+    let mut total = vec![0u64; n];
+    for local in results {
+        for (acc, x) in total.iter_mut().zip(local) {
+            *acc += x;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kclist::clique_degrees_within;
+    use dsd_graph::GraphBuilder;
+
+    fn random_graph(seed: u64, n: usize, percent: u64) -> Graph {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() % 1000 < percent {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = random_graph(3, 400, 25);
+        let alive = VertexSet::full(400);
+        for h in 2..=4usize {
+            let seq = clique_degrees_within(&g, h, &alive);
+            for threads in [1, 2, 4, 7] {
+                let par = clique_degrees_parallel_within(&g, h, &alive, threads);
+                assert_eq!(par, seq, "h = {h}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_alive_mask() {
+        let g = random_graph(9, 500, 30);
+        let mut alive = VertexSet::full(500);
+        for v in (0..500u32).step_by(3) {
+            alive.remove(v);
+        }
+        let seq = clique_degrees_within(&g, 3, &alive);
+        let par = clique_degrees_parallel_within(&g, 3, &alive, 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn small_graphs_fall_back() {
+        let g = random_graph(5, 50, 100);
+        let seq = crate::kclist::clique_degrees(&g, 3);
+        let par = clique_degrees_parallel(&g, 3, 8);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn h1_counts_alive_vertices() {
+        let g = random_graph(7, 300, 10);
+        let deg = clique_degrees_parallel(&g, 1, 4);
+        assert!(deg.iter().all(|&d| d == 1));
+    }
+}

@@ -1,0 +1,433 @@
+//! Small pattern graphs Ψ and the paper's Figure-7 pattern menu.
+//!
+//! A [`Pattern`] is a connected simple graph on a handful of vertices. The
+//! paper evaluates seven non-clique patterns alongside h-cliques:
+//!
+//! | id | name        | shape |
+//! |----|-------------|-------|
+//! | 1  | `2-star`    | centre + 2 tails (path on 3 vertices) |
+//! | 2  | `3-star`    | centre + 3 tails (K₁,₃) |
+//! | 3  | `c3-star`   | triangle + pendant edge ("paw") |
+//! | 4  | `diamond`   | 4-cycle (per Appendix D's path-pair counting) |
+//! | 5  | `2-triangle`| two triangles sharing an edge (K₄ − e) |
+//! | 6  | `3-triangle`| three triangles sharing an edge |
+//! | 7  | `basket`    | 4-cycle + a handle vertex on one edge |
+//!
+//! The text we reproduce from does not draw `basket`; the choice here (C₄
+//! plus a vertex adjacent to two adjacent cycle vertices) is documented as
+//! an assumption in `DESIGN.md`.
+
+use dsd_graph::VertexId;
+
+/// Classifies patterns that have specialized fast paths (Appendix D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternKind {
+    /// An h-clique (h = number of vertices); includes edge and triangle.
+    Clique(usize),
+    /// An x-star: one centre with `x` tails.
+    Star(usize),
+    /// The diamond / 4-cycle loop pattern.
+    Diamond,
+    /// Anything else; handled by generic enumeration.
+    General,
+}
+
+/// A connected simple pattern graph on up to a few dozen vertices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    name: String,
+    n: usize,
+    /// Edge list with `u < v`, sorted.
+    edges: Vec<(u8, u8)>,
+    /// `adj[u][v]` adjacency matrix.
+    adj: Vec<Vec<bool>>,
+}
+
+impl Pattern {
+    /// Builds a pattern from an edge list over vertices `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or > 64, if an edge is out of range or a
+    /// self-loop, or if the pattern is disconnected.
+    pub fn new(name: impl Into<String>, n: usize, edges: &[(u8, u8)]) -> Self {
+        assert!(n >= 1 && n <= 64, "patterns must have 1..=64 vertices");
+        let mut adj = vec![vec![false; n]; n];
+        let mut canon: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!(u != v, "self-loop in pattern");
+            assert!((u as usize) < n && (v as usize) < n, "pattern edge out of range");
+            if !adj[u as usize][v as usize] {
+                adj[u as usize][v as usize] = true;
+                adj[v as usize][u as usize] = true;
+                canon.push((u.min(v), u.max(v)));
+            }
+        }
+        canon.sort_unstable();
+        let p = Pattern {
+            name: name.into(),
+            n,
+            edges: canon,
+            adj,
+        };
+        assert!(p.is_connected(), "patterns must be connected");
+        p
+    }
+
+    fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for u in 0..self.n {
+                if self.adj[v][u] && !seen[u] {
+                    seen[u] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Human-readable pattern name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern vertices `|VΨ|`.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pattern edges `|EΨ|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorted canonical edge list.
+    pub fn edges(&self) -> &[(u8, u8)] {
+        &self.edges
+    }
+
+    /// Adjacency test inside the pattern.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u][v]
+    }
+
+    /// Degree of pattern vertex `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].iter().filter(|&&b| b).count()
+    }
+
+    /// Detects which specialized algorithm applies.
+    pub fn kind(&self) -> PatternKind {
+        if self.edges.len() == self.n * (self.n - 1) / 2 {
+            return PatternKind::Clique(self.n);
+        }
+        // x-star: one vertex of degree n-1, all others degree 1.
+        if self.n >= 3 && self.edges.len() == self.n - 1 {
+            let mut centres = 0;
+            let mut tails = 0;
+            for u in 0..self.n {
+                match self.degree(u) {
+                    1 => tails += 1,
+                    d if d == self.n - 1 => centres += 1,
+                    _ => {}
+                }
+            }
+            if centres == 1 && tails == self.n - 1 {
+                return PatternKind::Star(self.n - 1);
+            }
+        }
+        if self.n == 4 && self.edges.len() == 4 && (0..4).all(|u| self.degree(u) == 2) {
+            return PatternKind::Diamond;
+        }
+        PatternKind::General
+    }
+
+    /// Number of automorphisms |Aut(Ψ)|, computed by matching the pattern
+    /// onto itself. Patterns are tiny, so brute-force search is fine.
+    pub fn automorphism_count(&self) -> u64 {
+        let mut map = vec![usize::MAX; self.n];
+        let mut used = vec![false; self.n];
+        fn rec(p: &Pattern, pos: usize, map: &mut [usize], used: &mut [bool]) -> u64 {
+            if pos == p.n {
+                return 1;
+            }
+            let mut total = 0;
+            for cand in 0..p.n {
+                if used[cand] || p.degree(cand) != p.degree(pos) {
+                    continue;
+                }
+                let ok = (0..pos).all(|q| p.adj[pos][q] == p.adj[cand][map[q]]);
+                if ok {
+                    map[pos] = cand;
+                    used[cand] = true;
+                    total += rec(p, pos + 1, map, used);
+                    used[cand] = false;
+                }
+            }
+            total
+        }
+        rec(self, 0, &mut map, &mut used)
+    }
+
+    /// A search order for enumeration: starts at a max-degree vertex and
+    /// extends so every vertex is adjacent to an earlier one (connected
+    /// patterns guarantee this exists).
+    pub fn search_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n);
+        let mut placed = vec![false; self.n];
+        let start = (0..self.n).max_by_key(|&u| self.degree(u)).unwrap_or(0);
+        order.push(start);
+        placed[start] = true;
+        while order.len() < self.n {
+            // Pick the unplaced vertex with the most placed neighbours
+            // (ties: higher degree) to maximize early pruning.
+            let next = (0..self.n)
+                .filter(|&u| !placed[u])
+                .max_by_key(|&u| {
+                    let anchored = order.iter().filter(|&&q| self.adj[u][q]).count();
+                    (anchored, self.degree(u))
+                })
+                .expect("pattern is connected");
+            order.push(next);
+            placed[next] = true;
+        }
+        order
+    }
+
+    // ---- The paper's pattern menu -------------------------------------
+
+    /// A single edge (2-clique).
+    pub fn edge() -> Self {
+        Pattern::new("edge", 2, &[(0, 1)])
+    }
+
+    /// The triangle (3-clique).
+    pub fn triangle() -> Self {
+        Pattern::new("triangle", 3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    /// The h-clique.
+    pub fn clique(h: usize) -> Self {
+        assert!(h >= 2, "cliques need h >= 2");
+        let mut edges = Vec::new();
+        for u in 0..h as u8 {
+            for v in (u + 1)..h as u8 {
+                edges.push((u, v));
+            }
+        }
+        Pattern::new(format!("{h}-clique"), h, &edges)
+    }
+
+    /// The x-star: centre 0, tails `1..=x`.
+    pub fn star(x: usize) -> Self {
+        assert!(x >= 2, "x-star needs x >= 2 tails");
+        let edges: Vec<_> = (1..=x as u8).map(|t| (0, t)).collect();
+        Pattern::new(format!("{x}-star"), x + 1, &edges)
+    }
+
+    /// The 2-star (path on three vertices).
+    pub fn two_star() -> Self {
+        Self::star(2)
+    }
+
+    /// The 3-star (K₁,₃).
+    pub fn three_star() -> Self {
+        Self::star(3)
+    }
+
+    /// The c3-star ("paw"): triangle {0,1,2} with pendant 3 on vertex 0.
+    pub fn c3_star() -> Self {
+        Pattern::new("c3-star", 4, &[(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    /// The diamond: a 4-cycle 0-1-2-3-0 (Appendix D's loop pattern).
+    pub fn diamond() -> Self {
+        Pattern::new("diamond", 4, &[(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    /// The 2-triangle: two triangles sharing edge {0,1} (K₄ − e).
+    pub fn two_triangle() -> Self {
+        Pattern::new("2-triangle", 4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+    }
+
+    /// The 3-triangle: three triangles sharing edge {0,1}.
+    pub fn three_triangle() -> Self {
+        Pattern::new(
+            "3-triangle",
+            5,
+            &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)],
+        )
+    }
+
+    /// The basket: 4-cycle 0-1-2-3-0 plus handle vertex 4 adjacent to the
+    /// adjacent cycle vertices 0 and 1 (see DESIGN.md for the assumption).
+    pub fn basket() -> Self {
+        Pattern::new(
+            "basket",
+            5,
+            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 4), (1, 4)],
+        )
+    }
+
+    /// The k-cycle `C_k` (k ≥ 3). `cycle(4)` is the paper's diamond.
+    pub fn cycle(k: usize) -> Self {
+        assert!(k >= 3, "cycles need k >= 3 vertices");
+        let mut edges: Vec<(u8, u8)> = (0..k as u8 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((0, k as u8 - 1));
+        Pattern::new(format!("{k}-cycle"), k, &edges)
+    }
+
+    /// The path on `k` vertices (k ≥ 2). `path(3)` is the 2-star.
+    pub fn path(k: usize) -> Self {
+        assert!(k >= 2, "paths need k >= 2 vertices");
+        let edges: Vec<(u8, u8)> = (0..k as u8 - 1).map(|i| (i, i + 1)).collect();
+        Pattern::new(format!("{k}-path"), k, &edges)
+    }
+
+    /// The complete bipartite pattern `K_{a,b}` (a, b ≥ 1). `K_{2,2}` is
+    /// the diamond again; `K_{1,x}` is the x-star.
+    pub fn complete_bipartite(a: usize, b: usize) -> Self {
+        assert!(a >= 1 && b >= 1 && a + b >= 3);
+        let mut edges = Vec::with_capacity(a * b);
+        for i in 0..a as u8 {
+            for j in 0..b as u8 {
+                edges.push((i, a as u8 + j));
+            }
+        }
+        Pattern::new(format!("K{a},{b}"), a + b, &edges)
+    }
+
+    /// All seven Figure-7 patterns in paper order.
+    pub fn figure7() -> Vec<Pattern> {
+        vec![
+            Self::two_star(),
+            Self::three_star(),
+            Self::c3_star(),
+            Self::diamond(),
+            Self::two_triangle(),
+            Self::three_triangle(),
+            Self::basket(),
+        ]
+    }
+}
+
+/// Checks that a candidate graph-vertex assignment is edge-consistent with
+/// the pattern for all already-assigned positions. Shared by the enumerator
+/// in [`crate::pattern_enum`].
+#[inline]
+pub(crate) fn consistent(
+    p: &Pattern,
+    order: &[usize],
+    images: &[VertexId],
+    pos: usize,
+    candidate: VertexId,
+    has_edge: impl Fn(VertexId, VertexId) -> bool,
+) -> bool {
+    let pv = order[pos];
+    for q in 0..pos {
+        let pq = order[q];
+        if p.has_edge(pv, pq) && !has_edge(candidate, images[q]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_detected() {
+        assert_eq!(Pattern::edge().kind(), PatternKind::Clique(2));
+        assert_eq!(Pattern::triangle().kind(), PatternKind::Clique(3));
+        assert_eq!(Pattern::clique(5).kind(), PatternKind::Clique(5));
+        assert_eq!(Pattern::two_star().kind(), PatternKind::Star(2));
+        assert_eq!(Pattern::three_star().kind(), PatternKind::Star(3));
+        assert_eq!(Pattern::star(4).kind(), PatternKind::Star(4));
+        assert_eq!(Pattern::diamond().kind(), PatternKind::Diamond);
+        assert_eq!(Pattern::c3_star().kind(), PatternKind::General);
+        assert_eq!(Pattern::two_triangle().kind(), PatternKind::General);
+        assert_eq!(Pattern::three_triangle().kind(), PatternKind::General);
+        assert_eq!(Pattern::basket().kind(), PatternKind::General);
+    }
+
+    #[test]
+    fn automorphism_counts() {
+        assert_eq!(Pattern::edge().automorphism_count(), 2);
+        assert_eq!(Pattern::triangle().automorphism_count(), 6);
+        assert_eq!(Pattern::clique(4).automorphism_count(), 24);
+        assert_eq!(Pattern::two_star().automorphism_count(), 2);
+        assert_eq!(Pattern::three_star().automorphism_count(), 6);
+        // C4: dihedral group of order 8.
+        assert_eq!(Pattern::diamond().automorphism_count(), 8);
+        // Paw: only the two triangle vertices not attached to the tail swap.
+        assert_eq!(Pattern::c3_star().automorphism_count(), 2);
+        // K4 - e: swap the degree-3 pair, swap the degree-2 pair.
+        assert_eq!(Pattern::two_triangle().automorphism_count(), 4);
+        // 3-triangle: swap {0,1}, permute {2,3,4}.
+        assert_eq!(Pattern::three_triangle().automorphism_count(), 12);
+        // Basket: single reflection.
+        assert_eq!(Pattern::basket().automorphism_count(), 2);
+    }
+
+    #[test]
+    fn search_order_is_connected_prefixwise() {
+        for p in Pattern::figure7() {
+            let order = p.search_order();
+            assert_eq!(order.len(), p.vertex_count());
+            for (i, &v) in order.iter().enumerate().skip(1) {
+                assert!(
+                    order[..i].iter().any(|&q| p.has_edge(v, q)),
+                    "{}: vertex {v} not anchored",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_patterns() {
+        let _ = Pattern::new("bad", 4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let _ = Pattern::new("bad", 2, &[(0, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn generic_constructors() {
+        // cycle(4) and K{2,2} are both the diamond up to isomorphism.
+        assert_eq!(Pattern::cycle(4).kind(), PatternKind::Diamond);
+        assert_eq!(Pattern::complete_bipartite(2, 2).kind(), PatternKind::Diamond);
+        // cycle(3) is the triangle; path(3) is the 2-star; K{1,3} the 3-star.
+        assert_eq!(Pattern::cycle(3).kind(), PatternKind::Clique(3));
+        assert_eq!(Pattern::path(3).kind(), PatternKind::Star(2));
+        assert_eq!(Pattern::complete_bipartite(1, 3).kind(), PatternKind::Star(3));
+        assert_eq!(Pattern::path(2).kind(), PatternKind::Clique(2));
+        // Aut(C5) = 10 (dihedral), Aut(P4) = 2, Aut(K{2,3}) = 2!·3! = 12.
+        assert_eq!(Pattern::cycle(5).automorphism_count(), 10);
+        assert_eq!(Pattern::path(4).automorphism_count(), 2);
+        assert_eq!(Pattern::complete_bipartite(2, 3).automorphism_count(), 12);
+    }
+
+    #[test]
+    fn figure7_metadata() {
+        let names: Vec<_> = Pattern::figure7().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["2-star", "3-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket"]
+        );
+        assert_eq!(Pattern::three_triangle().vertex_count(), 5);
+        assert_eq!(Pattern::three_triangle().edge_count(), 7);
+        assert_eq!(Pattern::basket().edge_count(), 6);
+    }
+}

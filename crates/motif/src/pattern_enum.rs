@@ -1,0 +1,457 @@
+//! Backtracking enumeration of non-induced pattern instances.
+//!
+//! Per the paper's Definition 8 and the automorphism remark below it, a
+//! *pattern instance* is a subgraph `S ⊆ G` isomorphic to Ψ, where
+//! instances are identified by their **edge set** (automorphic re-mappings
+//! of the same subgraph are one instance). Consequently:
+//!
+//! * counts are `#injective embeddings / |Aut(Ψ)|`;
+//! * explicit instance materialization dedups embeddings by the canonical
+//!   (sorted) image of the pattern's edge set.
+
+use std::collections::HashSet;
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+
+use crate::pattern::{consistent, Pattern};
+
+/// A concrete pattern instance in a host graph.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PatternInstance {
+    /// Sorted member vertices.
+    pub vertices: Vec<VertexId>,
+    /// Sorted canonical edge list (`u < v`) of the instance.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+/// A group of pattern instances sharing the same vertex set — the node unit
+/// of the `construct+` flow network (Algorithm 7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceGroup {
+    /// Sorted member vertices shared by all instances of the group.
+    pub vertices: Vec<VertexId>,
+    /// Number of instances `|g|` in the group.
+    pub count: u64,
+}
+
+/// Enumerates injective embeddings of `p` into `g[alive]`.
+///
+/// `f` receives the image indexed by **pattern vertex id** (not search
+/// order) and returns `true` to continue or `false` to abort the whole
+/// enumeration. If `anchor` is `Some((pv, v))`, pattern vertex `pv` is
+/// pinned to graph vertex `v`, and `v` is treated as alive regardless of
+/// the mask.
+fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    p: &Pattern,
+    alive: &VertexSet,
+    anchor: Option<(usize, VertexId)>,
+    f: &mut F,
+) {
+    let order = p.search_order();
+    let k = p.vertex_count();
+    let mut images = vec![0 as VertexId; k]; // by search position
+    let mut by_pattern = vec![0 as VertexId; k]; // by pattern vertex id
+    let mut used: HashSet<VertexId> = HashSet::with_capacity(k);
+
+    let is_alive = |u: VertexId| -> bool {
+        alive.contains(u) || anchor.map(|(_, v)| v == u).unwrap_or(false)
+    };
+
+    // Candidate source for a position: any earlier position whose pattern
+    // vertex is adjacent; its image's neighbourhood bounds the search.
+    // Returns false to propagate an abort.
+    fn rec<F: FnMut(&[VertexId]) -> bool>(
+        g: &Graph,
+        p: &Pattern,
+        order: &[usize],
+        pos: usize,
+        images: &mut [VertexId],
+        by_pattern: &mut [VertexId],
+        used: &mut HashSet<VertexId>,
+        anchor: Option<(usize, VertexId)>,
+        is_alive: &dyn Fn(VertexId) -> bool,
+        f: &mut F,
+    ) -> bool {
+        if pos == order.len() {
+            return f(by_pattern);
+        }
+        let pv = order[pos];
+        let try_candidate = |cand: VertexId,
+                                 images: &mut [VertexId],
+                                 by_pattern: &mut [VertexId],
+                                 used: &mut HashSet<VertexId>,
+                                 f: &mut F|
+         -> bool {
+            if used.contains(&cand) || !is_alive(cand) {
+                return true;
+            }
+            if !consistent(p, order, images, pos, cand, |a, b| g.has_edge(a, b)) {
+                return true;
+            }
+            images[pos] = cand;
+            by_pattern[pv] = cand;
+            used.insert(cand);
+            let keep = rec(g, p, order, pos + 1, images, by_pattern, used, anchor, is_alive, f);
+            used.remove(&cand);
+            keep
+        };
+        if let Some((apv, av)) = anchor {
+            if apv == pv {
+                return try_candidate(av, images, by_pattern, used, f);
+            }
+        }
+        if pos == 0 {
+            for cand in g.vertices() {
+                if !try_candidate(cand, images, by_pattern, used, f) {
+                    return false;
+                }
+            }
+        } else {
+            // Anchor on the earlier neighbour with the smallest image degree.
+            let src = (0..pos)
+                .filter(|&q| p.has_edge(pv, order[q]))
+                .min_by_key(|&q| g.degree(images[q]))
+                .expect("search order keeps patterns connected");
+            let around = images[src];
+            for &cand in g.neighbors(around) {
+                if !try_candidate(cand, images, by_pattern, used, f) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    rec(
+        g,
+        p,
+        &order,
+        0,
+        &mut images,
+        &mut by_pattern,
+        &mut used,
+        anchor,
+        &is_alive,
+        f,
+    );
+}
+
+/// Non-aborting wrapper over [`for_each_embedding_until`].
+fn for_each_embedding<F: FnMut(&[VertexId])>(
+    g: &Graph,
+    p: &Pattern,
+    alive: &VertexSet,
+    anchor: Option<(usize, VertexId)>,
+    f: &mut F,
+) {
+    for_each_embedding_until(g, p, alive, anchor, &mut |image| {
+        f(image);
+        true
+    });
+}
+
+/// Number of pattern instances `μ(G[alive], Ψ)` (Definition 10's numerator).
+pub fn count_instances(g: &Graph, p: &Pattern, alive: &VertexSet) -> u64 {
+    let mut embeddings = 0u64;
+    for_each_embedding(g, p, alive, None, &mut |_| embeddings += 1);
+    let aut = p.automorphism_count();
+    debug_assert_eq!(embeddings % aut, 0, "embedding count not divisible by |Aut|");
+    embeddings / aut
+}
+
+/// Like [`count_instances`] but gives up once more than `cap` instances
+/// have been seen, returning `None`. Benchmark harnesses use this to skip
+/// pattern/graph combinations whose instance sets would not fit in memory
+/// (the analogue of the paper's multi-day timeout bars).
+pub fn count_instances_capped(
+    g: &Graph,
+    p: &Pattern,
+    alive: &VertexSet,
+    cap: u64,
+) -> Option<u64> {
+    let aut = p.automorphism_count();
+    let cap_embeddings = cap.saturating_mul(aut);
+    let mut embeddings = 0u64;
+    let mut over = false;
+    for_each_embedding_until(g, p, alive, None, &mut |_| {
+        embeddings += 1;
+        if embeddings > cap_embeddings {
+            over = true;
+            false
+        } else {
+            true
+        }
+    });
+    if over {
+        None
+    } else {
+        Some(embeddings / aut)
+    }
+}
+
+/// Pattern-degree `deg(v, Ψ)` of every vertex of `g[alive]` (Definition 9).
+pub fn pattern_degrees(g: &Graph, p: &Pattern, alive: &VertexSet) -> Vec<u64> {
+    let mut emb_deg = vec![0u64; g.num_vertices()];
+    for_each_embedding(g, p, alive, None, &mut |image| {
+        for &v in image {
+            emb_deg[v as usize] += 1;
+        }
+    });
+    let aut = p.automorphism_count();
+    for d in &mut emb_deg {
+        debug_assert_eq!(*d % aut, 0);
+        *d /= aut;
+    }
+    emb_deg
+}
+
+fn canonical_instance(p: &Pattern, image: &[VertexId]) -> PatternInstance {
+    let mut vertices: Vec<VertexId> = image.to_vec();
+    vertices.sort_unstable();
+    let mut edges: Vec<(VertexId, VertexId)> = p
+        .edges()
+        .iter()
+        .map(|&(a, b)| {
+            let (u, v) = (image[a as usize], image[b as usize]);
+            (u.min(v), u.max(v))
+        })
+        .collect();
+    edges.sort_unstable();
+    PatternInstance { vertices, edges }
+}
+
+/// Materializes the distinct pattern instances of `g[alive]`.
+///
+/// Intended for the (small) located cores that exact PDS algorithms build
+/// flow networks over — instances are deduplicated via hashing.
+pub fn instances(g: &Graph, p: &Pattern, alive: &VertexSet) -> Vec<PatternInstance> {
+    let mut seen: HashSet<PatternInstance> = HashSet::new();
+    for_each_embedding(g, p, alive, None, &mut |image| {
+        seen.insert(canonical_instance(p, image));
+    });
+    let mut out: Vec<PatternInstance> = seen.into_iter().collect();
+    out.sort_unstable_by(|a, b| a.edges.cmp(&b.edges));
+    out
+}
+
+/// Distinct instances containing `v` whose other members are all alive
+/// (`v` itself may already be dead — this is the decrement step of pattern
+/// core decomposition).
+pub fn instances_containing(
+    g: &Graph,
+    p: &Pattern,
+    v: VertexId,
+    alive: &VertexSet,
+) -> Vec<PatternInstance> {
+    let mut seen: HashSet<PatternInstance> = HashSet::new();
+    for pv in 0..p.vertex_count() {
+        for_each_embedding(g, p, alive, Some((pv, v)), &mut |image| {
+            seen.insert(canonical_instance(p, image));
+        });
+    }
+    let mut out: Vec<PatternInstance> = seen.into_iter().collect();
+    out.sort_unstable_by(|a, b| a.edges.cmp(&b.edges));
+    out
+}
+
+/// Groups instances by vertex set (Algorithm 7 line 2).
+pub fn group_instances(instances: &[PatternInstance]) -> Vec<InstanceGroup> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<&[VertexId], u64> = HashMap::new();
+    for inst in instances {
+        *groups.entry(inst.vertices.as_slice()).or_insert(0) += 1;
+    }
+    let mut out: Vec<InstanceGroup> = groups
+        .into_iter()
+        .map(|(vs, count)| InstanceGroup {
+            vertices: vs.to_vec(),
+            count,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| a.vertices.cmp(&b.vertices));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::GraphBuilder;
+
+    fn full(g: &Graph) -> VertexSet {
+        VertexSet::full(g.num_vertices())
+    }
+
+    fn k(n: u32) -> Graph {
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn edge_instances_are_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(count_instances(&g, &Pattern::edge(), &full(&g)), 5);
+        let deg = pattern_degrees(&g, &Pattern::edge(), &full(&g));
+        assert_eq!(deg, vec![3, 2, 3, 2]);
+    }
+
+    #[test]
+    fn triangle_counts_match_kclist() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (2, 4)],
+        );
+        let via_pattern = count_instances(&g, &Pattern::triangle(), &full(&g));
+        let via_kclist = crate::kclist::count_cliques(&g, 3);
+        assert_eq!(via_pattern, via_kclist);
+        let dp = pattern_degrees(&g, &Pattern::triangle(), &full(&g));
+        let dk = crate::kclist::clique_degrees(&g, 3);
+        assert_eq!(dp, dk);
+    }
+
+    #[test]
+    fn two_star_count_is_wedge_count() {
+        // Wedges = Σ C(deg, 2).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let expect: u64 = g
+            .vertices()
+            .map(|v| crate::binomial(g.degree(v) as u64, 2))
+            .sum();
+        assert_eq!(count_instances(&g, &Pattern::two_star(), &full(&g)), expect);
+    }
+
+    #[test]
+    fn diamond_in_k4_counts_three_cycles() {
+        // K4 contains 3 distinct 4-cycles (one per perfect matching pair).
+        let g = k(4);
+        assert_eq!(count_instances(&g, &Pattern::diamond(), &full(&g)), 3);
+        // Every vertex lies on all 3.
+        assert_eq!(
+            pattern_degrees(&g, &Pattern::diamond(), &full(&g)),
+            vec![3, 3, 3, 3]
+        );
+    }
+
+    #[test]
+    fn paper_figure_6a_diamond_instances() {
+        // Figure 6(a)-style fixture: the text tells us the example graph
+        // has 4 diamond instances grouped into 2 groups, g1 = {A,B,C,D}
+        // (1 instance) and g2 = {A,D,E,F} (3 instances). We realize exactly
+        // that: K4 on {A,D,E,F} (3 four-cycles) plus path B-C hung between
+        // A and D (one four-cycle A-B-C-D), plus a tail F-G-H.
+        let (a, b, c, d, e, f, g_, h) = (0u32, 1, 2, 3, 4, 5, 6, 7);
+        let edges = [
+            (a, b),
+            (b, c),
+            (c, d),
+            (a, d),
+            (a, e),
+            (a, f),
+            (d, e),
+            (d, f),
+            (e, f),
+            (f, g_),
+            (g_, h),
+        ];
+        let g = Graph::from_edges(8, &edges);
+        let p = Pattern::diamond();
+        let inst = instances(&g, &p, &full(&g));
+        assert_eq!(inst.len(), 4);
+        let groups = group_instances(&inst);
+        assert_eq!(groups.len(), 2);
+        let g1 = groups.iter().find(|gr| gr.vertices == vec![a, b, c, d]).unwrap();
+        let g2 = groups.iter().find(|gr| gr.vertices == vec![a, d, e, f]).unwrap();
+        assert_eq!(g1.count, 1);
+        assert_eq!(g2.count, 3);
+    }
+
+    #[test]
+    fn c3_star_count_in_paw_itself() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        assert_eq!(count_instances(&g, &Pattern::c3_star(), &full(&g)), 1);
+    }
+
+    #[test]
+    fn two_triangle_in_k4() {
+        // K4 has C(4,2) = 6 edge choices for the shared edge... but each
+        // K4-e subgraph is determined by the *missing* pair: the shared
+        // edge of the two triangles connects the degree-3 vertices. For
+        // vertex set = all of K4, pick the 2 degree-2 vertices: C(4,2) = 6
+        // edge-subsets isomorphic to K4-e.
+        let g = k(4);
+        assert_eq!(count_instances(&g, &Pattern::two_triangle(), &full(&g)), 6);
+    }
+
+    #[test]
+    fn instances_containing_anchors() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let p = Pattern::triangle();
+        let alive = full(&g);
+        let with0 = instances_containing(&g, &p, 0, &alive);
+        assert_eq!(with0.len(), 1);
+        assert_eq!(with0[0].vertices, vec![0, 1, 2]);
+        let with4 = instances_containing(&g, &p, 4, &alive);
+        assert!(with4.is_empty());
+    }
+
+    #[test]
+    fn instances_containing_dead_vertex_still_counts_it() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut alive = full(&g);
+        alive.remove(0);
+        let p = Pattern::triangle();
+        let got = instances_containing(&g, &p, 0, &alive);
+        assert_eq!(got.len(), 1, "v itself is exempt from the alive mask");
+        // But other dead vertices are not.
+        alive.remove(1);
+        assert!(instances_containing(&g, &p, 0, &alive).is_empty());
+    }
+
+    #[test]
+    fn alive_mask_restricts_counts() {
+        let g = k(5);
+        let mut alive = full(&g);
+        alive.remove(4);
+        assert_eq!(count_instances(&g, &Pattern::triangle(), &alive), 4);
+    }
+
+    #[test]
+    fn degrees_sum_to_size_times_count() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (4, 6)],
+        );
+        for p in Pattern::figure7() {
+            let deg = pattern_degrees(&g, &p, &full(&g));
+            let total: u64 = deg.iter().sum();
+            assert_eq!(
+                total,
+                p.vertex_count() as u64 * count_instances(&g, &p, &full(&g)),
+                "pattern {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn capped_counting_matches_and_caps() {
+        let g = k(6);
+        let p = Pattern::triangle();
+        let exact = count_instances(&g, &p, &full(&g));
+        assert_eq!(count_instances_capped(&g, &p, &full(&g), 1000), Some(exact));
+        assert_eq!(count_instances_capped(&g, &p, &full(&g), exact), Some(exact));
+        assert_eq!(count_instances_capped(&g, &p, &full(&g), exact - 1), None);
+    }
+
+    #[test]
+    fn no_instances_of_larger_pattern_in_small_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(count_instances(&g, &Pattern::basket(), &full(&g)), 0);
+        assert!(instances(&g, &Pattern::basket(), &full(&g)).is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Appendix-D fast paths: star and diamond (loop) pattern degrees.
+//!
+//! For an x-star, the pattern-degree of `v` decomposes into "v is the
+//! centre" and "v is a tail of a neighbouring centre", both closed-form
+//! binomials — `O(d)` per vertex instead of enumerating `O(dˣ)` instances.
+//! For the diamond (4-cycle), grouping length-2 paths by their far endpoint
+//! gives `Σ C(y_w, 2)` in `O(d²)`. The same groupings yield the decrement
+//! lists used when a vertex is peeled (Algorithm 3's inner loop), reducing
+//! pattern-core decomposition from `O(n·dˣ)` to `O(n·d²)` as the paper
+//! notes.
+
+use std::collections::HashMap;
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+
+use crate::binomial;
+
+/// Alive-restricted degree: number of neighbours of `v` inside `alive`.
+#[inline]
+fn adeg(g: &Graph, alive: &VertexSet, v: VertexId) -> u64 {
+    g.neighbors(v).iter().filter(|&&u| alive.contains(u)).count() as u64
+}
+
+/// x-star pattern-degrees of all vertices of `g[alive]` (Appendix D.1.1).
+///
+/// `deg(v) = C(y, x) + Σ_{u ∈ N(v)} C(z_u − 1, x − 1)` with `y`, `z_u`
+/// alive-restricted degrees.
+pub fn star_degrees(g: &Graph, x: usize, alive: &VertexSet) -> Vec<u64> {
+    assert!(x >= 2);
+    let x = x as u64;
+    let n = g.num_vertices();
+    // Precompute alive degrees once: the formula touches each edge twice.
+    let degs: Vec<u64> = (0..n as u32)
+        .map(|v| if alive.contains(v) { adeg(g, alive, v) } else { 0 })
+        .collect();
+    let mut out = vec![0u64; n];
+    for v in alive.iter() {
+        let y = degs[v as usize];
+        let mut d = binomial(y, x);
+        for &u in g.neighbors(v) {
+            if alive.contains(u) {
+                d = d.saturating_add(binomial(degs[u as usize].saturating_sub(1), x - 1));
+            }
+        }
+        out[v as usize] = d;
+    }
+    out
+}
+
+/// Per-vertex pattern-degree losses caused by removing `v` from `g[alive]`
+/// for the x-star pattern (Appendix D.1.2). `v` must still be in `alive`.
+///
+/// Returns `(u, amount)` pairs for every *other* vertex whose degree drops;
+/// the removed vertex's own loss is simply its current degree.
+pub fn star_decrements(g: &Graph, x: usize, alive: &VertexSet, v: VertexId) -> Vec<(VertexId, u64)> {
+    assert!(x >= 2);
+    debug_assert!(alive.contains(v), "compute decrements before removing v");
+    let x = x as u64;
+    let y = adeg(g, alive, v);
+    let mut acc: HashMap<VertexId, u64> = HashMap::new();
+    for &u in g.neighbors(v) {
+        if !alive.contains(u) {
+            continue;
+        }
+        let z_u = adeg(g, alive, u);
+        // Stars centred at v with u as a tail, plus stars centred at u with
+        // v as a tail.
+        let one_hop = binomial(y - 1, x - 1).saturating_add(binomial(z_u - 1, x - 1));
+        if one_hop > 0 {
+            *acc.entry(u).or_insert(0) += one_hop;
+        }
+        // Stars centred at u containing both v and w as tails.
+        if x >= 2 && z_u >= 2 {
+            let two_hop = binomial(z_u - 2, x - 2);
+            if two_hop > 0 {
+                for &w in g.neighbors(u) {
+                    if w != v && alive.contains(w) {
+                        *acc.entry(w).or_insert(0) += two_hop;
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(VertexId, u64)> = acc.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Diamond (4-cycle) pattern-degrees of all vertices (Appendix D.2.1):
+/// `deg(v) = Σ_{w ≠ v} C(|N(v) ∩ N(w)|, 2)` over alive vertices.
+pub fn diamond_degrees(g: &Graph, alive: &VertexSet) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut out = vec![0u64; n];
+    let mut count = vec![0u32; n];
+    let mut touched: Vec<VertexId> = Vec::new();
+    for v in alive.iter() {
+        for &a in g.neighbors(v) {
+            if !alive.contains(a) {
+                continue;
+            }
+            for &w in g.neighbors(a) {
+                if w != v && alive.contains(w) {
+                    if count[w as usize] == 0 {
+                        touched.push(w);
+                    }
+                    count[w as usize] += 1;
+                }
+            }
+        }
+        let mut d = 0u64;
+        for &w in &touched {
+            d = d.saturating_add(binomial(count[w as usize] as u64, 2));
+            count[w as usize] = 0;
+        }
+        touched.clear();
+        out[v as usize] = d;
+    }
+    out
+}
+
+/// Per-vertex diamond-degree losses caused by removing `v` (Appendix
+/// D.2.2). `v` must still be in `alive`.
+///
+/// For each far endpoint `w` with `c` common alive neighbours: `w` loses
+/// `C(c, 2)` and each common neighbour loses `c − 1`.
+pub fn diamond_decrements(g: &Graph, alive: &VertexSet, v: VertexId) -> Vec<(VertexId, u64)> {
+    debug_assert!(alive.contains(v), "compute decrements before removing v");
+    let n = g.num_vertices();
+    let mut count = vec![0u32; n];
+    let mut touched: Vec<VertexId> = Vec::new();
+    for &a in g.neighbors(v) {
+        if !alive.contains(a) {
+            continue;
+        }
+        for &w in g.neighbors(a) {
+            if w != v && alive.contains(w) {
+                if count[w as usize] == 0 {
+                    touched.push(w);
+                }
+                count[w as usize] += 1;
+            }
+        }
+    }
+    let mut acc: HashMap<VertexId, u64> = HashMap::new();
+    for &w in &touched {
+        let c = count[w as usize] as u64;
+        if c >= 2 {
+            *acc.entry(w).or_insert(0) += binomial(c, 2);
+        }
+        if c >= 2 {
+            // Each middle vertex a ∈ N(v) ∩ N(w) participates in c − 1
+            // dying cycles through (v, w).
+            for &a in g.neighbors(v) {
+                if alive.contains(a) && g.has_edge(a, w) {
+                    *acc.entry(a).or_insert(0) += c - 1;
+                }
+            }
+        }
+        count[w as usize] = 0;
+    }
+    let mut out: Vec<(VertexId, u64)> = acc.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::pattern_enum::pattern_degrees;
+    use dsd_graph::GraphBuilder;
+
+    fn random_graph(seed: u64, n: usize, percent: u64) -> Graph {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() % 100 < percent {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_degrees_match_generic_enumeration() {
+        for seed in 1..8u64 {
+            let g = random_graph(seed, 9, 40);
+            let alive = VertexSet::full(9);
+            for x in 2..=3usize {
+                let fast = star_degrees(&g, x, &alive);
+                let slow = pattern_degrees(&g, &Pattern::star(x), &alive);
+                assert_eq!(fast, slow, "seed {seed} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_degrees_respect_alive_mask() {
+        let g = random_graph(3, 10, 50);
+        let mut alive = VertexSet::full(10);
+        alive.remove(0);
+        alive.remove(5);
+        let fast = star_degrees(&g, 2, &alive);
+        let slow = pattern_degrees(&g, &Pattern::two_star(), &alive);
+        assert_eq!(fast, slow);
+        assert_eq!(fast[0], 0);
+    }
+
+    #[test]
+    fn diamond_degrees_match_generic_enumeration() {
+        for seed in 1..8u64 {
+            let g = random_graph(seed * 7 + 1, 9, 45);
+            let alive = VertexSet::full(9);
+            let fast = diamond_degrees(&g, &alive);
+            let slow = pattern_degrees(&g, &Pattern::diamond(), &alive);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_decrements_match_before_after_difference() {
+        for seed in 1..6u64 {
+            let g = random_graph(seed * 13 + 2, 8, 45);
+            for x in 2..=3usize {
+                let mut alive = VertexSet::full(8);
+                let p = Pattern::star(x);
+                for victim in 0..4u32 {
+                    if !alive.contains(victim) {
+                        continue;
+                    }
+                    let before = pattern_degrees(&g, &p, &alive);
+                    let dec = star_decrements(&g, x, &alive, victim);
+                    alive.remove(victim);
+                    let after = pattern_degrees(&g, &p, &alive);
+                    let mut expect: HashMap<VertexId, u64> = HashMap::new();
+                    for v in alive.iter() {
+                        let diff = before[v as usize] - after[v as usize];
+                        if diff > 0 {
+                            expect.insert(v, diff);
+                        }
+                    }
+                    let got: HashMap<VertexId, u64> = dec.into_iter().collect();
+                    assert_eq!(got, expect, "seed {seed} x {x} victim {victim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_decrements_match_before_after_difference() {
+        for seed in 1..6u64 {
+            let g = random_graph(seed * 31 + 5, 8, 50);
+            let p = Pattern::diamond();
+            let mut alive = VertexSet::full(8);
+            for victim in 0..4u32 {
+                let before = pattern_degrees(&g, &p, &alive);
+                let dec = diamond_decrements(&g, &alive, victim);
+                alive.remove(victim);
+                let after = pattern_degrees(&g, &p, &alive);
+                let mut expect: HashMap<VertexId, u64> = HashMap::new();
+                for v in alive.iter() {
+                    let diff = before[v as usize] - after[v as usize];
+                    if diff > 0 {
+                        expect.insert(v, diff);
+                    }
+                }
+                let got: HashMap<VertexId, u64> = dec.into_iter().collect();
+                assert_eq!(got, expect, "seed {seed} victim {victim}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_degree_in_pure_star_graph() {
+        // Star with centre 0 and 5 tails: 3-star degree of centre = C(5,3),
+        // of each tail = C(4,2).
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let alive = VertexSet::full(6);
+        let deg = star_degrees(&g, 3, &alive);
+        assert_eq!(deg[0], binomial(5, 3));
+        assert_eq!(deg[1], binomial(4, 2));
+    }
+
+    #[test]
+    fn diamond_degree_in_plain_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let alive = VertexSet::full(4);
+        assert_eq!(diamond_degrees(&g, &alive), vec![1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure-17 analogue: pattern choice selects *which* community the
+//! densest subgraph finds in a collaboration network.
+//!
+//! The paper's DBLP case study showed that the triangle-PDS is a tight
+//! research group (everyone co-authored with everyone) while the
+//! 2-star-PDS centres on senior hubs (advisors linked to many students).
+//! We reproduce that on a planted collaboration network.
+//!
+//! Run with: `cargo run --release --example community_detection`
+
+use dsd::core::{densest_subgraph, Method};
+use dsd::datasets::planted::collaboration_network;
+use dsd::motif::Pattern;
+
+fn main() {
+    // 6 research groups of 8 (near-cliques), 3 advisors with 12 students
+    // each (stars), advisors also co-author across groups.
+    let groups = 6;
+    let group_size = 8;
+    let advisors = 3;
+    let students = 12;
+    let g = collaboration_network(groups, group_size, advisors, students, 2024);
+    println!(
+        "collaboration network: {} authors, {} co-author pairs",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let advisor_ids: Vec<u32> =
+        (0..advisors as u32).map(|a| (groups * group_size) as u32 + a).collect();
+
+    // Triangle-PDS: a tight group.
+    let tri = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+    println!(
+        "\ntriangle-PDS: {} authors, density {:.3}",
+        tri.len(),
+        tri.density
+    );
+    let in_groups = tri
+        .vertices
+        .iter()
+        .filter(|&&v| (v as usize) < groups * group_size)
+        .count();
+    println!("  {} of {} members come from the group blocks", in_groups, tri.len());
+
+    // 2-star-PDS: hub-centred (advisors + students).
+    let star = densest_subgraph(&g, &Pattern::two_star(), Method::CoreExact);
+    println!(
+        "\n2-star-PDS: {} authors, density {:.3}",
+        star.len(),
+        star.density
+    );
+    let hubs: Vec<u32> = advisor_ids
+        .iter()
+        .copied()
+        .filter(|a| star.vertices.contains(a))
+        .collect();
+    println!("  advisors inside the 2-star PDS: {hubs:?}");
+
+    // The two PDS's capture different semantics (the case-study point).
+    assert!(
+        in_groups == tri.len(),
+        "triangle-PDS should stay inside a co-authoring group"
+    );
+    assert!(
+        !hubs.is_empty(),
+        "2-star-PDS should capture at least one advisor hub"
+    );
+    println!("\ntriangle → cohesive group; 2-star → advisor-centred star, as in Fig. 17.");
+}

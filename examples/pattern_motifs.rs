@@ -1,0 +1,63 @@
+//! Figure-21 analogue: different patterns Ψ pull out different functional
+//! modules of a PPI-like network.
+//!
+//! The paper's yeast study computes the PDS for edge, c3-star, 2-triangle
+//! and 4-clique patterns and finds each corresponds to a distinct
+//! functional class. Our synthetic PPI graph plants three modules —
+//! a near-clique, a dense bipartite block (4-cycle-rich), and hub-leaf
+//! stars — and the PDS per pattern lands on the matching module.
+//!
+//! Run with: `cargo run --release --example pattern_motifs`
+
+use dsd::core::{densest_subgraph, Method};
+use dsd::datasets::planted::ppi_like;
+use dsd::motif::Pattern;
+
+fn module_of(vertices: &[u32]) -> &'static str {
+    let count = |lo: u32, hi: u32| vertices.iter().filter(|&&v| v >= lo && v < hi).count();
+    let clique = count(0, 8);
+    let bipartite = count(8, 24);
+    let star = count(24, 45);
+    if clique >= bipartite && clique >= star {
+        "clique module (0..8)"
+    } else if bipartite >= star {
+        "bipartite module (8..24)"
+    } else {
+        "star module (24..45)"
+    }
+}
+
+fn main() {
+    let g = ppi_like(7);
+    println!(
+        "PPI-like network: {} proteins, {} interactions\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    for psi in [
+        Pattern::edge(),
+        Pattern::clique(4),
+        Pattern::diamond(),
+        Pattern::three_star(),
+        Pattern::c3_star(),
+    ] {
+        let pds = densest_subgraph(&g, &psi, Method::CoreExact);
+        println!(
+            "{:>10}-PDS: {:>3} proteins, density {:>10.3} -> {}",
+            psi.name(),
+            pds.len(),
+            pds.density,
+            module_of(&pds.vertices)
+        );
+    }
+
+    // Hard checks on the module ↔ pattern correspondence.
+    let k4 = densest_subgraph(&g, &Pattern::clique(4), Method::CoreExact);
+    assert_eq!(module_of(&k4.vertices), "clique module (0..8)");
+    let dia = densest_subgraph(&g, &Pattern::diamond(), Method::CoreExact);
+    assert_eq!(module_of(&dia.vertices), "bipartite module (8..24)");
+    let star = densest_subgraph(&g, &Pattern::three_star(), Method::CoreExact);
+    assert_eq!(module_of(&star.vertices), "star module (24..45)");
+    println!("\neach pattern's PDS matches its planted module, as in Fig. 21.");
+}

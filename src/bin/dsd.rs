@@ -1,0 +1,163 @@
+//! `dsd` — command-line densest subgraph discovery.
+//!
+//! ```text
+//! dsd <edge-list-file> [--psi <pattern>] [--method <method>]
+//!                      [--query v1,v2,...] [--stats]
+//!
+//! patterns: edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
+//!           c3-star | diamond | 2-triangle | 3-triangle | basket
+//! methods:  exact | core-exact (default) | peel | inc-app | core-app
+//! ```
+//!
+//! Reads a whitespace edge list (`# comments` allowed, `# n <N>` header
+//! optional), prints the densest subgraph and its density. `--query` runs
+//! the Section-6.3 variant (edge density, must contain the given
+//! vertices). `--stats` prints the Figure-18-style statistics instead.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dsd::core::{densest_subgraph, densest_with_query, Method};
+use dsd::datasets::compute_stats;
+use dsd::graph::io::read_edge_list;
+use dsd::motif::Pattern;
+
+fn parse_pattern(s: &str) -> Option<Pattern> {
+    match s {
+        "edge" => Some(Pattern::edge()),
+        "triangle" => Some(Pattern::triangle()),
+        "2-star" => Some(Pattern::two_star()),
+        "3-star" => Some(Pattern::three_star()),
+        "c3-star" => Some(Pattern::c3_star()),
+        "diamond" => Some(Pattern::diamond()),
+        "2-triangle" => Some(Pattern::two_triangle()),
+        "3-triangle" => Some(Pattern::three_triangle()),
+        "basket" => Some(Pattern::basket()),
+        other => {
+            if let Some(h) = other.strip_prefix("clique:") {
+                h.parse().ok().filter(|&h| h >= 2).map(Pattern::clique)
+            } else if let Some(x) = other.strip_prefix("star:") {
+                x.parse().ok().filter(|&x| x >= 2).map(Pattern::star)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn parse_method(s: &str) -> Option<Method> {
+    match s {
+        "exact" => Some(Method::Exact),
+        "core-exact" => Some(Method::CoreExact),
+        "peel" => Some(Method::PeelApp),
+        "inc-app" => Some(Method::IncApp),
+        "core-app" => Some(Method::CoreApp),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dsd <edge-list-file> [--psi <pattern>] [--method <method>] \
+         [--query v1,v2,...] [--stats]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<&str> = None;
+    let mut psi = Pattern::edge();
+    let mut method = Method::CoreExact;
+    let mut query: Option<Vec<u32>> = None;
+    let mut stats = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--psi" => match it.next().and_then(|s| parse_pattern(s)) {
+                Some(p) => psi = p,
+                None => {
+                    eprintln!("unknown pattern");
+                    return usage();
+                }
+            },
+            "--method" => match it.next().and_then(|s| parse_method(s)) {
+                Some(m) => method = m,
+                None => {
+                    eprintln!("unknown method");
+                    return usage();
+                }
+            },
+            "--query" => match it.next() {
+                Some(list) => {
+                    let parsed: Result<Vec<u32>, _> =
+                        list.split(',').map(str::parse).collect();
+                    match parsed {
+                        Ok(vs) if !vs.is_empty() => query = Some(vs),
+                        _ => {
+                            eprintln!("bad --query list");
+                            return usage();
+                        }
+                    }
+                }
+                None => return usage(),
+            },
+            "--stats" => stats = true,
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(other);
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(path) = file else { return usage() };
+    let g = match File::open(path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_edge_list(BufReader::new(f)).map_err(|e| e.to_string()))
+    {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    if stats {
+        let s = compute_stats(&g);
+        println!(
+            "components: {}, pseudo-diameter: {}, power-law α: {:.3}, max degree: {}",
+            s.num_ccs, s.pseudo_diameter, s.power_law_alpha, s.max_degree
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(q) = query {
+        match densest_with_query(&g, &q) {
+            Some(r) => {
+                println!(
+                    "densest subgraph containing {q:?}: density {:.6}, {} vertices",
+                    r.density,
+                    r.len()
+                );
+                println!("vertices: {:?}", r.vertices);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("invalid query vertices");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let r = densest_subgraph(&g, &psi, method);
+        println!(
+            "{}-densest subgraph via {method:?}: density {:.6}, {} vertices",
+            psi.name(),
+            r.density,
+            r.len()
+        );
+        println!("vertices: {:?}", r.vertices);
+        ExitCode::SUCCESS
+    }
+}

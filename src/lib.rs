@@ -1,0 +1,37 @@
+//! `dsd` — densest subgraph discovery (Fang et al., PVLDB 2019).
+//!
+//! This facade crate re-exports the five workspace crates under one roof:
+//!
+//! * [`graph`] — CSR graph substrate;
+//! * [`flow`] — max-flow / min-cut solvers;
+//! * [`motif`] — clique listing and pattern enumeration;
+//! * [`core`] — the paper's algorithms (Exact/CoreExact, PeelApp/IncApp/
+//!   CoreApp, PExact/CorePExact, Nucleus, EMcore, the query variant, and
+//!   the extensions);
+//! * [`datasets`] — generators, fixtures, and the evaluation registry.
+//!
+//! ```
+//! use dsd::core::{densest_subgraph, Method};
+//! use dsd::graph::Graph;
+//! use dsd::motif::Pattern;
+//!
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+//! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
+//! ```
+
+pub use dsd_core as core;
+pub use dsd_datasets as datasets;
+pub use dsd_flow as flow;
+pub use dsd_graph as graph;
+pub use dsd_motif as motif;
+
+/// Convenience re-exports for the common workflow.
+pub mod prelude {
+    pub use dsd_core::{
+        core_exact, densest_subgraph, densest_with_query, exact, peel_app, top_k_densest,
+        DsdResult, FlowBackend, Method,
+    };
+    pub use dsd_graph::{Graph, GraphBuilder, VertexId, VertexSet};
+    pub use dsd_motif::Pattern;
+}

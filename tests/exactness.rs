@@ -1,0 +1,139 @@
+//! Cross-crate exactness tests: every exact algorithm must agree with
+//! brute-force subset enumeration on small random graphs, and the two
+//! exact algorithms must agree with each other everywhere.
+
+use dsd::core::{core_exact, densest_subgraph, exact, oracle_for, FlowBackend, Method};
+use dsd::graph::{Graph, GraphBuilder, VertexSet};
+use dsd::motif::Pattern;
+use proptest::prelude::*;
+
+/// Brute-force ρopt over all non-empty vertex subsets.
+fn brute_force_opt(g: &Graph, psi: &Pattern) -> f64 {
+    let n = g.num_vertices();
+    assert!(n <= 12, "brute force is exponential");
+    let oracle = oracle_for(psi);
+    let mut best = 0.0f64;
+    for mask in 1u32..(1u32 << n) {
+        let members: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        let set = VertexSet::from_members(n, &members);
+        let rho = dsd::core::density(oracle.as_ref(), g, &set);
+        best = best.max(rho);
+    }
+    best
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |bits| {
+            let mut b = GraphBuilder::new(n);
+            let mut idx = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if bits[idx] {
+                        b.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_matches_brute_force_for_edges(g in graph_strategy(9)) {
+        let psi = Pattern::edge();
+        let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
+        let want = brute_force_opt(&g, &psi);
+        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+    }
+
+    #[test]
+    fn core_exact_matches_brute_force_for_triangles(g in graph_strategy(9)) {
+        let psi = Pattern::triangle();
+        let (r, _) = core_exact(&g, &psi);
+        let want = brute_force_opt(&g, &psi);
+        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+    }
+
+    #[test]
+    fn exact_and_core_exact_agree_on_4cliques(g in graph_strategy(10)) {
+        let psi = Pattern::clique(4);
+        let (a, _) = exact(&g, &psi, FlowBackend::Dinic);
+        let (b, _) = core_exact(&g, &psi);
+        prop_assert!((a.density - b.density).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pexact_matches_brute_force_for_two_star(g in graph_strategy(8)) {
+        let psi = Pattern::two_star();
+        let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
+        let want = brute_force_opt(&g, &psi);
+        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+    }
+
+    #[test]
+    fn core_pexact_matches_brute_force_for_diamond(g in graph_strategy(8)) {
+        let psi = Pattern::diamond();
+        let (r, _) = core_exact(&g, &psi);
+        let want = brute_force_opt(&g, &psi);
+        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+    }
+
+    #[test]
+    fn pexact_matches_brute_force_for_c3_star(g in graph_strategy(8)) {
+        let psi = Pattern::c3_star();
+        let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
+        let want = brute_force_opt(&g, &psi);
+        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+    }
+
+    #[test]
+    fn push_relabel_backend_agrees(g in graph_strategy(9)) {
+        for psi in [Pattern::edge(), Pattern::triangle()] {
+            let (a, _) = exact(&g, &psi, FlowBackend::Dinic);
+            let (b, _) = exact(&g, &psi, FlowBackend::PushRelabel);
+            prop_assert!((a.density - b.density).abs() < 1e-7, "{}", psi.name());
+        }
+    }
+
+    #[test]
+    fn reported_density_matches_reported_vertices(g in graph_strategy(9)) {
+        let psi = Pattern::triangle();
+        let r = densest_subgraph(&g, &psi, Method::CoreExact);
+        let oracle = oracle_for(&psi);
+        let set = VertexSet::from_members(g.num_vertices(), &r.vertices);
+        let rho = dsd::core::density(oracle.as_ref(), &g, &set);
+        prop_assert!((rho - r.density).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn paper_figure_fixtures_have_their_documented_answers() {
+    use dsd::datasets::fixtures;
+
+    // Figure 1(a): EDS = S1 (11/7), triangle-CDS = S2 (1/2).
+    let g = fixtures::figure1a();
+    let eds = densest_subgraph(&g, &Pattern::edge(), Method::CoreExact);
+    assert_eq!(eds.vertices, fixtures::FIGURE1A_S1.to_vec());
+    assert!((eds.density - 11.0 / 7.0).abs() < 1e-9);
+    let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+    assert_eq!(cds.vertices, fixtures::FIGURE1A_S2.to_vec());
+    assert!((cds.density - 0.5).abs() < 1e-9);
+
+    // Figure 2(a): triangle-density 1/3 on {B, C, D}.
+    let g2 = fixtures::figure2a();
+    let r2 = densest_subgraph(&g2, &Pattern::triangle(), Method::Exact);
+    assert_eq!(r2.vertices, vec![1, 2, 3]);
+    assert!((r2.density - 1.0 / 3.0).abs() < 1e-9);
+
+    // Figure 6(a): diamond-PDS = the K4 {A, D, E, F} with 3 instances.
+    let g6 = fixtures::figure6a();
+    let r6 = densest_subgraph(&g6, &Pattern::diamond(), Method::CoreExact);
+    assert_eq!(r6.vertices, vec![0, 3, 4, 5]);
+    assert!((r6.density - 0.75).abs() < 1e-9);
+}
