@@ -1,57 +1,37 @@
-//! Criterion bench: the approximation family (Figure 8(f-j) / Table 4 in
-//! microbenchmark form): PeelApp vs IncApp vs CoreApp vs Nucleus vs EMcore.
+//! Bench: the approximation family (Figure 8(f-j) / Table 4 in
+//! microbenchmark form): PeelApp vs IncApp vs CoreApp vs Nucleus vs
+//! EMcore. Plain `Instant`-timed harness — no criterion offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_bench::util::report;
 use dsd_core::{core_app, emcore_max_core, inc_app, nucleus_app, peel_app};
-use dsd_datasets::{chung_lu, er};
+use dsd_datasets::chung_lu;
 use dsd_motif::Pattern;
 
-fn bench_approx_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("approx_family");
+fn main() {
+    println!("== approx_family ==");
     let g = chung_lu::chung_lu(8_000, 30_000, 2.4, 41);
     for h in [2usize, 3] {
         let psi = Pattern::clique(h);
-        group.bench_with_input(BenchmarkId::new("PeelApp", h), &h, |b, _| {
-            b.iter(|| peel_app(&g, &psi))
+        report(&format!("PeelApp/h={h}"), 5, || {
+            std::hint::black_box(peel_app(&g, &psi));
         });
-        group.bench_with_input(BenchmarkId::new("IncApp", h), &h, |b, _| {
-            b.iter(|| inc_app(&g, &psi))
+        report(&format!("IncApp/h={h}"), 5, || {
+            std::hint::black_box(inc_app(&g, &psi));
         });
-        group.bench_with_input(BenchmarkId::new("CoreApp", h), &h, |b, _| {
-            b.iter(|| core_app(&g, &psi))
+        report(&format!("CoreApp/h={h}"), 5, || {
+            std::hint::black_box(core_app(&g, &psi));
         });
-        group.bench_with_input(BenchmarkId::new("Nucleus", h), &h, |b, &h| {
-            b.iter(|| nucleus_app(&g, h))
+        report(&format!("Nucleus/h={h}"), 5, || {
+            std::hint::black_box(nucleus_app(&g, h));
         });
     }
-    group.finish();
-}
 
-fn bench_emcore_vs_core_app(c: &mut Criterion) {
-    // Table 4's comparison.
-    let mut group = c.benchmark_group("emcore_vs_core_app");
-    let g = chung_lu::chung_lu(20_000, 60_000, 2.4, 42);
-    group.bench_function("EMcore", |b| b.iter(|| emcore_max_core(&g)));
-    group.bench_function("CoreApp", |b| b.iter(|| core_app(&g, &Pattern::edge())));
-    group.finish();
-}
-
-fn bench_flat_degrees_defeat_pruning(c: &mut Criterion) {
-    // Figure 14's ER observation: CoreApp's advantage shrinks when degrees
-    // are flat (the frontier grows to the whole graph).
-    let mut group = c.benchmark_group("er_vs_powerlaw_coreapp");
-    let flat = er::er(8_000, 7.5 / 8_000.0 * 2.0, 43);
-    let skewed = chung_lu::chung_lu(8_000, 30_000, 2.4, 43);
-    group.bench_function("er", |b| b.iter(|| core_app(&flat, &Pattern::edge())));
-    group.bench_function("chung_lu", |b| {
-        b.iter(|| core_app(&skewed, &Pattern::edge()))
+    println!("== emcore_vs_core_app ==");
+    let g = chung_lu::chung_lu(20_000, 70_000, 2.4, 42);
+    report("EMcore", 5, || {
+        std::hint::black_box(emcore_max_core(&g));
     });
-    group.finish();
+    report("CoreApp/edge", 5, || {
+        std::hint::black_box(core_app(&g, &Pattern::edge()));
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_approx_family, bench_emcore_vs_core_app, bench_flat_degrees_defeat_pruning
-}
-criterion_main!(benches);

@@ -1,58 +1,51 @@
-//! Criterion bench: kClist clique listing and the Appendix-D specialized
-//! pattern-degree paths vs generic enumeration.
+//! Bench: kClist clique listing and the Appendix-D specialized
+//! pattern-degree paths vs generic enumeration. Plain `Instant`-timed
+//! harness — no criterion offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_bench::util::report;
 use dsd_datasets::chung_lu;
 use dsd_graph::VertexSet;
 use dsd_motif::{clique_degrees, count_cliques, pattern_enum, special, Pattern};
 
-fn bench_clique_listing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kclist_count");
+fn main() {
+    println!("== kclist_count ==");
     let g = chung_lu::chung_lu(5_000, 20_000, 2.4, 3);
     for h in [3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
-            b.iter(|| count_cliques(&g, h))
+        report(&format!("h={h}"), 10, || {
+            std::hint::black_box(count_cliques(&g, h));
         });
     }
-    group.finish();
-}
 
-fn bench_clique_degrees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clique_degrees");
-    let g = chung_lu::chung_lu(5_000, 20_000, 2.4, 3);
+    println!("== clique_degrees ==");
     for h in [3usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
-            b.iter(|| clique_degrees(&g, h))
+        report(&format!("h={h}"), 10, || {
+            std::hint::black_box(clique_degrees(&g, h));
         });
     }
-    group.finish();
-}
 
-fn bench_specialized_vs_generic(c: &mut Criterion) {
     // Appendix D's point: closed-form star/diamond degrees beat generic
     // subgraph enumeration by orders of magnitude.
-    let mut group = c.benchmark_group("pattern_degrees");
+    println!("== pattern_degrees ==");
     let g = chung_lu::chung_lu(1_200, 4_000, 2.4, 5);
     let alive = VertexSet::full(g.num_vertices());
-
-    group.bench_function("2-star/specialized", |b| {
-        b.iter(|| special::star_degrees(&g, 2, &alive))
+    report("2-star/specialized", 10, || {
+        std::hint::black_box(special::star_degrees(&g, 2, &alive));
     });
-    group.bench_function("2-star/generic", |b| {
-        b.iter(|| pattern_enum::pattern_degrees(&g, &Pattern::two_star(), &alive))
+    report("2-star/generic", 10, || {
+        std::hint::black_box(pattern_enum::pattern_degrees(
+            &g,
+            &Pattern::two_star(),
+            &alive,
+        ));
     });
-    group.bench_function("diamond/specialized", |b| {
-        b.iter(|| special::diamond_degrees(&g, &alive))
+    report("diamond/specialized", 10, || {
+        std::hint::black_box(special::diamond_degrees(&g, &alive));
     });
-    group.bench_function("diamond/generic", |b| {
-        b.iter(|| pattern_enum::pattern_degrees(&g, &Pattern::diamond(), &alive))
+    report("diamond/generic", 10, || {
+        std::hint::black_box(pattern_enum::pattern_degrees(
+            &g,
+            &Pattern::diamond(),
+            &alive,
+        ));
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_clique_listing, bench_clique_degrees, bench_specialized_vs_generic
-}
-criterion_main!(benches);

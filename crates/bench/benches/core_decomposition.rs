@@ -1,73 +1,58 @@
-//! Criterion bench: (k, Ψ)-core decomposition (Algorithm 3) across Ψ and
-//! graph families — the substrate cost Table 3 accounts inside CoreExact.
+//! Bench: (k, Ψ)-core decomposition (Algorithm 3) across Ψ and graph
+//! families — the substrate cost Table 3 accounts inside CoreExact and the
+//! cost the `DsdEngine` cache amortizes. Plain `Instant`-timed harness —
+//! no criterion offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_bench::util::report;
 use dsd_core::{decompose, k_core_decomposition, nucleus_decomposition, oracle_for};
 use dsd_datasets::{chung_lu, er};
 use dsd_motif::Pattern;
 
-fn bench_classical_kcore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classical_kcore");
+fn main() {
+    println!("== classical_kcore ==");
     for n in [1_000usize, 5_000] {
         let g = chung_lu::chung_lu(n, n * 3, 2.5, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| k_core_decomposition(g))
+        report(&format!("n={n}"), 10, || {
+            std::hint::black_box(k_core_decomposition(&g));
         });
     }
-    group.finish();
-}
 
-fn bench_clique_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clique_core_decomposition");
+    println!("== clique_core_decomposition ==");
     let g = chung_lu::chung_lu(2_000, 6_000, 2.5, 7);
     for h in [2usize, 3, 4] {
         let oracle = oracle_for(&Pattern::clique(h));
-        group.bench_with_input(BenchmarkId::new("chung_lu", h), &h, |b, _| {
-            b.iter(|| decompose(&g, oracle.as_ref()))
+        report(&format!("chung_lu/h={h}"), 10, || {
+            std::hint::black_box(decompose(&g, oracle.as_ref()));
         });
     }
     let flat = er::er(2_000, 0.003, 7);
     for h in [2usize, 3] {
         let oracle = oracle_for(&Pattern::clique(h));
-        group.bench_with_input(BenchmarkId::new("er", h), &h, |b, _| {
-            b.iter(|| decompose(&flat, oracle.as_ref()))
+        report(&format!("er/h={h}"), 10, || {
+            std::hint::black_box(decompose(&flat, oracle.as_ref()));
         });
     }
-    group.finish();
-}
 
-fn bench_pattern_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pattern_core_decomposition");
+    println!("== pattern_core_decomposition ==");
     let g = chung_lu::chung_lu(800, 2_400, 2.5, 9);
     for psi in [Pattern::two_star(), Pattern::diamond(), Pattern::c3_star()] {
         let oracle = oracle_for(&psi);
-        group.bench_function(psi.name().to_string(), |b| {
-            b.iter(|| decompose(&g, oracle.as_ref()))
+        report(psi.name(), 10, || {
+            std::hint::black_box(decompose(&g, oracle.as_ref()));
         });
     }
-    group.finish();
-}
 
-fn bench_nucleus_vs_peel(c: &mut Criterion) {
     // The Figure-8 observation: our peel decomposition beats the local
     // nucleus (AND) iteration for computing the same core numbers.
-    let mut group = c.benchmark_group("nucleus_vs_peel");
+    println!("== nucleus_vs_peel ==");
     let g = chung_lu::chung_lu(1_500, 4_500, 2.5, 11);
     for h in [2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("nucleus", h), &h, |b, &h| {
-            b.iter(|| nucleus_decomposition(&g, h))
+        report(&format!("nucleus/h={h}"), 10, || {
+            std::hint::black_box(nucleus_decomposition(&g, h));
         });
         let oracle = oracle_for(&Pattern::clique(h));
-        group.bench_with_input(BenchmarkId::new("peel", h), &h, |b, _| {
-            b.iter(|| decompose(&g, oracle.as_ref()))
+        report(&format!("peel/h={h}"), 10, || {
+            std::hint::black_box(decompose(&g, oracle.as_ref()));
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_classical_kcore, bench_clique_core, bench_pattern_core, bench_nucleus_vs_peel
-}
-criterion_main!(benches);

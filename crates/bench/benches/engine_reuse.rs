@@ -1,0 +1,124 @@
+//! Bench: the `DsdEngine` substrate-reuse win — the ISSUE-1 acceptance
+//! benchmark. A repeated-query workload (same Ψ, 10 requests against one
+//! engine) must be ≥ 2× faster than 10 cold free-function calls, from
+//! substrate reuse alone.
+//!
+//! Run with: `cargo bench -p dsd-bench --bench engine_reuse`
+
+use std::time::Instant;
+
+use dsd_core::{
+    core_exact, densest_at_least_k, densest_subgraph, peel_app, top_k_densest, DsdEngine, Method,
+    Objective,
+};
+use dsd_datasets::chung_lu;
+use dsd_graph::Graph;
+use dsd_motif::Pattern;
+
+const REPEATS: usize = 10;
+
+/// The 10-request mix: exact once in full and once top-k, the rest the
+/// kind of approximate/constrained probes a serving workload issues.
+#[derive(Clone, Copy)]
+enum Req {
+    Method(Method),
+    AtLeastK(usize),
+    TopK(usize),
+}
+
+const WORKLOAD: [Req; REPEATS] = [
+    Req::Method(Method::CoreExact),
+    Req::Method(Method::PeelApp),
+    Req::AtLeastK(16),
+    Req::Method(Method::IncApp),
+    Req::Method(Method::PeelApp),
+    Req::AtLeastK(64),
+    Req::Method(Method::IncApp),
+    Req::TopK(2),
+    Req::Method(Method::PeelApp),
+    Req::AtLeastK(32),
+];
+
+fn workload_cold(g: &Graph, psi: &Pattern) -> f64 {
+    // 10 independent free-function calls: every one re-derives the
+    // (k, Ψ)-core decomposition from scratch.
+    let mut acc = 0.0;
+    for req in WORKLOAD {
+        acc += match req {
+            Req::Method(Method::CoreExact) => core_exact(g, psi).0.density,
+            Req::Method(Method::PeelApp) => peel_app(g, psi).density,
+            Req::Method(m) => densest_subgraph(g, psi, m).density,
+            Req::AtLeastK(k) => densest_at_least_k(g, psi, k)
+                .map(|r| r.density)
+                .unwrap_or(0.0),
+            Req::TopK(k) => top_k_densest(g, psi, k)
+                .first()
+                .map(|r| r.density)
+                .unwrap_or(0.0),
+        };
+    }
+    acc
+}
+
+fn workload_warm(engine: &DsdEngine<'_>, psi: &Pattern) -> f64 {
+    // The same 10 requests against one engine: the decomposition is built
+    // by the first request and reused by the other nine.
+    let mut acc = 0.0;
+    for req in WORKLOAD {
+        let request = engine.request(psi);
+        let solution = match req {
+            Req::Method(m) => request.method(m).solve(),
+            Req::AtLeastK(k) => request.objective(Objective::AtLeastK(k)).solve(),
+            Req::TopK(k) => request.objective(Objective::TopK(k)).solve(),
+        };
+        acc += solution.density;
+    }
+    acc
+}
+
+fn main() {
+    let g = chung_lu::chung_lu(6_000, 24_000, 2.4, 77);
+    let psi = Pattern::clique(4);
+    println!(
+        "repeated-query workload: {} requests, Ψ = {}, graph n={} m={}",
+        REPEATS,
+        psi.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let t = Instant::now();
+    let cold_sum = workload_cold(&g, &psi);
+    let cold = t.elapsed();
+
+    let engine = DsdEngine::over(&g);
+    let t = Instant::now();
+    let warm_sum = workload_warm(&engine, &psi);
+    let warm = t.elapsed();
+
+    assert!(
+        (cold_sum - warm_sum).abs() < 1e-9,
+        "warm engine changed an answer: {cold_sum} vs {warm_sum}"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.decomposition_builds, 1,
+        "one substrate build expected"
+    );
+    assert_eq!(stats.decomposition_hits, REPEATS - 1);
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64();
+    println!(
+        "cold (free functions): {:>9.3} ms",
+        cold.as_secs_f64() * 1e3
+    );
+    println!(
+        "warm (one DsdEngine):  {:>9.3} ms",
+        warm.as_secs_f64() * 1e3
+    );
+    println!("speedup: {speedup:.2}x (acceptance floor: 2x)");
+    assert!(
+        speedup >= 2.0,
+        "substrate reuse must be at least a 2x win, got {speedup:.2}x"
+    );
+}

@@ -1,28 +1,26 @@
-//! Criterion bench: `Exact` vs `CoreExact` — the Figure-8(a-e) headline in
-//! microbenchmark form, plus the Figure-10 pruning ablation.
+//! Bench: `Exact` vs `CoreExact` — the Figure-8(a-e) headline in
+//! microbenchmark form, plus the Figure-10 pruning ablation. Plain
+//! `Instant`-timed harness — no criterion offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_bench::util::report;
 use dsd_core::{core_exact, core_exact_with, exact, CoreExactConfig, FlowBackend};
 use dsd_datasets::chung_lu;
 use dsd_motif::Pattern;
 
-fn bench_exact_vs_core_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact_vs_core_exact");
+fn main() {
+    println!("== exact_vs_core_exact ==");
     let g = chung_lu::chung_lu(1_500, 5_000, 2.4, 31);
     for h in [2usize, 3] {
         let psi = Pattern::clique(h);
-        group.bench_with_input(BenchmarkId::new("Exact", h), &h, |b, _| {
-            b.iter(|| exact(&g, &psi, FlowBackend::Dinic))
+        report(&format!("Exact/h={h}"), 5, || {
+            std::hint::black_box(exact(&g, &psi, FlowBackend::Dinic));
         });
-        group.bench_with_input(BenchmarkId::new("CoreExact", h), &h, |b, _| {
-            b.iter(|| core_exact(&g, &psi))
+        report(&format!("CoreExact/h={h}"), 5, || {
+            std::hint::black_box(core_exact(&g, &psi));
         });
     }
-    group.finish();
-}
 
-fn bench_pruning_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core_exact_prunings");
+    println!("== core_exact_prunings ==");
     let g = chung_lu::chung_lu(2_000, 7_000, 2.4, 32);
     let psi = Pattern::triangle();
     let variants = [
@@ -36,16 +34,10 @@ fn bench_pruning_ablation(c: &mut Criterion) {
             pruning1: p1,
             pruning2: p2,
             pruning3: p3,
-            backend: FlowBackend::Dinic,
+            ..CoreExactConfig::default()
         };
-        group.bench_function(name, |b| b.iter(|| core_exact_with(&g, &psi, config)));
+        report(name, 5, || {
+            std::hint::black_box(core_exact_with(&g, &psi, config));
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_exact_vs_core_exact, bench_pruning_ablation
-}
-criterion_main!(benches);

@@ -1,62 +1,42 @@
-//! Criterion bench: Dinic vs push-relabel on the paper's density-decision
-//! networks (the DESIGN.md backend ablation).
+//! Bench: Dinic vs push-relabel on the paper's density-decision networks
+//! (the DESIGN.md backend ablation). Plain `Instant`-timed harness — the
+//! container has no crates.io access, so no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_bench::util::report;
 use dsd_core::flownet::{build_clique_network, build_edge_network, FlowBackend};
 use dsd_datasets::chung_lu;
 use dsd_graph::VertexId;
 
-fn bench_edge_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("goldberg_network");
+fn main() {
+    println!("== goldberg_network ==");
     let g = chung_lu::chung_lu(3_000, 12_000, 2.4, 21);
     let members: Vec<VertexId> = g.vertices().collect();
     for backend in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
-        group.bench_function(format!("{backend:?}"), |b| {
-            b.iter_batched(
-                || build_edge_network(&g, &members),
-                |mut net| {
-                    // Mid-range guess: forces real augmentation work.
-                    std::hint::black_box(net.solve(2.0, backend));
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        report(&format!("{backend:?}"), 10, || {
+            // Rebuild per iteration: solve() mutates the flow state, and a
+            // mid-range guess forces real augmentation work.
+            let mut net = build_edge_network(&g, &members);
+            std::hint::black_box(net.solve(2.0, backend));
         });
     }
-    group.finish();
-}
 
-fn bench_clique_network(c: &mut Criterion) {
-    let mut group = c.benchmark_group("triangle_network");
+    println!("== triangle_network ==");
     let g = chung_lu::chung_lu(2_000, 8_000, 2.4, 22);
     let members: Vec<VertexId> = g.vertices().collect();
     for backend in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
-        group.bench_function(format!("{backend:?}"), |b| {
-            b.iter_batched(
-                || build_clique_network(&g, &members, 3),
-                |mut net| {
-                    std::hint::black_box(net.solve(0.5, backend));
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        report(&format!("{backend:?}"), 10, || {
+            let mut net = build_clique_network(&g, &members, 3);
+            std::hint::black_box(net.solve(0.5, backend));
         });
     }
-    group.finish();
-}
 
-fn bench_network_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network_construction");
+    println!("== network_construction ==");
     let g = chung_lu::chung_lu(2_000, 8_000, 2.4, 23);
     let members: Vec<VertexId> = g.vertices().collect();
-    group.bench_function("goldberg", |b| b.iter(|| build_edge_network(&g, &members)));
-    group.bench_function("triangle", |b| {
-        b.iter(|| build_clique_network(&g, &members, 3))
+    report("goldberg", 20, || {
+        std::hint::black_box(build_edge_network(&g, &members));
     });
-    group.finish();
+    report("triangle", 20, || {
+        std::hint::black_box(build_clique_network(&g, &members, 3));
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_edge_network, bench_clique_network, bench_network_construction
-}
-criterion_main!(benches);

@@ -1,69 +1,52 @@
-//! Criterion bench: pattern-densest-subgraph machinery (Figures 15–16 in
+//! Bench: pattern-densest-subgraph machinery (Figures 15–16 in
 //! microbenchmark form), including the construct+ grouping ablation.
+//! Plain `Instant`-timed harness — no criterion offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_bench::util::report;
 use dsd_core::flownet::{build_pattern_network, FlowBackend};
 use dsd_core::{core_exact, exact, peel_app};
 use dsd_datasets::chung_lu;
 use dsd_graph::VertexId;
 use dsd_motif::Pattern;
 
-fn bench_pattern_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pattern_exact");
+fn main() {
+    println!("== pattern_exact ==");
     let g = chung_lu::chung_lu(600, 1_800, 2.5, 51);
     for psi in [Pattern::two_star(), Pattern::diamond()] {
-        group.bench_function(format!("PExact/{}", psi.name()), |b| {
-            b.iter(|| exact(&g, &psi, FlowBackend::Dinic))
+        report(&format!("PExact/{}", psi.name()), 5, || {
+            std::hint::black_box(exact(&g, &psi, FlowBackend::Dinic));
         });
-        group.bench_function(format!("CorePExact/{}", psi.name()), |b| {
-            b.iter(|| core_exact(&g, &psi))
+        report(&format!("CorePExact/{}", psi.name()), 5, || {
+            std::hint::black_box(core_exact(&g, &psi));
         });
     }
-    group.finish();
-}
 
-fn bench_pattern_peel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pattern_peel");
+    println!("== pattern_peel ==");
     let g = chung_lu::chung_lu(1_000, 3_000, 2.5, 52);
     for psi in [Pattern::two_star(), Pattern::diamond(), Pattern::c3_star()] {
-        group.bench_function(psi.name().to_string(), |b| b.iter(|| peel_app(&g, &psi)));
+        report(psi.name(), 5, || {
+            std::hint::black_box(peel_app(&g, &psi));
+        });
     }
-    group.finish();
-}
 
-fn bench_grouping_ablation(c: &mut Criterion) {
     // Algorithm 7 (construct+) vs Algorithm 8 networks: grouping shrinks
     // the node count whenever instances share vertex sets.
-    let mut group = c.benchmark_group("construct_plus_ablation");
+    println!("== construct_plus_ablation ==");
     let g = chung_lu::chung_lu(800, 3_200, 2.4, 53);
     let members: Vec<VertexId> = g.vertices().collect();
     let psi = Pattern::diamond();
-    group.bench_function("ungrouped_build", |b| {
-        b.iter(|| build_pattern_network(&g, &members, &psi, false))
+    report("ungrouped_build", 10, || {
+        std::hint::black_box(build_pattern_network(&g, &members, &psi, false));
     });
-    group.bench_function("grouped_build", |b| {
-        b.iter(|| build_pattern_network(&g, &members, &psi, true))
+    report("grouped_build", 10, || {
+        std::hint::black_box(build_pattern_network(&g, &members, &psi, true));
     });
-    group.bench_function("ungrouped_solve", |b| {
-        b.iter_batched(
-            || build_pattern_network(&g, &members, &psi, false),
-            |mut net| std::hint::black_box(net.solve(0.5, FlowBackend::Dinic)),
-            criterion::BatchSize::LargeInput,
-        )
+    report("ungrouped_solve", 10, || {
+        let mut net = build_pattern_network(&g, &members, &psi, false);
+        std::hint::black_box(net.solve(0.5, FlowBackend::Dinic));
     });
-    group.bench_function("grouped_solve", |b| {
-        b.iter_batched(
-            || build_pattern_network(&g, &members, &psi, true),
-            |mut net| std::hint::black_box(net.solve(0.5, FlowBackend::Dinic)),
-            criterion::BatchSize::LargeInput,
-        )
+    report("grouped_solve", 10, || {
+        let mut net = build_pattern_network(&g, &members, &psi, true);
+        std::hint::black_box(net.solve(0.5, FlowBackend::Dinic));
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pattern_exact, bench_pattern_peel, bench_grouping_ablation
-}
-criterion_main!(benches);

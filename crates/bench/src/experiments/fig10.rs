@@ -13,6 +13,7 @@ fn config(p1: bool, p2: bool, p3: bool) -> CoreExactConfig {
         pruning2: p2,
         pruning3: p3,
         backend: FlowBackend::Dinic,
+        ..CoreExactConfig::default()
     }
 }
 

@@ -17,7 +17,10 @@ fn graphs(quick: bool) -> Vec<(&'static str, Graph)> {
         vec![
             ("SSCA", ssca::ssca(3_000, 12, 1.5, 11)),
             ("ER", er::er(3_000, 0.004, 12)),
-            ("R-MAT", rmat::rmat(11, 18_000, rmat::RmatParams::default(), 13)),
+            (
+                "R-MAT",
+                rmat::rmat(11, 18_000, rmat::RmatParams::default(), 13),
+            ),
         ]
     } else {
         vec![
@@ -90,7 +93,16 @@ pub fn run_approx(quick: bool) {
     }
     print_table(
         "Figure 14: approximation CDS on random graphs (seconds)",
-        &["dataset", "Ψ", "PeelApp", "IncApp", "CoreApp", "core size/n", "ρ̃"].map(String::from),
+        &[
+            "dataset",
+            "Ψ",
+            "PeelApp",
+            "IncApp",
+            "CoreApp",
+            "core size/n",
+            "ρ̃",
+        ]
+        .map(String::from),
         &rows,
     );
 }

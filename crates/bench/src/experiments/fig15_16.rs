@@ -40,7 +40,11 @@ pub fn run_exact(quick: bool) {
     } else {
         Pattern::figure7()
     };
-    let names = if quick { vec!["As-733"] } else { vec!["As-733", "Ca-HepTh"] };
+    let names = if quick {
+        vec!["As-733"]
+    } else {
+        vec!["As-733", "Ca-HepTh"]
+    };
     for name in names {
         let d = dataset(name).expect("registry dataset");
         let g = d.generate();
@@ -84,14 +88,23 @@ pub fn run_approx(quick: bool) {
     } else {
         Pattern::figure7()
     };
-    let names = if quick { vec!["DBLP"] } else { vec!["DBLP", "Cit-Patents"] };
+    let names = if quick {
+        vec!["DBLP"]
+    } else {
+        vec!["DBLP", "Cit-Patents"]
+    };
     for name in names {
         let d = dataset(name).expect("registry dataset");
         let g = d.generate();
         let mut rows = Vec::new();
         for psi in &patterns {
             if let Err(reason) = admit_approx(&g, psi) {
-                rows.push(vec![psi.name().into(), reason.clone(), reason.clone(), reason]);
+                rows.push(vec![
+                    psi.name().into(),
+                    reason.clone(),
+                    reason.clone(),
+                    reason,
+                ]);
                 continue;
             }
             let (peel_r, peel_t) = time(|| peel_app(&g, psi));

@@ -1,8 +1,10 @@
 //! Figures 17 and 21: the case studies, as harness subcommands (the
 //! runnable examples `community_detection` and `pattern_motifs` carry the
-//! same assertions; these print the memberships in table form).
+//! same assertions; these print the memberships in table form). Each case
+//! study runs against one `DsdEngine`, so the PDS and the top-k scan share
+//! the triangle substrates.
 
-use dsd_core::{core_exact, top_k_densest};
+use dsd_core::{DsdEngine, Method, Objective};
 use dsd_datasets::planted::{collaboration_network, ppi_like};
 use dsd_motif::Pattern;
 
@@ -14,9 +16,10 @@ pub fn run_fig17(_quick: bool) {
     let group_size = 8;
     let advisors = 3;
     let g = collaboration_network(groups, group_size, advisors, 12, 2024);
+    let engine = DsdEngine::new(g);
     let mut rows = Vec::new();
     for psi in [Pattern::triangle(), Pattern::two_star()] {
-        let (pds, _) = core_exact(&g, &psi);
+        let pds = engine.request(&psi).method(Method::CoreExact).solve();
         let in_groups = pds
             .vertices
             .iter()
@@ -26,8 +29,7 @@ pub fn run_fig17(_quick: bool) {
             .vertices
             .iter()
             .filter(|&&v| {
-                (v as usize) >= groups * group_size
-                    && (v as usize) < groups * group_size + advisors
+                (v as usize) >= groups * group_size && (v as usize) < groups * group_size + advisors
             })
             .count();
         rows.push(vec![
@@ -43,9 +45,15 @@ pub fn run_fig17(_quick: bool) {
         &["Ψ", "|PDS|", "ρopt", "group members", "advisor hubs"].map(String::from),
         &rows,
     );
-    // Top-3 disjoint triangle-dense groups (the paper's 'research groups').
-    let tops = top_k_densest(&g, &Pattern::triangle(), 3);
+    // Top-3 disjoint triangle-dense groups (the paper's 'research groups'),
+    // served from the warm triangle decomposition.
+    let tops = engine
+        .request(&Pattern::triangle())
+        .objective(Objective::TopK(3))
+        .solve();
+    assert!(tops.stats.substrate.decomposition_cache_hit);
     let rows2: Vec<Vec<String>> = tops
+        .subgraphs
         .iter()
         .enumerate()
         .map(|(i, t)| {
@@ -66,7 +74,7 @@ pub fn run_fig17(_quick: bool) {
 
 /// Figure 21: per-pattern PDS's of the PPI-like network.
 pub fn run_fig21(_quick: bool) {
-    let g = ppi_like(7);
+    let engine = DsdEngine::new(ppi_like(7));
     let module = |vs: &[u32]| -> &'static str {
         let count = |lo: u32, hi: u32| vs.iter().filter(|&&v| v >= lo && v < hi).count();
         let (c, b, s) = (count(0, 8), count(8, 24), count(24, 45));
@@ -86,7 +94,7 @@ pub fn run_fig21(_quick: bool) {
         Pattern::three_star(),
         Pattern::c3_star(),
     ] {
-        let (pds, _) = core_exact(&g, &psi);
+        let pds = engine.request(&psi).method(Method::CoreExact).solve();
         rows.push(vec![
             psi.name().to_string(),
             pds.len().to_string(),

@@ -37,7 +37,16 @@ pub fn run(quick: bool) {
     print_table(
         "Figure 18: dataset statistics (stand-ins; last column = paper size)",
         &[
-            "dataset", "n", "m", "#CCs", "diam≈", "α", "kmax", "tri-core", "scale", "paper n/m",
+            "dataset",
+            "n",
+            "m",
+            "#CCs",
+            "diam≈",
+            "α",
+            "kmax",
+            "tri-core",
+            "scale",
+            "paper n/m",
         ]
         .map(String::from),
         &rows,

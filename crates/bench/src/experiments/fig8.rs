@@ -9,7 +9,11 @@ use crate::util::{print_table, secs, time, ExactBudget};
 
 /// Figure 8(a–e): `Exact` vs `CoreExact` on the small real datasets.
 pub fn run_exact(quick: bool) {
-    let hs: Vec<usize> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let hs: Vec<usize> = if quick {
+        vec![2, 3, 4]
+    } else {
+        vec![2, 3, 4, 5, 6]
+    };
     let datasets: Vec<_> = all_datasets()
         .into_iter()
         .filter(|d| d.kind == DatasetKind::SmallReal)
@@ -98,7 +102,10 @@ pub fn run_approx(quick: bool) {
     }
     print_table(
         "Figure 8(f-j): approximation CDS algorithms (seconds)",
-        &["dataset", "Ψ", "Nucleus", "PeelApp", "IncApp", "CoreApp", "ρ̃"].map(String::from),
+        &[
+            "dataset", "Ψ", "Nucleus", "PeelApp", "IncApp", "CoreApp", "ρ̃",
+        ]
+        .map(String::from),
         &rows,
     );
 }

@@ -12,7 +12,11 @@ use crate::util::print_table;
 
 /// Runs the Figure-9 instrumentation.
 pub fn run(quick: bool) {
-    let hs: Vec<usize> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let hs: Vec<usize> = if quick {
+        vec![2, 3, 4]
+    } else {
+        vec![2, 3, 4, 5, 6]
+    };
     let names = if quick {
         vec!["Ca-HepTh"]
     } else {
@@ -44,7 +48,10 @@ pub fn run(quick: bool) {
         }
         print_table(
             &format!("Figure 9 ({name}): flow-network nodes per iteration"),
-            &["Ψ", "iter -1", "it0", "it1", "it2", "it3", "it4", "it5", "it6"].map(String::from),
+            &[
+                "Ψ", "iter -1", "it0", "it1", "it2", "it3", "it4", "it5", "it6",
+            ]
+            .map(String::from),
             &rows,
         );
     }

@@ -8,7 +8,11 @@ use crate::util::print_table;
 
 /// Runs the Table-3 measurement.
 pub fn run(quick: bool) {
-    let hs: Vec<usize> = if quick { vec![2, 3, 4] } else { vec![2, 3, 4, 5, 6] };
+    let hs: Vec<usize> = if quick {
+        vec![2, 3, 4]
+    } else {
+        vec![2, 3, 4, 5, 6]
+    };
     let names = if quick {
         vec!["As-733"]
     } else {

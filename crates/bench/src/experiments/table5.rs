@@ -1,8 +1,10 @@
 //! Table 5: edge-, clique-, and pattern-densities of the exact densest
 //! subgraphs, compared with the same densities measured *on the EDS* —
 //! showing that the CDS/PDS genuinely differs from the EDS.
+//!
+//! One `DsdEngine` per dataset serves the whole pattern menu.
 
-use dsd_core::{core_exact, density, oracle_for};
+use dsd_core::{density, oracle_for, DsdEngine, Method};
 use dsd_datasets::{dataset, planted};
 use dsd_graph::{Graph, VertexSet};
 use dsd_motif::Pattern;
@@ -38,13 +40,17 @@ pub fn run(quick: bool) {
 
     let mut rows = Vec::new();
     for (name, g) in datasets(quick) {
+        let engine = DsdEngine::new(g);
         // The EDS, fixed once per dataset.
-        let (eds, _) = core_exact(&g, &Pattern::edge());
-        let eds_set = VertexSet::from_members(g.num_vertices(), &eds.vertices);
+        let eds = engine
+            .request(&Pattern::edge())
+            .method(Method::CoreExact)
+            .solve();
+        let eds_set = VertexSet::from_members(engine.graph().num_vertices(), &eds.vertices);
         for psi in &psis {
-            let (opt, _) = core_exact(&g, psi);
+            let opt = engine.request(psi).method(Method::CoreExact).solve();
             let oracle = oracle_for(psi);
-            let on_eds = density(oracle.as_ref(), &g, &eds_set);
+            let on_eds = density(oracle.as_ref(), engine.graph(), &eds_set);
             assert!(
                 opt.density + 1e-7 >= on_eds,
                 "{name} {}: ρopt {} below EDS density {}",

@@ -1,0 +1,6 @@
+//! `dsd-bench` library: the experiment modules and shared harness
+//! utilities, exposed so the `[[bench]]` targets and the `dsd-bench`
+//! binary share one implementation.
+
+pub mod experiments;
+pub mod util;

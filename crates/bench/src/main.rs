@@ -13,12 +13,13 @@
 //! `fig16`, `fig17`, `fig18`, `fig20`, `fig21`. By default each runs in quick mode (reduced
 //! h-range / dataset subset); `--full` runs the complete grid.
 
-mod experiments;
-mod util;
-
 use std::process::ExitCode;
 
-const EXPERIMENTS: &[(&str, fn(bool))] = &[
+use dsd_bench::experiments;
+
+type Experiment = (&'static str, fn(bool));
+
+const EXPERIMENTS: &[Experiment] = &[
     ("fig8-exact", experiments::fig8::run_exact),
     ("fig8-approx", experiments::fig8::run_approx),
     ("fig9", experiments::fig9::run),

@@ -13,6 +13,18 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// Runs `f` `iters` times and prints the mean per-iteration time — the
+/// shared reporter for the `[[bench]]` harnesses (plain `Instant` timing;
+/// no criterion offline).
+pub fn report(name: &str, iters: usize, mut f: impl FnMut()) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<44} {ms:>10.3} ms/iter ({iters} iters)");
+}
+
 /// Formats a duration in seconds with 3 decimals.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
@@ -38,7 +50,10 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -10,11 +10,11 @@
 //! at which point the found core is provably the global one.
 
 use dsd_graph::{Graph, VertexId, VertexSet};
-use dsd_motif::pattern::{Pattern, PatternKind};
 use dsd_motif::binomial;
+use dsd_motif::pattern::{Pattern, PatternKind};
 
-use crate::clique_core::decompose;
-use crate::kcore::k_core_decomposition;
+use crate::clique_core::{decompose, CliqueCoreDecomposition};
+use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
@@ -31,8 +31,18 @@ pub struct ApproxResult {
 pub fn inc_app(g: &Graph, psi: &Pattern) -> ApproxResult {
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
+    inc_app_from(g, oracle.as_ref(), &dec)
+}
+
+/// [`inc_app`] against caller-provided (possibly warm) substrates: reads
+/// the (kmax, Ψ)-core straight out of the decomposition.
+pub fn inc_app_from(
+    g: &Graph,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> ApproxResult {
     let core = dec.max_core();
-    finish(g, oracle.as_ref(), core.to_vec(), dec.kmax)
+    finish(g, oracle, core.to_vec(), dec.kmax)
 }
 
 /// [`inc_app`] for h-cliques with the initial clique-degree pass — the
@@ -73,31 +83,61 @@ fn finish(
 /// * General patterns: γ = exact degree via enumeration (the same cost
 ///   PeelApp pays up front).
 pub fn gamma_bounds(g: &Graph, psi: &Pattern) -> Vec<u64> {
+    let oracle = oracle_for(psi);
+    gamma_bounds_from(g, psi, oracle.as_ref(), None)
+}
+
+/// [`gamma_bounds`] against caller-provided (possibly warm) substrates:
+/// the oracle for degree-based bounds and, for cliques, the classical
+/// k-core order (computed cold when absent).
+pub fn gamma_bounds_from(
+    g: &Graph,
+    psi: &Pattern,
+    oracle: &dyn DensityOracle,
+    kcore: Option<&KCoreDecomposition>,
+) -> Vec<u64> {
     match psi.kind() {
         PatternKind::Clique(h) => {
-            let cores = k_core_decomposition(g);
-            cores
-                .core
-                .iter()
-                .map(|&x| binomial(x as u64, h as u64 - 1))
-                .collect()
+            let gamma_of = |cores: &KCoreDecomposition| {
+                cores
+                    .core
+                    .iter()
+                    .map(|&x| binomial(x as u64, h as u64 - 1))
+                    .collect()
+            };
+            match kcore {
+                Some(cores) => gamma_of(cores),
+                None => gamma_of(&k_core_decomposition(g)),
+            }
         }
-        _ => {
-            let oracle = oracle_for(psi);
-            oracle.degrees(g, &VertexSet::full(g.num_vertices()))
-        }
+        _ => oracle.degrees(g, &VertexSet::full(g.num_vertices())),
     }
 }
 
+/// Default initial frontier size for [`core_app`]'s doubling schedule,
+/// shared with the engine so the free function stays a bit-identical shim.
+pub const CORE_APP_DEFAULT_SEED: usize = 64;
+
 /// Algorithm 6: top-down (kmax, Ψ)-core discovery with frontier doubling.
 pub fn core_app(g: &Graph, psi: &Pattern) -> ApproxResult {
-    core_app_with_seed(g, psi, 64)
+    core_app_with_seed(g, psi, CORE_APP_DEFAULT_SEED)
 }
 
 /// [`core_app`] with an explicit initial frontier size (the paper leaves
 /// the seed open; doubling makes total work a geometric series regardless).
 pub fn core_app_with_seed(g: &Graph, psi: &Pattern, seed: usize) -> ApproxResult {
     let oracle = oracle_for(psi);
+    core_app_from(g, psi, oracle.as_ref(), seed, None)
+}
+
+/// [`core_app`] against caller-provided (possibly warm) substrates.
+pub fn core_app_from(
+    g: &Graph,
+    psi: &Pattern,
+    oracle: &dyn DensityOracle,
+    seed: usize,
+    kcore: Option<&KCoreDecomposition>,
+) -> ApproxResult {
     let n = g.num_vertices();
     if n == 0 {
         return ApproxResult {
@@ -105,7 +145,7 @@ pub fn core_app_with_seed(g: &Graph, psi: &Pattern, seed: usize) -> ApproxResult
             kmax: 0,
         };
     }
-    let gamma = gamma_bounds(g, psi);
+    let gamma = gamma_bounds_from(g, psi, oracle, kcore);
     // Vertices sorted by γ descending (line 2).
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_unstable_by(|&a, &b| gamma[b as usize].cmp(&gamma[a as usize]));
@@ -128,8 +168,7 @@ pub fn core_app_with_seed(g: &Graph, psi: &Pattern, seed: usize) -> ApproxResult
         let mut k = kl.max(kmax).max(1);
         loop {
             // Cascade-remove everything of degree < k.
-            let mut queue: Vec<VertexId> =
-                alive.iter().filter(|&v| deg[v as usize] < k).collect();
+            let mut queue: Vec<VertexId> = alive.iter().filter(|&v| deg[v as usize] < k).collect();
             while let Some(v) = queue.pop() {
                 if !alive.contains(v) {
                     continue;
@@ -166,9 +205,9 @@ pub fn core_app_with_seed(g: &Graph, psi: &Pattern, seed: usize) -> ApproxResult
 
     if kmax == 0 {
         // The (0, Ψ)-core is the whole graph (density 0 either way).
-        return finish(g, oracle.as_ref(), g.vertices().collect(), 0);
+        return finish(g, oracle, g.vertices().collect(), 0);
     }
-    finish(g, oracle.as_ref(), s_star, kmax)
+    finish(g, oracle, s_star, kmax)
 }
 
 #[cfg(test)]

@@ -34,7 +34,8 @@ use crate::flownet::FlowBackend;
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
-/// Pruning/backend switches (Figure 10's P1/P2/P3 ablation).
+/// Pruning/backend switches (Figure 10's P1/P2/P3 ablation) plus the
+/// engine's per-request precision/budget knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct CoreExactConfig {
     /// Pruning1: locate via the densest residual graph ρ′.
@@ -45,6 +46,15 @@ pub struct CoreExactConfig {
     pub pruning3: bool,
     /// Max-flow backend for the min-cut probes.
     pub backend: FlowBackend,
+    /// Extra binary-search stopping tolerance on α (the effective gap is
+    /// `max(Lemma-12 gap, tolerance)`; `None` keeps the certified-exact
+    /// default).
+    pub tolerance: Option<f64>,
+    /// Cap on total min-cut probes across all components of one
+    /// CoreExact run; when exhausted the best subgraph found so far is
+    /// returned. Composite callers that run CoreExact repeatedly (the
+    /// top-k scan) apply the cap per round, not per request.
+    pub step_budget: Option<usize>,
 }
 
 impl Default for CoreExactConfig {
@@ -54,6 +64,8 @@ impl Default for CoreExactConfig {
             pruning2: true,
             pruning3: true,
             backend: FlowBackend::Dinic,
+            tolerance: None,
+            step_budget: None,
         }
     }
 }
@@ -101,23 +113,40 @@ fn density_of(oracle: &dyn DensityOracle, g: &Graph, vs: &[VertexId]) -> f64 {
 }
 
 /// Runs CoreExact (cliques) / CorePExact (general patterns) with the given
-/// configuration.
+/// configuration, building the substrates cold.
 pub fn core_exact_with(
     g: &Graph,
     psi: &Pattern,
     config: CoreExactConfig,
 ) -> (DsdResult, CoreExactStats) {
-    let t_total = Instant::now();
     let oracle = oracle_for(psi);
-    let size = psi.vertex_count() as f64;
-    let mut stats = CoreExactStats::default();
-
-    // Step 1: (k, Ψ)-core decomposition (Algorithm 3), tracking ρ′.
     let t_dec = Instant::now();
     let dec = decompose(g, oracle.as_ref());
-    stats.decomposition_nanos = t_dec.elapsed().as_nanos();
-    stats.kmax = dec.kmax;
-    stats.rho_prime = dec.best_density;
+    let dec_nanos = t_dec.elapsed().as_nanos();
+    let (result, mut stats) = core_exact_from(g, psi, config, oracle.as_ref(), &dec);
+    stats.decomposition_nanos = dec_nanos;
+    stats.total_nanos += dec_nanos;
+    (result, stats)
+}
+
+/// The flow/binary-search phase of CoreExact against caller-provided
+/// (possibly warm) substrates: the density oracle and the (k, Ψ)-core
+/// decomposition. `decomposition_nanos` is left at 0 — warm callers paid
+/// that cost on an earlier request.
+pub fn core_exact_from(
+    g: &Graph,
+    psi: &Pattern,
+    config: CoreExactConfig,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> (DsdResult, CoreExactStats) {
+    let t_total = Instant::now();
+    let size = psi.vertex_count() as f64;
+    let mut stats = CoreExactStats {
+        kmax: dec.kmax,
+        rho_prime: dec.best_density,
+        ..CoreExactStats::default()
+    };
 
     if dec.kmax == 0 {
         stats.total_nanos = t_total.elapsed().as_nanos();
@@ -132,7 +161,7 @@ pub fn core_exact_with(
     let mut best_rho: f64;
     {
         let core_vs = dec.max_core().to_vec();
-        let core_rho = density_of(oracle.as_ref(), g, &core_vs);
+        let core_rho = density_of(oracle, g, &core_vs);
         if config.pruning1 && dec.best_density > core_rho {
             best_vs = dec.best_residual();
             best_rho = dec.best_density;
@@ -156,7 +185,7 @@ pub fn core_exact_with(
         let mut rho2 = 0.0f64;
         let mut rho2_vs: Vec<VertexId> = Vec::new();
         for members in ccs.all_members() {
-            let rho = density_of(oracle.as_ref(), g, &members);
+            let rho = density_of(oracle, g, &members);
             if rho > rho2 {
                 rho2 = rho;
                 rho2_vs = members;
@@ -180,13 +209,18 @@ pub fn core_exact_with(
 
     // Step 3: per-component flow/binary search on shrinking networks.
     let u_global = dec.kmax as f64;
+    let budget = config.step_budget.unwrap_or(usize::MAX);
     let ccs = connected_components_within(g, &core_set);
     for mut comp in ccs.all_members() {
+        if stats.exact.iterations >= budget {
+            stats.exact.budget_exhausted = true;
+            break;
+        }
         // Line 6: if l has outgrown the located core level, shrink first.
         let mut comp_k = k_loc;
         let lk = ceil_k(l);
         if lk > comp_k {
-            comp = restrict_to_core(&comp, &dec, lk);
+            comp = restrict_to_core(&comp, dec, lk);
             comp_k = lk;
         }
         if comp.len() < psi.vertex_count() {
@@ -200,7 +234,7 @@ pub fn core_exact_with(
             None => continue,
             Some(w) => w,
         };
-        let rho_w = density_of(oracle.as_ref(), g, &first);
+        let rho_w = density_of(oracle, g, &first);
         if rho_w > best_rho {
             best_rho = rho_w;
             best_vs = first;
@@ -211,15 +245,20 @@ pub fn core_exact_with(
             density_gap(comp.len())
         } else {
             density_gap(g.num_vertices())
-        };
+        }
+        .max(config.tolerance.unwrap_or(0.0));
         while u - l >= gap {
+            if stats.exact.iterations >= budget {
+                stats.exact.budget_exhausted = true;
+                break;
+            }
             let alpha = (l + u) / 2.0;
             stats.exact.iterations += 1;
             stats.exact.network_nodes.push(net.num_nodes());
             match net.solve(alpha, config.backend) {
                 None => u = alpha,
                 Some(w) => {
-                    let rho_w = density_of(oracle.as_ref(), g, &w);
+                    let rho_w = density_of(oracle, g, &w);
                     if rho_w > best_rho {
                         best_rho = rho_w;
                         best_vs = w;
@@ -228,7 +267,7 @@ pub fn core_exact_with(
                     // component in a deeper core and rebuild smaller.
                     let ak = ceil_k(alpha);
                     if ak > comp_k {
-                        let shrunk = restrict_to_core(&comp, &dec, ak);
+                        let shrunk = restrict_to_core(&comp, dec, ak);
                         if shrunk.len() < comp.len() && shrunk.len() >= psi.vertex_count() {
                             comp = shrunk;
                             comp_k = ak;
@@ -330,7 +369,7 @@ mod tests {
                         pruning1: p1,
                         pruning2: p2,
                         pruning3: p3,
-                        backend: FlowBackend::Dinic,
+                        ..CoreExactConfig::default()
                     };
                     let (r, _) = core_exact_with(&g, &Pattern::triangle(), config);
                     assert!(
@@ -379,7 +418,11 @@ mod tests {
         let g = Graph::from_edges(60, &edges);
         let (r, stats) = core_exact(&g, &Pattern::triangle());
         assert_eq!(r.vertices, vec![0, 1, 2, 3, 4, 5]);
-        assert!(stats.located_size <= 8, "located {} vertices", stats.located_size);
+        assert!(
+            stats.located_size <= 8,
+            "located {} vertices",
+            stats.located_size
+        );
         // Every recorded network is far smaller than a whole-graph build.
         let (_, full_stats) = exact(&g, &Pattern::triangle(), FlowBackend::Dinic);
         let full = full_stats.network_nodes[0];

@@ -35,7 +35,7 @@ pub fn emcore_max_core_with_block(g: &Graph, block: usize) -> ApproxResult {
         };
     }
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
-    order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)));
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
 
     let mut w_len = block.clamp(1, n);
     let mut kmax = 0u32;

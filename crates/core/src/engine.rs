@@ -1,0 +1,741 @@
+//! `DsdEngine`: a long-lived, cache-reusing query engine over one graph.
+//!
+//! The paper frames CDS/PDS discovery as a *query workload*: the same graph
+//! is probed repeatedly with different patterns Ψ, objectives, and methods.
+//! Every algorithm in this crate leans on one of three expensive substrates:
+//!
+//! * the **density oracle** for Ψ (which for general patterns materializes
+//!   the full instance list once — Algorithm 7's `construct+` precondition);
+//! * the **(k, Ψ)-core decomposition** (Algorithm 3) — the dominant cost of
+//!   `CoreExact`, `PeelApp`, `IncApp`, DalkS and DamkS alike;
+//! * the **classical k-core order** — the γ bounds of `CoreApp`
+//!   (Algorithm 6) and the Section-6.3 query variant's locator.
+//!
+//! The engine owns the graph and memoizes all three, keyed by Ψ, so a
+//! request workload pays each substrate once instead of once per call. The
+//! free functions (`densest_subgraph` & co.) remain as thin shims that spin
+//! up a throwaway engine per call.
+//!
+//! The engine is deliberately single-threaded for now (`Rc` + `RefCell`
+//! caches, so `DsdEngine` is `!Send`/`!Sync`): per-core engines over a
+//! shared graph are the intended deployment shape until the planned async
+//! serving layer swaps the cache to `Arc`/`RwLock` and adds `Send + Sync`
+//! bounds to the oracle objects.
+//!
+//! ```
+//! use dsd_core::engine::{DsdEngine, Objective};
+//! use dsd_core::Method;
+//! use dsd_graph::Graph;
+//! use dsd_motif::Pattern;
+//!
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! let engine = DsdEngine::new(g);
+//! let psi = Pattern::triangle();
+//!
+//! // First request builds the (k, Ψ)-core decomposition...
+//! let cds = engine.request(&psi).method(Method::CoreExact).solve();
+//! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
+//!
+//! // ...which every later request with the same Ψ reuses.
+//! let top2 = engine.request(&psi).objective(Objective::TopK(2)).solve();
+//! assert!(top2.stats.substrate.decomposition_cache_hit);
+//! ```
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+use dsd_graph::{Graph, VertexId};
+use dsd_motif::Pattern;
+
+use crate::approx::{core_app_from, inc_app_from};
+use crate::clique_core::{decompose, CliqueCoreDecomposition};
+use crate::core_exact::{core_exact_from, CoreExactConfig};
+use crate::exact::{exact_with, ExactOpts};
+use crate::flownet::FlowBackend;
+use crate::kcore::{k_core_decomposition, KCoreDecomposition};
+use crate::oracle::{oracle_for, DensityOracle};
+use crate::peel::peel_app_from;
+use crate::query::densest_with_query_from;
+use crate::size_constrained::{densest_at_least_k_from, densest_at_most_k_from};
+use crate::top_k::top_k_densest_from;
+use crate::types::DsdResult;
+use crate::Method;
+
+/// What a request asks for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// The densest subgraph (the paper's CDS/PDS problem).
+    Densest,
+    /// Up to `k` vertex-disjoint densest subgraphs, densest first.
+    TopK(usize),
+    /// Densest subgraph with at least `k` vertices (DalkS).
+    AtLeastK(usize),
+    /// Densest subgraph with at most `k` vertices (DamkS, heuristic).
+    AtMostK(usize),
+    /// Densest edge-density subgraph containing every listed vertex
+    /// (Section 6.3's query variant; Ψ is ignored — the variant is
+    /// defined for edge density).
+    WithQuery(Vec<VertexId>),
+}
+
+/// How a request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A non-empty subgraph was found.
+    Found,
+    /// The request was valid but the graph has no Ψ instance (density 0).
+    Empty,
+    /// The request itself was unsatisfiable (out-of-range query vertices,
+    /// `k = 0`, `k` above the vertex count, ...).
+    Invalid,
+}
+
+/// The quality certificate attached to a [`Solution`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Guarantee {
+    /// Certified optimal for the requested objective.
+    Exact,
+    /// Density within the given multiplicative factor of optimal
+    /// (`1/|VΨ|` for the core approximations, `1/3` for DalkS on edges).
+    Ratio(f64),
+    /// Binary search stopped at the requested α tolerance: the density is
+    /// within this additive gap of optimal.
+    AdditiveGap(f64),
+    /// No guarantee (DamkS, or a step budget cut the search short).
+    Heuristic,
+}
+
+/// Which substrates a request reused vs built.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubstrateUse {
+    /// The Ψ density oracle came out of the engine cache.
+    pub oracle_cache_hit: bool,
+    /// The (k, Ψ)-core decomposition came out of the engine cache.
+    pub decomposition_cache_hit: bool,
+    /// The classical k-core order came out of the engine cache (`false`
+    /// also when the method never needed it).
+    pub kcore_cache_hit: bool,
+}
+
+/// Always-populated instrumentation carried by every [`Solution`].
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    /// Total wall time of the request.
+    pub total_nanos: u128,
+    /// Wall time this request spent building the (k, Ψ)-core
+    /// decomposition (0 on a cache hit).
+    pub decomposition_nanos: u128,
+    /// Min-cut probes performed. Populated for `Densest` via
+    /// Exact/CoreExact; 0 for the probe-free peel/core methods and for
+    /// objectives that don't surface per-probe accounting (top-k and the
+    /// query variant track time only).
+    pub flow_iterations: usize,
+    /// Flow-network node count at each probe (the Figure-9 series).
+    pub network_nodes: Vec<usize>,
+    /// kmax of the (k, Ψ)-core decomposition, when one was consulted.
+    pub kmax: Option<u64>,
+    /// Substrate cache accounting.
+    pub substrate: SubstrateUse,
+}
+
+/// The one result shape every objective/method path returns.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Sorted member vertices of the (best) reported subgraph.
+    pub vertices: Vec<VertexId>,
+    /// Ψ-density of the (best) reported subgraph.
+    pub density: f64,
+    /// Every reported subgraph: one entry for scalar objectives, up to `k`
+    /// for [`Objective::TopK`], empty when nothing was found.
+    pub subgraphs: Vec<DsdResult>,
+    /// The method that actually ran (never [`Method::Auto`]).
+    pub method: Method,
+    /// The objective the request asked for.
+    pub objective: Objective,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// The quality certificate for `density`.
+    pub guarantee: Guarantee,
+    /// Instrumentation (always populated).
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// The best subgraph as the legacy [`DsdResult`] shape.
+    pub fn to_result(&self) -> DsdResult {
+        DsdResult {
+            vertices: self.vertices.clone(),
+            density: self.density,
+        }
+    }
+
+    /// Number of member vertices of the best subgraph.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether no subgraph was found.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Cumulative substrate-cache counters for one engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCacheStats {
+    /// Ψ-oracle cache hits / builds.
+    pub oracle_hits: usize,
+    /// Ψ-oracle cold builds.
+    pub oracle_builds: usize,
+    /// (k, Ψ)-core decomposition cache hits.
+    pub decomposition_hits: usize,
+    /// (k, Ψ)-core decomposition cold builds.
+    pub decomposition_builds: usize,
+    /// Classical k-core cache hits.
+    pub kcore_hits: usize,
+    /// Classical k-core cold builds.
+    pub kcore_builds: usize,
+}
+
+/// Cache key for a pattern: vertex count + canonical edge list. Isomorphic
+/// patterns with different labelings hash apart, which costs a duplicate
+/// substrate but never correctness.
+type PatternKey = (usize, Vec<(u8, u8)>);
+
+fn pattern_key(psi: &Pattern) -> PatternKey {
+    (psi.vertex_count(), psi.edges().to_vec())
+}
+
+/// `(substrate, cache_hit)` pair.
+type Cached<T> = (T, bool);
+
+/// Result of a decomposition lookup: the oracle, the decomposition (each
+/// with its cache-hit flag), and the build time this call paid (0 on hit).
+type DecompositionLookup = (
+    Cached<Rc<dyn DensityOracle>>,
+    Cached<Rc<CliqueCoreDecomposition>>,
+    u128,
+);
+
+#[derive(Default)]
+struct SubstrateCache {
+    oracles: HashMap<PatternKey, Rc<dyn DensityOracle>>,
+    decompositions: HashMap<PatternKey, Rc<CliqueCoreDecomposition>>,
+    kcore: Option<Rc<KCoreDecomposition>>,
+}
+
+/// A long-lived query engine owning one graph plus its memoized substrates.
+///
+/// Construction is free — substrates are built lazily on first use and
+/// reused by every later request (see the module docs for an example).
+/// The lifetime parameter supports zero-copy engines over borrowed graphs
+/// ([`DsdEngine::over`]); owning engines are `DsdEngine<'static>`.
+pub struct DsdEngine<'g> {
+    graph: Cow<'g, Graph>,
+    cache: RefCell<SubstrateCache>,
+    counters: RefCell<EngineCacheStats>,
+}
+
+impl DsdEngine<'static> {
+    /// An engine that owns its graph — the shape to use for serving.
+    pub fn new(graph: Graph) -> Self {
+        DsdEngine {
+            graph: Cow::Owned(graph),
+            cache: RefCell::new(SubstrateCache::default()),
+            counters: RefCell::new(EngineCacheStats::default()),
+        }
+    }
+}
+
+impl<'g> DsdEngine<'g> {
+    /// A zero-copy engine over a borrowed graph — what the free-function
+    /// shims use.
+    pub fn over(graph: &'g Graph) -> Self {
+        DsdEngine {
+            graph: Cow::Borrowed(graph),
+            cache: RefCell::new(SubstrateCache::default()),
+            counters: RefCell::new(EngineCacheStats::default()),
+        }
+    }
+
+    /// The engine's graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Cumulative cache accounting across all requests so far.
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        *self.counters.borrow()
+    }
+
+    /// Starts building a request for pattern Ψ (defaults: Densest,
+    /// `Method::Auto`, Dinic backend, exact tolerance, no step budget).
+    pub fn request(&self, psi: &Pattern) -> DsdRequest<'_, 'g> {
+        DsdRequest {
+            engine: self,
+            psi: psi.clone(),
+            objective: Objective::Densest,
+            method: Method::Auto,
+            backend: FlowBackend::Dinic,
+            tolerance: None,
+            step_budget: None,
+        }
+    }
+
+    /// Pre-builds the Ψ substrates (oracle + decomposition), so later
+    /// requests are served warm. Returns the decomposition build time in
+    /// nanoseconds (0 when it was already cached).
+    pub fn warm(&self, psi: &Pattern) -> u128 {
+        let (_, _, nanos) = self.decomposition(psi);
+        nanos
+    }
+
+    /// The memoized density oracle for Ψ. The bool reports a cache hit.
+    fn oracle(&self, psi: &Pattern) -> Cached<Rc<dyn DensityOracle>> {
+        let key = pattern_key(psi);
+        if let Some(oracle) = self.cache.borrow().oracles.get(&key) {
+            self.counters.borrow_mut().oracle_hits += 1;
+            return (Rc::clone(oracle), true);
+        }
+        let oracle: Rc<dyn DensityOracle> = Rc::from(oracle_for(psi));
+        self.cache
+            .borrow_mut()
+            .oracles
+            .insert(key, Rc::clone(&oracle));
+        self.counters.borrow_mut().oracle_builds += 1;
+        (oracle, false)
+    }
+
+    /// The memoized (k, Ψ)-core decomposition plus its oracle. The u128 is
+    /// the decomposition build time paid by *this* call (0 on a hit).
+    fn decomposition(&self, psi: &Pattern) -> DecompositionLookup {
+        let (oracle, oracle_hit) = self.oracle(psi);
+        let key = pattern_key(psi);
+        if let Some(dec) = self.cache.borrow().decompositions.get(&key) {
+            self.counters.borrow_mut().decomposition_hits += 1;
+            return ((oracle, oracle_hit), (Rc::clone(dec), true), 0);
+        }
+        let t = Instant::now();
+        let dec = Rc::new(decompose(self.graph(), oracle.as_ref()));
+        let nanos = t.elapsed().as_nanos();
+        self.cache
+            .borrow_mut()
+            .decompositions
+            .insert(key, Rc::clone(&dec));
+        self.counters.borrow_mut().decomposition_builds += 1;
+        ((oracle, oracle_hit), (dec, false), nanos)
+    }
+
+    /// The memoized classical k-core order. The bool reports a cache hit.
+    fn kcore(&self) -> (Rc<KCoreDecomposition>, bool) {
+        if let Some(kc) = &self.cache.borrow().kcore {
+            self.counters.borrow_mut().kcore_hits += 1;
+            return (Rc::clone(kc), true);
+        }
+        let kc = Rc::new(k_core_decomposition(self.graph()));
+        self.cache.borrow_mut().kcore = Some(Rc::clone(&kc));
+        self.counters.borrow_mut().kcore_builds += 1;
+        (kc, false)
+    }
+
+    /// `Method::Auto`'s cost-based selector.
+    ///
+    /// Every candidate it can pick preserves the `1/|VΨ|` approximation
+    /// guarantee (exact methods trivially, the core family by Lemma 8):
+    ///
+    /// * warm decomposition → `CoreExact` when the located core is small
+    ///   enough for cheap flow probes, else `PeelApp` (which is free given
+    ///   the decomposition);
+    /// * cold + small graph → `CoreExact`;
+    /// * cold + large graph → `CoreApp` (top-down, avoids the full
+    ///   decomposition the exact path would have to pay).
+    fn auto_method(&self, psi: &Pattern) -> Method {
+        /// Located-core size above which warm flow probes are judged too
+        /// expensive for an auto-selected request.
+        const WARM_FLOW_VERTEX_CAP: usize = 20_000;
+        /// Cold-start work bound: edges × pattern size as a proxy for the
+        /// enumeration + decomposition cost of the exact path.
+        const COLD_EXACT_WORK_CAP: usize = 1_000_000;
+
+        let key = pattern_key(psi);
+        let cached: Option<Rc<CliqueCoreDecomposition>> =
+            self.cache.borrow().decompositions.get(&key).cloned();
+        if let Some(dec) = cached {
+            if dec.kmax == 0 {
+                return Method::PeelApp;
+            }
+            // Same location rule CoreExact itself applies (Lemma 7 on the
+            // Pruning1 lower bound), via the shared bounds helpers.
+            let bounds = crate::bounds::density_bounds(&dec, psi.vertex_count(), true);
+            let k_loc = bounds.locate_k.max(1);
+            let located = dec.core_set(k_loc).len();
+            if located <= WARM_FLOW_VERTEX_CAP {
+                Method::CoreExact
+            } else {
+                Method::PeelApp
+            }
+        } else if self.graph().num_edges().saturating_mul(psi.vertex_count()) <= COLD_EXACT_WORK_CAP
+        {
+            Method::CoreExact
+        } else {
+            Method::CoreApp
+        }
+    }
+
+    fn solve(&self, req: DsdRequest<'_, 'g>) -> Solution {
+        let t0 = Instant::now();
+        let objective = req.objective.clone();
+        let mut solution = match &req.objective {
+            Objective::Densest => self.solve_densest(&req),
+            Objective::TopK(k) => self.solve_top_k(&req, *k),
+            Objective::AtLeastK(k) => self.solve_at_least_k(&req, *k),
+            Objective::AtMostK(k) => self.solve_at_most_k(&req, *k),
+            Objective::WithQuery(query) => self.solve_with_query(&req, query.clone()),
+        };
+        solution.objective = objective;
+        solution.stats.total_nanos = t0.elapsed().as_nanos();
+        solution
+    }
+
+    fn solve_densest(&self, req: &DsdRequest<'_, 'g>) -> Solution {
+        let g = self.graph();
+        let psi = &req.psi;
+        let method = match req.method {
+            Method::Auto => self.auto_method(psi),
+            m => m,
+        };
+        let mut stats = SolveStats::default();
+        let ratio = 1.0 / psi.vertex_count() as f64;
+
+        let (result, guarantee) = match method {
+            Method::Exact => {
+                let (oracle, oracle_hit) = self.oracle(psi);
+                stats.substrate.oracle_cache_hit = oracle_hit;
+                let opts = ExactOpts {
+                    backend: req.backend,
+                    tolerance: req.tolerance,
+                    step_budget: req.step_budget,
+                };
+                let (r, es) = exact_with(g, psi, oracle.as_ref(), opts);
+                stats.flow_iterations = es.iterations;
+                stats.network_nodes = es.network_nodes;
+                let guarantee = exact_guarantee(es.budget_exhausted, req.tolerance);
+                (r, guarantee)
+            }
+            Method::CoreExact => {
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                stats.substrate.oracle_cache_hit = oracle_hit;
+                stats.substrate.decomposition_cache_hit = dec_hit;
+                stats.decomposition_nanos = dec_nanos;
+                stats.kmax = Some(dec.kmax);
+                let config = CoreExactConfig {
+                    backend: req.backend,
+                    tolerance: req.tolerance,
+                    step_budget: req.step_budget,
+                    ..CoreExactConfig::default()
+                };
+                let (r, ces) = core_exact_from(g, psi, config, oracle.as_ref(), &dec);
+                stats.flow_iterations = ces.exact.iterations;
+                stats.network_nodes = ces.exact.network_nodes;
+                let guarantee = exact_guarantee(ces.exact.budget_exhausted, req.tolerance);
+                (r, guarantee)
+            }
+            Method::PeelApp => {
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                let _ = oracle;
+                stats.substrate.oracle_cache_hit = oracle_hit;
+                stats.substrate.decomposition_cache_hit = dec_hit;
+                stats.decomposition_nanos = dec_nanos;
+                stats.kmax = Some(dec.kmax);
+                (peel_app_from(&dec), Guarantee::Ratio(ratio))
+            }
+            Method::IncApp => {
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                stats.substrate.oracle_cache_hit = oracle_hit;
+                stats.substrate.decomposition_cache_hit = dec_hit;
+                stats.decomposition_nanos = dec_nanos;
+                stats.kmax = Some(dec.kmax);
+                let r = inc_app_from(g, oracle.as_ref(), &dec);
+                (r.result, Guarantee::Ratio(ratio))
+            }
+            Method::CoreApp => {
+                let (oracle, oracle_hit) = self.oracle(psi);
+                stats.substrate.oracle_cache_hit = oracle_hit;
+                // γ bounds for cliques come from the classical k-core order.
+                let kcore = if matches!(psi.kind(), dsd_motif::pattern::PatternKind::Clique(_)) {
+                    let (kc, kc_hit) = self.kcore();
+                    stats.substrate.kcore_cache_hit = kc_hit;
+                    Some(kc)
+                } else {
+                    None
+                };
+                let r = core_app_from(
+                    g,
+                    psi,
+                    oracle.as_ref(),
+                    crate::approx::CORE_APP_DEFAULT_SEED,
+                    kcore.as_deref(),
+                );
+                stats.kmax = Some(r.kmax);
+                (r.result, Guarantee::Ratio(ratio))
+            }
+            Method::Auto => unreachable!("Auto resolves before dispatch"),
+        };
+
+        let outcome = if result.is_empty() {
+            Outcome::Empty
+        } else {
+            Outcome::Found
+        };
+        Solution {
+            vertices: result.vertices.clone(),
+            density: result.density,
+            subgraphs: if result.is_empty() {
+                Vec::new()
+            } else {
+                vec![result]
+            },
+            method,
+            objective: Objective::Densest,
+            outcome,
+            guarantee,
+            stats,
+        }
+    }
+
+    fn solve_top_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+        let g = self.graph();
+        let psi = &req.psi;
+        // Validate before paying for the decomposition.
+        if k == 0 {
+            return invalid(Method::CoreExact, Objective::TopK(k), SolveStats::default());
+        }
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let mut stats = SolveStats::default();
+        stats.substrate.oracle_cache_hit = oracle_hit;
+        stats.substrate.decomposition_cache_hit = dec_hit;
+        stats.decomposition_nanos = dec_nanos;
+        stats.kmax = Some(dec.kmax);
+        let config = CoreExactConfig {
+            backend: req.backend,
+            tolerance: req.tolerance,
+            step_budget: req.step_budget,
+            ..CoreExactConfig::default()
+        };
+        let scan = top_k_densest_from(g, psi, k, config, oracle.as_ref(), &dec);
+        let (vertices, density) = scan
+            .subgraphs
+            .first()
+            .map(|r| (r.vertices.clone(), r.density))
+            .unwrap_or_default();
+        let outcome = if scan.subgraphs.is_empty() {
+            Outcome::Empty
+        } else {
+            Outcome::Found
+        };
+        Solution {
+            vertices,
+            density,
+            subgraphs: scan.subgraphs,
+            method: Method::CoreExact,
+            objective: Objective::TopK(k),
+            outcome,
+            guarantee: exact_guarantee(scan.budget_exhausted, req.tolerance),
+            stats,
+        }
+    }
+
+    fn solve_at_least_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+        let g = self.graph();
+        let psi = &req.psi;
+        // Validate before paying for the decomposition.
+        if k == 0 || k > g.num_vertices() {
+            return invalid(
+                Method::PeelApp,
+                Objective::AtLeastK(k),
+                SolveStats::default(),
+            );
+        }
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let mut stats = SolveStats::default();
+        stats.substrate.oracle_cache_hit = oracle_hit;
+        stats.substrate.decomposition_cache_hit = dec_hit;
+        stats.decomposition_nanos = dec_nanos;
+        stats.kmax = Some(dec.kmax);
+        // Andersen–Chellapilla's 1/3 bound is proved for edge density.
+        let guarantee = if psi.vertex_count() == 2 {
+            Guarantee::Ratio(1.0 / 3.0)
+        } else {
+            Guarantee::Heuristic
+        };
+        match densest_at_least_k_from(g, k, oracle.as_ref(), &dec) {
+            Some(r) => Solution {
+                vertices: r.vertices.clone(),
+                density: r.density,
+                subgraphs: vec![r],
+                method: Method::PeelApp,
+                objective: Objective::AtLeastK(k),
+                outcome: Outcome::Found,
+                guarantee,
+                stats,
+            },
+            None => invalid(Method::PeelApp, Objective::AtLeastK(k), stats),
+        }
+    }
+
+    fn solve_at_most_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+        let g = self.graph();
+        let psi = &req.psi;
+        // Validate before paying for the decomposition.
+        if k == 0 {
+            return invalid(
+                Method::PeelApp,
+                Objective::AtMostK(k),
+                SolveStats::default(),
+            );
+        }
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let mut stats = SolveStats::default();
+        stats.substrate.oracle_cache_hit = oracle_hit;
+        stats.substrate.decomposition_cache_hit = dec_hit;
+        stats.decomposition_nanos = dec_nanos;
+        stats.kmax = Some(dec.kmax);
+        match densest_at_most_k_from(g, psi, k, oracle.as_ref(), &dec) {
+            Some(r) => Solution {
+                vertices: r.vertices.clone(),
+                density: r.density,
+                subgraphs: vec![r],
+                method: Method::PeelApp,
+                objective: Objective::AtMostK(k),
+                outcome: Outcome::Found,
+                guarantee: Guarantee::Heuristic,
+                stats,
+            },
+            None => invalid(Method::PeelApp, Objective::AtMostK(k), stats),
+        }
+    }
+
+    fn solve_with_query(&self, req: &DsdRequest<'_, 'g>, query: Vec<VertexId>) -> Solution {
+        let g = self.graph();
+        // Validate before paying for the k-core order.
+        let n = g.num_vertices();
+        if query.is_empty() || query.iter().any(|&q| q as usize >= n) {
+            return invalid(
+                Method::Exact,
+                Objective::WithQuery(query),
+                SolveStats::default(),
+            );
+        }
+        let (kcore, kcore_hit) = self.kcore();
+        let mut stats = SolveStats::default();
+        stats.substrate.kcore_cache_hit = kcore_hit;
+        stats.kmax = Some(kcore.kmax as u64);
+        match densest_with_query_from(g, &query, &kcore, req.backend) {
+            Some(r) => Solution {
+                vertices: r.vertices.clone(),
+                density: r.density,
+                subgraphs: vec![r],
+                method: Method::Exact,
+                objective: Objective::WithQuery(query),
+                outcome: Outcome::Found,
+                guarantee: Guarantee::Exact,
+                stats,
+            },
+            None => invalid(Method::Exact, Objective::WithQuery(query), stats),
+        }
+    }
+}
+
+fn exact_guarantee(budget_exhausted: bool, tolerance: Option<f64>) -> Guarantee {
+    if budget_exhausted {
+        Guarantee::Heuristic
+    } else {
+        match tolerance {
+            Some(t) if t > 0.0 => Guarantee::AdditiveGap(t),
+            _ => Guarantee::Exact,
+        }
+    }
+}
+
+fn invalid(method: Method, objective: Objective, stats: SolveStats) -> Solution {
+    Solution {
+        vertices: Vec::new(),
+        density: 0.0,
+        subgraphs: Vec::new(),
+        method,
+        objective,
+        outcome: Outcome::Invalid,
+        guarantee: Guarantee::Heuristic,
+        stats,
+    }
+}
+
+/// Builder for one engine request. Created by [`DsdEngine::request`];
+/// consumed by [`DsdRequest::solve`].
+pub struct DsdRequest<'e, 'g> {
+    engine: &'e DsdEngine<'g>,
+    psi: Pattern,
+    objective: Objective,
+    method: Method,
+    backend: FlowBackend,
+    tolerance: Option<f64>,
+    step_budget: Option<usize>,
+}
+
+impl<'e, 'g> DsdRequest<'e, 'g> {
+    /// Sets the objective (default [`Objective::Densest`]).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the method (default [`Method::Auto`]).
+    ///
+    /// Only [`Objective::Densest`] dispatches on the method; the other
+    /// objectives have a fixed algorithm (top-k iterates CoreExact,
+    /// DalkS/DamkS are peel-based, the query variant is flow-exact) and
+    /// record that algorithm in [`Solution::method`] regardless of this
+    /// setting.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the max-flow backend for min-cut probes (default Dinic).
+    /// Ignored by the probe-free peel/core methods.
+    pub fn flow_backend(mut self, backend: FlowBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets an α-tolerance for the binary search: the answer's density is
+    /// then within `tolerance` of optimal instead of certified exact.
+    ///
+    /// Applies to the binary-search objectives/methods (Densest via
+    /// Exact/CoreExact, and top-k); the peel/core methods and the query
+    /// variant have no α search and ignore it.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = Some(tolerance);
+        self
+    }
+
+    /// Caps the number of min-cut probes; an exhausted budget returns the
+    /// best subgraph found so far (guarantee degrades to `Heuristic`).
+    ///
+    /// Applies to the same binary-search paths as [`Self::tolerance`].
+    /// For [`Objective::TopK`] the cap is per round (each of the up-to-`k`
+    /// CoreExact scans gets its own budget), so a request's probe total is
+    /// bounded by `k × probes`.
+    pub fn step_budget(mut self, probes: usize) -> Self {
+        self.step_budget = Some(probes);
+        self
+    }
+
+    /// Runs the request against the engine's warm substrates.
+    pub fn solve(self) -> Solution {
+        self.engine.solve(self)
+    }
+}

@@ -12,7 +12,7 @@ use dsd_motif::pattern::{Pattern, PatternKind};
 use crate::flownet::{
     build_clique_network, build_edge_network, build_pattern_network, DensityNetwork, FlowBackend,
 };
-use crate::oracle::{density, oracle_for};
+use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
 /// Instrumentation from an exact run.
@@ -25,6 +25,27 @@ pub struct ExactStats {
     pub network_nodes: Vec<usize>,
     /// Initial `[l, u]` bounds on α.
     pub initial_bounds: (f64, f64),
+    /// Whether a step budget stopped the search before the gap closed
+    /// (the result is then the best witness found, not certified optimal).
+    pub budget_exhausted: bool,
+}
+
+/// Per-request knobs for the flow/binary-search framework.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactOpts {
+    /// Max-flow backend for the min-cut probes.
+    pub backend: FlowBackend,
+    /// Extra binary-search stopping tolerance on α. The effective gap is
+    /// `max(1/(n(n−1)), tolerance)` — Lemma 12's separation keeps the
+    /// default exact; a larger tolerance trades certified precision for
+    /// fewer probes.
+    pub tolerance: Option<f64>,
+    /// Cap on min-cut probes; when exhausted the best witness so far is
+    /// returned and [`ExactStats::budget_exhausted`] is set. When the
+    /// budget starves the search before *any* feasible probe, one extra
+    /// probe at α = 0 runs (and is counted in the stats) so the result is
+    /// never a bogus empty answer on a graph with instances.
+    pub step_budget: Option<usize>,
 }
 
 /// Builds the Algorithm-1/8 network for Ψ over `g[members]`.
@@ -58,6 +79,25 @@ pub(crate) fn density_gap(n: usize) -> f64 {
 /// Runs `Exact` (cliques) / `PExact` (patterns) on the whole graph.
 pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, ExactStats) {
     let oracle = oracle_for(psi);
+    exact_with(
+        g,
+        psi,
+        oracle.as_ref(),
+        ExactOpts {
+            backend,
+            ..ExactOpts::default()
+        },
+    )
+}
+
+/// [`exact`] against a caller-provided (possibly warm) density oracle and
+/// per-request knobs — the engine entry point.
+pub fn exact_with(
+    g: &Graph,
+    psi: &Pattern,
+    oracle: &dyn DensityOracle,
+    opts: ExactOpts,
+) -> (DsdResult, ExactStats) {
     let n = g.num_vertices();
     let alive = VertexSet::full(n);
     let degrees = oracle.degrees(g, &alive);
@@ -70,7 +110,8 @@ pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, Exac
     let mut l = 0.0f64;
     let mut u = max_deg as f64;
     stats.initial_bounds = (l, u);
-    let gap = density_gap(n);
+    let gap = density_gap(n).max(opts.tolerance.unwrap_or(0.0));
+    let budget = opts.step_budget.unwrap_or(usize::MAX);
     let members: Vec<VertexId> = g.vertices().collect();
     // PExact uses the ungrouped Algorithm-8 network; construct+ belongs to
     // CorePExact.
@@ -78,10 +119,14 @@ pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, Exac
     let mut best: Vec<VertexId> = Vec::new();
 
     while u - l >= gap {
+        if stats.iterations >= budget {
+            stats.budget_exhausted = true;
+            break;
+        }
         let alpha = (l + u) / 2.0;
         stats.iterations += 1;
         stats.network_nodes.push(net.num_nodes());
-        match net.solve(alpha, backend) {
+        match net.solve(alpha, opts.backend) {
             Some(witness) => {
                 l = alpha;
                 best = witness;
@@ -89,10 +134,20 @@ pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, Exac
             None => u = alpha,
         }
     }
+    if best.is_empty() {
+        // μ > 0 guarantees α = 0 is feasible, so an empty witness means an
+        // exhausted step budget starved the search before any feasible
+        // probe. Fall back to one counted probe at the proven-feasible
+        // guess rather than returning a bogus empty answer (see the
+        // `step_budget` docs).
+        stats.iterations += 1;
+        stats.network_nodes.push(net.num_nodes());
+        best = net.solve(0.0, opts.backend).unwrap_or_default();
+    }
     debug_assert!(!best.is_empty(), "μ > 0 guarantees a feasible guess");
     best.sort_unstable();
     let set = VertexSet::from_members(n, &best);
-    let rho = density(oracle.as_ref(), g, &set);
+    let rho = density(oracle, g, &set);
     (
         DsdResult {
             vertices: best,
@@ -115,7 +170,16 @@ mod tests {
     fn eds_of_k4_tail() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         let r = exact_d(&g, &Pattern::edge());
         assert_eq!(r.vertices, vec![0, 1, 2, 3]);
@@ -203,7 +267,18 @@ mod tests {
     fn backends_agree() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (4, 6), (3, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (4, 6),
+                (3, 6),
+            ],
         );
         for psi in [Pattern::edge(), Pattern::triangle()] {
             let a = exact(&g, &psi, FlowBackend::Dinic).0;

@@ -36,7 +36,7 @@ pub enum FlowBackend {
 }
 
 impl FlowBackend {
-    fn solver(self) -> Box<dyn MaxFlow> {
+    pub(crate) fn solver(self) -> Box<dyn MaxFlow> {
         match self {
             FlowBackend::Dinic => Box::new(Dinic::new()),
             FlowBackend::PushRelabel => Box::new(dsd_flow::PushRelabel::new()),
@@ -127,7 +127,6 @@ impl DensityNetwork {
             Some(vertices)
         }
     }
-
 }
 
 /// Builds Goldberg's h = 2 network over `g[members]`.
@@ -182,9 +181,9 @@ pub fn build_clique_network(g: &Graph, members: &[VertexId], h: usize) -> Densit
     let t: NodeId = (n + lambda.len() + 1) as NodeId;
     let mut net = FlowNetwork::new(n + lambda.len() + 2);
     let mut alpha_edges = Vec::with_capacity(n);
-    for v in 0..n {
+    for (v, &dv) in deg.iter().enumerate() {
         let node = (v + 1) as NodeId;
-        net.add_edge(s, node, deg[v] as f64);
+        net.add_edge(s, node, dv as f64);
         let e = net.add_edge(node, t, 0.0);
         alpha_edges.push((e, 0.0));
     }
@@ -271,9 +270,9 @@ pub fn build_pattern_network(
     let t: NodeId = (n + units.len() + 1) as NodeId;
     let mut net = FlowNetwork::new(n + units.len() + 2);
     let mut alpha_edges = Vec::with_capacity(n);
-    for v in 0..n {
+    for (v, &dv) in deg.iter().enumerate() {
         let node = (v + 1) as NodeId;
-        net.add_edge(s, node, deg[v] as f64);
+        net.add_edge(s, node, dv as f64);
         let e = net.add_edge(node, t, 0.0);
         alpha_edges.push((e, 0.0));
     }
@@ -312,7 +311,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 
@@ -440,7 +448,16 @@ mod tests {
     fn diamond_grouped_and_ungrouped_agree_on_decisions() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 3),
+                (0, 2),
+                (1, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         let psi = Pattern::diamond();
         let mut a = build_pattern_network(&g, &all(&g), &psi, false);

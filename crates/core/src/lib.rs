@@ -22,16 +22,43 @@
 //!
 //! # Quickstart
 //!
+//! One-off calls go through the free functions; query *workloads* go
+//! through [`engine::DsdEngine`], which owns the graph and memoizes the
+//! expensive substrates (Ψ-instance lists, (k, Ψ)-core decompositions, the
+//! classical k-core order) across requests:
+//!
 //! ```
-//! use dsd_core::{densest_subgraph, Method};
+//! use dsd_core::engine::{DsdEngine, Objective};
+//! use dsd_core::Method;
 //! use dsd_motif::Pattern;
 //! use dsd_graph::Graph;
 //!
 //! // Two triangles sharing an edge, plus a tail.
 //! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
-//! let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+//! let engine = DsdEngine::new(g);
+//! let psi = Pattern::triangle();
+//!
+//! // Method::Auto picks a guarantee-preserving algorithm cost-based.
+//! let cds = engine.request(&psi).solve();
 //! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
 //! assert!((cds.density - 0.5).abs() < 1e-9);
+//!
+//! // Same Ψ again — substrates come out of the cache.
+//! let top = engine.request(&psi).objective(Objective::TopK(2)).solve();
+//! assert!(top.stats.substrate.decomposition_cache_hit);
+//! ```
+//!
+//! The free-function form still works and now shims through a throwaway
+//! engine:
+//!
+//! ```
+//! use dsd_core::{densest_subgraph, Method};
+//! use dsd_motif::Pattern;
+//! use dsd_graph::Graph;
+//!
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+//! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
 //! ```
 
 pub mod approx;
@@ -39,6 +66,7 @@ pub mod bounds;
 pub mod clique_core;
 pub mod core_exact;
 pub mod emcore;
+pub mod engine;
 pub mod exact;
 pub mod flownet;
 pub mod hierarchy;
@@ -51,27 +79,34 @@ pub mod size_constrained;
 pub mod top_k;
 pub mod types;
 
-pub use approx::{core_app, inc_app, inc_app_parallel, ApproxResult};
+pub use approx::{core_app, core_app_from, inc_app, inc_app_from, inc_app_parallel, ApproxResult};
 pub use bounds::{density_bounds, locate_core_order, DensityBounds};
 pub use clique_core::{decompose, CliqueCoreDecomposition};
-pub use core_exact::{core_exact, core_exact_with, CoreExactConfig, CoreExactStats};
+pub use core_exact::{
+    core_exact, core_exact_from, core_exact_with, CoreExactConfig, CoreExactStats,
+};
 pub use emcore::emcore_max_core;
-pub use exact::{exact, ExactStats};
+pub use engine::{
+    DsdEngine, DsdRequest, EngineCacheStats, Guarantee, Objective, Outcome, Solution, SolveStats,
+};
+pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;
 pub use hierarchy::{core_hierarchy, core_spectrum, first_level_with_density, CoreLevel};
 pub use kcore::{k_core_decomposition, KCoreDecomposition};
 pub use nucleus::{nucleus_app, nucleus_decomposition};
 pub use oracle::{density, oracle_for, DensityOracle};
-pub use peel::peel_app;
-pub use query::densest_with_query;
-pub use size_constrained::{densest_at_least_k, densest_at_most_k};
-pub use top_k::top_k_densest;
+pub use peel::{peel_app, peel_app_from};
+pub use query::{densest_with_query, densest_with_query_from};
+pub use size_constrained::{
+    densest_at_least_k, densest_at_least_k_from, densest_at_most_k, densest_at_most_k_from,
+};
+pub use top_k::{top_k_densest, top_k_densest_from};
 pub use types::DsdResult;
 
 use dsd_graph::Graph;
 use dsd_motif::Pattern;
 
-/// Solution method for [`densest_subgraph`].
+/// Solution method for a densest-subgraph request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Method {
     /// Flow-based exact baseline (Algorithm 1 / Algorithm 8).
@@ -84,21 +119,25 @@ pub enum Method {
     IncApp,
     /// Top-down (kmax, Ψ)-core approximation (Algorithm 6).
     CoreApp,
+    /// Cost-based automatic selection among the methods above, restricted
+    /// to the ones that preserve the `1/|VΨ|` guarantee (see
+    /// [`engine::DsdEngine`]).
+    Auto,
 }
 
 /// One-call entry point: the densest subgraph of `g` w.r.t. Ψ-density.
 ///
 /// Exact methods return the true CDS/PDS; approximation methods return a
 /// subgraph whose density is within `1/|VΨ|` of optimal (and in practice
-/// much closer — see `EXPERIMENTS.md`).
+/// much closer — see `EXPERIMENTS.md`). Shims through a throwaway
+/// [`engine::DsdEngine`]; build one yourself to reuse substrates across
+/// calls.
 pub fn densest_subgraph(g: &Graph, psi: &Pattern, method: Method) -> DsdResult {
-    match method {
-        Method::Exact => exact::exact(g, psi, FlowBackend::Dinic).0,
-        Method::CoreExact => core_exact::core_exact(g, psi).0,
-        Method::PeelApp => peel::peel_app(g, psi),
-        Method::IncApp => approx::inc_app(g, psi).result,
-        Method::CoreApp => approx::core_app(g, psi).result,
-    }
+    DsdEngine::over(g)
+        .request(psi)
+        .method(method)
+        .solve()
+        .to_result()
 }
 
 #[cfg(test)]
@@ -109,17 +148,36 @@ mod tests {
     fn all_methods_run_and_respect_guarantees() {
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let psi = Pattern::triangle();
         let opt = densest_subgraph(&g, &psi, Method::Exact);
-        for method in [Method::CoreExact, Method::PeelApp, Method::IncApp, Method::CoreApp] {
+        for method in [
+            Method::CoreExact,
+            Method::PeelApp,
+            Method::IncApp,
+            Method::CoreApp,
+        ] {
             let r = densest_subgraph(&g, &psi, method);
             assert!(
                 r.density + 1e-9 >= opt.density / 3.0,
                 "{method:?} broke the approximation guarantee"
             );
-            assert!(r.density <= opt.density + 1e-9, "{method:?} beat the optimum");
+            assert!(
+                r.density <= opt.density + 1e-9,
+                "{method:?} beat the optimum"
+            );
         }
         let core = densest_subgraph(&g, &psi, Method::CoreExact);
         assert!((core.density - opt.density).abs() < 1e-9);

@@ -30,7 +30,7 @@ pub struct NucleusDecomposition {
 
 /// h-index of a list of values: the largest `x` such that at least `x`
 /// values are ≥ `x`. Consumes/reorders the scratch buffer.
-fn h_index(values: &mut Vec<u64>) -> u64 {
+fn h_index(values: &mut [u64]) -> u64 {
     values.sort_unstable_by(|a, b| b.cmp(a));
     let mut h = 0u64;
     for (i, &v) in values.iter().enumerate() {
@@ -143,10 +143,10 @@ mod tests {
 
     #[test]
     fn h_index_basics() {
-        assert_eq!(h_index(&mut vec![3, 3, 3]), 3);
-        assert_eq!(h_index(&mut vec![5, 1, 1]), 1);
-        assert_eq!(h_index(&mut vec![]), 0);
-        assert_eq!(h_index(&mut vec![10, 9, 8, 7]), 4);
+        assert_eq!(h_index(&mut [3, 3, 3]), 3);
+        assert_eq!(h_index(&mut [5, 1, 1]), 1);
+        assert_eq!(h_index(&mut []), 0);
+        assert_eq!(h_index(&mut [10, 9, 8, 7]), 4);
     }
 
     #[test]

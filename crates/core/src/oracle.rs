@@ -248,11 +248,10 @@ impl MaterializedPatternOracle {
     fn cache(&self, g: &Graph) -> &InstanceCache {
         let cache = self.cache.get_or_init(|| {
             let alive = VertexSet::full(g.num_vertices());
-            let instances: Vec<Vec<VertexId>> =
-                pattern_enum::instances(g, &self.pattern, &alive)
-                    .into_iter()
-                    .map(|inst| inst.vertices)
-                    .collect();
+            let instances: Vec<Vec<VertexId>> = pattern_enum::instances(g, &self.pattern, &alive)
+                .into_iter()
+                .map(|inst| inst.vertices)
+                .collect();
             let mut incidence = vec![Vec::new(); g.num_vertices()];
             for (i, inst) in instances.iter().enumerate() {
                 for &v in inst {
@@ -440,7 +439,12 @@ mod tests {
             let mat = MaterializedPatternOracle::new(&p);
             let gen = GenericPatternOracle { pattern: p.clone() };
             let mut alive = full(&g);
-            assert_eq!(mat.degrees(&g, &alive), gen.degrees(&g, &alive), "{}", p.name());
+            assert_eq!(
+                mat.degrees(&g, &alive),
+                gen.degrees(&g, &alive),
+                "{}",
+                p.name()
+            );
             assert_eq!(mat.count(&g, &alive), gen.count(&g, &alive), "{}", p.name());
             // After removals too.
             for victim in [0u32, 3] {

@@ -10,7 +10,7 @@
 use dsd_graph::Graph;
 use dsd_motif::Pattern;
 
-use crate::clique_core::decompose;
+use crate::clique_core::{decompose, CliqueCoreDecomposition};
 use crate::oracle::oracle_for;
 use crate::types::DsdResult;
 
@@ -22,6 +22,12 @@ use crate::types::DsdResult;
 pub fn peel_app(g: &Graph, psi: &Pattern) -> DsdResult {
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
+    peel_app_from(&dec)
+}
+
+/// [`peel_app`] against a caller-provided (possibly warm) decomposition —
+/// the peel itself *is* the decomposition, so a warm call is O(|S*|).
+pub fn peel_app_from(dec: &CliqueCoreDecomposition) -> DsdResult {
     if dec.mu == 0 {
         return DsdResult::empty();
     }
@@ -70,7 +76,10 @@ mod tests {
                 approx.density,
                 ratio_floor
             );
-            assert!(approx.density <= opt.density + 1e-9, "approx beats optimum?");
+            assert!(
+                approx.density <= opt.density + 1e-9,
+                "approx beats optimum?"
+            );
         }
     }
 

@@ -8,23 +8,34 @@
 //! binary-search α with a Goldberg network in which `s→q` has capacity ∞
 //! for q ∈ Q, pinning Q into the source side of every min-cut.
 
-use dsd_flow::{min_cut_source_side, FlowNetwork, MaxFlow, NodeId};
+use dsd_flow::{min_cut_source_side, FlowNetwork, NodeId};
 use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
 
 use crate::exact::density_gap;
 use crate::flownet::FlowBackend;
-use crate::kcore::k_core_decomposition;
+use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::types::DsdResult;
 
 /// Finds the densest (edge-density) subgraph containing all of `query`.
 ///
 /// Returns `None` when `query` is empty or contains out-of-range vertices.
 pub fn densest_with_query(g: &Graph, query: &[VertexId]) -> Option<DsdResult> {
+    let cores = k_core_decomposition(g);
+    densest_with_query_from(g, query, &cores, FlowBackend::Dinic)
+}
+
+/// [`densest_with_query`] against a caller-provided (possibly warm)
+/// classical core decomposition and an explicit max-flow backend.
+pub fn densest_with_query_from(
+    g: &Graph,
+    query: &[VertexId],
+    cores: &KCoreDecomposition,
+    backend: FlowBackend,
+) -> Option<DsdResult> {
     let n = g.num_vertices();
     if query.is_empty() || query.iter().any(|&q| q as usize >= n) {
         return None;
     }
-    let cores = k_core_decomposition(g);
     let x = query
         .iter()
         .map(|&q| cores.core[q as usize])
@@ -76,11 +87,11 @@ pub fn densest_with_query(g: &Graph, query: &[VertexId]) -> Option<DsdResult> {
     // the ∞-pinned capacities making "S = {s}" impossible).
     let mut l = x as f64 / 2.0;
     let mut u = cores.kmax as f64;
-    let mut best = best_side_at(&sub.graph, &local_query, l);
+    let mut best = best_side_at(&sub.graph, &local_query, l, backend);
     let gap = density_gap(sub.graph.num_vertices());
     while u - l >= gap {
         let alpha = (l + u) / 2.0;
-        match feasible_side(&sub.graph, &local_query, alpha) {
+        match feasible_side(&sub.graph, &local_query, alpha, backend) {
             Some(side) => {
                 l = alpha;
                 best = Some(side);
@@ -101,13 +112,23 @@ pub fn densest_with_query(g: &Graph, query: &[VertexId]) -> Option<DsdResult> {
 fn induced_edges(g: &Graph, members: &[VertexId]) -> usize {
     let set = VertexSet::from_members(g.num_vertices(), members);
     set.iter()
-        .map(|v| g.neighbors(v).iter().filter(|&&u| u > v && set.contains(u)).count())
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| u > v && set.contains(u))
+                .count()
+        })
         .sum()
 }
 
 /// Best source-side at guess α, or `None` when its density is ≤ α.
-fn feasible_side(g: &Graph, query: &[VertexId], alpha: f64) -> Option<Vec<VertexId>> {
-    let side = min_cut_side(g, query, alpha);
+fn feasible_side(
+    g: &Graph,
+    query: &[VertexId],
+    alpha: f64,
+    backend: FlowBackend,
+) -> Option<Vec<VertexId>> {
+    let side = min_cut_side(g, query, alpha, backend);
     let density = induced_edges(g, &side) as f64 / side.len() as f64;
     if density > alpha {
         Some(side)
@@ -118,8 +139,13 @@ fn feasible_side(g: &Graph, query: &[VertexId], alpha: f64) -> Option<Vec<Vertex
 
 /// Source side at guess α regardless of feasibility (used to seed the
 /// answer with the x-core-quality subgraph).
-fn best_side_at(g: &Graph, query: &[VertexId], alpha: f64) -> Option<Vec<VertexId>> {
-    let side = min_cut_side(g, query, alpha);
+fn best_side_at(
+    g: &Graph,
+    query: &[VertexId],
+    alpha: f64,
+    backend: FlowBackend,
+) -> Option<Vec<VertexId>> {
+    let side = min_cut_side(g, query, alpha, backend);
     if side.is_empty() {
         None
     } else {
@@ -127,7 +153,7 @@ fn best_side_at(g: &Graph, query: &[VertexId], alpha: f64) -> Option<Vec<VertexI
     }
 }
 
-fn min_cut_side(g: &Graph, query: &[VertexId], alpha: f64) -> Vec<VertexId> {
+fn min_cut_side(g: &Graph, query: &[VertexId], alpha: f64, backend: FlowBackend) -> Vec<VertexId> {
     let n = g.num_vertices();
     let m = g.num_edges() as f64;
     let s: NodeId = 0;
@@ -148,8 +174,7 @@ fn min_cut_side(g: &Graph, query: &[VertexId], alpha: f64) -> Vec<VertexId> {
         net.add_edge((u + 1) as NodeId, (v + 1) as NodeId, 1.0);
         net.add_edge((v + 1) as NodeId, (u + 1) as NodeId, 1.0);
     }
-    let mut solver = dsd_flow::Dinic::new();
-    let _ = FlowBackend::Dinic; // backend fixed: probes are tiny here
+    let mut solver = backend.solver();
     let _ = solver.max_flow(&mut net, s, t);
     min_cut_source_side(&net, s)
         .into_iter()
@@ -203,7 +228,11 @@ mod tests {
         let g = two_cliques();
         let r = densest_with_query(&g, &[0, 9]).unwrap();
         assert!(r.vertices.contains(&0) && r.vertices.contains(&9));
-        assert!((r.density - 16.0 / 9.0).abs() < 1e-9, "density {}", r.density);
+        assert!(
+            (r.density - 16.0 / 9.0).abs() < 1e-9,
+            "density {}",
+            r.density
+        );
     }
 
     #[test]
@@ -217,8 +246,7 @@ mod tests {
                 if mask & (1 << q) == 0 {
                     continue;
                 }
-                let members: Vec<VertexId> =
-                    (0..6).filter(|&v| mask & (1 << v) != 0).collect();
+                let members: Vec<VertexId> = (0..6).filter(|&v| mask & (1 << v) != 0).collect();
                 let m_in = induced_edges(&g, &members);
                 best = best.max(m_in as f64 / members.len() as f64);
             }

@@ -19,8 +19,8 @@
 use dsd_graph::{Graph, VertexId, VertexSet};
 use dsd_motif::Pattern;
 
-use crate::clique_core::decompose;
-use crate::oracle::oracle_for;
+use crate::clique_core::{decompose, CliqueCoreDecomposition};
+use crate::oracle::{oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
 /// Densest subgraph with **at least** `k` vertices (DalkS).
@@ -29,22 +29,41 @@ use crate::types::DsdResult;
 /// heuristic quality for other Ψ. Returns `None` when `k` exceeds the
 /// vertex count.
 pub fn densest_at_least_k(g: &Graph, psi: &Pattern, k: usize) -> Option<DsdResult> {
-    let n = g.num_vertices();
-    if k > n || k == 0 {
+    if k > g.num_vertices() || k == 0 {
         return None;
     }
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
+    densest_at_least_k_from(g, k, oracle.as_ref(), &dec)
+}
+
+/// [`densest_at_least_k`] against caller-provided (possibly warm)
+/// substrates: replays the decomposition's peel order without re-peeling.
+pub fn densest_at_least_k_from(
+    g: &Graph,
+    k: usize,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> Option<DsdResult> {
+    let n = g.num_vertices();
+    if k > n || k == 0 {
+        return None;
+    }
     // Residual graphs are suffixes of the peel order; the feasible ones
     // are those with ≥ k vertices, i.e. the first n−k+1 suffixes.
     let order = &dec.peel_order;
     let mut best: Option<(f64, usize)> = None;
     // Recompute μ along the peel by replaying degree-at-removal sums:
     // μ_suffix(i) = μ − Σ_{j<i} deg_at_removal(j). The decomposition
-    // doesn't store deg-at-removal, so rebuild densities directly.
+    // doesn't store deg-at-removal, so rebuild densities directly —
+    // starting from the initial degrees the decomposition already
+    // computed (a full oracle degree pass is the dominant cost here).
     let mut alive = VertexSet::full(n);
-    let mut deg = oracle.degrees(g, &alive);
+    let mut deg = dec.degrees.clone();
     let mut mu: u64 = dec.mu;
+    // Indexed loop: `i` is simultaneously a position in `order` and the
+    // number of peeled vertices, so enumerate() would obscure the math.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..=n.saturating_sub(k) {
         let size = n - i;
         if size >= k && size > 0 {
@@ -84,6 +103,21 @@ pub fn densest_at_most_k(g: &Graph, psi: &Pattern, k: usize) -> Option<DsdResult
     }
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
+    densest_at_most_k_from(g, psi, k, oracle.as_ref(), &dec)
+}
+
+/// [`densest_at_most_k`] against caller-provided (possibly warm)
+/// substrates.
+pub fn densest_at_most_k_from(
+    g: &Graph,
+    psi: &Pattern,
+    k: usize,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> Option<DsdResult> {
+    if k == 0 {
+        return None;
+    }
     // Start from the densest residual graph (PeelApp's S*), the best
     // unconstrained greedy answer, then trim.
     let start = dec.best_residual();

@@ -12,7 +12,9 @@
 use dsd_graph::{Graph, InducedSubgraph, VertexSet};
 use dsd_motif::Pattern;
 
-use crate::core_exact::core_exact;
+use crate::clique_core::CliqueCoreDecomposition;
+use crate::core_exact::{core_exact_from, core_exact_with, CoreExactConfig};
+use crate::oracle::DensityOracle;
 use crate::types::DsdResult;
 
 /// Finds up to `k` vertex-disjoint densest subgraphs, densest first.
@@ -20,27 +22,63 @@ use crate::types::DsdResult;
 /// Stops early when the residual graph has no Ψ instance left. Vertex ids
 /// refer to the original graph.
 pub fn top_k_densest(g: &Graph, psi: &Pattern, k: usize) -> Vec<DsdResult> {
+    let oracle = crate::oracle::oracle_for(psi);
+    let dec = crate::clique_core::decompose(g, oracle.as_ref());
+    top_k_densest_from(g, psi, k, CoreExactConfig::default(), oracle.as_ref(), &dec).subgraphs
+}
+
+/// Result of a [`top_k_densest_from`] scan.
+#[derive(Clone, Debug)]
+pub struct TopKScan {
+    /// Vertex-disjoint densest subgraphs, densest first.
+    pub subgraphs: Vec<DsdResult>,
+    /// Whether any round's binary search was cut short by the config's
+    /// step budget (the affected rounds are then not certified optimal).
+    pub budget_exhausted: bool,
+}
+
+/// [`top_k_densest`] against caller-provided (possibly warm) substrates.
+///
+/// The first (densest) round runs on the full graph and so can reuse the
+/// warm decomposition; later rounds operate on residual induced subgraphs
+/// whose core structure genuinely changed, and rebuild cold.
+pub fn top_k_densest_from(
+    g: &Graph,
+    psi: &Pattern,
+    k: usize,
+    config: CoreExactConfig,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+) -> TopKScan {
     let mut out = Vec::with_capacity(k);
     let mut alive = VertexSet::full(g.num_vertices());
-    for _ in 0..k {
+    let mut budget_exhausted = false;
+    for round in 0..k {
         if alive.len() < psi.vertex_count() {
             break;
         }
-        let sub = InducedSubgraph::from_set(g, &alive);
-        let (local, _) = core_exact(&sub.graph, psi);
-        if local.is_empty() {
+        let (vertices, density) = if round == 0 {
+            let (first, stats) = core_exact_from(g, psi, config, oracle, dec);
+            budget_exhausted |= stats.exact.budget_exhausted;
+            (first.vertices, first.density)
+        } else {
+            let sub = InducedSubgraph::from_set(g, &alive);
+            let (local, stats) = core_exact_with(&sub.graph, psi, config);
+            budget_exhausted |= stats.exact.budget_exhausted;
+            (sub.to_parent_vec(&local.vertices), local.density)
+        };
+        if vertices.is_empty() {
             break;
         }
-        let vertices = sub.to_parent_vec(&local.vertices);
         for &v in &vertices {
             alive.remove(v);
         }
-        out.push(DsdResult {
-            vertices,
-            density: local.density,
-        });
+        out.push(DsdResult { vertices, density });
     }
-    out
+    TopKScan {
+        subgraphs: out,
+        budget_exhausted,
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +142,7 @@ mod tests {
         let g = three_cliques();
         assert!(top_k_densest(&g, &Pattern::edge(), 0).is_empty());
         let top1 = top_k_densest(&g, &Pattern::edge(), 1);
-        let (direct, _) = core_exact(&g, &Pattern::edge());
+        let (direct, _) = crate::core_exact::core_exact(&g, &Pattern::edge());
         assert_eq!(top1[0].vertices, direct.vertices);
         assert!((top1[0].density - direct.density).abs() < 1e-12);
     }

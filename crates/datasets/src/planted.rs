@@ -18,13 +18,7 @@ pub struct Planted {
 /// background. Used by the recovery example and the approximation-ratio
 /// tests: for `p_dense` ≫ `p_sparse` the planted block is the densest
 /// subgraph with overwhelming probability.
-pub fn planted_dense(
-    n: usize,
-    k: usize,
-    p_dense: f64,
-    p_sparse: f64,
-    seed: u64,
-) -> Planted {
+pub fn planted_dense(n: usize, k: usize, p_dense: f64, p_sparse: f64, seed: u64) -> Planted {
     assert!(k <= n);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -80,7 +74,10 @@ pub fn collaboration_network(
     for a in 0..advisors {
         let advisor = (adv_base + a) as VertexId;
         for s in 0..students_per_advisor {
-            b.add_edge(advisor, (stu_base + a * students_per_advisor + s) as VertexId);
+            b.add_edge(
+                advisor,
+                (stu_base + a * students_per_advisor + s) as VertexId,
+            );
         }
         // Advisors co-author with one member of each group.
         for g in 0..groups {
@@ -166,10 +163,7 @@ mod tests {
         let g = ppi_like(5);
         assert_eq!(g.num_vertices(), 220);
         // Module 1 is near-complete.
-        let m1_edges = g
-            .edges()
-            .filter(|&(u, v)| u < 8 && v < 8)
-            .count();
+        let m1_edges = g.edges().filter(|&(u, v)| u < 8 && v < 8).count();
         assert!(m1_edges >= 24, "module 1 has {m1_edges} edges");
     }
 

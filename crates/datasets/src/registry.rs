@@ -44,7 +44,11 @@ enum Generator {
         overlay: usize,
     },
     /// SSCA planted cliques (n, max clique size, inter-clique edges/vertex).
-    Ssca { n: usize, max_clique: usize, inter: f64 },
+    Ssca {
+        n: usize,
+        max_clique: usize,
+        inter: f64,
+    },
     /// Erdős–Rényi (n, p).
     Er { n: usize, p: f64 },
     /// R-MAT (scale, edge draws).
@@ -74,12 +78,17 @@ impl Dataset {
     /// Generates the stand-in graph (deterministic).
     pub fn generate(&self) -> Graph {
         match self.gen {
-            Generator::ChungLu { n, m, alpha, overlay } => {
-                chung_lu::chung_lu_with_clique(n, m, alpha, overlay, self.seed)
-            }
-            Generator::Ssca { n, max_clique, inter } => {
-                ssca::ssca(n, max_clique, inter, self.seed)
-            }
+            Generator::ChungLu {
+                n,
+                m,
+                alpha,
+                overlay,
+            } => chung_lu::chung_lu_with_clique(n, m, alpha, overlay, self.seed),
+            Generator::Ssca {
+                n,
+                max_clique,
+                inter,
+            } => ssca::ssca(n, max_clique, inter, self.seed),
             Generator::Er { n, p } => er::er(n, p, self.seed),
             Generator::Rmat { scale, m } => {
                 rmat::rmat(scale, m, rmat::RmatParams::default(), self.seed)
@@ -105,25 +114,244 @@ pub fn all_datasets() -> Vec<Dataset> {
     use Generator::*;
     vec![
         // -- Real small graphs: full scale --------------------------------
-        Dataset { name: "Yeast", kind: SmallReal, paper_vertices: 1116, paper_edges: 2148, paper_alpha: 2.9769, paper_kmax: 3, gen: ChungLu { n: 1116, m: 2148, alpha: 2.9769, overlay: 10 }, seed: 1 },
-        Dataset { name: "Netscience", kind: SmallReal, paper_vertices: 1589, paper_edges: 2742, paper_alpha: 2.4053, paper_kmax: 171, gen: ChungLu { n: 1589, m: 2742, alpha: 2.4053, overlay: 20 }, seed: 2 },
-        Dataset { name: "As-733", kind: SmallReal, paper_vertices: 1486, paper_edges: 3172, paper_alpha: 2.7204, paper_kmax: 39, gen: ChungLu { n: 1486, m: 3172, alpha: 2.7204, overlay: 24 }, seed: 3 },
-        Dataset { name: "Ca-HepTh", kind: SmallReal, paper_vertices: 9877, paper_edges: 25998, paper_alpha: 2.6472, paper_kmax: 456, gen: ChungLu { n: 9877, m: 25998, alpha: 2.6472, overlay: 24 }, seed: 4 },
-        Dataset { name: "As-Caida", kind: SmallReal, paper_vertices: 26475, paper_edges: 106762, paper_alpha: 2.7898, paper_kmax: 154, gen: ChungLu { n: 26475, m: 106762, alpha: 2.7898, overlay: 24 }, seed: 5 },
+        Dataset {
+            name: "Yeast",
+            kind: SmallReal,
+            paper_vertices: 1116,
+            paper_edges: 2148,
+            paper_alpha: 2.9769,
+            paper_kmax: 3,
+            gen: ChungLu {
+                n: 1116,
+                m: 2148,
+                alpha: 2.9769,
+                overlay: 10,
+            },
+            seed: 1,
+        },
+        Dataset {
+            name: "Netscience",
+            kind: SmallReal,
+            paper_vertices: 1589,
+            paper_edges: 2742,
+            paper_alpha: 2.4053,
+            paper_kmax: 171,
+            gen: ChungLu {
+                n: 1589,
+                m: 2742,
+                alpha: 2.4053,
+                overlay: 20,
+            },
+            seed: 2,
+        },
+        Dataset {
+            name: "As-733",
+            kind: SmallReal,
+            paper_vertices: 1486,
+            paper_edges: 3172,
+            paper_alpha: 2.7204,
+            paper_kmax: 39,
+            gen: ChungLu {
+                n: 1486,
+                m: 3172,
+                alpha: 2.7204,
+                overlay: 24,
+            },
+            seed: 3,
+        },
+        Dataset {
+            name: "Ca-HepTh",
+            kind: SmallReal,
+            paper_vertices: 9877,
+            paper_edges: 25998,
+            paper_alpha: 2.6472,
+            paper_kmax: 456,
+            gen: ChungLu {
+                n: 9877,
+                m: 25998,
+                alpha: 2.6472,
+                overlay: 24,
+            },
+            seed: 4,
+        },
+        Dataset {
+            name: "As-Caida",
+            kind: SmallReal,
+            paper_vertices: 26475,
+            paper_edges: 106762,
+            paper_alpha: 2.7898,
+            paper_kmax: 154,
+            gen: ChungLu {
+                n: 26475,
+                m: 106762,
+                alpha: 2.7898,
+                overlay: 24,
+            },
+            seed: 5,
+        },
         // -- Real large graphs: scaled down -------------------------------
-        Dataset { name: "DBLP", kind: LargeReal, paper_vertices: 425_957, paper_edges: 1_049_866, paper_alpha: 2.3457, paper_kmax: 4175, gen: ChungLu { n: 42_000, m: 104_000, alpha: 2.3457, overlay: 24 }, seed: 6 },
-        Dataset { name: "Cit-Patents", kind: LargeReal, paper_vertices: 3_774_768, paper_edges: 16_518_948, paper_alpha: 2.284, paper_kmax: 1465, gen: ChungLu { n: 38_000, m: 166_000, alpha: 2.284, overlay: 24 }, seed: 7 },
-        Dataset { name: "Friendster", kind: LargeReal, paper_vertices: 20_145_325, paper_edges: 106_570_765, paper_alpha: 2.4466, paper_kmax: 224_532, gen: ChungLu { n: 40_000, m: 212_000, alpha: 2.4466, overlay: 24 }, seed: 8 },
-        Dataset { name: "Enwiki-2017", kind: LargeReal, paper_vertices: 5_409_498, paper_edges: 122_008_994, paper_alpha: 2.4443, paper_kmax: 13_435, gen: ChungLu { n: 12_000, m: 270_000, alpha: 2.4443, overlay: 24 }, seed: 9 },
-        Dataset { name: "UK-2002", kind: LargeReal, paper_vertices: 18_520_486, paper_edges: 298_113_762, paper_alpha: 2.4967, paper_kmax: 444_153, gen: ChungLu { n: 15_000, m: 240_000, alpha: 2.4967, overlay: 24 }, seed: 10 },
+        Dataset {
+            name: "DBLP",
+            kind: LargeReal,
+            paper_vertices: 425_957,
+            paper_edges: 1_049_866,
+            paper_alpha: 2.3457,
+            paper_kmax: 4175,
+            gen: ChungLu {
+                n: 42_000,
+                m: 104_000,
+                alpha: 2.3457,
+                overlay: 24,
+            },
+            seed: 6,
+        },
+        Dataset {
+            name: "Cit-Patents",
+            kind: LargeReal,
+            paper_vertices: 3_774_768,
+            paper_edges: 16_518_948,
+            paper_alpha: 2.284,
+            paper_kmax: 1465,
+            gen: ChungLu {
+                n: 38_000,
+                m: 166_000,
+                alpha: 2.284,
+                overlay: 24,
+            },
+            seed: 7,
+        },
+        Dataset {
+            name: "Friendster",
+            kind: LargeReal,
+            paper_vertices: 20_145_325,
+            paper_edges: 106_570_765,
+            paper_alpha: 2.4466,
+            paper_kmax: 224_532,
+            gen: ChungLu {
+                n: 40_000,
+                m: 212_000,
+                alpha: 2.4466,
+                overlay: 24,
+            },
+            seed: 8,
+        },
+        Dataset {
+            name: "Enwiki-2017",
+            kind: LargeReal,
+            paper_vertices: 5_409_498,
+            paper_edges: 122_008_994,
+            paper_alpha: 2.4443,
+            paper_kmax: 13_435,
+            gen: ChungLu {
+                n: 12_000,
+                m: 270_000,
+                alpha: 2.4443,
+                overlay: 24,
+            },
+            seed: 9,
+        },
+        Dataset {
+            name: "UK-2002",
+            kind: LargeReal,
+            paper_vertices: 18_520_486,
+            paper_edges: 298_113_762,
+            paper_alpha: 2.4967,
+            paper_kmax: 444_153,
+            gen: ChungLu {
+                n: 15_000,
+                m: 240_000,
+                alpha: 2.4967,
+                overlay: 24,
+            },
+            seed: 10,
+        },
         // -- Synthetic random graphs (GTgraph families) --------------------
-        Dataset { name: "SSCA", kind: Synthetic, paper_vertices: 100_000, paper_edges: 3_405_676, paper_alpha: 7.2754, paper_kmax: 4950, gen: Ssca { n: 20_000, max_clique: 20, inter: 2.0 }, seed: 11 },
-        Dataset { name: "ER", kind: Synthetic, paper_vertices: 100_000, paper_edges: 4_837_534, paper_alpha: 63.6944, paper_kmax: 3, gen: Er { n: 20_000, p: 0.0012 }, seed: 12 },
-        Dataset { name: "R-MAT", kind: Synthetic, paper_vertices: 100_000, paper_edges: 2_571_986, paper_alpha: 24.653, paper_kmax: 2964, gen: Rmat { scale: 14, m: 120_000 }, seed: 13 },
+        Dataset {
+            name: "SSCA",
+            kind: Synthetic,
+            paper_vertices: 100_000,
+            paper_edges: 3_405_676,
+            paper_alpha: 7.2754,
+            paper_kmax: 4950,
+            gen: Ssca {
+                n: 20_000,
+                max_clique: 20,
+                inter: 2.0,
+            },
+            seed: 11,
+        },
+        Dataset {
+            name: "ER",
+            kind: Synthetic,
+            paper_vertices: 100_000,
+            paper_edges: 4_837_534,
+            paper_alpha: 63.6944,
+            paper_kmax: 3,
+            gen: Er {
+                n: 20_000,
+                p: 0.0012,
+            },
+            seed: 12,
+        },
+        Dataset {
+            name: "R-MAT",
+            kind: Synthetic,
+            paper_vertices: 100_000,
+            paper_edges: 2_571_986,
+            paper_alpha: 24.653,
+            paper_kmax: 2964,
+            gen: Rmat {
+                scale: 14,
+                m: 120_000,
+            },
+            seed: 13,
+        },
         // -- Appendix-E extras ---------------------------------------------
-        Dataset { name: "Flickr", kind: Extra, paper_vertices: 214_698, paper_edges: 2_096_306, paper_alpha: 2.4, paper_kmax: 0, gen: ChungLu { n: 15_000, m: 146_000, alpha: 2.4, overlay: 20 }, seed: 14 },
-        Dataset { name: "Google", kind: Extra, paper_vertices: 875_713, paper_edges: 4_322_051, paper_alpha: 2.5, paper_kmax: 0, gen: ChungLu { n: 30_000, m: 148_000, alpha: 2.5, overlay: 20 }, seed: 15 },
-        Dataset { name: "Foursquare", kind: Extra, paper_vertices: 2_127_093, paper_edges: 8_640_352, paper_alpha: 2.5, paper_kmax: 0, gen: ChungLu { n: 30_000, m: 122_000, alpha: 2.5, overlay: 20 }, seed: 16 },
+        Dataset {
+            name: "Flickr",
+            kind: Extra,
+            paper_vertices: 214_698,
+            paper_edges: 2_096_306,
+            paper_alpha: 2.4,
+            paper_kmax: 0,
+            gen: ChungLu {
+                n: 15_000,
+                m: 146_000,
+                alpha: 2.4,
+                overlay: 20,
+            },
+            seed: 14,
+        },
+        Dataset {
+            name: "Google",
+            kind: Extra,
+            paper_vertices: 875_713,
+            paper_edges: 4_322_051,
+            paper_alpha: 2.5,
+            paper_kmax: 0,
+            gen: ChungLu {
+                n: 30_000,
+                m: 148_000,
+                alpha: 2.5,
+                overlay: 20,
+            },
+            seed: 15,
+        },
+        Dataset {
+            name: "Foursquare",
+            kind: Extra,
+            paper_vertices: 2_127_093,
+            paper_edges: 8_640_352,
+            paper_alpha: 2.5,
+            paper_kmax: 0,
+            gen: ChungLu {
+                n: 30_000,
+                m: 122_000,
+                alpha: 2.5,
+                overlay: 20,
+            },
+            seed: 16,
+        },
     ]
 }
 
@@ -142,10 +370,28 @@ mod tests {
     fn registry_covers_paper_tables() {
         let all = all_datasets();
         assert_eq!(all.len(), 16);
-        assert_eq!(all.iter().filter(|d| d.kind == DatasetKind::SmallReal).count(), 5);
-        assert_eq!(all.iter().filter(|d| d.kind == DatasetKind::LargeReal).count(), 5);
-        assert_eq!(all.iter().filter(|d| d.kind == DatasetKind::Synthetic).count(), 3);
-        assert_eq!(all.iter().filter(|d| d.kind == DatasetKind::Extra).count(), 3);
+        assert_eq!(
+            all.iter()
+                .filter(|d| d.kind == DatasetKind::SmallReal)
+                .count(),
+            5
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|d| d.kind == DatasetKind::LargeReal)
+                .count(),
+            5
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|d| d.kind == DatasetKind::Synthetic)
+                .count(),
+            3
+        );
+        assert_eq!(
+            all.iter().filter(|d| d.kind == DatasetKind::Extra).count(),
+            3
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, m);
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "R-MAT probabilities must sum to 1"
+    );
     for _ in 0..m {
         let (mut u, mut v) = (0usize, 0usize);
         let mut half = n / 2;
@@ -91,7 +94,11 @@ mod tests {
         let g = rmat(10, 5000, RmatParams::default(), 1);
         assert_eq!(g.num_vertices(), 1024);
         assert!(g.num_edges() <= 5000);
-        assert!(g.num_edges() > 2000, "too many collisions: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 2000,
+            "too many collisions: {}",
+            g.num_edges()
+        );
     }
 
     fn top_decile_share(g: &Graph) -> f64 {

@@ -40,12 +40,7 @@ pub fn compute_stats(g: &Graph) -> GraphStats {
         .enumerate()
         .max_by_key(|(_, &s)| s)
         .map(|(i, _)| i as u32);
-    let start = largest.and_then(|l| {
-        cc.label
-            .iter()
-            .position(|&x| x == l)
-            .map(|v| v as VertexId)
-    });
+    let start = largest.and_then(|l| cc.label.iter().position(|&x| x == l).map(|v| v as VertexId));
     let pseudo_diameter = match start {
         Some(s) if g.num_vertices() > 0 => {
             let (far, _) = bfs_farthest(g, s);

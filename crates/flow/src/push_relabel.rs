@@ -112,7 +112,7 @@ impl MaxFlow for PushRelabel {
                             }
                         }
                     }
-                    if new_h >= 2 * n + 1 {
+                    if new_h > 2 * n {
                         break;
                     }
                     self.height[v as usize] = new_h;

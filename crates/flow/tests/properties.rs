@@ -1,9 +1,10 @@
-//! Property-based tests of the max-flow substrate: the two solvers agree,
+//! Property-style tests of the max-flow substrate: the two solvers agree,
 //! flows are conserved and capacity-feasible, and max-flow equals the
-//! capacity of the extracted minimum cut (strong duality).
+//! capacity of the extracted minimum cut (strong duality). Driven by a
+//! deterministic xorshift seed loop (no crates.io access in the container).
 
 use dsd_flow::{min_cut_source_side, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, EPS};
-use proptest::prelude::*;
+use dsd_graph::testing::XorShift;
 
 #[derive(Clone, Debug)]
 struct NetSpec {
@@ -11,11 +12,19 @@ struct NetSpec {
     edges: Vec<(u32, u32, f64)>,
 }
 
-fn net_strategy() -> impl Strategy<Value = NetSpec> {
-    (3..=10usize).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 0.0f64..20.0);
-        proptest::collection::vec(edge, 1..40).prop_map(move |edges| NetSpec { n, edges })
-    })
+fn random_spec(rng: &mut XorShift) -> NetSpec {
+    let n = 3 + (rng.next() as usize) % 8;
+    let m = 1 + (rng.next() as usize) % 39;
+    let edges = (0..m)
+        .map(|_| {
+            (
+                (rng.next() % n as u64) as u32,
+                (rng.next() % n as u64) as u32,
+                rng.unit_f64() * 20.0,
+            )
+        })
+        .collect();
+    NetSpec { n, edges }
 }
 
 fn build(spec: &NetSpec) -> FlowNetwork {
@@ -46,70 +55,87 @@ fn cut_capacity(net: &FlowNetwork, side: &[NodeId]) -> f64 {
     cap
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn dinic_equals_push_relabel(spec in net_strategy()) {
+#[test]
+fn dinic_equals_push_relabel() {
+    let mut rng = XorShift::new(0xF10A);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
         let s: NodeId = 0;
         let t: NodeId = (spec.n - 1) as NodeId;
         let mut a = build(&spec);
         let mut b = build(&spec);
         let fa = Dinic::new().max_flow(&mut a, s, t);
         let fb = PushRelabel::new().max_flow(&mut b, s, t);
-        prop_assert!((fa - fb).abs() < 1e-6, "dinic {fa} vs push-relabel {fb}");
+        assert!((fa - fb).abs() < 1e-6, "dinic {fa} vs push-relabel {fb}");
     }
+}
 
-    #[test]
-    fn flow_is_conserved_and_feasible(spec in net_strategy()) {
+#[test]
+fn flow_is_conserved_and_feasible() {
+    let mut rng = XorShift::new(0xC045);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
         let s: NodeId = 0;
         let t: NodeId = (spec.n - 1) as NodeId;
         let mut net = build(&spec);
         let f = Dinic::new().max_flow(&mut net, s, t);
-        prop_assert!(f >= -EPS);
-        prop_assert!(net.conserves_flow(s, t));
+        assert!(f >= -EPS);
+        assert!(net.conserves_flow(s, t));
         // No forward edge exceeds its capacity.
         for v in 0..spec.n as NodeId {
             for &e in net.out_edges(v) {
                 if e % 2 == 0 {
                     let edge = net.edge(e);
-                    prop_assert!(edge.flow <= edge.cap + 1e-9);
+                    assert!(edge.flow <= edge.cap + 1e-9);
                 }
             }
         }
     }
+}
 
-    /// Strong duality: the extracted source side is a cut of capacity
-    /// equal to the max flow.
-    #[test]
-    fn max_flow_equals_min_cut(spec in net_strategy()) {
+/// Strong duality: the extracted source side is a cut of capacity equal to
+/// the max flow.
+#[test]
+fn max_flow_equals_min_cut() {
+    let mut rng = XorShift::new(0xD0A1);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
         let s: NodeId = 0;
         let t: NodeId = (spec.n - 1) as NodeId;
         let mut net = build(&spec);
         let f = Dinic::new().max_flow(&mut net, s, t);
         let side = min_cut_source_side(&net, s);
-        prop_assert!(side.contains(&s));
-        prop_assert!(!side.contains(&t));
+        assert!(side.contains(&s));
+        assert!(!side.contains(&t));
         let cap = cut_capacity(&net, &side);
-        prop_assert!((f - cap).abs() < 1e-6, "flow {f} vs cut {cap}");
+        assert!((f - cap).abs() < 1e-6, "flow {f} vs cut {cap}");
     }
+}
 
-    /// Re-solving after reset gives the same value (solver statelessness).
-    #[test]
-    fn reset_and_resolve_is_idempotent(spec in net_strategy()) {
+/// Re-solving after reset gives the same value (solver statelessness).
+#[test]
+fn reset_and_resolve_is_idempotent() {
+    let mut rng = XorShift::new(0x1DE2);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
         let s: NodeId = 0;
         let t: NodeId = (spec.n - 1) as NodeId;
         let mut net = build(&spec);
         let f1 = Dinic::new().max_flow(&mut net, s, t);
         net.reset_flow();
         let f2 = Dinic::new().max_flow(&mut net, s, t);
-        prop_assert!((f1 - f2).abs() < 1e-9);
+        assert!((f1 - f2).abs() < 1e-9);
     }
+}
 
-    /// Warm continuation: after raising a saturated edge's capacity, more
-    /// augmentation can only increase the flow, and equals a cold solve.
-    #[test]
-    fn monotone_capacity_increase_warm_start(spec in net_strategy(), bump in 0.0f64..10.0) {
+/// Warm continuation: after raising a saturated edge's capacity, more
+/// augmentation can only increase the flow, and equals a cold solve.
+#[test]
+fn monotone_capacity_increase_warm_start() {
+    let mut rng = XorShift::new(0x3A1C);
+    for _ in 0..256 {
+        let spec = random_spec(&mut rng);
+        let bump = rng.unit_f64() * 10.0;
         let s: NodeId = 0;
         let t: NodeId = (spec.n - 1) as NodeId;
         let mut warm = build(&spec);
@@ -130,8 +156,10 @@ proptest! {
         let f_warm_extra = Dinic::new().max_flow(&mut warm, s, t);
         let f_warm_total = f1 + f_warm_extra;
         let f_cold = Dinic::new().max_flow(&mut cold, s, t);
-        prop_assert!(f_warm_total + 1e-6 >= f1);
-        prop_assert!((f_warm_total - f_cold).abs() < 1e-6,
-            "warm {f_warm_total} vs cold {f_cold}");
+        assert!(f_warm_total + 1e-6 >= f1);
+        assert!(
+            (f_warm_total - f_cold).abs() < 1e-6,
+            "warm {f_warm_total} vs cold {f_cold}"
+        );
     }
 }

@@ -34,6 +34,7 @@ pub mod components;
 pub mod graph;
 pub mod io;
 pub mod order;
+pub mod testing;
 pub mod view;
 
 pub use components::{connected_components, connected_components_within, ConnectedComponents};

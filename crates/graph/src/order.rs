@@ -151,7 +151,17 @@ mod tests {
         // Power-law-ish star of triangles.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4), (0, 5), (0, 6), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (0, 4),
+                (3, 4),
+                (0, 5),
+                (0, 6),
+                (5, 6),
+            ],
         );
         let d = degeneracy_order(&g);
         for v in g.vertices() {

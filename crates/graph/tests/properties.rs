@@ -1,24 +1,33 @@
-//! Property-based tests of the graph substrate.
+//! Property-style tests of the graph substrate, driven by a deterministic
+//! xorshift generator (the container has no crates.io access, so these use
+//! seed loops instead of a property-testing framework).
 
+use dsd_graph::testing::XorShift;
 use dsd_graph::{
     connected_components, degeneracy_order, Graph, GraphBuilder, InducedSubgraph, VertexSet,
 };
-use proptest::prelude::*;
 
-fn edges_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2..=max_n).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32);
-        proptest::collection::vec(edge, 0..4 * n).prop_map(move |es| (n, es))
-    })
+/// A random (n, edge-list) pair: n in `2..=max_n`, up to `4n` pairs that may
+/// include self-loops and duplicates (the builder's job is to clean them up).
+fn random_edges(rng: &mut XorShift, max_n: usize) -> (usize, Vec<(u32, u32)>) {
+    let n = 2 + (rng.next() as usize) % (max_n - 1);
+    let m = (rng.next() as usize) % (4 * n);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                (rng.next() % n as u64) as u32,
+                (rng.next() % n as u64) as u32,
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The builder produces a simple graph: no self-loops, no duplicates,
-    /// symmetric adjacency, sorted neighbour lists.
-    #[test]
-    fn builder_invariants((n, edges) in edges_strategy(40)) {
+#[test]
+fn builder_invariants() {
+    let mut rng = XorShift::new(0xB111);
+    for _ in 0..128 {
+        let (n, edges) = random_edges(&mut rng, 40);
         let mut b = GraphBuilder::new(n);
         for &(u, v) in &edges {
             b.add_edge(u, v);
@@ -28,18 +37,18 @@ proptest! {
         for v in g.vertices() {
             let nbrs = g.neighbors(v);
             half_edge_count += nbrs.len();
-            // sorted + unique
+            // Sorted + unique.
             for w in nbrs.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1]);
             }
-            // no self loops, symmetric
+            // No self loops, symmetric.
             for &u in nbrs {
-                prop_assert_ne!(u, v);
-                prop_assert!(g.has_edge(u, v));
-                prop_assert!(g.neighbors(u).contains(&v));
+                assert_ne!(u, v);
+                assert!(g.has_edge(u, v));
+                assert!(g.neighbors(u).contains(&v));
             }
         }
-        prop_assert_eq!(half_edge_count, 2 * g.num_edges());
+        assert_eq!(half_edge_count, 2 * g.num_edges());
         // Edge count equals the deduplicated canonical pair count.
         let mut canon: Vec<(u32, u32)> = edges
             .iter()
@@ -48,47 +57,51 @@ proptest! {
             .collect();
         canon.sort_unstable();
         canon.dedup();
-        prop_assert_eq!(g.num_edges(), canon.len());
+        assert_eq!(g.num_edges(), canon.len());
     }
+}
 
-    /// Induced subgraphs keep exactly the edges with both endpoints inside.
-    #[test]
-    fn induced_subgraph_preserves_inside_edges((n, edges) in edges_strategy(30)) {
+#[test]
+fn induced_subgraph_preserves_inside_edges() {
+    let mut rng = XorShift::new(0x5AB2);
+    for _ in 0..128 {
+        let (n, edges) = random_edges(&mut rng, 30);
         let g = Graph::from_edges(n, &edges);
         // Take every other vertex.
         let members: Vec<u32> = (0..n as u32).step_by(2).collect();
         let sub = InducedSubgraph::new(&g, &members);
-        let inside: usize = g
-            .edges()
-            .filter(|&(u, v)| u % 2 == 0 && v % 2 == 0)
-            .count();
-        prop_assert_eq!(sub.graph.num_edges(), inside);
+        let inside: usize = g.edges().filter(|&(u, v)| u % 2 == 0 && v % 2 == 0).count();
+        assert_eq!(sub.graph.num_edges(), inside);
         // Every subgraph edge maps to a parent edge.
         for (u, v) in sub.graph.edges() {
-            prop_assert!(g.has_edge(sub.to_parent(u), sub.to_parent(v)));
+            assert!(g.has_edge(sub.to_parent(u), sub.to_parent(v)));
         }
     }
+}
 
-    /// Connected-component labels partition the vertex set and are closed
-    /// under adjacency.
-    #[test]
-    fn components_partition((n, edges) in edges_strategy(40)) {
+#[test]
+fn components_partition() {
+    let mut rng = XorShift::new(0xC0C0);
+    for _ in 0..128 {
+        let (n, edges) = random_edges(&mut rng, 40);
         let g = Graph::from_edges(n, &edges);
         let cc = connected_components(&g);
         for v in g.vertices() {
-            prop_assert!(cc.label[v as usize] != u32::MAX);
+            assert!(cc.label[v as usize] != u32::MAX);
             for &u in g.neighbors(v) {
-                prop_assert_eq!(cc.label[u as usize], cc.label[v as usize]);
+                assert_eq!(cc.label[u as usize], cc.label[v as usize]);
             }
         }
         let total: usize = cc.all_members().iter().map(Vec::len).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
     }
+}
 
-    /// The degeneracy equals the maximum classical core number (textbook
-    /// identity), and out-degrees in the orientation respect it.
-    #[test]
-    fn degeneracy_is_max_core((n, edges) in edges_strategy(30)) {
+#[test]
+fn degeneracy_is_max_core() {
+    let mut rng = XorShift::new(0xDE6E);
+    for _ in 0..128 {
+        let (n, edges) = random_edges(&mut rng, 30);
         let g = Graph::from_edges(n, &edges);
         let d = degeneracy_order(&g);
         // Max core number via naive repeated peeling.
@@ -103,18 +116,21 @@ proptest! {
             kmax = kmax.max(deg);
             alive.remove(v);
         }
-        prop_assert_eq!(d.degeneracy, kmax);
+        assert_eq!(d.degeneracy, kmax);
         for v in g.vertices() {
-            prop_assert!(d.out_neighbors(&g, v).count() <= d.degeneracy);
+            assert!(d.out_neighbors(&g, v).count() <= d.degeneracy);
         }
     }
+}
 
-    /// Edge-list round trip is the identity.
-    #[test]
-    fn io_round_trip((n, edges) in edges_strategy(25)) {
+#[test]
+fn io_round_trip() {
+    let mut rng = XorShift::new(0x10F1);
+    for _ in 0..128 {
+        let (n, edges) = random_edges(&mut rng, 25);
         let g = Graph::from_edges(n, &edges);
         let text = dsd_graph::io::to_edge_list_string(&g);
         let g2 = dsd_graph::io::parse_edge_list(&text).unwrap();
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2);
     }
 }

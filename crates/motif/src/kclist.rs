@@ -39,14 +39,24 @@ pub fn for_each_clique_within<F: FnMut(&[VertexId])>(
     let n = g.num_vertices();
     let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for v in alive.iter() {
-        out[v as usize] = dag.out_neighbors(g, v).filter(|&u| alive.contains(u)).collect();
+        out[v as usize] = dag
+            .out_neighbors(g, v)
+            .filter(|&u| alive.contains(u))
+            .collect();
         out[v as usize].sort_unstable();
     }
     let mut clique = Vec::with_capacity(h);
     let mut cand_stack: Vec<Vec<VertexId>> = Vec::new();
     for v in alive.iter() {
         clique.push(v);
-        rec(&out, &mut clique, out[v as usize].clone(), h, &mut cand_stack, &mut f);
+        rec(
+            &out,
+            &mut clique,
+            out[v as usize].clone(),
+            h,
+            &mut cand_stack,
+            &mut f,
+        );
         clique.pop();
     }
 }
@@ -321,7 +331,18 @@ mod tests {
     fn per_vertex_degree_sums_to_h_times_count() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (4, 6), (5, 6), (3, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+                (3, 6),
+            ],
         );
         for h in 2..=4 {
             let deg = clique_degrees(&g, h);

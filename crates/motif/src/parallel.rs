@@ -5,11 +5,12 @@
 //! dominant cost is the initial clique-degree pass, and the kClist
 //! recursion is embarrassingly parallel over root vertices (every clique
 //! is discovered exactly once, from its lowest-ranked member). This module
-//! implements that over crossbeam's scoped threads: the degeneracy DAG is
+//! implements that over std's scoped threads: the degeneracy DAG is
 //! built once and shared read-only; each worker owns a root range and a
 //! private degree accumulator, merged at the end.
 
-use crossbeam::thread;
+use std::thread;
+
 use dsd_graph::{degeneracy_order, Graph, VertexId, VertexSet};
 
 /// Shared read-only clique-listing context.
@@ -111,7 +112,7 @@ pub fn clique_degrees_parallel_within(
         for t in 0..threads {
             let out = &out;
             let roots = &roots;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut deg = vec![0u64; n];
                 let mut clique = Vec::with_capacity(h);
                 let mut pool: Vec<Vec<VertexId>> = Vec::new();
@@ -134,8 +135,7 @@ pub fn clique_degrees_parallel_within(
             .into_iter()
             .map(|hnd| hnd.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("thread scope");
+    });
 
     let mut total = vec![0u64; n];
     for local in results {

@@ -50,12 +50,15 @@ impl Pattern {
     /// Panics if `n` is 0 or > 64, if an edge is out of range or a
     /// self-loop, or if the pattern is disconnected.
     pub fn new(name: impl Into<String>, n: usize, edges: &[(u8, u8)]) -> Self {
-        assert!(n >= 1 && n <= 64, "patterns must have 1..=64 vertices");
+        assert!((1..=64).contains(&n), "patterns must have 1..=64 vertices");
         let mut adj = vec![vec![false; n]; n];
         let mut canon: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
         for &(u, v) in edges {
             assert!(u != v, "self-loop in pattern");
-            assert!((u as usize) < n && (v as usize) < n, "pattern edge out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "pattern edge out of range"
+            );
             if !adj[u as usize][v as usize] {
                 adj[u as usize][v as usize] = true;
                 adj[v as usize][u as usize] = true;
@@ -79,8 +82,8 @@ impl Pattern {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for u in 0..self.n {
-                if self.adj[v][u] && !seen[u] {
+            for (u, &adjacent) in self.adj[v].iter().enumerate() {
+                if adjacent && !seen[u] {
                     seen[u] = true;
                     count += 1;
                     stack.push(u);
@@ -407,11 +410,17 @@ mod tests {
     fn generic_constructors() {
         // cycle(4) and K{2,2} are both the diamond up to isomorphism.
         assert_eq!(Pattern::cycle(4).kind(), PatternKind::Diamond);
-        assert_eq!(Pattern::complete_bipartite(2, 2).kind(), PatternKind::Diamond);
+        assert_eq!(
+            Pattern::complete_bipartite(2, 2).kind(),
+            PatternKind::Diamond
+        );
         // cycle(3) is the triangle; path(3) is the 2-star; K{1,3} the 3-star.
         assert_eq!(Pattern::cycle(3).kind(), PatternKind::Clique(3));
         assert_eq!(Pattern::path(3).kind(), PatternKind::Star(2));
-        assert_eq!(Pattern::complete_bipartite(1, 3).kind(), PatternKind::Star(3));
+        assert_eq!(
+            Pattern::complete_bipartite(1, 3).kind(),
+            PatternKind::Star(3)
+        );
         assert_eq!(Pattern::path(2).kind(), PatternKind::Clique(2));
         // Aut(C5) = 10 (dihedral), Aut(P4) = 2, Aut(K{2,3}) = 2!·3! = 12.
         assert_eq!(Pattern::cycle(5).automorphism_count(), 10);
@@ -421,10 +430,21 @@ mod tests {
 
     #[test]
     fn figure7_metadata() {
-        let names: Vec<_> = Pattern::figure7().iter().map(|p| p.name().to_string()).collect();
+        let names: Vec<_> = Pattern::figure7()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
         assert_eq!(
             names,
-            vec!["2-star", "3-star", "c3-star", "diamond", "2-triangle", "3-triangle", "basket"]
+            vec![
+                "2-star",
+                "3-star",
+                "c3-star",
+                "diamond",
+                "2-triangle",
+                "3-triangle",
+                "basket"
+            ]
         );
         assert_eq!(Pattern::three_triangle().vertex_count(), 5);
         assert_eq!(Pattern::three_triangle().edge_count(), 7);

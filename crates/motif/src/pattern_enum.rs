@@ -54,13 +54,13 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
     let mut by_pattern = vec![0 as VertexId; k]; // by pattern vertex id
     let mut used: HashSet<VertexId> = HashSet::with_capacity(k);
 
-    let is_alive = |u: VertexId| -> bool {
-        alive.contains(u) || anchor.map(|(_, v)| v == u).unwrap_or(false)
-    };
+    let is_alive =
+        |u: VertexId| -> bool { alive.contains(u) || anchor.map(|(_, v)| v == u).unwrap_or(false) };
 
     // Candidate source for a position: any earlier position whose pattern
     // vertex is adjacent; its image's neighbourhood bounds the search.
     // Returns false to propagate an abort.
+    #[allow(clippy::too_many_arguments)]
     fn rec<F: FnMut(&[VertexId]) -> bool>(
         g: &Graph,
         p: &Pattern,
@@ -78,10 +78,10 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
         }
         let pv = order[pos];
         let try_candidate = |cand: VertexId,
-                                 images: &mut [VertexId],
-                                 by_pattern: &mut [VertexId],
-                                 used: &mut HashSet<VertexId>,
-                                 f: &mut F|
+                             images: &mut [VertexId],
+                             by_pattern: &mut [VertexId],
+                             used: &mut HashSet<VertexId>,
+                             f: &mut F|
          -> bool {
             if used.contains(&cand) || !is_alive(cand) {
                 return true;
@@ -92,7 +92,18 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
             images[pos] = cand;
             by_pattern[pv] = cand;
             used.insert(cand);
-            let keep = rec(g, p, order, pos + 1, images, by_pattern, used, anchor, is_alive, f);
+            let keep = rec(
+                g,
+                p,
+                order,
+                pos + 1,
+                images,
+                by_pattern,
+                used,
+                anchor,
+                is_alive,
+                f,
+            );
             used.remove(&cand);
             keep
         };
@@ -156,7 +167,11 @@ pub fn count_instances(g: &Graph, p: &Pattern, alive: &VertexSet) -> u64 {
     let mut embeddings = 0u64;
     for_each_embedding(g, p, alive, None, &mut |_| embeddings += 1);
     let aut = p.automorphism_count();
-    debug_assert_eq!(embeddings % aut, 0, "embedding count not divisible by |Aut|");
+    debug_assert_eq!(
+        embeddings % aut,
+        0,
+        "embedding count not divisible by |Aut|"
+    );
     embeddings / aut
 }
 
@@ -164,12 +179,7 @@ pub fn count_instances(g: &Graph, p: &Pattern, alive: &VertexSet) -> u64 {
 /// have been seen, returning `None`. Benchmark harnesses use this to skip
 /// pattern/graph combinations whose instance sets would not fit in memory
 /// (the analogue of the paper's multi-day timeout bars).
-pub fn count_instances_capped(
-    g: &Graph,
-    p: &Pattern,
-    alive: &VertexSet,
-    cap: u64,
-) -> Option<u64> {
+pub fn count_instances_capped(g: &Graph, p: &Pattern, alive: &VertexSet, cap: u64) -> Option<u64> {
     let aut = p.automorphism_count();
     let cap_embeddings = cap.saturating_mul(aut);
     let mut embeddings = 0u64;
@@ -304,7 +314,16 @@ mod tests {
     fn triangle_counts_match_kclist() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (2, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (2, 4),
+            ],
         );
         let via_pattern = count_instances(&g, &Pattern::triangle(), &full(&g));
         let via_kclist = crate::kclist::count_cliques(&g, 3);
@@ -364,8 +383,14 @@ mod tests {
         assert_eq!(inst.len(), 4);
         let groups = group_instances(&inst);
         assert_eq!(groups.len(), 2);
-        let g1 = groups.iter().find(|gr| gr.vertices == vec![a, b, c, d]).unwrap();
-        let g2 = groups.iter().find(|gr| gr.vertices == vec![a, d, e, f]).unwrap();
+        let g1 = groups
+            .iter()
+            .find(|gr| gr.vertices == vec![a, b, c, d])
+            .unwrap();
+        let g2 = groups
+            .iter()
+            .find(|gr| gr.vertices == vec![a, d, e, f])
+            .unwrap();
         assert_eq!(g1.count, 1);
         assert_eq!(g2.count, 3);
     }
@@ -424,7 +449,17 @@ mod tests {
     fn degrees_sum_to_size_times_count() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (4, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (4, 6),
+            ],
         );
         for p in Pattern::figure7() {
             let deg = pattern_degrees(&g, &p, &full(&g));
@@ -444,7 +479,10 @@ mod tests {
         let p = Pattern::triangle();
         let exact = count_instances(&g, &p, &full(&g));
         assert_eq!(count_instances_capped(&g, &p, &full(&g), 1000), Some(exact));
-        assert_eq!(count_instances_capped(&g, &p, &full(&g), exact), Some(exact));
+        assert_eq!(
+            count_instances_capped(&g, &p, &full(&g), exact),
+            Some(exact)
+        );
         assert_eq!(count_instances_capped(&g, &p, &full(&g), exact - 1), None);
     }
 

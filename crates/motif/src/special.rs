@@ -18,7 +18,10 @@ use crate::binomial;
 /// Alive-restricted degree: number of neighbours of `v` inside `alive`.
 #[inline]
 fn adeg(g: &Graph, alive: &VertexSet, v: VertexId) -> u64 {
-    g.neighbors(v).iter().filter(|&&u| alive.contains(u)).count() as u64
+    g.neighbors(v)
+        .iter()
+        .filter(|&&u| alive.contains(u))
+        .count() as u64
 }
 
 /// x-star pattern-degrees of all vertices of `g[alive]` (Appendix D.1.1).
@@ -31,7 +34,13 @@ pub fn star_degrees(g: &Graph, x: usize, alive: &VertexSet) -> Vec<u64> {
     let n = g.num_vertices();
     // Precompute alive degrees once: the formula touches each edge twice.
     let degs: Vec<u64> = (0..n as u32)
-        .map(|v| if alive.contains(v) { adeg(g, alive, v) } else { 0 })
+        .map(|v| {
+            if alive.contains(v) {
+                adeg(g, alive, v)
+            } else {
+                0
+            }
+        })
         .collect();
     let mut out = vec![0u64; n];
     for v in alive.iter() {
@@ -52,7 +61,12 @@ pub fn star_degrees(g: &Graph, x: usize, alive: &VertexSet) -> Vec<u64> {
 ///
 /// Returns `(u, amount)` pairs for every *other* vertex whose degree drops;
 /// the removed vertex's own loss is simply its current degree.
-pub fn star_decrements(g: &Graph, x: usize, alive: &VertexSet, v: VertexId) -> Vec<(VertexId, u64)> {
+pub fn star_decrements(
+    g: &Graph,
+    x: usize,
+    alive: &VertexSet,
+    v: VertexId,
+) -> Vec<(VertexId, u64)> {
     assert!(x >= 2);
     debug_assert!(alive.contains(v), "compute decrements before removing v");
     let x = x as u64;

@@ -1,117 +1,123 @@
-//! Property-based tests of the motif substrate: kClist vs generic pattern
+//! Property-style tests of the motif substrate: kClist vs generic pattern
 //! enumeration, automorphism-correct dedup, specialized degree paths, and
-//! the parallel degree pass.
+//! the parallel degree pass. Driven by a deterministic xorshift seed loop
+//! (no crates.io access in the container).
 
+use dsd_graph::testing::XorShift;
+use dsd_graph::{Graph, VertexSet};
 use dsd_motif::{
     clique_degrees, clique_degrees_parallel, count_cliques, instances, pattern_degrees,
     pattern_enum, special, Pattern,
 };
-use dsd_graph::{Graph, GraphBuilder, VertexSet};
-use proptest::prelude::*;
-
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
-    (3..=max_n).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(proptest::bool::weighted(0.4), max_edges).prop_map(
-            move |bits| {
-                let mut b = GraphBuilder::new(n);
-                let mut idx = 0;
-                for u in 0..n as u32 {
-                    for v in (u + 1)..n as u32 {
-                        if bits[idx] {
-                            b.add_edge(u, v);
-                        }
-                        idx += 1;
-                    }
-                }
-                b.build()
-            },
-        )
-    })
-}
 
 fn full(g: &Graph) -> VertexSet {
     VertexSet::full(g.num_vertices())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cliques counted two ways agree: kClist vs generic enumeration.
-    #[test]
-    fn kclist_equals_pattern_enumeration(g in graph_strategy(10)) {
+/// Cliques counted two ways agree: kClist vs generic enumeration.
+#[test]
+fn kclist_equals_pattern_enumeration() {
+    let mut rng = XorShift::new(0xC115);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 10, 40);
         for h in 2..=4usize {
             let via_kclist = count_cliques(&g, h);
             let via_pattern = pattern_enum::count_instances(&g, &Pattern::clique(h), &full(&g));
-            prop_assert_eq!(via_kclist, via_pattern, "h = {}", h);
+            assert_eq!(via_kclist, via_pattern, "h = {h}");
         }
     }
+}
 
-    /// Instance materialization dedups to exactly the counted number.
-    #[test]
-    fn instances_len_equals_count(g in graph_strategy(9)) {
-        for p in [Pattern::triangle(), Pattern::two_star(), Pattern::diamond(),
-                  Pattern::c3_star(), Pattern::two_triangle()] {
+/// Instance materialization dedups to exactly the counted number.
+#[test]
+fn instances_len_equals_count() {
+    let mut rng = XorShift::new(0x1247);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 9, 40);
+        for p in [
+            Pattern::triangle(),
+            Pattern::two_star(),
+            Pattern::diamond(),
+            Pattern::c3_star(),
+            Pattern::two_triangle(),
+        ] {
             let count = pattern_enum::count_instances(&g, &p, &full(&g));
             let materialized = instances(&g, &p, &full(&g));
-            prop_assert_eq!(materialized.len() as u64, count, "{}", p.name());
+            assert_eq!(materialized.len() as u64, count, "{}", p.name());
             // All instances have distinct edge sets.
             for w in materialized.windows(2) {
-                prop_assert!(w[0].edges != w[1].edges);
+                assert!(w[0].edges != w[1].edges);
             }
         }
     }
+}
 
-    /// Degrees sum to |VΨ| × #instances for every Figure-7 pattern.
-    #[test]
-    fn degree_sums(g in graph_strategy(9)) {
+/// Degrees sum to |VΨ| × #instances for every Figure-7 pattern.
+#[test]
+fn degree_sums() {
+    let mut rng = XorShift::new(0xDE65);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 9, 40);
         for p in Pattern::figure7() {
             let deg = pattern_degrees(&g, &p, &full(&g));
             let total: u64 = deg.iter().sum();
             let count = pattern_enum::count_instances(&g, &p, &full(&g));
-            prop_assert_eq!(total, p.vertex_count() as u64 * count, "{}", p.name());
+            assert_eq!(total, p.vertex_count() as u64 * count, "{}", p.name());
         }
     }
+}
 
-    /// The specialized star and diamond degree formulas equal generic
-    /// enumeration on arbitrary graphs and masks.
-    #[test]
-    fn specialized_degrees_match(g in graph_strategy(9), kill in 0..3u32) {
+/// The specialized star and diamond degree formulas equal generic
+/// enumeration on arbitrary graphs and masks.
+#[test]
+fn specialized_degrees_match() {
+    let mut rng = XorShift::new(0x57A6);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 9, 40);
+        let kill = (rng.next() % 3) as u32;
         let mut alive = full(&g);
         if (kill as usize) < g.num_vertices() {
             alive.remove(kill);
         }
         for x in 2..=3usize {
-            prop_assert_eq!(
+            assert_eq!(
                 special::star_degrees(&g, x, &alive),
                 pattern_degrees(&g, &Pattern::star(x), &alive),
-                "star x = {}", x
+                "star x = {x}"
             );
         }
-        prop_assert_eq!(
+        assert_eq!(
             special::diamond_degrees(&g, &alive),
             pattern_degrees(&g, &Pattern::diamond(), &alive)
         );
     }
+}
 
-    /// Parallel clique degrees equal the sequential pass.
-    #[test]
-    fn parallel_degrees_match(g in graph_strategy(10)) {
+/// Parallel clique degrees equal the sequential pass.
+#[test]
+fn parallel_degrees_match() {
+    let mut rng = XorShift::new(0x9A51);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 10, 40);
         for h in 2..=4usize {
-            prop_assert_eq!(
+            assert_eq!(
                 clique_degrees_parallel(&g, h, 3),
                 clique_degrees(&g, h),
-                "h = {}", h
+                "h = {h}"
             );
         }
     }
+}
 
-    /// Capped counting agrees with exact counting when under the cap.
-    #[test]
-    fn capped_counting_agrees(g in graph_strategy(9)) {
+/// Capped counting agrees with exact counting when under the cap.
+#[test]
+fn capped_counting_agrees() {
+    let mut rng = XorShift::new(0xCA99);
+    for _ in 0..64 {
+        let g = rng.random_graph(3, 9, 40);
         let p = Pattern::triangle();
         let exact = pattern_enum::count_instances(&g, &p, &full(&g));
-        prop_assert_eq!(
+        assert_eq!(
             pattern_enum::count_instances_capped(&g, &p, &full(&g), u64::MAX),
             Some(exact)
         );

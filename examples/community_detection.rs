@@ -4,13 +4,13 @@
 //! The paper's DBLP case study showed that the triangle-PDS is a tight
 //! research group (everyone co-authored with everyone) while the
 //! 2-star-PDS centres on senior hubs (advisors linked to many students).
-//! We reproduce that on a planted collaboration network.
+//! We reproduce that on a planted collaboration network, then use the
+//! engine's top-k objective to list the disjoint research groups.
 //!
 //! Run with: `cargo run --release --example community_detection`
 
-use dsd::core::{densest_subgraph, Method};
 use dsd::datasets::planted::collaboration_network;
-use dsd::motif::Pattern;
+use dsd::prelude::*;
 
 fn main() {
     // 6 research groups of 8 (near-cliques), 3 advisors with 12 students
@@ -25,11 +25,16 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
-    let advisor_ids: Vec<u32> =
-        (0..advisors as u32).map(|a| (groups * group_size) as u32 + a).collect();
+    let advisor_ids: Vec<u32> = (0..advisors as u32)
+        .map(|a| (groups * group_size) as u32 + a)
+        .collect();
+    let engine = DsdEngine::new(g);
 
     // Triangle-PDS: a tight group.
-    let tri = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+    let tri = engine
+        .request(&Pattern::triangle())
+        .method(Method::CoreExact)
+        .solve();
     println!(
         "\ntriangle-PDS: {} authors, density {:.3}",
         tri.len(),
@@ -40,10 +45,17 @@ fn main() {
         .iter()
         .filter(|&&v| (v as usize) < groups * group_size)
         .count();
-    println!("  {} of {} members come from the group blocks", in_groups, tri.len());
+    println!(
+        "  {} of {} members come from the group blocks",
+        in_groups,
+        tri.len()
+    );
 
     // 2-star-PDS: hub-centred (advisors + students).
-    let star = densest_subgraph(&g, &Pattern::two_star(), Method::CoreExact);
+    let star = engine
+        .request(&Pattern::two_star())
+        .method(Method::CoreExact)
+        .solve();
     println!(
         "\n2-star-PDS: {} authors, density {:.3}",
         star.len(),
@@ -55,6 +67,23 @@ fn main() {
         .filter(|a| star.vertices.contains(a))
         .collect();
     println!("  advisors inside the 2-star PDS: {hubs:?}");
+
+    // Top-3 disjoint triangle-dense groups, served from the warm
+    // decomposition the first triangle request already built.
+    let top3 = engine
+        .request(&Pattern::triangle())
+        .objective(Objective::TopK(3))
+        .solve();
+    assert!(top3.stats.substrate.decomposition_cache_hit);
+    println!("\ntop-3 disjoint triangle-dense groups:");
+    for (i, group) in top3.subgraphs.iter().enumerate() {
+        println!(
+            "  #{}: {} authors, density {:.3}",
+            i + 1,
+            group.len(),
+            group.density
+        );
+    }
 
     // The two PDS's capture different semantics (the case-study point).
     assert!(

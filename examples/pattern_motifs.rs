@@ -5,13 +5,13 @@
 //! and 4-clique patterns and finds each corresponds to a distinct
 //! functional class. Our synthetic PPI graph plants three modules —
 //! a near-clique, a dense bipartite block (4-cycle-rich), and hub-leaf
-//! stars — and the PDS per pattern lands on the matching module.
+//! stars — and the PDS per pattern lands on the matching module. One
+//! engine serves the whole pattern menu.
 //!
 //! Run with: `cargo run --release --example pattern_motifs`
 
-use dsd::core::{densest_subgraph, Method};
 use dsd::datasets::planted::ppi_like;
-use dsd::motif::Pattern;
+use dsd::prelude::*;
 
 fn module_of(vertices: &[u32]) -> &'static str {
     let count = |lo: u32, hi: u32| vertices.iter().filter(|&&v| v >= lo && v < hi).count();
@@ -34,6 +34,8 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
+    let engine = DsdEngine::new(g);
+    let pds_of = |psi: &Pattern| engine.request(psi).method(Method::CoreExact).solve();
 
     for psi in [
         Pattern::edge(),
@@ -42,7 +44,7 @@ fn main() {
         Pattern::three_star(),
         Pattern::c3_star(),
     ] {
-        let pds = densest_subgraph(&g, &psi, Method::CoreExact);
+        let pds = pds_of(&psi);
         println!(
             "{:>10}-PDS: {:>3} proteins, density {:>10.3} -> {}",
             psi.name(),
@@ -52,12 +54,14 @@ fn main() {
         );
     }
 
-    // Hard checks on the module ↔ pattern correspondence.
-    let k4 = densest_subgraph(&g, &Pattern::clique(4), Method::CoreExact);
+    // Hard checks on the module ↔ pattern correspondence. These repeat
+    // patterns from the loop above, so every substrate is served warm.
+    let k4 = pds_of(&Pattern::clique(4));
+    assert!(k4.stats.substrate.decomposition_cache_hit);
     assert_eq!(module_of(&k4.vertices), "clique module (0..8)");
-    let dia = densest_subgraph(&g, &Pattern::diamond(), Method::CoreExact);
+    let dia = pds_of(&Pattern::diamond());
     assert_eq!(module_of(&dia.vertices), "bipartite module (8..24)");
-    let star = densest_subgraph(&g, &Pattern::three_star(), Method::CoreExact);
+    let star = pds_of(&Pattern::three_star());
     assert_eq!(module_of(&star.vertices), "star module (24..45)");
     println!("\neach pattern's PDS matches its planted module, as in Fig. 21.");
 }

@@ -1,25 +1,27 @@
 //! Recovering a planted dense subgraph: exact vs approximate, plus the
-//! query-vertex variant of Section 6.3.
+//! query-vertex variant of Section 6.3 — one engine serves all three.
 //!
 //! Run with: `cargo run --release --example planted_dense`
 
-use dsd::core::{densest_subgraph, densest_with_query, Method};
 use dsd::datasets::planted::planted_dense;
-use dsd::motif::Pattern;
+use dsd::prelude::*;
 
 fn main() {
     // A 20-vertex near-clique hidden in a 600-vertex sparse background.
     let planted = planted_dense(600, 20, 0.9, 0.01, 99);
-    let g = &planted.graph;
     println!(
         "graph: {} vertices, {} edges; planted block: {:?}",
-        g.num_vertices(),
-        g.num_edges(),
+        planted.graph.num_vertices(),
+        planted.graph.num_edges(),
         planted.planted
     );
+    let engine = DsdEngine::new(planted.graph.clone());
 
     // CoreExact recovers the planted block exactly.
-    let exact = densest_subgraph(g, &Pattern::edge(), Method::CoreExact);
+    let exact = engine
+        .request(&Pattern::edge())
+        .method(Method::CoreExact)
+        .solve();
     let recovered = exact
         .vertices
         .iter()
@@ -34,7 +36,10 @@ fn main() {
     assert!(recovered >= 18, "planted block mostly recovered");
 
     // CoreApp gets similar quality at a fraction of the cost.
-    let approx = densest_subgraph(g, &Pattern::edge(), Method::CoreApp);
+    let approx = engine
+        .request(&Pattern::edge())
+        .method(Method::CoreApp)
+        .solve();
     println!(
         "CoreApp:   density {:.3} ({}% of exact)",
         approx.density,
@@ -44,7 +49,11 @@ fn main() {
 
     // Query variant: force a background vertex into the answer.
     let outsider = 599u32;
-    let with_q = densest_with_query(g, &[outsider]).expect("valid query");
+    let with_q = engine
+        .request(&Pattern::edge())
+        .objective(Objective::WithQuery(vec![outsider]))
+        .solve();
+    assert_eq!(with_q.outcome, Outcome::Found);
     println!(
         "\nquery variant (must contain v{outsider}): density {:.3}, |D| = {}",
         with_q.density,

@@ -1,17 +1,16 @@
-//! Quickstart: load a graph, find its edge- and triangle-densest subgraphs
-//! with every method, and print the results.
+//! Quickstart: load a graph into a `DsdEngine`, find its edge- and
+//! triangle-densest subgraphs with every method, and print the results —
+//! all requests after the first reuse the engine's warm substrates.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dsd::core::{densest_subgraph, Method};
-use dsd::graph::io::parse_edge_list;
-use dsd::motif::Pattern;
+use dsd::prelude::*;
 
 fn main() {
     // The paper's Figure-1(a) setting: an edge-dense near-bipartite block
     // (S1) and a triangle-dense diamond (S2) in one graph. Graphs normally
     // come from edge-list files; `parse_edge_list` accepts the same text.
-    let g = parse_edge_list(
+    let g = dsd::graph::io::parse_edge_list(
         "# S1: K{3,4} minus an edge (vertices 0-6)\n\
          0 3\n0 4\n0 5\n0 6\n1 3\n1 4\n1 5\n1 6\n2 3\n2 4\n2 5\n\
          # S2: two triangles sharing an edge (vertices 7-10)\n\
@@ -20,28 +19,53 @@ fn main() {
     )
     .expect("valid edge list");
 
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let engine = DsdEngine::new(g);
 
     // The edge-densest subgraph (EDS) is S1: 11 edges over 7 vertices.
-    let eds = densest_subgraph(&g, &Pattern::edge(), Method::CoreExact);
-    println!("\nEDS (edge density {:.4}): {:?}", eds.density, eds.vertices);
+    let eds = engine.request(&Pattern::edge()).solve();
+    println!(
+        "\nEDS via {:?} (edge density {:.4}): {:?}",
+        eds.method, eds.density, eds.vertices
+    );
 
     // The triangle-densest subgraph (CDS) is S2 — a different subgraph!
-    let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
-    println!("triangle-CDS (density {:.4}): {:?}", cds.density, cds.vertices);
+    let cds = engine.request(&Pattern::triangle()).solve();
+    println!(
+        "triangle-CDS (density {:.4}): {:?}",
+        cds.density, cds.vertices
+    );
 
     // Approximation methods trade accuracy for speed; on this graph they
-    // are exact anyway.
+    // are exact anyway. The engine serves them all from the warm
+    // (k, Ψ)-core decomposition built for the CDS request above.
     for method in [Method::PeelApp, Method::IncApp, Method::CoreApp] {
-        let r = densest_subgraph(&g, &Pattern::triangle(), method);
-        println!("{method:?}: density {:.4}, vertices {:?}", r.density, r.vertices);
+        let r = engine.request(&Pattern::triangle()).method(method).solve();
+        assert!(r.stats.substrate.decomposition_cache_hit || method == Method::CoreApp);
+        println!(
+            "{method:?}: density {:.4}, vertices {:?}",
+            r.density, r.vertices
+        );
     }
 
     // Any connected pattern works as the density definition.
-    let pds = densest_subgraph(&g, &Pattern::two_star(), Method::CoreExact);
-    println!("\n2-star PDS (density {:.4}): {:?}", pds.density, pds.vertices);
+    let pds = engine.request(&Pattern::two_star()).solve();
+    println!(
+        "\n2-star PDS (density {:.4}): {:?}",
+        pds.density, pds.vertices
+    );
+
+    let hits = engine.cache_stats();
+    println!(
+        "\nsubstrate cache: {} decomposition builds, {} hits",
+        hits.decomposition_builds, hits.decomposition_hits
+    );
 
     assert_eq!(eds.vertices, vec![0, 1, 2, 3, 4, 5, 6]);
     assert_eq!(cds.vertices, vec![7, 8, 9, 10]);
-    println!("\nEDS and CDS differ, as Figure 1 of the paper illustrates.");
+    println!("EDS and CDS differ, as Figure 1 of the paper illustrates.");
 }

@@ -1,24 +1,30 @@
-//! `dsd` — command-line densest subgraph discovery.
+//! `dsd` — command-line densest subgraph discovery, driven by the
+//! cache-reusing `DsdEngine`.
 //!
 //! ```text
 //! dsd <edge-list-file> [--psi <pattern>] [--method <method>]
+//!                      [--objective <objective>] [--backend <backend>]
+//!                      [--tolerance <t>] [--budget <probes>]
 //!                      [--query v1,v2,...] [--stats]
 //!
-//! patterns: edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
-//!           c3-star | diamond | 2-triangle | 3-triangle | basket
-//! methods:  exact | core-exact (default) | peel | inc-app | core-app
+//! patterns:   edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
+//!             c3-star | diamond | 2-triangle | 3-triangle | basket
+//! methods:    auto (default) | exact | core-exact | peel | inc-app | core-app
+//! objectives: densest (default) | top-k:<k> | at-least:<k> | at-most:<k>
+//! backends:   dinic (default) | push-relabel
 //! ```
 //!
 //! Reads a whitespace edge list (`# comments` allowed, `# n <N>` header
-//! optional), prints the densest subgraph and its density. `--query` runs
-//! the Section-6.3 variant (edge density, must contain the given
-//! vertices). `--stats` prints the Figure-18-style statistics instead.
+//! optional) and prints the solution plus the engine's solve statistics.
+//! `--query` runs the Section-6.3 variant (edge density, must contain the
+//! given vertices). `--stats` prints the Figure-18-style statistics
+//! instead.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use dsd::core::{densest_subgraph, densest_with_query, Method};
+use dsd::core::{DsdEngine, FlowBackend, Method, Objective, Outcome};
 use dsd::datasets::compute_stats;
 use dsd::graph::io::read_edge_list;
 use dsd::motif::Pattern;
@@ -48,6 +54,7 @@ fn parse_pattern(s: &str) -> Option<Pattern> {
 
 fn parse_method(s: &str) -> Option<Method> {
     match s {
+        "auto" => Some(Method::Auto),
         "exact" => Some(Method::Exact),
         "core-exact" => Some(Method::CoreExact),
         "peel" => Some(Method::PeelApp),
@@ -57,10 +64,36 @@ fn parse_method(s: &str) -> Option<Method> {
     }
 }
 
+fn parse_objective(s: &str) -> Option<Objective> {
+    if s == "densest" {
+        return Some(Objective::Densest);
+    }
+    let parse_k = |rest: &str| rest.parse::<usize>().ok().filter(|&k| k >= 1);
+    if let Some(rest) = s.strip_prefix("top-k:") {
+        return parse_k(rest).map(Objective::TopK);
+    }
+    if let Some(rest) = s.strip_prefix("at-least:") {
+        return parse_k(rest).map(Objective::AtLeastK);
+    }
+    if let Some(rest) = s.strip_prefix("at-most:") {
+        return parse_k(rest).map(Objective::AtMostK);
+    }
+    None
+}
+
+fn parse_backend(s: &str) -> Option<FlowBackend> {
+    match s {
+        "dinic" => Some(FlowBackend::Dinic),
+        "push-relabel" => Some(FlowBackend::PushRelabel),
+        _ => None,
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dsd <edge-list-file> [--psi <pattern>] [--method <method>] \
-         [--query v1,v2,...] [--stats]"
+         [--objective <objective>] [--backend <backend>] [--tolerance <t>] \
+         [--budget <probes>] [--query v1,v2,...] [--stats]"
     );
     ExitCode::FAILURE
 }
@@ -69,8 +102,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file: Option<&str> = None;
     let mut psi = Pattern::edge();
-    let mut method = Method::CoreExact;
-    let mut query: Option<Vec<u32>> = None;
+    let mut method = Method::Auto;
+    let mut objective = Objective::Densest;
+    let mut backend = FlowBackend::Dinic;
+    let mut tolerance: Option<f64> = None;
+    let mut budget: Option<usize> = None;
     let mut stats = false;
 
     let mut it = args.iter();
@@ -90,12 +126,39 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--objective" => match it.next().and_then(|s| parse_objective(s)) {
+                Some(o) => objective = o,
+                None => {
+                    eprintln!("unknown objective");
+                    return usage();
+                }
+            },
+            "--backend" => match it.next().and_then(|s| parse_backend(s)) {
+                Some(b) => backend = b,
+                None => {
+                    eprintln!("unknown backend");
+                    return usage();
+                }
+            },
+            "--tolerance" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = Some(t),
+                _ => {
+                    eprintln!("bad --tolerance");
+                    return usage();
+                }
+            },
+            "--budget" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(b) => budget = Some(b),
+                None => {
+                    eprintln!("bad --budget");
+                    return usage();
+                }
+            },
             "--query" => match it.next() {
                 Some(list) => {
-                    let parsed: Result<Vec<u32>, _> =
-                        list.split(',').map(str::parse).collect();
+                    let parsed: Result<Vec<u32>, _> = list.split(',').map(str::parse).collect();
                     match parsed {
-                        Ok(vs) if !vs.is_empty() => query = Some(vs),
+                        Ok(vs) if !vs.is_empty() => objective = Objective::WithQuery(vs),
                         _ => {
                             eprintln!("bad --query list");
                             return usage();
@@ -122,7 +185,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     if stats {
         let s = compute_stats(&g);
@@ -133,31 +200,64 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if let Some(q) = query {
-        match densest_with_query(&g, &q) {
-            Some(r) => {
-                println!(
-                    "densest subgraph containing {q:?}: density {:.6}, {} vertices",
-                    r.density,
-                    r.len()
-                );
-                println!("vertices: {:?}", r.vertices);
-                ExitCode::SUCCESS
-            }
-            None => {
-                eprintln!("invalid query vertices");
-                ExitCode::FAILURE
-            }
-        }
-    } else {
-        let r = densest_subgraph(&g, &psi, method);
-        println!(
-            "{}-densest subgraph via {method:?}: density {:.6}, {} vertices",
-            psi.name(),
-            r.density,
-            r.len()
+    if matches!(objective, Objective::WithQuery(_)) && psi.vertex_count() != 2 {
+        eprintln!(
+            "note: --query computes edge density (Section 6.3 variant); --psi {} is ignored",
+            psi.name()
         );
-        println!("vertices: {:?}", r.vertices);
-        ExitCode::SUCCESS
     }
+    let engine = DsdEngine::new(g);
+    let mut request = engine
+        .request(&psi)
+        .objective(objective.clone())
+        .method(method)
+        .flow_backend(backend);
+    if let Some(t) = tolerance {
+        request = request.tolerance(t);
+    }
+    if let Some(b) = budget {
+        request = request.step_budget(b);
+    }
+    let solution = request.solve();
+
+    if solution.outcome == Outcome::Invalid {
+        eprintln!("invalid request: {objective:?}");
+        return ExitCode::FAILURE;
+    }
+    // The query variant is defined on edge density regardless of Ψ — label
+    // its output accordingly instead of with the requested pattern.
+    let density_label = if matches!(solution.objective, Objective::WithQuery(_)) {
+        "edge"
+    } else {
+        psi.name()
+    };
+    println!(
+        "{}-densest ({:?}) via {:?}: density {:.6}, {} vertices [{:?}]",
+        density_label,
+        solution.objective,
+        solution.method,
+        solution.density,
+        solution.len(),
+        solution.guarantee,
+    );
+    for (i, sub) in solution.subgraphs.iter().enumerate() {
+        if solution.subgraphs.len() > 1 {
+            println!(
+                "#{} (density {:.6}): {:?}",
+                i + 1,
+                sub.density,
+                sub.vertices
+            );
+        } else {
+            println!("vertices: {:?}", sub.vertices);
+        }
+    }
+    let st = &solution.stats;
+    println!(
+        "solve: {:.3} ms total, {:.3} ms decomposition, {} flow probes",
+        st.total_nanos as f64 / 1e6,
+        st.decomposition_nanos as f64 / 1e6,
+        st.flow_iterations,
+    );
+    ExitCode::SUCCESS
 }

@@ -6,19 +6,43 @@
 //! * [`flow`] — max-flow / min-cut solvers;
 //! * [`motif`] — clique listing and pattern enumeration;
 //! * [`core`] — the paper's algorithms (Exact/CoreExact, PeelApp/IncApp/
-//!   CoreApp, PExact/CorePExact, Nucleus, EMcore, the query variant, and
-//!   the extensions);
+//!   CoreApp, PExact/CorePExact, Nucleus, EMcore, the query variant, the
+//!   extensions) and the [`core::engine::DsdEngine`] query engine;
 //! * [`datasets`] — generators, fixtures, and the evaluation registry.
 //!
+//! # Quickstart
+//!
+//! The engine is the primary API: it owns a graph, memoizes the expensive
+//! substrates (Ψ-instance lists, (k, Ψ)-core decompositions, the classical
+//! k-core order), and answers every objective through one [`Solution`]
+//! shape:
+//!
 //! ```
-//! use dsd::core::{densest_subgraph, Method};
-//! use dsd::graph::Graph;
-//! use dsd::motif::Pattern;
+//! use dsd::prelude::*;
 //!
 //! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
-//! let cds = densest_subgraph(&g, &Pattern::triangle(), Method::CoreExact);
+//! let engine = DsdEngine::new(g);
+//! let psi = Pattern::triangle();
+//!
+//! // Densest subgraph, method picked cost-based (Method::Auto).
+//! let cds = engine.request(&psi).solve();
 //! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
+//!
+//! // Same substrates, different objectives — served from the warm cache.
+//! let top2 = engine.request(&psi).objective(Objective::TopK(2)).solve();
+//! assert!(top2.stats.substrate.decomposition_cache_hit);
+//! let anchored = engine
+//!     .request(&psi)
+//!     .objective(Objective::WithQuery(vec![4]))
+//!     .solve();
+//! assert!(anchored.vertices.contains(&4));
 //! ```
+//!
+//! One-off calls can keep using the free functions
+//! ([`core::densest_subgraph`] & co.), which shim through a throwaway
+//! engine.
+//!
+//! [`Solution`]: core::engine::Solution
 
 pub use dsd_core as core;
 pub use dsd_datasets as datasets;
@@ -26,11 +50,13 @@ pub use dsd_flow as flow;
 pub use dsd_graph as graph;
 pub use dsd_motif as motif;
 
-/// Convenience re-exports for the common workflow.
+/// Convenience re-exports for the common workflow: the engine types plus
+/// the free-function shims and the substrate value types they share.
 pub mod prelude {
     pub use dsd_core::{
         core_exact, densest_subgraph, densest_with_query, exact, peel_app, top_k_densest,
-        DsdResult, FlowBackend, Method,
+        DsdEngine, DsdRequest, DsdResult, FlowBackend, Guarantee, Method, Objective, Outcome,
+        Solution, SolveStats,
     };
     pub use dsd_graph::{Graph, GraphBuilder, VertexId, VertexSet};
     pub use dsd_motif::Pattern;

@@ -1,11 +1,12 @@
 //! Cross-crate exactness tests: every exact algorithm must agree with
 //! brute-force subset enumeration on small random graphs, and the two
-//! exact algorithms must agree with each other everywhere.
+//! exact algorithms must agree with each other everywhere. Driven by a
+//! deterministic xorshift seed loop (no crates.io access in the container).
 
 use dsd::core::{core_exact, densest_subgraph, exact, oracle_for, FlowBackend, Method};
-use dsd::graph::{Graph, GraphBuilder, VertexSet};
+use dsd::graph::testing::XorShift;
+use dsd::graph::{Graph, VertexSet};
 use dsd::motif::Pattern;
-use proptest::prelude::*;
 
 /// Brute-force ρopt over all non-empty vertex subsets.
 fn brute_force_opt(g: &Graph, psi: &Pattern) -> f64 {
@@ -22,93 +23,127 @@ fn brute_force_opt(g: &Graph, psi: &Pattern) -> f64 {
     best
 }
 
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2..=max_n).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(any::<bool>(), max_edges).prop_map(move |bits| {
-            let mut b = GraphBuilder::new(n);
-            let mut idx = 0;
-            for u in 0..n as u32 {
-                for v in (u + 1)..n as u32 {
-                    if bits[idx] {
-                        b.add_edge(u, v);
-                    }
-                    idx += 1;
-                }
-            }
-            b.build()
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn exact_matches_brute_force_for_edges(g in graph_strategy(9)) {
+#[test]
+fn exact_matches_brute_force_for_edges() {
+    let mut rng = XorShift::new(0xED6E);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 9, 50);
         let psi = Pattern::edge();
         let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
         let want = brute_force_opt(&g, &psi);
-        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+        assert!(
+            (r.density - want).abs() < 1e-7,
+            "got {} want {}",
+            r.density,
+            want
+        );
     }
+}
 
-    #[test]
-    fn core_exact_matches_brute_force_for_triangles(g in graph_strategy(9)) {
+#[test]
+fn core_exact_matches_brute_force_for_triangles() {
+    let mut rng = XorShift::new(0x7219);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 9, 50);
         let psi = Pattern::triangle();
         let (r, _) = core_exact(&g, &psi);
         let want = brute_force_opt(&g, &psi);
-        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+        assert!(
+            (r.density - want).abs() < 1e-7,
+            "got {} want {}",
+            r.density,
+            want
+        );
     }
+}
 
-    #[test]
-    fn exact_and_core_exact_agree_on_4cliques(g in graph_strategy(10)) {
+#[test]
+fn exact_and_core_exact_agree_on_4cliques() {
+    let mut rng = XorShift::new(0x4C11);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 10, 50);
         let psi = Pattern::clique(4);
         let (a, _) = exact(&g, &psi, FlowBackend::Dinic);
         let (b, _) = core_exact(&g, &psi);
-        prop_assert!((a.density - b.density).abs() < 1e-7);
+        assert!((a.density - b.density).abs() < 1e-7);
     }
+}
 
-    #[test]
-    fn pexact_matches_brute_force_for_two_star(g in graph_strategy(8)) {
+#[test]
+fn pexact_matches_brute_force_for_two_star() {
+    let mut rng = XorShift::new(0x25A7);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 8, 50);
         let psi = Pattern::two_star();
         let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
         let want = brute_force_opt(&g, &psi);
-        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+        assert!(
+            (r.density - want).abs() < 1e-7,
+            "got {} want {}",
+            r.density,
+            want
+        );
     }
+}
 
-    #[test]
-    fn core_pexact_matches_brute_force_for_diamond(g in graph_strategy(8)) {
+#[test]
+fn core_pexact_matches_brute_force_for_diamond() {
+    let mut rng = XorShift::new(0xD1A5);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 8, 50);
         let psi = Pattern::diamond();
         let (r, _) = core_exact(&g, &psi);
         let want = brute_force_opt(&g, &psi);
-        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+        assert!(
+            (r.density - want).abs() < 1e-7,
+            "got {} want {}",
+            r.density,
+            want
+        );
     }
+}
 
-    #[test]
-    fn pexact_matches_brute_force_for_c3_star(g in graph_strategy(8)) {
+#[test]
+fn pexact_matches_brute_force_for_c3_star() {
+    let mut rng = XorShift::new(0xC357);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 8, 50);
         let psi = Pattern::c3_star();
         let (r, _) = exact(&g, &psi, FlowBackend::Dinic);
         let want = brute_force_opt(&g, &psi);
-        prop_assert!((r.density - want).abs() < 1e-7, "got {} want {}", r.density, want);
+        assert!(
+            (r.density - want).abs() < 1e-7,
+            "got {} want {}",
+            r.density,
+            want
+        );
     }
+}
 
-    #[test]
-    fn push_relabel_backend_agrees(g in graph_strategy(9)) {
+#[test]
+fn push_relabel_backend_agrees() {
+    let mut rng = XorShift::new(0x9815);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 9, 50);
         for psi in [Pattern::edge(), Pattern::triangle()] {
             let (a, _) = exact(&g, &psi, FlowBackend::Dinic);
             let (b, _) = exact(&g, &psi, FlowBackend::PushRelabel);
-            prop_assert!((a.density - b.density).abs() < 1e-7, "{}", psi.name());
+            assert!((a.density - b.density).abs() < 1e-7, "{}", psi.name());
         }
     }
+}
 
-    #[test]
-    fn reported_density_matches_reported_vertices(g in graph_strategy(9)) {
+#[test]
+fn reported_density_matches_reported_vertices() {
+    let mut rng = XorShift::new(0x4E91);
+    for _ in 0..64 {
+        let g = rng.random_graph(2, 9, 50);
         let psi = Pattern::triangle();
         let r = densest_subgraph(&g, &psi, Method::CoreExact);
         let oracle = oracle_for(&psi);
         let set = VertexSet::from_members(g.num_vertices(), &r.vertices);
         let rho = dsd::core::density(oracle.as_ref(), &g, &set);
-        prop_assert!((rho - r.density).abs() < 1e-9);
+        assert!((rho - r.density).abs() < 1e-9);
     }
 }
 

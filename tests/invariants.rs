@@ -1,67 +1,56 @@
-//! Property-based invariant tests spanning the whole stack: the paper's
-//! theorems must hold on arbitrary graphs.
+//! Property-style invariant tests spanning the whole stack: the paper's
+//! theorems must hold on arbitrary graphs. Driven by a deterministic
+//! xorshift seed loop (no crates.io access in the container).
 
 use dsd::core::{
-    core_app, core_exact, decompose, density, inc_app, nucleus_decomposition, oracle_for,
-    peel_app,
+    core_app, core_exact, decompose, density, inc_app, nucleus_decomposition, oracle_for, peel_app,
 };
-use dsd::graph::{Graph, GraphBuilder, VertexSet};
+use dsd::graph::testing::XorShift;
+use dsd::graph::VertexSet;
 use dsd::motif::Pattern;
-use proptest::prelude::*;
 
-fn graph_strategy(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2..=max_n).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec(proptest::bool::weighted(0.45), max_edges).prop_map(
-            move |bits| {
-                let mut b = GraphBuilder::new(n);
-                let mut idx = 0;
-                for u in 0..n as u32 {
-                    for v in (u + 1)..n as u32 {
-                        if bits[idx] {
-                            b.add_edge(u, v);
-                        }
-                        idx += 1;
-                    }
-                }
-                b.build()
-            },
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorem 1: k/|VΨ| ≤ ρ(Rk, Ψ) ≤ kmax for every (k, Ψ)-core.
-    #[test]
-    fn theorem1_bounds_hold(g in graph_strategy(12)) {
+/// Theorem 1: k/|VΨ| ≤ ρ(Rk, Ψ) ≤ kmax for every (k, Ψ)-core.
+#[test]
+fn theorem1_bounds_hold() {
+    let mut rng = XorShift::new(0x7801);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 12, 45);
         for psi in [Pattern::edge(), Pattern::triangle(), Pattern::two_star()] {
             let oracle = oracle_for(&psi);
             let dec = decompose(&g, oracle.as_ref());
             for k in 1..=dec.kmax {
                 let core = dec.core_set(k);
-                if core.is_empty() { continue; }
+                if core.is_empty() {
+                    continue;
+                }
                 let rho = density(oracle.as_ref(), &g, &core);
-                prop_assert!(rho + 1e-9 >= k as f64 / psi.vertex_count() as f64);
-                prop_assert!(rho <= dec.kmax as f64 + 1e-9);
+                assert!(rho + 1e-9 >= k as f64 / psi.vertex_count() as f64);
+                assert!(rho <= dec.kmax as f64 + 1e-9);
             }
         }
     }
+}
 
-    /// Lemma 5: ρopt ≤ kmax.
-    #[test]
-    fn rho_opt_bounded_by_kmax(g in graph_strategy(10)) {
+/// Lemma 5: ρopt ≤ kmax.
+#[test]
+fn rho_opt_bounded_by_kmax() {
+    let mut rng = XorShift::new(0x5E11);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 10, 45);
         let psi = Pattern::triangle();
         let oracle = oracle_for(&psi);
         let dec = decompose(&g, oracle.as_ref());
         let (opt, _) = core_exact(&g, &psi);
-        prop_assert!(opt.density <= dec.kmax as f64 + 1e-9);
+        assert!(opt.density <= dec.kmax as f64 + 1e-9);
     }
+}
 
-    /// Lemma 7: the CDS is inside the (⌈ρopt⌉, Ψ)-core.
-    #[test]
-    fn cds_is_inside_its_core(g in graph_strategy(10)) {
+/// Lemma 7: the CDS is inside the (⌈ρopt⌉, Ψ)-core.
+#[test]
+fn cds_is_inside_its_core() {
+    let mut rng = XorShift::new(0xCD51);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 10, 45);
         let psi = Pattern::triangle();
         let oracle = oracle_for(&psi);
         let dec = decompose(&g, oracle.as_ref());
@@ -70,27 +59,47 @@ proptest! {
             let k = opt.density.ceil() as u64;
             let core = dec.core_set(k);
             for &v in &opt.vertices {
-                prop_assert!(core.contains(v), "CDS vertex {v} outside ({k},Ψ)-core");
+                assert!(core.contains(v), "CDS vertex {v} outside ({k},Ψ)-core");
             }
         }
     }
+}
 
-    /// Lemmas 8/10: every approximation is within 1/|VΨ| of optimal.
-    #[test]
-    fn approximation_guarantees(g in graph_strategy(10)) {
+/// Lemmas 8/10: every approximation is within 1/|VΨ| of optimal.
+#[test]
+fn approximation_guarantees() {
+    let mut rng = XorShift::new(0xA991);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 10, 45);
         for psi in [Pattern::edge(), Pattern::triangle(), Pattern::diamond()] {
             let (opt, _) = core_exact(&g, &psi);
             let floor = opt.density / psi.vertex_count() as f64 - 1e-9;
-            prop_assert!(peel_app(&g, &psi).density >= floor, "PeelApp {}", psi.name());
-            prop_assert!(inc_app(&g, &psi).result.density >= floor, "IncApp {}", psi.name());
-            prop_assert!(core_app(&g, &psi).result.density >= floor, "CoreApp {}", psi.name());
+            assert!(
+                peel_app(&g, &psi).density >= floor,
+                "PeelApp {}",
+                psi.name()
+            );
+            assert!(
+                inc_app(&g, &psi).result.density >= floor,
+                "IncApp {}",
+                psi.name()
+            );
+            assert!(
+                core_app(&g, &psi).result.density >= floor,
+                "CoreApp {}",
+                psi.name()
+            );
         }
     }
+}
 
-    /// Cores are nested, and every member of the (k, Ψ)-core has inner
-    /// degree ≥ k.
-    #[test]
-    fn core_structure(g in graph_strategy(12)) {
+/// Cores are nested, and every member of the (k, Ψ)-core has inner
+/// degree ≥ k.
+#[test]
+fn core_structure() {
+    let mut rng = XorShift::new(0xC02E);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 12, 45);
         let psi = Pattern::triangle();
         let oracle = oracle_for(&psi);
         let dec = decompose(&g, oracle.as_ref());
@@ -98,49 +107,61 @@ proptest! {
             let hi = dec.core_set(k);
             let lo = dec.core_set(k - 1);
             for v in hi.iter() {
-                prop_assert!(lo.contains(v), "nestedness broken at k={k}");
+                assert!(lo.contains(v), "nestedness broken at k={k}");
             }
             let deg = oracle.degrees(&g, &hi);
             for v in hi.iter() {
-                prop_assert!(deg[v as usize] >= k, "degree {} < {k}", deg[v as usize]);
+                assert!(deg[v as usize] >= k, "degree {} < {k}", deg[v as usize]);
             }
         }
     }
+}
 
-    /// The AND-style nucleus decomposition converges to the same core
-    /// numbers as the peel decomposition, for every clique size.
-    #[test]
-    fn nucleus_equals_peel_decomposition(g in graph_strategy(10)) {
+/// The AND-style nucleus decomposition converges to the same core numbers
+/// as the peel decomposition, for every clique size.
+#[test]
+fn nucleus_equals_peel_decomposition() {
+    let mut rng = XorShift::new(0x91C1);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 10, 45);
         for h in 2..=4usize {
             let nuc = nucleus_decomposition(&g, h);
             let oracle = oracle_for(&Pattern::clique(h));
             let dec = decompose(&g, oracle.as_ref());
-            prop_assert_eq!(&nuc.core, &dec.core, "h = {}", h);
+            assert_eq!(&nuc.core, &dec.core, "h = {h}");
         }
     }
+}
 
-    /// IncApp and CoreApp return the identical (kmax, Ψ)-core.
-    #[test]
-    fn inc_app_equals_core_app(g in graph_strategy(12)) {
+/// IncApp and CoreApp return the identical (kmax, Ψ)-core.
+#[test]
+fn inc_app_equals_core_app() {
+    let mut rng = XorShift::new(0x1CA9);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 12, 45);
         for psi in [Pattern::edge(), Pattern::triangle(), Pattern::two_star()] {
             let a = inc_app(&g, &psi);
             let b = core_app(&g, &psi);
-            prop_assert_eq!(a.kmax, b.kmax);
-            prop_assert_eq!(&a.result.vertices, &b.result.vertices);
+            assert_eq!(a.kmax, b.kmax);
+            assert_eq!(&a.result.vertices, &b.result.vertices);
         }
     }
+}
 
-    /// The peel lower bound ρ′ never exceeds ρopt, and the best residual
-    /// subgraph really achieves it.
-    #[test]
-    fn peel_density_is_achievable_lower_bound(g in graph_strategy(10)) {
+/// The peel lower bound ρ′ never exceeds ρopt, and the best residual
+/// subgraph really achieves it.
+#[test]
+fn peel_density_is_achievable_lower_bound() {
+    let mut rng = XorShift::new(0x9EE1);
+    for _ in 0..48 {
+        let g = rng.random_graph(2, 10, 45);
         let psi = Pattern::triangle();
         let oracle = oracle_for(&psi);
         let dec = decompose(&g, oracle.as_ref());
         let (opt, _) = core_exact(&g, &psi);
-        prop_assert!(dec.best_density <= opt.density + 1e-9);
+        assert!(dec.best_density <= opt.density + 1e-9);
         let set = VertexSet::from_members(g.num_vertices(), &dec.best_residual());
         let rho = density(oracle.as_ref(), &g, &set);
-        prop_assert!((rho - dec.best_density).abs() < 1e-9);
+        assert!((rho - dec.best_density).abs() < 1e-9);
     }
 }

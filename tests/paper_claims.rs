@@ -3,7 +3,6 @@
 //! not absolute timings, but the *shapes* — who wins, what shrinks, what
 //! the bounds imply.
 
-
 use dsd::core::{
     core_app, core_exact, core_exact_with, decompose, densest_at_least_k, exact, inc_app,
     oracle_for, peel_app, CoreExactConfig, FlowBackend, Method,
@@ -28,7 +27,11 @@ fn flow_networks_shrink_inside_cores() {
     );
     // Monotone non-increase across iterations (rebuilds only shrink).
     for w in core_stats.exact.network_nodes.windows(2) {
-        assert!(w[1] <= w[0], "network grew: {:?}", core_stats.exact.network_nodes);
+        assert!(
+            w[1] <= w[0],
+            "network grew: {:?}",
+            core_stats.exact.network_nodes
+        );
     }
 }
 
@@ -96,7 +99,10 @@ fn er_core_is_almost_everything() {
     let flat = er::er(4_000, 0.003, 5);
     let core = inc_app(&flat, &Pattern::edge());
     let frac = core.result.len() as f64 / flat.num_vertices() as f64;
-    assert!(frac > 0.5, "ER kmax-core covers only {frac:.2} of the graph");
+    assert!(
+        frac > 0.5,
+        "ER kmax-core covers only {frac:.2} of the graph"
+    );
 
     let skewed = dataset("As-733").unwrap().generate();
     let score = inc_app(&skewed, &Pattern::edge());
@@ -147,7 +153,7 @@ fn prunings_are_semantically_transparent() {
         pruning1: false,
         pruning2: false,
         pruning3: false,
-        backend: FlowBackend::Dinic,
+        ..CoreExactConfig::default()
     };
     let (r, _) = core_exact_with(&g, &psi, none);
     assert!((r.density - reference).abs() < 1e-7);

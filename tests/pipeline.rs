@@ -76,7 +76,12 @@ fn query_variant_on_standin() {
 #[test]
 fn empty_graph_everywhere() {
     let g = Graph::empty(0);
-    for method in [Method::Exact, Method::CoreExact, Method::PeelApp, Method::IncApp] {
+    for method in [
+        Method::Exact,
+        Method::CoreExact,
+        Method::PeelApp,
+        Method::IncApp,
+    ] {
         let r = densest_subgraph(&g, &Pattern::triangle(), method);
         assert!(r.is_empty(), "{method:?}");
         assert_eq!(r.density, 0.0);
@@ -96,7 +101,11 @@ fn isolated_vertices_only() {
 fn pattern_with_no_instances() {
     // A tree has no cycles and no triangles.
     let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
-    for psi in [Pattern::triangle(), Pattern::diamond(), Pattern::two_triangle()] {
+    for psi in [
+        Pattern::triangle(),
+        Pattern::diamond(),
+        Pattern::two_triangle(),
+    ] {
         let r = densest_subgraph(&g, &psi, Method::CoreExact);
         assert!(r.is_empty(), "{}", psi.name());
     }
@@ -119,7 +128,18 @@ fn disconnected_graph_picks_denser_component() {
     // Component A: C4 (density 1). Component B: K4 (density 1.5).
     let g = Graph::from_edges(
         8,
-        &[(0, 1), (1, 2), (2, 3), (0, 3), (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+        ],
     );
     let r = densest_subgraph(&g, &Pattern::edge(), Method::CoreExact);
     assert_eq!(r.vertices, vec![4, 5, 6, 7]);
