@@ -46,10 +46,10 @@ pub fn inc_app_from(
 }
 
 /// [`inc_app`] for h-cliques with the initial clique-degree pass — the
-/// dominant cost on large graphs — parallelized over `threads` workers
-/// (Section 6.3's parallelizability remark).
-pub fn inc_app_parallel(g: &Graph, h: usize, threads: usize) -> ApproxResult {
-    let oracle = crate::oracle::ParallelCliqueOracle::new(h, threads);
+/// dominant cost on large graphs — parallelized over the configured
+/// workers (Section 6.3's parallelizability remark).
+pub fn inc_app_parallel(g: &Graph, h: usize, parallelism: crate::Parallelism) -> ApproxResult {
+    let oracle = crate::oracle::ParallelCliqueOracle::new(h, parallelism);
     let dec = decompose(g, &oracle);
     let core = dec.max_core();
     finish(g, &oracle, core.to_vec(), dec.kmax)
@@ -271,7 +271,7 @@ mod tests {
         for h in 2..=4usize {
             let seq = inc_app(&g, &Pattern::clique(h));
             for threads in [1, 2, 4] {
-                let par = inc_app_parallel(&g, h, threads);
+                let par = inc_app_parallel(&g, h, crate::Parallelism::new(threads));
                 assert_eq!(par.kmax, seq.kmax, "h {h} threads {threads}");
                 assert_eq!(par.result.vertices, seq.result.vertices);
             }

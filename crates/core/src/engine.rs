@@ -11,16 +11,20 @@
 //! * the **classical k-core order** — the γ bounds of `CoreApp`
 //!   (Algorithm 6) and the Section-6.3 query variant's locator.
 //!
-//! The engine owns the graph and memoizes all three, keyed by Ψ, so a
-//! request workload pays each substrate once instead of once per call. The
-//! free functions (`densest_subgraph` & co.) remain as thin shims that spin
-//! up a throwaway engine per call.
+//! The engine owns the graph and memoizes all three, keyed by Ψ's canonical
+//! form (isomorphic patterns share one entry), so a request workload pays
+//! each substrate once instead of once per call. The free functions
+//! (`densest_subgraph` & co.) remain as thin shims that spin up a throwaway
+//! engine per call.
 //!
-//! The engine is deliberately single-threaded for now (`Rc` + `RefCell`
-//! caches, so `DsdEngine` is `!Send`/`!Sync`): per-core engines over a
-//! shared graph are the intended deployment shape until the planned async
-//! serving layer swaps the cache to `Arc`/`RwLock` and adds `Send + Sync`
-//! bounds to the oracle objects.
+//! The engine is `Send + Sync`: the substrate cache sits behind an
+//! [`RwLock`] with double-checked build-once locking, so N threads warming
+//! the same Ψ pay exactly one decomposition build (the losers of the race
+//! block on the write lock and then hit the cache), while disjoint warm
+//! requests share the read lock and proceed concurrently. Share an engine
+//! across threads with [`std::sync::Arc`] or scoped borrows; for serving
+//! many named graphs from one process, and for batched execution, see
+//! [`crate::service::DsdService`].
 //!
 //! ```
 //! use dsd_core::engine::{DsdEngine, Objective};
@@ -42,9 +46,8 @@
 //! ```
 
 use std::borrow::Cow;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use dsd_graph::{Graph, VertexId};
@@ -56,7 +59,8 @@ use crate::core_exact::{core_exact_from, CoreExactConfig};
 use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
-use crate::oracle::{oracle_for, DensityOracle};
+use crate::oracle::{oracle_for_with, DensityOracle};
+use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
 use crate::query::densest_with_query_from;
 use crate::size_constrained::{densest_at_least_k_from, densest_at_most_k_from};
@@ -200,13 +204,13 @@ pub struct EngineCacheStats {
     pub kcore_builds: usize,
 }
 
-/// Cache key for a pattern: vertex count + canonical edge list. Isomorphic
-/// patterns with different labelings hash apart, which costs a duplicate
-/// substrate but never correctness.
-type PatternKey = (usize, Vec<(u8, u8)>);
+/// Cache key for a pattern: vertex count + the canonical edge list under
+/// vertex relabeling ([`Pattern::canonical_edges`]), so isomorphic
+/// patterns with different labelings share one cached substrate.
+pub(crate) type PatternKey = (usize, Vec<(u8, u8)>);
 
-fn pattern_key(psi: &Pattern) -> PatternKey {
-    (psi.vertex_count(), psi.edges().to_vec())
+pub(crate) fn pattern_key(psi: &Pattern) -> PatternKey {
+    (psi.vertex_count(), psi.canonical_edges())
 }
 
 /// `(substrate, cache_hit)` pair.
@@ -215,28 +219,31 @@ type Cached<T> = (T, bool);
 /// Result of a decomposition lookup: the oracle, the decomposition (each
 /// with its cache-hit flag), and the build time this call paid (0 on hit).
 type DecompositionLookup = (
-    Cached<Rc<dyn DensityOracle>>,
-    Cached<Rc<CliqueCoreDecomposition>>,
+    Cached<Arc<dyn DensityOracle>>,
+    Cached<Arc<CliqueCoreDecomposition>>,
     u128,
 );
 
 #[derive(Default)]
 struct SubstrateCache {
-    oracles: HashMap<PatternKey, Rc<dyn DensityOracle>>,
-    decompositions: HashMap<PatternKey, Rc<CliqueCoreDecomposition>>,
-    kcore: Option<Rc<KCoreDecomposition>>,
+    oracles: HashMap<PatternKey, Arc<dyn DensityOracle>>,
+    decompositions: HashMap<PatternKey, Arc<CliqueCoreDecomposition>>,
+    kcore: Option<Arc<KCoreDecomposition>>,
 }
 
 /// A long-lived query engine owning one graph plus its memoized substrates.
 ///
 /// Construction is free — substrates are built lazily on first use and
 /// reused by every later request (see the module docs for an example).
+/// The engine is `Send + Sync`; wrap it in an [`Arc`] (or hand out scoped
+/// borrows) to serve requests from many threads over one substrate cache.
 /// The lifetime parameter supports zero-copy engines over borrowed graphs
 /// ([`DsdEngine::over`]); owning engines are `DsdEngine<'static>`.
 pub struct DsdEngine<'g> {
     graph: Cow<'g, Graph>,
-    cache: RefCell<SubstrateCache>,
-    counters: RefCell<EngineCacheStats>,
+    parallelism: Parallelism,
+    cache: RwLock<SubstrateCache>,
+    counters: Mutex<EngineCacheStats>,
 }
 
 impl DsdEngine<'static> {
@@ -244,8 +251,9 @@ impl DsdEngine<'static> {
     pub fn new(graph: Graph) -> Self {
         DsdEngine {
             graph: Cow::Owned(graph),
-            cache: RefCell::new(SubstrateCache::default()),
-            counters: RefCell::new(EngineCacheStats::default()),
+            parallelism: Parallelism::serial(),
+            cache: RwLock::new(SubstrateCache::default()),
+            counters: Mutex::new(EngineCacheStats::default()),
         }
     }
 }
@@ -256,9 +264,23 @@ impl<'g> DsdEngine<'g> {
     pub fn over(graph: &'g Graph) -> Self {
         DsdEngine {
             graph: Cow::Borrowed(graph),
-            cache: RefCell::new(SubstrateCache::default()),
-            counters: RefCell::new(EngineCacheStats::default()),
+            parallelism: Parallelism::serial(),
+            cache: RwLock::new(SubstrateCache::default()),
+            counters: Mutex::new(EngineCacheStats::default()),
         }
+    }
+
+    /// Sets the worker count used for parallelizable substrate passes
+    /// (currently the h-clique bulk degree pass). Answers are identical
+    /// for every setting; this is a throughput knob only.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The engine's worker-count configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The engine's graph.
@@ -268,76 +290,118 @@ impl<'g> DsdEngine<'g> {
 
     /// Cumulative cache accounting across all requests so far.
     pub fn cache_stats(&self) -> EngineCacheStats {
-        *self.counters.borrow()
+        *self.counters.lock().unwrap()
     }
 
     /// Starts building a request for pattern Ψ (defaults: Densest,
-    /// `Method::Auto`, Dinic backend, exact tolerance, no step budget).
-    pub fn request(&self, psi: &Pattern) -> DsdRequest<'_, 'g> {
-        DsdRequest {
+    /// `Method::Auto`, Dinic backend, exact tolerance, no step budget),
+    /// bound to this engine — call `.solve()` on the result. To build a
+    /// free-standing request (for [`crate::service::DsdService`] routing
+    /// or batching), use [`DsdRequest::new`].
+    pub fn request(&self, psi: &Pattern) -> BoundRequest<'_, 'g> {
+        BoundRequest {
             engine: self,
-            psi: psi.clone(),
-            objective: Objective::Densest,
-            method: Method::Auto,
-            backend: FlowBackend::Dinic,
-            tolerance: None,
-            step_budget: None,
+            req: DsdRequest::new(psi),
         }
     }
 
     /// Pre-builds the Ψ substrates (oracle + decomposition), so later
     /// requests are served warm. Returns the decomposition build time in
-    /// nanoseconds (0 when it was already cached).
+    /// nanoseconds (0 when it was already cached — including when another
+    /// thread won the build race and this call only waited for it).
     pub fn warm(&self, psi: &Pattern) -> u128 {
         let (_, _, nanos) = self.decomposition(psi);
         nanos
     }
 
+    fn count(&self, bump: impl FnOnce(&mut EngineCacheStats)) {
+        bump(&mut self.counters.lock().unwrap());
+    }
+
     /// The memoized density oracle for Ψ. The bool reports a cache hit.
-    fn oracle(&self, psi: &Pattern) -> Cached<Rc<dyn DensityOracle>> {
-        let key = pattern_key(psi);
-        if let Some(oracle) = self.cache.borrow().oracles.get(&key) {
-            self.counters.borrow_mut().oracle_hits += 1;
-            return (Rc::clone(oracle), true);
+    ///
+    /// Double-checked locking: the fast path shares a read lock; a miss
+    /// upgrades to the write lock and re-checks, so racing threads build
+    /// at most one oracle per Ψ.
+    fn oracle(&self, psi: &Pattern) -> Cached<Arc<dyn DensityOracle>> {
+        self.oracle_keyed(psi, pattern_key(psi))
+    }
+
+    /// [`Self::oracle`] with the canonical key already computed, so
+    /// callers that need the key themselves (the decomposition lookup)
+    /// don't pay the canonicalization twice.
+    fn oracle_keyed(&self, psi: &Pattern, key: PatternKey) -> Cached<Arc<dyn DensityOracle>> {
+        if let Some(oracle) = self.cache.read().unwrap().oracles.get(&key) {
+            let oracle = Arc::clone(oracle);
+            self.count(|c| c.oracle_hits += 1);
+            return (oracle, true);
         }
-        let oracle: Rc<dyn DensityOracle> = Rc::from(oracle_for(psi));
-        self.cache
-            .borrow_mut()
-            .oracles
-            .insert(key, Rc::clone(&oracle));
-        self.counters.borrow_mut().oracle_builds += 1;
+        let mut cache = self.cache.write().unwrap();
+        if let Some(oracle) = cache.oracles.get(&key) {
+            let oracle = Arc::clone(oracle);
+            drop(cache);
+            self.count(|c| c.oracle_hits += 1);
+            return (oracle, true);
+        }
+        let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_for_with(psi, self.parallelism));
+        cache.oracles.insert(key, Arc::clone(&oracle));
+        drop(cache);
+        self.count(|c| c.oracle_builds += 1);
         (oracle, false)
     }
 
     /// The memoized (k, Ψ)-core decomposition plus its oracle. The u128 is
     /// the decomposition build time paid by *this* call (0 on a hit).
+    ///
+    /// The cold build runs while holding the write lock. That is the
+    /// build-once guarantee: concurrent warmers of the same Ψ block until
+    /// the winner's decomposition lands, then read it as a hit — N threads
+    /// pay one build. (Requests for *already-cached* substrates of other
+    /// patterns also wait out the build; a serving workload warms its
+    /// patterns up front, so the write lock is cold-start-only.)
     fn decomposition(&self, psi: &Pattern) -> DecompositionLookup {
-        let (oracle, oracle_hit) = self.oracle(psi);
         let key = pattern_key(psi);
-        if let Some(dec) = self.cache.borrow().decompositions.get(&key) {
-            self.counters.borrow_mut().decomposition_hits += 1;
-            return ((oracle, oracle_hit), (Rc::clone(dec), true), 0);
+        let (oracle, oracle_hit) = self.oracle_keyed(psi, key.clone());
+        if let Some(dec) = self.cache.read().unwrap().decompositions.get(&key) {
+            let dec = Arc::clone(dec);
+            self.count(|c| c.decomposition_hits += 1);
+            return ((oracle, oracle_hit), (dec, true), 0);
+        }
+        let mut cache = self.cache.write().unwrap();
+        if let Some(dec) = cache.decompositions.get(&key) {
+            let dec = Arc::clone(dec);
+            drop(cache);
+            self.count(|c| c.decomposition_hits += 1);
+            return ((oracle, oracle_hit), (dec, true), 0);
         }
         let t = Instant::now();
-        let dec = Rc::new(decompose(self.graph(), oracle.as_ref()));
+        let dec = Arc::new(decompose(self.graph(), oracle.as_ref()));
         let nanos = t.elapsed().as_nanos();
-        self.cache
-            .borrow_mut()
-            .decompositions
-            .insert(key, Rc::clone(&dec));
-        self.counters.borrow_mut().decomposition_builds += 1;
+        cache.decompositions.insert(key, Arc::clone(&dec));
+        drop(cache);
+        self.count(|c| c.decomposition_builds += 1);
         ((oracle, oracle_hit), (dec, false), nanos)
     }
 
     /// The memoized classical k-core order. The bool reports a cache hit.
-    fn kcore(&self) -> (Rc<KCoreDecomposition>, bool) {
-        if let Some(kc) = &self.cache.borrow().kcore {
-            self.counters.borrow_mut().kcore_hits += 1;
-            return (Rc::clone(kc), true);
+    /// Same double-checked build-once discipline as [`Self::decomposition`].
+    fn kcore(&self) -> (Arc<KCoreDecomposition>, bool) {
+        if let Some(kc) = &self.cache.read().unwrap().kcore {
+            let kc = Arc::clone(kc);
+            self.count(|c| c.kcore_hits += 1);
+            return (kc, true);
         }
-        let kc = Rc::new(k_core_decomposition(self.graph()));
-        self.cache.borrow_mut().kcore = Some(Rc::clone(&kc));
-        self.counters.borrow_mut().kcore_builds += 1;
+        let mut cache = self.cache.write().unwrap();
+        if let Some(kc) = &cache.kcore {
+            let kc = Arc::clone(kc);
+            drop(cache);
+            self.count(|c| c.kcore_hits += 1);
+            return (kc, true);
+        }
+        let kc = Arc::new(k_core_decomposition(self.graph()));
+        cache.kcore = Some(Arc::clone(&kc));
+        drop(cache);
+        self.count(|c| c.kcore_builds += 1);
         (kc, false)
     }
 
@@ -352,6 +416,10 @@ impl<'g> DsdEngine<'g> {
     /// * cold + small graph → `CoreExact`;
     /// * cold + large graph → `CoreApp` (top-down, avoids the full
     ///   decomposition the exact path would have to pay).
+    ///
+    /// Note the warm/cold split makes Auto's choice depend on cache state:
+    /// under concurrent execution, pin an explicit method when bit-for-bit
+    /// reproducibility across runs matters (see `service::DsdService`).
     fn auto_method(&self, psi: &Pattern) -> Method {
         /// Located-core size above which warm flow probes are judged too
         /// expensive for an auto-selected request.
@@ -361,8 +429,8 @@ impl<'g> DsdEngine<'g> {
         const COLD_EXACT_WORK_CAP: usize = 1_000_000;
 
         let key = pattern_key(psi);
-        let cached: Option<Rc<CliqueCoreDecomposition>> =
-            self.cache.borrow().decompositions.get(&key).cloned();
+        let cached: Option<Arc<CliqueCoreDecomposition>> =
+            self.cache.read().unwrap().decompositions.get(&key).cloned();
         if let Some(dec) = cached {
             if dec.kmax == 0 {
                 return Method::PeelApp;
@@ -385,22 +453,25 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve(&self, req: DsdRequest<'_, 'g>) -> Solution {
+    /// Runs a free-standing request against this engine. Any graph name
+    /// the request carries ([`DsdRequest::on`]) is ignored here — routing
+    /// by name is [`crate::service::DsdService`]'s job.
+    pub fn solve(&self, req: &DsdRequest) -> Solution {
         let t0 = Instant::now();
         let objective = req.objective.clone();
         let mut solution = match &req.objective {
-            Objective::Densest => self.solve_densest(&req),
-            Objective::TopK(k) => self.solve_top_k(&req, *k),
-            Objective::AtLeastK(k) => self.solve_at_least_k(&req, *k),
-            Objective::AtMostK(k) => self.solve_at_most_k(&req, *k),
-            Objective::WithQuery(query) => self.solve_with_query(&req, query.clone()),
+            Objective::Densest => self.solve_densest(req),
+            Objective::TopK(k) => self.solve_top_k(req, *k),
+            Objective::AtLeastK(k) => self.solve_at_least_k(req, *k),
+            Objective::AtMostK(k) => self.solve_at_most_k(req, *k),
+            Objective::WithQuery(query) => self.solve_with_query(req, query.clone()),
         };
         solution.objective = objective;
         solution.stats.total_nanos = t0.elapsed().as_nanos();
         solution
     }
 
-    fn solve_densest(&self, req: &DsdRequest<'_, 'g>) -> Solution {
+    fn solve_densest(&self, req: &DsdRequest) -> Solution {
         let g = self.graph();
         let psi = &req.psi;
         let method = match req.method {
@@ -506,7 +577,7 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_top_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+    fn solve_top_k(&self, req: &DsdRequest, k: usize) -> Solution {
         let g = self.graph();
         let psi = &req.psi;
         // Validate before paying for the decomposition.
@@ -548,7 +619,7 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_at_least_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+    fn solve_at_least_k(&self, req: &DsdRequest, k: usize) -> Solution {
         let g = self.graph();
         let psi = &req.psi;
         // Validate before paying for the decomposition.
@@ -586,7 +657,7 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_at_most_k(&self, req: &DsdRequest<'_, 'g>, k: usize) -> Solution {
+    fn solve_at_most_k(&self, req: &DsdRequest, k: usize) -> Solution {
         let g = self.graph();
         let psi = &req.psi;
         // Validate before paying for the decomposition.
@@ -618,7 +689,7 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_with_query(&self, req: &DsdRequest<'_, 'g>, query: Vec<VertexId>) -> Solution {
+    fn solve_with_query(&self, req: &DsdRequest, query: Vec<VertexId>) -> Solution {
         let g = self.graph();
         // Validate before paying for the k-core order.
         let n = g.num_vertices();
@@ -673,10 +744,18 @@ fn invalid(method: Method, objective: Objective, stats: SolveStats) -> Solution 
     }
 }
 
-/// Builder for one engine request. Created by [`DsdEngine::request`];
-/// consumed by [`DsdRequest::solve`].
-pub struct DsdRequest<'e, 'g> {
-    engine: &'e DsdEngine<'g>,
+/// A free-standing request specification: pattern, objective, method, and
+/// solver knobs, plus (optionally) the name of the catalog graph it
+/// targets. `DsdRequest` is plain `Send` data — build it anywhere, ship it
+/// to a [`DsdEngine::solve`] call, a
+/// [`crate::service::DsdService::solve`], or a
+/// [`crate::service::DsdService::solve_batch`] workload.
+///
+/// For the common bound form, [`DsdEngine::request`] returns a
+/// [`BoundRequest`] with the same builder methods plus `.solve()`.
+#[derive(Clone, Debug)]
+pub struct DsdRequest {
+    graph: Option<String>,
     psi: Pattern,
     objective: Objective,
     method: Method,
@@ -685,7 +764,38 @@ pub struct DsdRequest<'e, 'g> {
     step_budget: Option<usize>,
 }
 
-impl<'e, 'g> DsdRequest<'e, 'g> {
+impl DsdRequest {
+    /// A request for pattern Ψ with the defaults: [`Objective::Densest`],
+    /// [`Method::Auto`], Dinic backend, exact tolerance, no step budget.
+    pub fn new(psi: &Pattern) -> Self {
+        DsdRequest {
+            graph: None,
+            psi: psi.clone(),
+            objective: Objective::Densest,
+            method: Method::Auto,
+            backend: FlowBackend::Dinic,
+            tolerance: None,
+            step_budget: None,
+        }
+    }
+
+    /// Routes the request to the named catalog graph (used by
+    /// [`crate::service::DsdService`]; ignored by [`DsdEngine::solve`]).
+    pub fn on(mut self, graph: impl Into<String>) -> Self {
+        self.graph = Some(graph.into());
+        self
+    }
+
+    /// The catalog graph this request targets, when routed.
+    pub fn graph_name(&self) -> Option<&str> {
+        self.graph.as_deref()
+    }
+
+    /// The request's pattern Ψ.
+    pub fn psi(&self) -> &Pattern {
+        &self.psi
+    }
+
     /// Sets the objective (default [`Objective::Densest`]).
     pub fn objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
@@ -733,9 +843,89 @@ impl<'e, 'g> DsdRequest<'e, 'g> {
         self.step_budget = Some(probes);
         self
     }
+}
+
+/// A [`DsdRequest`] bound to an engine, created by [`DsdEngine::request`];
+/// exposes the same builder methods and is consumed by
+/// [`BoundRequest::solve`].
+pub struct BoundRequest<'e, 'g> {
+    engine: &'e DsdEngine<'g>,
+    req: DsdRequest,
+}
+
+impl<'e, 'g> BoundRequest<'e, 'g> {
+    /// See [`DsdRequest::objective`].
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.req = self.req.objective(objective);
+        self
+    }
+
+    /// See [`DsdRequest::method`].
+    pub fn method(mut self, method: Method) -> Self {
+        self.req = self.req.method(method);
+        self
+    }
+
+    /// See [`DsdRequest::flow_backend`].
+    pub fn flow_backend(mut self, backend: FlowBackend) -> Self {
+        self.req = self.req.flow_backend(backend);
+        self
+    }
+
+    /// See [`DsdRequest::tolerance`].
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.req = self.req.tolerance(tolerance);
+        self
+    }
+
+    /// See [`DsdRequest::step_budget`].
+    pub fn step_budget(mut self, probes: usize) -> Self {
+        self.req = self.req.step_budget(probes);
+        self
+    }
 
     /// Runs the request against the engine's warm substrates.
     pub fn solve(self) -> Solution {
-        self.engine.solve(self)
+        self.engine.solve(&self.req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The serving layer's whole premise, checked at compile time.
+    #[test]
+    fn engine_and_request_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DsdEngine<'static>>();
+        assert_send_sync::<DsdEngine<'_>>();
+        assert_send_sync::<DsdRequest>();
+        assert_send_sync::<Solution>();
+        assert_send_sync::<EngineCacheStats>();
+    }
+
+    /// Isomorphic patterns with different labelings share one substrate
+    /// cache entry (the `PatternKey` canonicalization).
+    #[test]
+    fn isomorphic_patterns_share_substrates() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+        let engine = DsdEngine::over(&g);
+        // The paw, spelled with the pendant on two different vertices.
+        let paw_a = Pattern::c3_star();
+        let paw_b = Pattern::new("paw-b", 4, &[(1, 2), (2, 3), (1, 3), (2, 0)]);
+        assert_ne!(paw_a.edges(), paw_b.edges());
+
+        let a = engine.request(&paw_a).method(Method::PeelApp).solve();
+        let b = engine.request(&paw_b).method(Method::PeelApp).solve();
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.density.to_bits(), b.density.to_bits());
+        assert!(
+            b.stats.substrate.decomposition_cache_hit,
+            "relabeled pattern must hit the canonical cache entry"
+        );
+        let stats = engine.cache_stats();
+        assert_eq!(stats.decomposition_builds, 1);
+        assert_eq!(stats.oracle_builds, 1);
     }
 }

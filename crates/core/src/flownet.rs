@@ -83,7 +83,7 @@ impl DensityNetwork {
     /// Only the `v→t` capacities depend on α, and they *increase* with α,
     /// so when consecutive probes have non-decreasing α the previous flow
     /// stays feasible and only needs augmenting — the simple monotone form
-    /// of the parametric max-flow idea of Gallo–Grigoriadis–Tarjan [29],
+    /// of the parametric max-flow idea of Gallo–Grigoriadis–Tarjan \[29\],
     /// which the paper cites as the classical EDS machinery. Decreasing-α
     /// probes fall back to a cold solve automatically.
     pub fn set_warm_start(&mut self, enabled: bool) {

@@ -73,8 +73,10 @@ pub mod hierarchy;
 pub mod kcore;
 pub mod nucleus;
 pub mod oracle;
+pub mod parallelism;
 pub mod peel;
 pub mod query;
+pub mod service;
 pub mod size_constrained;
 pub mod top_k;
 pub mod types;
@@ -87,16 +89,19 @@ pub use core_exact::{
 };
 pub use emcore::emcore_max_core;
 pub use engine::{
-    DsdEngine, DsdRequest, EngineCacheStats, Guarantee, Objective, Outcome, Solution, SolveStats,
+    BoundRequest, DsdEngine, DsdRequest, EngineCacheStats, Guarantee, Objective, Outcome, Solution,
+    SolveStats,
 };
 pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;
 pub use hierarchy::{core_hierarchy, core_spectrum, first_level_with_density, CoreLevel};
 pub use kcore::{k_core_decomposition, KCoreDecomposition};
 pub use nucleus::{nucleus_app, nucleus_decomposition};
-pub use oracle::{density, oracle_for, DensityOracle};
+pub use oracle::{density, oracle_for, oracle_for_with, DensityOracle};
+pub use parallelism::Parallelism;
 pub use peel::{peel_app, peel_app_from};
 pub use query::{densest_with_query, densest_with_query_from};
+pub use service::{BatchOutcome, BatchStats, DsdService, ServiceError};
 pub use size_constrained::{
     densest_at_least_k, densest_at_least_k_from, densest_at_most_k, densest_at_most_k_from,
 };

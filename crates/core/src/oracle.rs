@@ -14,8 +14,14 @@ use dsd_graph::{Graph, VertexId, VertexSet};
 use dsd_motif::pattern::{Pattern, PatternKind};
 use dsd_motif::{kclist, pattern_enum, special};
 
+use crate::parallelism::Parallelism;
+
 /// Degree/decrement oracle for a fixed pattern Ψ.
-pub trait DensityOracle {
+///
+/// Oracles are shared across threads by the engine's substrate cache, so
+/// the trait is bounded `Send + Sync`; implementations must make any
+/// internal memoization thread-safe (see [`MaterializedPatternOracle`]).
+pub trait DensityOracle: Send + Sync {
     /// `|VΨ|`, the number of pattern vertices.
     fn psi_size(&self) -> usize;
 
@@ -91,11 +97,12 @@ pub struct ParallelCliqueOracle {
 }
 
 impl ParallelCliqueOracle {
-    /// Oracle for the h-clique using `threads` workers for degree passes.
-    pub fn new(h: usize, threads: usize) -> Self {
+    /// Oracle for the h-clique using the configured workers for degree
+    /// passes.
+    pub fn new(h: usize, parallelism: Parallelism) -> Self {
         ParallelCliqueOracle {
             inner: CliqueOracle::new(h),
-            threads: threads.max(1),
+            threads: parallelism.threads(),
         }
     }
 }
@@ -218,13 +225,15 @@ impl DensityOracle for GenericPatternOracle {
 /// [`GenericPatternOracle`] does) dominates CorePExact's runtime. This
 /// oracle trades memory (`O(Σ instance sizes)`) for `O(|ψ|)`-per-dead-
 /// instance updates — the in-memory analogue of the paper's remark that
-/// pattern-degrees should be computed by one enumeration pass [53].
+/// pattern-degrees should be computed by one enumeration pass \[53\].
 ///
 /// The materialization is keyed to the first graph it sees; using one
-/// oracle value across different graphs is a bug (debug-asserted).
+/// oracle value across different graphs is a bug (debug-asserted). The
+/// cache is a [`std::sync::OnceLock`], so concurrent first queries from
+/// several threads still materialize exactly once.
 pub struct MaterializedPatternOracle {
     pattern: Pattern,
-    cache: std::cell::OnceCell<InstanceCache>,
+    cache: std::sync::OnceLock<InstanceCache>,
 }
 
 struct InstanceCache {
@@ -241,7 +250,7 @@ impl MaterializedPatternOracle {
     pub fn new(psi: &Pattern) -> Self {
         MaterializedPatternOracle {
             pattern: psi.clone(),
-            cache: std::cell::OnceCell::new(),
+            cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -333,7 +342,17 @@ impl DensityOracle for MaterializedPatternOracle {
 /// General patterns get the materialized oracle: one enumeration pass,
 /// then O(1)-amortized decrement queries (the decomposition workload).
 pub fn oracle_for(psi: &Pattern) -> Box<dyn DensityOracle> {
+    oracle_for_with(psi, Parallelism::serial())
+}
+
+/// [`oracle_for`] with a worker-count configuration: h-clique bulk degree
+/// passes run on the configured workers (other pattern kinds have no
+/// parallel path yet and ignore the setting).
+pub fn oracle_for_with(psi: &Pattern, parallelism: Parallelism) -> Box<dyn DensityOracle> {
     match psi.kind() {
+        PatternKind::Clique(h) if !parallelism.is_serial() => {
+            Box::new(ParallelCliqueOracle::new(h, parallelism))
+        }
         PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
         PatternKind::Star(x) => Box::new(StarOracle { x }),
         PatternKind::Diamond => Box::new(DiamondOracle),

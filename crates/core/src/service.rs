@@ -1,0 +1,467 @@
+//! `DsdService`: a thread-safe, multi-graph serving layer with batched
+//! request execution.
+//!
+//! One process, many datasets, many clients: the service keeps a catalog
+//! of named graphs, each behind its own [`DsdEngine`] (so each dataset's
+//! substrates warm independently), and executes request batches across a
+//! pool of scoped worker threads. The throughput levers, in order:
+//!
+//! 1. **Substrate reuse** — engines live as long as their catalog entry,
+//!    so every request after the first per (graph, Ψ) is served warm;
+//! 2. **Batch deduplication** — [`DsdService::solve_batch`] groups
+//!    requests by (graph, Ψ) and interleaves the groups across workers,
+//!    so a mixed batch pays one decomposition build per distinct group
+//!    (the engine's build-once locking makes racing warmers safe);
+//! 3. **Parallel execution** — requests run on `Parallelism::threads()`
+//!    scoped workers pulling from a shared queue.
+//!
+//! ```
+//! use dsd_core::service::DsdService;
+//! use dsd_core::{DsdRequest, Objective, Parallelism};
+//! use dsd_graph::Graph;
+//! use dsd_motif::Pattern;
+//!
+//! let service = DsdService::with_parallelism(Parallelism::new(4));
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! service.register("toy", g);
+//!
+//! let psi = Pattern::triangle();
+//! let batch = vec![
+//!     DsdRequest::new(&psi).on("toy"),
+//!     DsdRequest::new(&psi).on("toy").objective(Objective::TopK(2)),
+//! ];
+//! let outcome = service.solve_batch(batch);
+//! assert_eq!(outcome.solutions.len(), 2);
+//! assert_eq!(outcome.stats.groups, 1, "same (graph, Ψ) → one group");
+//! let cds = outcome.solutions[0].as_ref().unwrap();
+//! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
+//! ```
+//!
+//! **Determinism note:** answers are bit-identical to serial execution for
+//! every pinned method. [`crate::Method::Auto`] resolves against the cache
+//! state it happens to observe, which under concurrency depends on which
+//! request warmed the substrate first — pin a method per request when
+//! bit-for-bit reproducibility across *runs* matters.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use dsd_graph::Graph;
+
+use crate::engine::{pattern_key, DsdEngine, DsdRequest, PatternKey, Solution};
+use crate::parallelism::Parallelism;
+
+/// Why the service could not serve a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request names a graph the catalog does not hold.
+    UnknownGraph(String),
+    /// The request was never routed ([`DsdRequest::on`] was not called).
+    Unrouted,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownGraph(name) => {
+                write!(f, "no graph named {name:?} in the catalog")
+            }
+            ServiceError::Unrouted => {
+                write!(f, "request names no graph (build it with .on(name))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Batch-level instrumentation returned by [`DsdService::solve_batch`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// End-to-end wall time of the batch.
+    pub wall_nanos: u128,
+    /// Number of requests in the batch (including failed routings).
+    pub requests: usize,
+    /// Distinct (graph, Ψ) groups among the routable requests.
+    pub groups: usize,
+    /// (k, Ψ)-core decomposition builds paid by this batch, summed over
+    /// the engines it touched. Equals `groups` when every group issued at
+    /// least one decomposition-backed request against a cold engine; lower
+    /// when engines were already warm or a group was all query-variant
+    /// requests (those use the classical k-core order instead).
+    pub substrate_builds: usize,
+    /// Decomposition cache hits during the batch (the dedup win).
+    pub substrate_hits: usize,
+    /// Per-worker busy time (solving requests, not queue waits).
+    pub worker_busy_nanos: Vec<u128>,
+}
+
+impl BatchStats {
+    /// Mean fraction of the batch wall time each worker spent solving.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_nanos == 0 || self.worker_busy_nanos.is_empty() {
+            return 0.0;
+        }
+        let busy: u128 = self.worker_busy_nanos.iter().sum();
+        busy as f64 / (self.wall_nanos as f64 * self.worker_busy_nanos.len() as f64)
+    }
+}
+
+/// Result of a batch: per-request solutions (in request order) plus
+/// batch-level stats.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// One slot per submitted request, order-preserving.
+    pub solutions: Vec<Result<Solution, ServiceError>>,
+    /// Batch-level instrumentation.
+    pub stats: BatchStats,
+}
+
+/// A thread-safe catalog of named graphs, each served by its own
+/// cache-reusing [`DsdEngine`], plus a batched executor over them.
+///
+/// All methods take `&self`; the service is `Send + Sync` and is meant to
+/// sit in an `Arc` at the top of a server.
+#[derive(Default)]
+pub struct DsdService {
+    catalog: RwLock<HashMap<String, Arc<DsdEngine<'static>>>>,
+    parallelism: Parallelism,
+}
+
+impl DsdService {
+    /// An empty serving catalog executing batches serially.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty serving catalog with the given worker configuration for
+    /// batch execution. Registered engines keep *serial* substrate passes:
+    /// the batch workers are the parallelism, and nesting a
+    /// `ParallelCliqueOracle` inside each worker would oversubscribe the
+    /// machine (workers × oracle threads). Configure an engine's own
+    /// parallelism via [`DsdEngine::with_parallelism`] when it serves
+    /// single requests outside a batch.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        DsdService {
+            catalog: RwLock::new(HashMap::new()),
+            parallelism,
+        }
+    }
+
+    /// The service's worker-count configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Registers (or replaces) a graph under `name` and returns its
+    /// engine. Replacing drops the old engine's substrates once the last
+    /// in-flight request holding its `Arc` finishes — requests already
+    /// routed keep their consistent view.
+    pub fn register(&self, name: impl Into<String>, graph: Graph) -> Arc<DsdEngine<'static>> {
+        let engine = Arc::new(DsdEngine::new(graph));
+        self.catalog
+            .write()
+            .unwrap()
+            .insert(name.into(), Arc::clone(&engine));
+        engine
+    }
+
+    /// Removes `name` from the catalog; returns whether it was present.
+    /// In-flight requests on the evicted engine run to completion.
+    pub fn evict(&self, name: &str) -> bool {
+        self.catalog.write().unwrap().remove(name).is_some()
+    }
+
+    /// The engine serving `name`, if registered.
+    pub fn engine(&self, name: &str) -> Option<Arc<DsdEngine<'static>>> {
+        self.catalog.read().unwrap().get(name).cloned()
+    }
+
+    /// Sorted names of all registered graphs.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.catalog.read().unwrap().keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.catalog.read().unwrap().len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.read().unwrap().is_empty()
+    }
+
+    /// Serves one routed request (built with [`DsdRequest::on`]).
+    pub fn solve(&self, req: &DsdRequest) -> Result<Solution, ServiceError> {
+        Ok(self.route(req)?.solve(req))
+    }
+
+    fn route(&self, req: &DsdRequest) -> Result<Arc<DsdEngine<'static>>, ServiceError> {
+        let name = req.graph_name().ok_or(ServiceError::Unrouted)?;
+        self.engine(name)
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))
+    }
+
+    /// Executes a batch of routed requests across the service's worker
+    /// pool and returns per-request solutions in request order.
+    ///
+    /// Requests are grouped by (graph, canonical Ψ) and the groups are
+    /// interleaved round-robin onto the work queue, so workers start on
+    /// distinct groups and same-group stragglers land as cache hits — a
+    /// mixed batch pays each distinct substrate exactly once (see
+    /// [`BatchStats`]). Builds on *different* engines proceed
+    /// concurrently; builds of different Ψ on the *same* engine serialize
+    /// behind that engine's build-once write lock, so per-graph cold-start
+    /// wall time is the sum of that graph's distinct substrate builds.
+    pub fn solve_batch(&self, requests: Vec<DsdRequest>) -> BatchOutcome {
+        let t0 = Instant::now();
+        let n = requests.len();
+
+        // Route every request up front; failures keep their slot.
+        let mut solutions: Vec<Option<Result<Solution, ServiceError>>> = Vec::with_capacity(n);
+        let mut runnable: Vec<(usize, Arc<DsdEngine<'static>>, DsdRequest)> = Vec::new();
+        for (i, req) in requests.into_iter().enumerate() {
+            match self.route(&req) {
+                Ok(engine) => {
+                    solutions.push(None);
+                    runnable.push((i, engine, req));
+                }
+                Err(e) => solutions.push(Some(Err(e))),
+            }
+        }
+
+        // Group by (graph, canonical Ψ); remember each touched engine once
+        // for before/after cache accounting.
+        let mut groups: HashMap<(String, PatternKey), Vec<usize>> = HashMap::new();
+        let mut engines: HashMap<String, Arc<DsdEngine<'static>>> = HashMap::new();
+        for (slot, (_, engine, req)) in runnable.iter().enumerate() {
+            let name = req.graph_name().unwrap_or_default().to_string();
+            engines
+                .entry(name.clone())
+                .or_insert_with(|| Arc::clone(engine));
+            groups
+                .entry((name, pattern_key(req.psi())))
+                .or_default()
+                .push(slot);
+        }
+        let before: Vec<_> = engines.values().map(|e| e.cache_stats()).collect();
+
+        // Round-robin across groups: the first `workers` queue entries are
+        // from distinct groups whenever possible, so workers warm distinct
+        // substrates concurrently instead of piling onto one build.
+        let mut group_lists: Vec<&Vec<usize>> = groups.values().collect();
+        group_lists.sort_unstable_by_key(|slots| slots[0]);
+        let mut queue: Vec<usize> = Vec::with_capacity(runnable.len());
+        let mut depth = 0;
+        loop {
+            let mut any = false;
+            for slots in &group_lists {
+                if let Some(&slot) = slots.get(depth) {
+                    queue.push(slot);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            depth += 1;
+        }
+
+        let workers = self.parallelism.threads().min(queue.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let solved: Vec<Mutex<Option<Solution>>> =
+            runnable.iter().map(|_| Mutex::new(None)).collect();
+        let mut worker_busy_nanos = vec![0u128; workers];
+
+        if workers <= 1 {
+            for &slot in &queue {
+                let (_, engine, req) = &runnable[slot];
+                let t = Instant::now();
+                let solution = engine.solve(req);
+                worker_busy_nanos[0] += t.elapsed().as_nanos();
+                *solved[slot].lock().unwrap() = Some(solution);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let queue = &queue;
+                    let runnable = &runnable;
+                    let solved = &solved;
+                    let cursor = &cursor;
+                    handles.push(scope.spawn(move || {
+                        let mut busy = 0u128;
+                        loop {
+                            let at = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&slot) = queue.get(at) else {
+                                return busy;
+                            };
+                            let (_, engine, req) = &runnable[slot];
+                            let t = Instant::now();
+                            let solution = engine.solve(req);
+                            busy += t.elapsed().as_nanos();
+                            *solved[slot].lock().unwrap() = Some(solution);
+                        }
+                    }));
+                }
+                for (i, handle) in handles.into_iter().enumerate() {
+                    worker_busy_nanos[i] = handle.join().expect("batch worker panicked");
+                }
+            });
+        }
+
+        for (slot, cell) in solved.into_iter().enumerate() {
+            let index = runnable[slot].0;
+            let solution = cell
+                .into_inner()
+                .unwrap()
+                .expect("every queued request was solved");
+            solutions[index] = Some(Ok(solution));
+        }
+
+        let after: Vec<_> = engines.values().map(|e| e.cache_stats()).collect();
+        let mut substrate_builds = 0;
+        let mut substrate_hits = 0;
+        for (b, a) in before.iter().zip(&after) {
+            substrate_builds += a.decomposition_builds - b.decomposition_builds;
+            substrate_hits += a.decomposition_hits - b.decomposition_hits;
+        }
+
+        BatchOutcome {
+            solutions: solutions
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+            stats: BatchStats {
+                wall_nanos: t0.elapsed().as_nanos(),
+                requests: n,
+                groups: groups.len(),
+                substrate_builds,
+                substrate_hits,
+                worker_busy_nanos,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Objective, Outcome};
+    use crate::Method;
+    use dsd_motif::Pattern;
+
+    fn toy() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn service_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DsdService>();
+        assert_send_sync::<BatchOutcome>();
+    }
+
+    #[test]
+    fn catalog_register_evict_list() {
+        let service = DsdService::new();
+        assert!(service.is_empty());
+        service.register("a", toy());
+        service.register("b", toy());
+        assert_eq!(service.list(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(service.len(), 2);
+        assert!(service.engine("a").is_some());
+        assert!(service.engine("missing").is_none());
+        assert!(service.evict("a"));
+        assert!(!service.evict("a"));
+        assert_eq!(service.list(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn solve_routes_by_name() {
+        let service = DsdService::new();
+        service.register("toy", toy());
+        let psi = Pattern::triangle();
+        let s = service
+            .solve(&DsdRequest::new(&psi).on("toy").method(Method::CoreExact))
+            .unwrap();
+        assert_eq!(s.vertices, vec![0, 1, 2, 3]);
+        assert_eq!(s.outcome, Outcome::Found);
+
+        assert_eq!(
+            service.solve(&DsdRequest::new(&psi)).unwrap_err(),
+            ServiceError::Unrouted
+        );
+        assert_eq!(
+            service
+                .solve(&DsdRequest::new(&psi).on("nope"))
+                .unwrap_err(),
+            ServiceError::UnknownGraph("nope".into())
+        );
+    }
+
+    #[test]
+    fn batch_preserves_order_and_reports_errors_in_place() {
+        let service = DsdService::with_parallelism(Parallelism::new(3));
+        service.register("toy", toy());
+        let psi = Pattern::triangle();
+        let batch = vec![
+            DsdRequest::new(&psi).on("toy").method(Method::CoreExact),
+            DsdRequest::new(&psi).on("gone"),
+            DsdRequest::new(&psi)
+                .on("toy")
+                .objective(Objective::TopK(2)),
+            DsdRequest::new(&psi),
+        ];
+        let outcome = service.solve_batch(batch);
+        assert_eq!(outcome.solutions.len(), 4);
+        assert_eq!(outcome.stats.requests, 4);
+        assert_eq!(outcome.stats.groups, 1);
+        assert!(outcome.solutions[0].is_ok());
+        assert_eq!(
+            outcome.solutions[1].as_ref().unwrap_err(),
+            &ServiceError::UnknownGraph("gone".into())
+        );
+        assert!(outcome.solutions[2].is_ok());
+        assert_eq!(
+            outcome.solutions[3].as_ref().unwrap_err(),
+            &ServiceError::Unrouted
+        );
+        // One group → one substrate build, the second request hit.
+        assert_eq!(outcome.stats.substrate_builds, 1);
+        assert_eq!(outcome.stats.substrate_hits, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let service = DsdService::new();
+        let outcome = service.solve_batch(Vec::new());
+        assert!(outcome.solutions.is_empty());
+        assert_eq!(outcome.stats.groups, 0);
+        assert_eq!(outcome.stats.utilization(), 0.0);
+    }
+
+    #[test]
+    fn batch_groups_by_canonical_pattern() {
+        let service = DsdService::new();
+        service.register("toy", toy());
+        // The paw, two labelings → one group.
+        let paw_a = Pattern::c3_star();
+        let paw_b = Pattern::new("paw-b", 4, &[(1, 2), (2, 3), (1, 3), (2, 0)]);
+        let outcome = service.solve_batch(vec![
+            DsdRequest::new(&paw_a).on("toy").method(Method::PeelApp),
+            DsdRequest::new(&paw_b).on("toy").method(Method::PeelApp),
+        ]);
+        assert_eq!(outcome.stats.groups, 1);
+        assert_eq!(outcome.stats.substrate_builds, 1);
+        let a = outcome.solutions[0].as_ref().unwrap();
+        let b = outcome.solutions[1].as_ref().unwrap();
+        assert_eq!(a.vertices, b.vertices);
+    }
+}

@@ -113,6 +113,75 @@ impl Pattern {
         &self.edges
     }
 
+    /// Canonical labeling: the lexicographically smallest sorted edge list
+    /// over all vertex relabelings, so isomorphic patterns with different
+    /// labelings produce identical output — the cache key substrate caches
+    /// want (two spellings of the same Ψ must share one decomposition).
+    ///
+    /// Cliques are relabeling-invariant and stars are normalized directly;
+    /// other patterns up to [`Self::CANONICAL_MAX_VERTICES`] vertices are
+    /// canonicalized by exhaustive permutation search (they are tiny, so
+    /// the search is at worst 8! relabelings). Larger general patterns fall
+    /// back to the as-given edge list, which is still a *sound* key — two
+    /// labelings may then hash apart, costing a duplicate cache entry but
+    /// never correctness.
+    pub fn canonical_edges(&self) -> Vec<(u8, u8)> {
+        match self.kind() {
+            // Every relabeling of a clique is the same edge list.
+            PatternKind::Clique(_) => self.edges.clone(),
+            // Stars normalize to centre 0, tails 1..=x.
+            PatternKind::Star(x) => (1..=x as u8).map(|t| (0, t)).collect(),
+            _ if self.n <= Self::CANONICAL_MAX_VERTICES => self.minimal_relabeling(),
+            _ => self.edges.clone(),
+        }
+    }
+
+    /// Largest vertex count [`Self::canonical_edges`] canonicalizes by
+    /// exhaustive permutation search.
+    pub const CANONICAL_MAX_VERTICES: usize = 8;
+
+    /// The lexicographically smallest relabeled edge list, by trying every
+    /// permutation of the (at most 8) pattern vertices.
+    fn minimal_relabeling(&self) -> Vec<(u8, u8)> {
+        let n = self.n;
+        let mut perm: Vec<u8> = (0..n as u8).collect();
+        let mut best: Option<Vec<(u8, u8)>> = None;
+        let mut c = vec![0usize; n];
+        loop {
+            // `perm[old] = new` relabels each edge; re-sort for comparison.
+            let mut relabeled: Vec<(u8, u8)> = self
+                .edges
+                .iter()
+                .map(|&(u, v)| {
+                    let (a, b) = (perm[u as usize], perm[v as usize]);
+                    (a.min(b), a.max(b))
+                })
+                .collect();
+            relabeled.sort_unstable();
+            if best.as_ref().is_none_or(|b| relabeled < *b) {
+                best = Some(relabeled);
+            }
+            // Heap's algorithm, iterative form.
+            let mut i = 0;
+            loop {
+                if i >= n {
+                    return best.expect("at least the identity relabeling");
+                }
+                if c[i] < i {
+                    if i % 2 == 0 {
+                        perm.swap(0, i);
+                    } else {
+                        perm.swap(c[i], i);
+                    }
+                    c[i] += 1;
+                    break;
+                }
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
     /// Adjacency test inside the pattern.
     #[inline]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
@@ -426,6 +495,81 @@ mod tests {
         assert_eq!(Pattern::cycle(5).automorphism_count(), 10);
         assert_eq!(Pattern::path(4).automorphism_count(), 2);
         assert_eq!(Pattern::complete_bipartite(2, 3).automorphism_count(), 12);
+    }
+
+    #[test]
+    fn canonical_edges_identify_isomorphic_labelings() {
+        // Same pattern, scrambled labels: paw with the pendant on vertex 2.
+        let paw_a = Pattern::c3_star();
+        let paw_b = Pattern::new("paw-relabeled", 4, &[(1, 2), (2, 3), (1, 3), (2, 0)]);
+        assert_ne!(paw_a.edges(), paw_b.edges());
+        assert_eq!(paw_a.canonical_edges(), paw_b.canonical_edges());
+
+        // cycle(4), K{2,2}, and the diamond are one pattern three ways.
+        assert_eq!(
+            Pattern::diamond().canonical_edges(),
+            Pattern::cycle(4).canonical_edges()
+        );
+        assert_eq!(
+            Pattern::diamond().canonical_edges(),
+            Pattern::complete_bipartite(2, 2).canonical_edges()
+        );
+
+        // Stars normalize regardless of which vertex is the centre.
+        let star_c2 = Pattern::new("star-centre-2", 4, &[(2, 0), (2, 1), (2, 3)]);
+        assert_eq!(
+            Pattern::three_star().canonical_edges(),
+            star_c2.canonical_edges()
+        );
+
+        // path(4) relabeled two ways.
+        let p = Pattern::new("zigzag", 4, &[(2, 0), (0, 3), (3, 1)]);
+        assert_eq!(Pattern::path(4).canonical_edges(), p.canonical_edges());
+
+        // K4 − e spelled as a chorded 4-cycle instead of two triangles.
+        let chorded = Pattern::new("c4+chord", 4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(
+            Pattern::two_triangle().canonical_edges(),
+            chorded.canonical_edges()
+        );
+    }
+
+    #[test]
+    fn canonical_edges_separate_non_isomorphic_patterns() {
+        // Same vertex and edge counts, different shapes.
+        let pairs = [
+            (Pattern::diamond(), Pattern::c3_star()),
+            (Pattern::path(4), Pattern::three_star()),
+            (
+                // Basket (the "house": C5 + chord, one triangle) vs the
+                // bowtie (two triangles sharing a vertex): same vertex and
+                // edge counts, different shapes.
+                Pattern::basket(),
+                Pattern::new(
+                    "bowtie",
+                    5,
+                    &[(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)],
+                ),
+            ),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.vertex_count(), b.vertex_count());
+            assert_eq!(a.edge_count(), b.edge_count());
+            assert_ne!(
+                a.canonical_edges(),
+                b.canonical_edges(),
+                "{} vs {}",
+                a.name(),
+                b.name()
+            );
+        }
+        // And the canonical form is idempotent: rebuilding from it is a
+        // fixed point.
+        for p in Pattern::figure7() {
+            let canon = p.canonical_edges();
+            let rebuilt = Pattern::new("canon", p.vertex_count(), &canon);
+            assert_eq!(rebuilt.canonical_edges(), canon, "{}", p.name());
+        }
     }
 
     #[test]

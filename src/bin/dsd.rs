@@ -1,11 +1,12 @@
 //! `dsd` — command-line densest subgraph discovery, driven by the
-//! cache-reusing `DsdEngine`.
+//! cache-reusing `DsdEngine` and the multi-graph `DsdService`.
 //!
 //! ```text
 //! dsd <edge-list-file> [--psi <pattern>] [--method <method>]
 //!                      [--objective <objective>] [--backend <backend>]
 //!                      [--tolerance <t>] [--budget <probes>]
-//!                      [--query v1,v2,...] [--stats]
+//!                      [--query v1,v2,...] [--threads <n>] [--stats]
+//! dsd batch <request-file> [--threads <n>]
 //!
 //! patterns:   edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
 //!             c3-star | diamond | 2-triangle | 3-triangle | basket
@@ -18,15 +19,35 @@
 //! optional) and prints the solution plus the engine's solve statistics.
 //! `--query` runs the Section-6.3 variant (edge density, must contain the
 //! given vertices). `--stats` prints the Figure-18-style statistics
-//! instead.
+//! instead. `--threads` sets the worker count for parallel substrate
+//! passes and batch execution (default 1).
+//!
+//! # Batch mode
+//!
+//! `dsd batch` serves a whole request file through one `DsdService`:
+//! requests are grouped by (graph, Ψ) so duplicate substrate work is paid
+//! once, and executed across `--threads` workers. The file holds one
+//! directive per line (`#` comments and blank lines allowed):
+//!
+//! ```text
+//! # register a named graph from an edge-list file
+//! graph <name> <edge-list-file>
+//! # issue a request against a registered graph (same flags as above)
+//! req <name> [--psi <pattern>] [--objective <objective>] [--method <m>]
+//!            [--backend <b>] [--tolerance <t>] [--budget <probes>]
+//!            [--query v1,v2,...]
+//! ```
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use dsd::core::{DsdEngine, FlowBackend, Method, Objective, Outcome};
+use dsd::core::{
+    DsdEngine, DsdRequest, DsdService, FlowBackend, Method, Objective, Outcome, Parallelism,
+};
 use dsd::datasets::compute_stats;
 use dsd::graph::io::read_edge_list;
+use dsd::graph::Graph;
 use dsd::motif::Pattern;
 
 fn parse_pattern(s: &str) -> Option<Pattern> {
@@ -93,13 +114,197 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: dsd <edge-list-file> [--psi <pattern>] [--method <method>] \
          [--objective <objective>] [--backend <backend>] [--tolerance <t>] \
-         [--budget <probes>] [--query v1,v2,...] [--stats]"
+         [--budget <probes>] [--query v1,v2,...] [--threads <n>] [--stats]\n\
+         \x20      dsd batch <request-file> [--threads <n>]"
     );
     ExitCode::FAILURE
 }
 
+fn load_graph(path: &str) -> Result<Graph, String> {
+    File::open(path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| read_edge_list(BufReader::new(f)).map_err(|e| e.to_string()))
+}
+
+/// Parses one `req <graph> [flags...]` directive into a routed request.
+fn parse_req_directive(tokens: &[&str]) -> Result<DsdRequest, String> {
+    let graph = tokens.first().ok_or("req needs a graph name")?;
+    let mut psi = Pattern::edge();
+    let mut objective = Objective::Densest;
+    let mut method = Method::Auto;
+    let mut backend = FlowBackend::Dinic;
+    let mut tolerance: Option<f64> = None;
+    let mut budget: Option<usize> = None;
+
+    let mut it = tokens[1..].iter();
+    while let Some(&flag) = it.next() {
+        let mut value = || -> Result<&str, String> {
+            it.next().copied().ok_or(format!("{flag} needs a value"))
+        };
+        match flag {
+            "--psi" => {
+                let v = value()?;
+                psi = parse_pattern(v).ok_or(format!("unknown pattern {v:?}"))?;
+            }
+            "--objective" => {
+                let v = value()?;
+                objective = parse_objective(v).ok_or(format!("unknown objective {v:?}"))?;
+            }
+            "--method" => {
+                let v = value()?;
+                method = parse_method(v).ok_or(format!("unknown method {v:?}"))?;
+            }
+            "--backend" => {
+                let v = value()?;
+                backend = parse_backend(v).ok_or(format!("unknown backend {v:?}"))?;
+            }
+            "--tolerance" => {
+                let v = value()?;
+                tolerance = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|t| *t >= 0.0)
+                        .ok_or(format!("bad --tolerance {v:?}"))?,
+                );
+            }
+            "--budget" => {
+                let v = value()?;
+                budget = Some(v.parse().map_err(|_| format!("bad --budget {v:?}"))?);
+            }
+            "--query" => {
+                let v = value()?;
+                let parsed: Result<Vec<u32>, _> = v.split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(vs) if !vs.is_empty() => objective = Objective::WithQuery(vs),
+                    _ => return Err(format!("bad --query list {v:?}")),
+                }
+            }
+            other => return Err(format!("unknown req flag {other:?}")),
+        }
+    }
+    let mut req = DsdRequest::new(&psi)
+        .on(*graph)
+        .objective(objective)
+        .method(method)
+        .flow_backend(backend);
+    if let Some(t) = tolerance {
+        req = req.tolerance(t);
+    }
+    if let Some(b) = budget {
+        req = req.step_budget(b);
+    }
+    Ok(req)
+}
+
+fn run_batch(args: &[String]) -> ExitCode {
+    let mut file: Option<&str> = None;
+    let mut threads = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("bad --threads");
+                    return usage();
+                }
+            },
+            other if !other.starts_with("--") && file.is_none() => file = Some(other),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = file else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let service = DsdService::with_parallelism(Parallelism::new(threads));
+    let mut requests = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let fail = |msg: String| {
+            eprintln!("{path}:{}: {msg}", lineno + 1);
+            ExitCode::FAILURE
+        };
+        match tokens[0] {
+            "graph" => {
+                let [_, name, file] = tokens[..] else {
+                    return fail("graph needs: graph <name> <edge-list-file>".into());
+                };
+                match load_graph(file) {
+                    Ok(g) => {
+                        println!(
+                            "registered {name}: {} vertices, {} edges",
+                            g.num_vertices(),
+                            g.num_edges()
+                        );
+                        service.register(name, g);
+                    }
+                    Err(e) => return fail(format!("failed to read {file}: {e}")),
+                }
+            }
+            "req" => match parse_req_directive(&tokens[1..]) {
+                Ok(req) => requests.push(req),
+                Err(e) => return fail(e),
+            },
+            other => return fail(format!("unknown directive {other:?}")),
+        }
+    }
+
+    println!(
+        "batch: {} requests over {} graphs, {} workers",
+        requests.len(),
+        service.len(),
+        threads
+    );
+    let outcome = service.solve_batch(requests);
+    let mut failed = 0usize;
+    for (i, result) in outcome.solutions.iter().enumerate() {
+        match result {
+            Ok(s) => println!(
+                "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}]",
+                s.objective,
+                s.method,
+                s.density,
+                s.len(),
+                s.guarantee
+            ),
+            Err(e) => {
+                failed += 1;
+                eprintln!("#{i}: error: {e}");
+            }
+        }
+    }
+    let st = &outcome.stats;
+    println!(
+        "batch: {:.3} ms wall, {} groups, {} substrate builds + {} hits, \
+         {:.0}% worker utilization",
+        st.wall_nanos as f64 / 1e6,
+        st.groups,
+        st.substrate_builds,
+        st.substrate_hits,
+        st.utilization() * 100.0
+    );
+    if failed > 0 {
+        eprintln!("{failed} of {} requests failed", outcome.solutions.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch(&args[1..]);
+    }
     let mut file: Option<&str> = None;
     let mut psi = Pattern::edge();
     let mut method = Method::Auto;
@@ -107,6 +312,7 @@ fn main() -> ExitCode {
     let mut backend = FlowBackend::Dinic;
     let mut tolerance: Option<f64> = None;
     let mut budget: Option<usize> = None;
+    let mut threads = 1usize;
     let mut stats = false;
 
     let mut it = args.iter();
@@ -167,6 +373,13 @@ fn main() -> ExitCode {
                 }
                 None => return usage(),
             },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("bad --threads");
+                    return usage();
+                }
+            },
             "--stats" => stats = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other);
@@ -175,10 +388,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = file else { return usage() };
-    let g = match File::open(path)
-        .map_err(|e| e.to_string())
-        .and_then(|f| read_edge_list(BufReader::new(f)).map_err(|e| e.to_string()))
-    {
+    let g = match load_graph(path) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("failed to read {path}: {e}");
@@ -206,7 +416,7 @@ fn main() -> ExitCode {
             psi.name()
         );
     }
-    let engine = DsdEngine::new(g);
+    let engine = DsdEngine::new(g).with_parallelism(Parallelism::new(threads));
     let mut request = engine
         .request(&psi)
         .objective(objective.clone())

@@ -42,7 +42,30 @@
 //! ([`core::densest_subgraph`] & co.), which shim through a throwaway
 //! engine.
 //!
+//! # Serving many graphs and batched workloads
+//!
+//! The engine is `Send + Sync`; [`DsdService`] puts a catalog of named
+//! graphs (each behind its own engine) and a batched, multi-threaded
+//! executor on top of it:
+//!
+//! ```
+//! use dsd::prelude::*;
+//!
+//! let service = DsdService::with_parallelism(Parallelism::new(4));
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! service.register("toy", g);
+//!
+//! let psi = Pattern::triangle();
+//! let outcome = service.solve_batch(vec![
+//!     DsdRequest::new(&psi).on("toy"),
+//!     DsdRequest::new(&psi).on("toy").objective(Objective::TopK(2)),
+//! ]);
+//! assert_eq!(outcome.stats.substrate_builds, 1, "one (graph, Ψ) group");
+//! assert_eq!(outcome.solutions[0].as_ref().unwrap().vertices, vec![0, 1, 2, 3]);
+//! ```
+//!
 //! [`Solution`]: core::engine::Solution
+//! [`DsdService`]: core::service::DsdService
 
 pub use dsd_core as core;
 pub use dsd_datasets as datasets;
@@ -50,13 +73,14 @@ pub use dsd_flow as flow;
 pub use dsd_graph as graph;
 pub use dsd_motif as motif;
 
-/// Convenience re-exports for the common workflow: the engine types plus
-/// the free-function shims and the substrate value types they share.
+/// Convenience re-exports for the common workflow: the engine and serving
+/// types plus the free-function shims and the substrate value types they
+/// share.
 pub mod prelude {
     pub use dsd_core::{
         core_exact, densest_subgraph, densest_with_query, exact, peel_app, top_k_densest,
-        DsdEngine, DsdRequest, DsdResult, FlowBackend, Guarantee, Method, Objective, Outcome,
-        Solution, SolveStats,
+        BatchOutcome, BatchStats, DsdEngine, DsdRequest, DsdResult, DsdService, FlowBackend,
+        Guarantee, Method, Objective, Outcome, Parallelism, ServiceError, Solution, SolveStats,
     };
     pub use dsd_graph::{Graph, GraphBuilder, VertexId, VertexSet};
     pub use dsd_motif::Pattern;

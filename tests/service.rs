@@ -1,0 +1,296 @@
+//! Serving-layer tests: concurrent solves are bit-identical to serial,
+//! racing warmers pay one substrate build, and the catalog stays
+//! consistent under register/evict contention.
+
+use std::sync::{Arc, Barrier};
+
+use dsd::core::{DsdRequest, DsdService, Method, Objective, Parallelism, ServiceError, Solution};
+use dsd::graph::Graph;
+use dsd::motif::Pattern;
+
+/// A graph with enough structure that every objective has a non-trivial
+/// answer: K6 + triangle fringe + chain (the `tests/engine.rs` fixture).
+fn structured() -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            edges.push((u, v));
+        }
+    }
+    edges.extend_from_slice(&[(6, 7), (7, 8), (6, 8), (8, 0), (9, 10), (10, 11), (11, 9)]);
+    edges.extend_from_slice(&[(11, 12), (12, 13)]);
+    Graph::from_edges(14, &edges)
+}
+
+/// One request per objective, methods pinned so resolution cannot depend
+/// on cache warmth (`Method::Auto` resolves against observed cache state,
+/// which concurrency would make nondeterministic).
+fn pinned_workload(psi: &Pattern) -> Vec<DsdRequest> {
+    vec![
+        DsdRequest::new(psi).method(Method::CoreExact),
+        DsdRequest::new(psi).method(Method::PeelApp),
+        DsdRequest::new(psi).objective(Objective::TopK(3)),
+        DsdRequest::new(psi).objective(Objective::AtLeastK(8)),
+        DsdRequest::new(psi).objective(Objective::AtMostK(4)),
+        DsdRequest::new(psi).objective(Objective::WithQuery(vec![9])),
+    ]
+}
+
+fn assert_identical(a: &Solution, b: &Solution, label: &str) {
+    assert_eq!(a.vertices, b.vertices, "{label}: vertices differ");
+    assert_eq!(
+        a.density.to_bits(),
+        b.density.to_bits(),
+        "{label}: density not bit-identical"
+    );
+    assert_eq!(
+        a.subgraphs.len(),
+        b.subgraphs.len(),
+        "{label}: subgraph count"
+    );
+    for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+        assert_eq!(x.vertices, y.vertices, "{label}: subgraph vertices");
+        assert_eq!(
+            x.density.to_bits(),
+            y.density.to_bits(),
+            "{label}: subgraph density"
+        );
+    }
+    assert_eq!(a.method, b.method, "{label}: resolved method");
+    assert_eq!(a.outcome, b.outcome, "{label}: outcome");
+}
+
+/// (a) Concurrent `solve` over one shared engine returns bit-identical
+/// solutions to a serial reference, for every objective.
+#[test]
+fn concurrent_solves_are_bit_identical_to_serial() {
+    const THREADS: usize = 4;
+    let psi = Pattern::triangle();
+    let workload = pinned_workload(&psi);
+
+    // Serial reference on its own service.
+    let serial = DsdService::new();
+    serial.register("g", structured());
+    let reference: Vec<Solution> = workload
+        .iter()
+        .map(|r| serial.solve(&r.clone().on("g")).unwrap())
+        .collect();
+
+    // THREADS threads race the full workload over one shared engine.
+    let service = DsdService::new();
+    let engine = service.register("g", structured());
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let workload = &workload;
+            let reference = &reference;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for (req, expect) in workload.iter().zip(reference) {
+                    let got = engine.solve(req);
+                    assert_identical(&got, expect, &format!("{:?}", expect.objective));
+                }
+            });
+        }
+    });
+}
+
+/// (b) Two threads warming the same Ψ through the same engine pay exactly
+/// one decomposition build — the double-checked build-once locking.
+#[test]
+fn racing_warmers_pay_one_build() {
+    const WARMERS: usize = 8;
+    let service = DsdService::new();
+    let engine = service.register("g", structured());
+    let psi = Pattern::triangle();
+    let barrier = Barrier::new(WARMERS);
+    std::thread::scope(|scope| {
+        for _ in 0..WARMERS {
+            let engine = Arc::clone(&engine);
+            let psi = &psi;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                engine.warm(psi);
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.decomposition_builds, 1,
+        "N racing warmers must pay one build"
+    );
+    assert_eq!(stats.decomposition_hits, WARMERS - 1);
+    assert_eq!(stats.oracle_builds, 1);
+}
+
+/// The same build-once guarantee holds when the warmers are full solves
+/// (not just `warm`), across an isomorphic relabeling of Ψ.
+#[test]
+fn racing_solves_share_one_canonical_substrate() {
+    const SOLVERS: usize = 6;
+    let service = DsdService::new();
+    let engine = service.register("g", structured());
+    // The paw, two labelings — canonicalization must key them together.
+    let labelings = [
+        Pattern::c3_star(),
+        Pattern::new("paw-b", 4, &[(1, 2), (2, 3), (1, 3), (2, 0)]),
+    ];
+    let barrier = Barrier::new(SOLVERS);
+    std::thread::scope(|scope| {
+        for i in 0..SOLVERS {
+            let engine = Arc::clone(&engine);
+            let psi = &labelings[i % 2];
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                engine.solve(&DsdRequest::new(psi).method(Method::PeelApp));
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(stats.decomposition_builds, 1);
+    assert_eq!(stats.decomposition_hits, SOLVERS - 1);
+}
+
+/// (c) Catalog register/evict under contention is linearization-safe:
+/// disjoint names all land, every evict of a present name succeeds
+/// exactly once, and the final catalog is exactly the survivors.
+#[test]
+fn catalog_register_evict_under_contention() {
+    const THREADS: usize = 8;
+    let service = DsdService::new();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for i in 0..THREADS {
+            let service = &service;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let name = format!("g{i}");
+                service.register(&name, structured());
+                // A register is immediately visible to its own thread.
+                assert!(service.engine(&name).is_some(), "{name} must be visible");
+                // Everyone hammers list() while the catalog churns.
+                let _ = service.list();
+                if i % 2 == 1 {
+                    assert!(service.evict(&name), "own registration must evict");
+                    assert!(service.engine(&name).is_none());
+                }
+            });
+        }
+    });
+    let expect: Vec<String> = (0..THREADS).step_by(2).map(|i| format!("g{i}")).collect();
+    assert_eq!(service.list(), expect);
+}
+
+/// Concurrent register/evict races on ONE name always leave the catalog
+/// in a legal state: either absent, or serving a fully-functional engine.
+#[test]
+fn same_name_register_evict_race_stays_consistent() {
+    const ROUNDS: usize = 25;
+    let service = DsdService::new();
+    let psi = Pattern::triangle();
+    let expected = {
+        let reference = DsdService::new();
+        reference.register("shared", structured());
+        reference
+            .solve(&DsdRequest::new(&psi).on("shared").method(Method::PeelApp))
+            .unwrap()
+    };
+    let barrier = Barrier::new(3);
+    std::thread::scope(|scope| {
+        // Two registrars and one evictor fight over one name...
+        for _ in 0..2 {
+            let service = &service;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    service.register("shared", structured());
+                }
+            });
+        }
+        let service = &service;
+        let barrier = &barrier;
+        let psi = &psi;
+        let expected = &expected;
+        scope.spawn(move || {
+            barrier.wait();
+            for _ in 0..ROUNDS {
+                // ...while reads observe only legal states.
+                match service.solve(&DsdRequest::new(psi).on("shared").method(Method::PeelApp)) {
+                    Ok(s) => assert_identical(&s, expected, "racing solve"),
+                    Err(e) => assert_eq!(e, ServiceError::UnknownGraph("shared".into())),
+                }
+                service.evict("shared");
+            }
+        });
+    });
+    // The final state is one of the two legal outcomes.
+    let end = service.list();
+    assert!(end.is_empty() || end == vec!["shared".to_string()]);
+}
+
+/// An 8-worker batch over a mixed two-graph workload returns the same
+/// solutions as the 1-worker batch, pays one decomposition build per
+/// distinct (graph, Ψ), and reports coherent stats.
+#[test]
+fn batch_matches_serial_and_dedupes_substrates() {
+    let patterns = [Pattern::triangle(), Pattern::edge()];
+    let build_batch = || {
+        let mut reqs = Vec::new();
+        for graph in ["a", "b"] {
+            for psi in &patterns {
+                reqs.push(DsdRequest::new(psi).on(graph).method(Method::CoreExact));
+                reqs.push(DsdRequest::new(psi).on(graph).method(Method::PeelApp));
+                reqs.push(DsdRequest::new(psi).on(graph).objective(Objective::TopK(2)));
+                reqs.push(
+                    DsdRequest::new(psi)
+                        .on(graph)
+                        .objective(Objective::AtLeastK(6)),
+                );
+            }
+        }
+        reqs
+    };
+
+    let run = |par: Parallelism| {
+        let service = DsdService::with_parallelism(par);
+        service.register("a", structured());
+        // Graph b: two K4s sharing a vertex plus a tail.
+        let mut edges = Vec::new();
+        for block in [[0u32, 1, 2, 3], [3, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((block[i], block[j]));
+                }
+            }
+        }
+        edges.push((6, 7));
+        service.register("b", Graph::from_edges(8, &edges));
+        service.solve_batch(build_batch())
+    };
+
+    let serial = run(Parallelism::serial());
+    let batched = run(Parallelism::new(8));
+
+    assert_eq!(serial.solutions.len(), batched.solutions.len());
+    for (s, b) in serial.solutions.iter().zip(&batched.solutions) {
+        let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_identical(b, s, &format!("{:?}", s.objective));
+    }
+    for outcome in [&serial, &batched] {
+        let st = &outcome.stats;
+        assert_eq!(st.requests, 16);
+        assert_eq!(st.groups, 4, "2 graphs × 2 patterns");
+        assert_eq!(st.substrate_builds, 4, "one build per (graph, Ψ)");
+        assert_eq!(st.substrate_hits, 12, "three warm requests per group");
+        assert!(st.wall_nanos > 0);
+    }
+    assert_eq!(serial.stats.worker_busy_nanos.len(), 1);
+    assert_eq!(batched.stats.worker_busy_nanos.len(), 8);
+    assert!(batched.stats.utilization() > 0.0);
+}
