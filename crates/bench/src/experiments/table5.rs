@@ -50,7 +50,7 @@ pub fn run(quick: bool) {
         for psi in &psis {
             let opt = engine.request(psi).method(Method::CoreExact).solve();
             let oracle = oracle_for(psi);
-            let on_eds = density(oracle.as_ref(), engine.graph(), &eds_set);
+            let on_eds = density(oracle.as_ref(), &engine.graph(), &eds_set);
             assert!(
                 opt.density + 1e-7 >= on_eds,
                 "{name} {}: ρopt {} below EDS density {}",

@@ -1,0 +1,322 @@
+//! Incremental maintenance of the classical k-core decomposition under
+//! single-edge updates (the subcore/purecore *traversal* repair of the
+//! streaming k-core literature).
+//!
+//! Both repairs exploit the locality theorems for core numbers: inserting
+//! or deleting one edge `{u, v}` with `r = min(core(u), core(v))` can only
+//! change the core numbers of vertices whose current core number is
+//! exactly `r`, and each such number moves by at most 1. The repair
+//! therefore touches only the *subcore* around the edge instead of
+//! re-peeling the graph:
+//!
+//! * **insert** — collect the candidate subcore (core-`r` vertices
+//!   connected to the root endpoint through core-`r` vertices), seed each
+//!   candidate with its support (neighbours of core ≥ `r`), and peel
+//!   candidates whose support cannot reach `r + 1`; survivors are promoted
+//!   to `r + 1`;
+//! * **delete** — lazily compute each affected vertex's support
+//!   (neighbours of core ≥ `r`) and cascade demotions to `r - 1` from the
+//!   endpoints while any support drops below `r`.
+//!
+//! Repairs run against any [`AdjacencyView`] — in particular the
+//! [`dsd_graph::DeltaGraph`] overlay view, so a batch of updates can be
+//! maintained edge by edge without materializing a CSR per edge. For
+//! batches too large for per-edge repair to win, callers fall back to the
+//! from-scratch bucket peel ([`crate::kcore::k_core_decomposition`]) — the
+//! rebuild-or-patch policy implemented by `DsdEngine::apply`.
+
+use std::collections::VecDeque;
+
+use dsd_graph::{AdjacencyView, VertexId};
+
+use crate::kcore::KCoreDecomposition;
+
+/// Per-vertex BFS state of the insertion repair.
+const UNSEEN: u8 = 0;
+/// In the candidate set (max-core degree > r, reachable from the root).
+const CANDIDATE: u8 = 1;
+/// Visited but unpromotable (max-core degree ≤ r) — not expanded, and not
+/// counted as a supporter.
+const REJECTED: u8 = 2;
+
+/// Repairs `dec` after the undirected edge `{u, v}` was **inserted**.
+///
+/// `adj` must already contain the edge; `dec` must be the decomposition of
+/// the graph *without* it. Runs the pruned traversal insertion algorithm:
+/// candidates are the core-`r` vertices reachable from the root through
+/// vertices whose *max-core degree* (neighbours of core ≥ `r`) exceeds
+/// `r` — the pure subcore. Vertices failing that bound can never reach
+/// the `(r+1)`-core, and any promoted vertex must be connected to the new
+/// edge through promoted vertices (otherwise its certificate existed
+/// before the insertion), so the pruned closure is exhaustive.
+pub fn repair_insert<A: AdjacencyView>(
+    adj: &A,
+    dec: &mut KCoreDecomposition,
+    u: VertexId,
+    v: VertexId,
+) {
+    debug_assert!(u != v, "self-loops never enter the graph");
+    let core = &mut dec.core;
+    let (cu, cv) = (core[u as usize], core[v as usize]);
+    let r = cu.min(cv);
+    let root = if cu <= cv { u } else { v };
+
+    let mcd = |core: &[u32], w: VertexId| {
+        let mut d = 0u32;
+        adj.for_each_neighbor(w, |x| {
+            if core[x as usize] >= r {
+                d += 1;
+            }
+        });
+        d
+    };
+
+    // Any promotion chain starts at the root; an unpromotable root means
+    // the insertion changes nothing.
+    if mcd(core, root) <= r {
+        return;
+    }
+
+    let mut status = vec![UNSEEN; core.len()];
+    let mut slot = vec![u32::MAX; core.len()];
+    let mut members: Vec<VertexId> = vec![root];
+    status[root as usize] = CANDIDATE;
+    slot[root as usize] = 0;
+    let mut at = 0usize;
+    while at < members.len() {
+        let w = members[at];
+        at += 1;
+        adj.for_each_neighbor(w, |x| {
+            if core[x as usize] == r && status[x as usize] == UNSEEN {
+                if mcd(core, x) > r {
+                    status[x as usize] = CANDIDATE;
+                    slot[x as usize] = members.len() as u32;
+                    members.push(x);
+                } else {
+                    status[x as usize] = REJECTED;
+                }
+            }
+        });
+    }
+
+    // Support of a candidate: neighbours that can keep it in the
+    // (r + 1)-core — old core > r, or a not-yet-evicted candidate.
+    let mut support: Vec<u32> = members
+        .iter()
+        .map(|&w| {
+            let mut d = 0u32;
+            adj.for_each_neighbor(w, |x| {
+                if core[x as usize] > r || status[x as usize] == CANDIDATE {
+                    d += 1;
+                }
+            });
+            d
+        })
+        .collect();
+
+    // Peel candidates that cannot reach r + 1 supporters.
+    let mut evicted = vec![false; members.len()];
+    let mut queued = vec![false; members.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for i in 0..members.len() {
+        if support[i] <= r {
+            queued[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        evicted[i] = true;
+        adj.for_each_neighbor(members[i], |x| {
+            if status[x as usize] == CANDIDATE {
+                let j = slot[x as usize] as usize;
+                if !evicted[j] {
+                    support[j] -= 1;
+                    if support[j] <= r && !queued[j] {
+                        queued[j] = true;
+                        queue.push_back(j);
+                    }
+                }
+            }
+        });
+    }
+
+    // Survivors join the (r + 1)-core.
+    let mut promoted = false;
+    for (i, &w) in members.iter().enumerate() {
+        if !evicted[i] {
+            core[w as usize] = r + 1;
+            promoted = true;
+        }
+    }
+    if promoted {
+        dec.kmax = dec.kmax.max(r + 1);
+    }
+}
+
+/// Repairs `dec` after the undirected edge `{u, v}` was **deleted**.
+///
+/// `adj` must no longer contain the edge; `dec` must be the decomposition
+/// of the graph *with* it. Cascades demotions from the endpoints; each
+/// demoted vertex loses exactly 1, and only the touched region pays.
+pub fn repair_delete<A: AdjacencyView>(
+    adj: &A,
+    dec: &mut KCoreDecomposition,
+    u: VertexId,
+    v: VertexId,
+) {
+    debug_assert!(u != v, "self-loops never enter the graph");
+    let r = dec.core[u as usize].min(dec.core[v as usize]);
+    if r == 0 {
+        return; // a core-0 endpoint had no edges to lose
+    }
+
+    // Lazily computed support: #{neighbours with current core ≥ r}, with
+    // `u32::MAX` as the not-yet-computed sentinel. Entries stay exact
+    // under demotions — a vertex first touched after a neighbour's
+    // demotion computes the post-demotion count, one touched before is
+    // decremented exactly once when that neighbour demotes.
+    let mut support = vec![u32::MAX; dec.core.len()];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+
+    let count = |core: &[u32], x: VertexId| {
+        let mut d = 0u32;
+        adj.for_each_neighbor(x, |y| {
+            if core[y as usize] >= r {
+                d += 1;
+            }
+        });
+        d
+    };
+
+    for w in [u, v] {
+        if dec.core[w as usize] == r && support[w as usize] == u32::MAX {
+            let d = count(&dec.core, w);
+            support[w as usize] = d;
+            if d < r {
+                queue.push_back(w);
+            }
+        }
+    }
+
+    let mut any_demoted = false;
+    while let Some(w) = queue.pop_front() {
+        if dec.core[w as usize] != r {
+            continue; // already demoted (duplicate queue entry)
+        }
+        dec.core[w as usize] = r - 1;
+        any_demoted = true;
+        let mut to_touch: Vec<VertexId> = Vec::new();
+        adj.for_each_neighbor(w, |x| {
+            if dec.core[x as usize] == r {
+                to_touch.push(x);
+            }
+        });
+        for x in to_touch {
+            let d = &mut support[x as usize];
+            if *d == u32::MAX {
+                *d = count(&dec.core, x);
+            } else {
+                *d -= 1;
+            }
+            if *d < r {
+                queue.push_back(x);
+            }
+        }
+    }
+
+    // The kmax-shell can only empty out when the repair ran at level kmax.
+    if any_demoted && r == dec.kmax {
+        dec.kmax = dec.core.iter().copied().max().unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcore::k_core_decomposition;
+    use dsd_graph::testing::XorShift;
+    use dsd_graph::{DeltaGraph, EdgeOverlay, Graph, GraphUpdate};
+
+    /// Applies one effective update through an overlay and repairs the
+    /// decomposition, returning the previous core numbers.
+    fn apply_and_repair(
+        base: &Graph,
+        overlay: &mut EdgeOverlay,
+        dec: &mut KCoreDecomposition,
+        update: GraphUpdate,
+    ) -> Option<Vec<u32>> {
+        if !overlay.apply(base, &update) {
+            return None;
+        }
+        let before = dec.core.clone();
+        let view = DeltaGraph::new(base, overlay);
+        let (u, v) = update.endpoints();
+        match update {
+            GraphUpdate::Insert(..) => repair_insert(&view, dec, u, v),
+            GraphUpdate::Delete(..) => repair_delete(&view, dec, u, v),
+        }
+        Some(before)
+    }
+
+    #[test]
+    fn insert_promotes_isolated_pair() {
+        let base = Graph::empty(3);
+        let mut overlay = EdgeOverlay::default();
+        let mut dec = k_core_decomposition(&base);
+        apply_and_repair(&base, &mut overlay, &mut dec, GraphUpdate::Insert(0, 2)).unwrap();
+        assert_eq!(dec.core, vec![1, 0, 1]);
+        assert_eq!(dec.kmax, 1);
+    }
+
+    #[test]
+    fn closing_a_square_promotes_the_cycle() {
+        let base = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut overlay = EdgeOverlay::default();
+        let mut dec = k_core_decomposition(&base);
+        assert_eq!(dec.kmax, 1);
+        apply_and_repair(&base, &mut overlay, &mut dec, GraphUpdate::Insert(3, 0)).unwrap();
+        assert_eq!(dec.core, vec![2, 2, 2, 2]);
+        assert_eq!(dec.kmax, 2);
+    }
+
+    #[test]
+    fn deleting_a_cycle_edge_demotes_everyone() {
+        let base = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut overlay = EdgeOverlay::default();
+        let mut dec = k_core_decomposition(&base);
+        assert_eq!(dec.kmax, 2);
+        apply_and_repair(&base, &mut overlay, &mut dec, GraphUpdate::Delete(1, 2)).unwrap();
+        assert_eq!(dec.core, vec![1, 1, 1, 1]);
+        assert_eq!(dec.kmax, 1);
+    }
+
+    #[test]
+    fn random_update_streams_match_scratch_and_move_by_at_most_one() {
+        let mut rng = XorShift::new(0xD15C0);
+        for _ in 0..40 {
+            let base = rng.random_graph(4, 16, 25);
+            let n = base.num_vertices();
+            let mut overlay = EdgeOverlay::default();
+            let mut dec = k_core_decomposition(&base);
+            for _ in 0..24 {
+                let u = (rng.next() % n as u64) as u32;
+                let v = (rng.next() % n as u64) as u32;
+                let update = if rng.next().is_multiple_of(2) {
+                    GraphUpdate::Insert(u, v)
+                } else {
+                    GraphUpdate::Delete(u, v)
+                };
+                let Some(before) = apply_and_repair(&base, &mut overlay, &mut dec, update) else {
+                    continue;
+                };
+                let scratch = k_core_decomposition(&DeltaGraph::new(&base, &overlay).materialize());
+                assert_eq!(dec.core, scratch.core, "after {update:?}");
+                assert_eq!(dec.kmax, scratch.kmax, "kmax after {update:?}");
+                for (w, &old) in before.iter().enumerate() {
+                    let delta = dec.core[w] as i64 - old as i64;
+                    assert!(delta.abs() <= 1, "|Δcore({w})| = {delta} after {update:?}");
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,14 @@
 //! many named graphs from one process, and for batched execution, see
 //! [`crate::service::DsdService`].
 //!
+//! The graph is **not** frozen: [`DsdEngine::apply`] takes a batch of
+//! [`GraphUpdate`]s, advances a *graph epoch*, repairs the classical
+//! k-core order in place (the incremental maintenance of
+//! [`crate::dynamic`]) and conservatively invalidates the Ψ-substrates.
+//! Every request runs against a consistent [`GraphSnapshot`] and records
+//! its epoch in [`SolveStats::epoch`]; requests in flight during an update
+//! finish on their pre-update snapshot.
+//!
 //! ```
 //! use dsd_core::engine::{DsdEngine, Objective};
 //! use dsd_core::Method;
@@ -45,17 +53,18 @@
 //! assert!(top2.stats.substrate.decomposition_cache_hit);
 //! ```
 
-use std::borrow::Cow;
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use dsd_graph::{Graph, VertexId};
+use dsd_graph::{DeltaGraph, EdgeOverlay, Graph, GraphUpdate, VertexId};
 use dsd_motif::Pattern;
 
 use crate::approx::{core_app_from, inc_app_from};
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
 use crate::core_exact::{core_exact_from, CoreExactConfig};
+use crate::dynamic::{repair_delete, repair_insert};
 use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
@@ -143,6 +152,11 @@ pub struct SolveStats {
     pub kmax: Option<u64>,
     /// Substrate cache accounting.
     pub substrate: SubstrateUse,
+    /// Graph epoch this request was answered against: 0 for a graph that
+    /// has never been updated, bumped by every effective
+    /// [`DsdEngine::apply`] batch. Requests in flight during an update
+    /// keep their pre-update snapshot (and report its epoch here).
+    pub epoch: u64,
 }
 
 /// The one result shape every objective/method path returns.
@@ -226,9 +240,100 @@ type DecompositionLookup = (
 
 #[derive(Default)]
 struct SubstrateCache {
+    /// Graph epoch the cached substrates belong to. Lookups and inserts
+    /// from a request working on a different snapshot are skipped, so a
+    /// concurrent [`DsdEngine::apply`] can never mix substrates across
+    /// graph versions.
+    epoch: u64,
     oracles: HashMap<PatternKey, Arc<dyn DensityOracle>>,
     decompositions: HashMap<PatternKey, Arc<CliqueCoreDecomposition>>,
     kcore: Option<Arc<KCoreDecomposition>>,
+}
+
+/// The engine's graph storage: either a borrowed zero-copy CSR or an
+/// owned, shareable one.
+enum GraphSlot<'g> {
+    Borrowed(&'g Graph),
+    Owned(Arc<Graph>),
+}
+
+impl GraphSlot<'_> {
+    fn graph(&self) -> &Graph {
+        match self {
+            GraphSlot::Borrowed(g) => g,
+            GraphSlot::Owned(g) => g,
+        }
+    }
+}
+
+impl<'g> Clone for GraphSlot<'g> {
+    fn clone(&self) -> Self {
+        match self {
+            GraphSlot::Borrowed(g) => GraphSlot::Borrowed(g),
+            GraphSlot::Owned(g) => GraphSlot::Owned(Arc::clone(g)),
+        }
+    }
+}
+
+/// Mutable graph state behind the engine's state lock: the last
+/// materialized CSR, the overlay of updates applied since then, and the
+/// version counter.
+struct GraphState<'g> {
+    slot: GraphSlot<'g>,
+    /// Updates applied since `slot` was materialized. Non-empty only
+    /// between an [`DsdEngine::apply`] and the next snapshot request —
+    /// queries always run on a fully materialized CSR.
+    pending: EdgeOverlay,
+    epoch: u64,
+}
+
+/// A consistent, immutable view of the engine's graph at one epoch —
+/// what every request solves against. Dereferences to [`Graph`].
+///
+/// Snapshots taken before an [`DsdEngine::apply`] remain valid (and keep
+/// their epoch) while the engine moves on; they share the underlying CSR
+/// by reference count, so holding one is cheap.
+pub struct GraphSnapshot<'g> {
+    slot: GraphSlot<'g>,
+    epoch: u64,
+}
+
+impl GraphSnapshot<'_> {
+    /// The graph epoch this snapshot belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Deref for GraphSnapshot<'_> {
+    type Target = Graph;
+
+    fn deref(&self) -> &Graph {
+        self.slot.graph()
+    }
+}
+
+/// What one [`DsdEngine::apply`] batch did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Graph epoch after the batch (unchanged when the whole batch was
+    /// no-ops).
+    pub epoch: u64,
+    /// Edges actually inserted.
+    pub inserted: usize,
+    /// Edges actually deleted.
+    pub deleted: usize,
+    /// No-op updates: duplicate inserts, deletes of absent edges,
+    /// self-loops, out-of-range endpoints.
+    pub ignored: usize,
+    /// Whether the cached classical k-core order was repaired in place
+    /// (`false` when it was absent, or dropped for a batch too large for
+    /// per-edge repair to win).
+    pub kcore_patched: bool,
+    /// Ψ-substrates conservatively invalidated (oracles + decompositions).
+    pub substrates_dropped: usize,
+    /// Wall time of the batch.
+    pub total_nanos: u128,
 }
 
 /// A long-lived query engine owning one graph plus its memoized substrates.
@@ -240,7 +345,7 @@ struct SubstrateCache {
 /// The lifetime parameter supports zero-copy engines over borrowed graphs
 /// ([`DsdEngine::over`]); owning engines are `DsdEngine<'static>`.
 pub struct DsdEngine<'g> {
-    graph: Cow<'g, Graph>,
+    state: RwLock<GraphState<'g>>,
     parallelism: Parallelism,
     cache: RwLock<SubstrateCache>,
     counters: Mutex<EngineCacheStats>,
@@ -249,21 +354,25 @@ pub struct DsdEngine<'g> {
 impl DsdEngine<'static> {
     /// An engine that owns its graph — the shape to use for serving.
     pub fn new(graph: Graph) -> Self {
-        DsdEngine {
-            graph: Cow::Owned(graph),
-            parallelism: Parallelism::serial(),
-            cache: RwLock::new(SubstrateCache::default()),
-            counters: Mutex::new(EngineCacheStats::default()),
-        }
+        Self::with_slot(GraphSlot::Owned(Arc::new(graph)))
     }
 }
 
 impl<'g> DsdEngine<'g> {
     /// A zero-copy engine over a borrowed graph — what the free-function
-    /// shims use.
+    /// shims use. Updates still work: the first effective
+    /// [`DsdEngine::apply`] copies on write into an owned graph.
     pub fn over(graph: &'g Graph) -> Self {
+        Self::with_slot(GraphSlot::Borrowed(graph))
+    }
+
+    fn with_slot(slot: GraphSlot<'g>) -> Self {
         DsdEngine {
-            graph: Cow::Borrowed(graph),
+            state: RwLock::new(GraphState {
+                slot,
+                pending: EdgeOverlay::default(),
+                epoch: 0,
+            }),
             parallelism: Parallelism::serial(),
             cache: RwLock::new(SubstrateCache::default()),
             counters: Mutex::new(EngineCacheStats::default()),
@@ -283,14 +392,131 @@ impl<'g> DsdEngine<'g> {
         self.parallelism
     }
 
-    /// The engine's graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// A consistent snapshot of the engine's graph at its current epoch.
+    ///
+    /// When updates are pending (applied but not yet materialized), this
+    /// is the point where they get merged into a fresh CSR — the lazy
+    /// half of the rebuild-or-patch policy: a stream of updates with no
+    /// interleaved reads pays one materialization, not one per batch.
+    pub fn graph(&self) -> GraphSnapshot<'g> {
+        {
+            let state = self.state.read().unwrap();
+            if state.pending.is_empty() {
+                return GraphSnapshot {
+                    slot: state.slot.clone(),
+                    epoch: state.epoch,
+                };
+            }
+        }
+        let mut state = self.state.write().unwrap();
+        if !state.pending.is_empty() {
+            let merged = DeltaGraph::new(state.slot.graph(), &state.pending).materialize();
+            state.slot = GraphSlot::Owned(Arc::new(merged));
+            state.pending = EdgeOverlay::default();
+        }
+        GraphSnapshot {
+            slot: state.slot.clone(),
+            epoch: state.epoch,
+        }
+    }
+
+    /// The engine's current graph epoch: 0 at construction, +1 per
+    /// effective [`DsdEngine::apply`] batch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().unwrap().epoch
     }
 
     /// Cumulative cache accounting across all requests so far.
     pub fn cache_stats(&self) -> EngineCacheStats {
         *self.counters.lock().unwrap()
+    }
+
+    /// Applies a batch of edge updates, advancing the graph epoch and
+    /// reconciling every cached substrate:
+    ///
+    /// * the **classical k-core order** is repaired in place, edge by
+    ///   edge, with the subcore traversal of [`crate::dynamic`] — unless
+    ///   the batch is large enough that a from-scratch re-peel is cheaper,
+    ///   in which case it is dropped and lazily rebuilt (rebuild-or-patch);
+    /// * **Ψ-oracles and (k, Ψ)-core decompositions** are conservatively
+    ///   invalidated — instance lists have no cheap repair, and a stale
+    ///   decomposition would silently change answers;
+    /// * the **CSR itself** is not rebuilt here: updates accumulate in an
+    ///   overlay and merge on the next snapshot, so an update-only stream
+    ///   pays one materialization.
+    ///
+    /// No-op updates (duplicate inserts, deletes of absent edges,
+    /// self-loops, out-of-range endpoints) are counted in
+    /// [`ApplyStats::ignored`] and never advance the epoch on their own.
+    /// Requests already in flight keep their pre-update snapshot.
+    pub fn apply(&self, updates: &[GraphUpdate]) -> ApplyStats {
+        /// Batches beyond this many effective updates drop the k-core
+        /// order instead of repairing per edge: each repair can touch a
+        /// whole subcore, so at some batch size one bucket re-peel of the
+        /// final graph is cheaper than the sum of traversals.
+        const KCORE_PATCH_MAX_BATCH: usize = 4_096;
+
+        let t0 = Instant::now();
+        let mut state = self.state.write().unwrap();
+        let mut cache = self.cache.write().unwrap();
+        let GraphState {
+            slot,
+            pending,
+            epoch,
+        } = &mut *state;
+        let base = slot.graph();
+
+        // Take the cached k-core out for patching; it goes back only if
+        // the whole batch stays under the repair threshold.
+        let mut kcore = cache.kcore.take();
+
+        let mut stats = ApplyStats {
+            epoch: *epoch,
+            ..ApplyStats::default()
+        };
+        for update in updates {
+            if !pending.apply(base, update) {
+                stats.ignored += 1;
+                continue;
+            }
+            let (u, v) = update.endpoints();
+            match update {
+                GraphUpdate::Insert(..) => stats.inserted += 1,
+                GraphUpdate::Delete(..) => stats.deleted += 1,
+            }
+            if stats.inserted + stats.deleted > KCORE_PATCH_MAX_BATCH {
+                // The threshold counts *effective* updates — no-ops cost
+                // nothing, and replayed idempotent streams are mostly
+                // no-ops. Past it, one re-peel beats the repair sum.
+                kcore = None;
+            }
+            if let Some(kc) = &mut kcore {
+                let view = DeltaGraph::new(base, pending);
+                let kc = Arc::make_mut(kc);
+                match update {
+                    GraphUpdate::Insert(..) => repair_insert(&view, kc, u, v),
+                    GraphUpdate::Delete(..) => repair_delete(&view, kc, u, v),
+                }
+            }
+        }
+
+        if stats.inserted + stats.deleted == 0 {
+            // Pure no-op batch: nothing moved, keep epoch and substrates.
+            cache.kcore = kcore;
+            stats.total_nanos = t0.elapsed().as_nanos();
+            return stats;
+        }
+
+        *epoch += 1;
+        stats.epoch = *epoch;
+        cache.epoch = *epoch;
+        stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
+        cache.oracles.clear();
+        cache.decompositions.clear();
+        stats.kcore_patched = kcore.is_some();
+        cache.kcore = kcore;
+        stats.total_nanos = t0.elapsed().as_nanos();
+        stats
     }
 
     /// Starts building a request for pattern Ψ (defaults: Densest,
@@ -310,8 +536,18 @@ impl<'g> DsdEngine<'g> {
     /// nanoseconds (0 when it was already cached — including when another
     /// thread won the build race and this call only waited for it).
     pub fn warm(&self, psi: &Pattern) -> u128 {
-        let (_, _, nanos) = self.decomposition(psi);
+        let snap = self.graph();
+        let (_, _, nanos) = self.decomposition(psi, &snap);
         nanos
+    }
+
+    /// The memoized classical k-core order of the current snapshot,
+    /// building it if absent. After an [`Self::apply`] batch that patched
+    /// the order, this returns the repaired decomposition without a
+    /// rebuild — the serving-side view of incremental maintenance.
+    pub fn kcore_order(&self) -> Arc<KCoreDecomposition> {
+        let snap = self.graph();
+        self.kcore(&snap).0
     }
 
     fn count(&self, bump: impl FnOnce(&mut EngineCacheStats)) {
@@ -322,29 +558,47 @@ impl<'g> DsdEngine<'g> {
     ///
     /// Double-checked locking: the fast path shares a read lock; a miss
     /// upgrades to the write lock and re-checks, so racing threads build
-    /// at most one oracle per Ψ.
-    fn oracle(&self, psi: &Pattern) -> Cached<Arc<dyn DensityOracle>> {
-        self.oracle_keyed(psi, pattern_key(psi))
+    /// at most one oracle per Ψ. Cache traffic (hits and inserts) is
+    /// epoch-guarded: a request racing an [`Self::apply`] keeps its own
+    /// snapshot consistent by building privately instead of touching the
+    /// newer epoch's cache.
+    fn oracle(&self, psi: &Pattern, snap: &GraphSnapshot<'_>) -> Cached<Arc<dyn DensityOracle>> {
+        self.oracle_keyed(psi, pattern_key(psi), snap)
     }
 
     /// [`Self::oracle`] with the canonical key already computed, so
     /// callers that need the key themselves (the decomposition lookup)
     /// don't pay the canonicalization twice.
-    fn oracle_keyed(&self, psi: &Pattern, key: PatternKey) -> Cached<Arc<dyn DensityOracle>> {
-        if let Some(oracle) = self.cache.read().unwrap().oracles.get(&key) {
-            let oracle = Arc::clone(oracle);
-            self.count(|c| c.oracle_hits += 1);
-            return (oracle, true);
+    fn oracle_keyed(
+        &self,
+        psi: &Pattern,
+        key: PatternKey,
+        snap: &GraphSnapshot<'_>,
+    ) -> Cached<Arc<dyn DensityOracle>> {
+        {
+            let cache = self.cache.read().unwrap();
+            if cache.epoch == snap.epoch() {
+                if let Some(oracle) = cache.oracles.get(&key) {
+                    let oracle = Arc::clone(oracle);
+                    drop(cache);
+                    self.count(|c| c.oracle_hits += 1);
+                    return (oracle, true);
+                }
+            }
         }
         let mut cache = self.cache.write().unwrap();
-        if let Some(oracle) = cache.oracles.get(&key) {
-            let oracle = Arc::clone(oracle);
-            drop(cache);
-            self.count(|c| c.oracle_hits += 1);
-            return (oracle, true);
+        if cache.epoch == snap.epoch() {
+            if let Some(oracle) = cache.oracles.get(&key) {
+                let oracle = Arc::clone(oracle);
+                drop(cache);
+                self.count(|c| c.oracle_hits += 1);
+                return (oracle, true);
+            }
         }
         let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_for_with(psi, self.parallelism));
-        cache.oracles.insert(key, Arc::clone(&oracle));
+        if cache.epoch == snap.epoch() {
+            cache.oracles.insert(key, Arc::clone(&oracle));
+        }
         drop(cache);
         self.count(|c| c.oracle_builds += 1);
         (oracle, false)
@@ -359,25 +613,35 @@ impl<'g> DsdEngine<'g> {
     /// pay one build. (Requests for *already-cached* substrates of other
     /// patterns also wait out the build; a serving workload warms its
     /// patterns up front, so the write lock is cold-start-only.)
-    fn decomposition(&self, psi: &Pattern) -> DecompositionLookup {
+    fn decomposition(&self, psi: &Pattern, snap: &GraphSnapshot<'_>) -> DecompositionLookup {
         let key = pattern_key(psi);
-        let (oracle, oracle_hit) = self.oracle_keyed(psi, key.clone());
-        if let Some(dec) = self.cache.read().unwrap().decompositions.get(&key) {
-            let dec = Arc::clone(dec);
-            self.count(|c| c.decomposition_hits += 1);
-            return ((oracle, oracle_hit), (dec, true), 0);
+        let (oracle, oracle_hit) = self.oracle_keyed(psi, key.clone(), snap);
+        {
+            let cache = self.cache.read().unwrap();
+            if cache.epoch == snap.epoch() {
+                if let Some(dec) = cache.decompositions.get(&key) {
+                    let dec = Arc::clone(dec);
+                    drop(cache);
+                    self.count(|c| c.decomposition_hits += 1);
+                    return ((oracle, oracle_hit), (dec, true), 0);
+                }
+            }
         }
         let mut cache = self.cache.write().unwrap();
-        if let Some(dec) = cache.decompositions.get(&key) {
-            let dec = Arc::clone(dec);
-            drop(cache);
-            self.count(|c| c.decomposition_hits += 1);
-            return ((oracle, oracle_hit), (dec, true), 0);
+        if cache.epoch == snap.epoch() {
+            if let Some(dec) = cache.decompositions.get(&key) {
+                let dec = Arc::clone(dec);
+                drop(cache);
+                self.count(|c| c.decomposition_hits += 1);
+                return ((oracle, oracle_hit), (dec, true), 0);
+            }
         }
         let t = Instant::now();
-        let dec = Arc::new(decompose(self.graph(), oracle.as_ref()));
+        let dec = Arc::new(decompose(snap, oracle.as_ref()));
         let nanos = t.elapsed().as_nanos();
-        cache.decompositions.insert(key, Arc::clone(&dec));
+        if cache.epoch == snap.epoch() {
+            cache.decompositions.insert(key, Arc::clone(&dec));
+        }
         drop(cache);
         self.count(|c| c.decomposition_builds += 1);
         ((oracle, oracle_hit), (dec, false), nanos)
@@ -385,21 +649,31 @@ impl<'g> DsdEngine<'g> {
 
     /// The memoized classical k-core order. The bool reports a cache hit.
     /// Same double-checked build-once discipline as [`Self::decomposition`].
-    fn kcore(&self) -> (Arc<KCoreDecomposition>, bool) {
-        if let Some(kc) = &self.cache.read().unwrap().kcore {
-            let kc = Arc::clone(kc);
-            self.count(|c| c.kcore_hits += 1);
-            return (kc, true);
+    fn kcore(&self, snap: &GraphSnapshot<'_>) -> (Arc<KCoreDecomposition>, bool) {
+        {
+            let cache = self.cache.read().unwrap();
+            if cache.epoch == snap.epoch() {
+                if let Some(kc) = &cache.kcore {
+                    let kc = Arc::clone(kc);
+                    drop(cache);
+                    self.count(|c| c.kcore_hits += 1);
+                    return (kc, true);
+                }
+            }
         }
         let mut cache = self.cache.write().unwrap();
-        if let Some(kc) = &cache.kcore {
-            let kc = Arc::clone(kc);
-            drop(cache);
-            self.count(|c| c.kcore_hits += 1);
-            return (kc, true);
+        if cache.epoch == snap.epoch() {
+            if let Some(kc) = &cache.kcore {
+                let kc = Arc::clone(kc);
+                drop(cache);
+                self.count(|c| c.kcore_hits += 1);
+                return (kc, true);
+            }
         }
-        let kc = Arc::new(k_core_decomposition(self.graph()));
-        cache.kcore = Some(Arc::clone(&kc));
+        let kc = Arc::new(k_core_decomposition(snap));
+        if cache.epoch == snap.epoch() {
+            cache.kcore = Some(Arc::clone(&kc));
+        }
         drop(cache);
         self.count(|c| c.kcore_builds += 1);
         (kc, false)
@@ -420,7 +694,7 @@ impl<'g> DsdEngine<'g> {
     /// Note the warm/cold split makes Auto's choice depend on cache state:
     /// under concurrent execution, pin an explicit method when bit-for-bit
     /// reproducibility across runs matters (see `service::DsdService`).
-    fn auto_method(&self, psi: &Pattern) -> Method {
+    fn auto_method(&self, psi: &Pattern, snap: &GraphSnapshot<'_>) -> Method {
         /// Located-core size above which warm flow probes are judged too
         /// expensive for an auto-selected request.
         const WARM_FLOW_VERTEX_CAP: usize = 20_000;
@@ -429,8 +703,14 @@ impl<'g> DsdEngine<'g> {
         const COLD_EXACT_WORK_CAP: usize = 1_000_000;
 
         let key = pattern_key(psi);
-        let cached: Option<Arc<CliqueCoreDecomposition>> =
-            self.cache.read().unwrap().decompositions.get(&key).cloned();
+        let cached: Option<Arc<CliqueCoreDecomposition>> = {
+            let cache = self.cache.read().unwrap();
+            if cache.epoch == snap.epoch() {
+                cache.decompositions.get(&key).cloned()
+            } else {
+                None
+            }
+        };
         if let Some(dec) = cached {
             if dec.kmax == 0 {
                 return Method::PeelApp;
@@ -445,8 +725,7 @@ impl<'g> DsdEngine<'g> {
             } else {
                 Method::PeelApp
             }
-        } else if self.graph().num_edges().saturating_mul(psi.vertex_count()) <= COLD_EXACT_WORK_CAP
-        {
+        } else if snap.num_edges().saturating_mul(psi.vertex_count()) <= COLD_EXACT_WORK_CAP {
             Method::CoreExact
         } else {
             Method::CoreApp
@@ -458,24 +737,26 @@ impl<'g> DsdEngine<'g> {
     /// by name is [`crate::service::DsdService`]'s job.
     pub fn solve(&self, req: &DsdRequest) -> Solution {
         let t0 = Instant::now();
+        let snap = self.graph();
         let objective = req.objective.clone();
         let mut solution = match &req.objective {
-            Objective::Densest => self.solve_densest(req),
-            Objective::TopK(k) => self.solve_top_k(req, *k),
-            Objective::AtLeastK(k) => self.solve_at_least_k(req, *k),
-            Objective::AtMostK(k) => self.solve_at_most_k(req, *k),
-            Objective::WithQuery(query) => self.solve_with_query(req, query.clone()),
+            Objective::Densest => self.solve_densest(req, &snap),
+            Objective::TopK(k) => self.solve_top_k(req, *k, &snap),
+            Objective::AtLeastK(k) => self.solve_at_least_k(req, *k, &snap),
+            Objective::AtMostK(k) => self.solve_at_most_k(req, *k, &snap),
+            Objective::WithQuery(query) => self.solve_with_query(req, query.clone(), &snap),
         };
         solution.objective = objective;
+        solution.stats.epoch = snap.epoch();
         solution.stats.total_nanos = t0.elapsed().as_nanos();
         solution
     }
 
-    fn solve_densest(&self, req: &DsdRequest) -> Solution {
-        let g = self.graph();
+    fn solve_densest(&self, req: &DsdRequest, snap: &GraphSnapshot<'_>) -> Solution {
+        let g: &Graph = snap;
         let psi = &req.psi;
         let method = match req.method {
-            Method::Auto => self.auto_method(psi),
+            Method::Auto => self.auto_method(psi, snap),
             m => m,
         };
         let mut stats = SolveStats::default();
@@ -483,7 +764,7 @@ impl<'g> DsdEngine<'g> {
 
         let (result, guarantee) = match method {
             Method::Exact => {
-                let (oracle, oracle_hit) = self.oracle(psi);
+                let (oracle, oracle_hit) = self.oracle(psi, snap);
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 let opts = ExactOpts {
                     backend: req.backend,
@@ -497,7 +778,8 @@ impl<'g> DsdEngine<'g> {
                 (r, guarantee)
             }
             Method::CoreExact => {
-                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) =
+                    self.decomposition(psi, snap);
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 stats.substrate.decomposition_cache_hit = dec_hit;
                 stats.decomposition_nanos = dec_nanos;
@@ -515,7 +797,8 @@ impl<'g> DsdEngine<'g> {
                 (r, guarantee)
             }
             Method::PeelApp => {
-                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) =
+                    self.decomposition(psi, snap);
                 let _ = oracle;
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 stats.substrate.decomposition_cache_hit = dec_hit;
@@ -524,7 +807,8 @@ impl<'g> DsdEngine<'g> {
                 (peel_app_from(&dec), Guarantee::Ratio(ratio))
             }
             Method::IncApp => {
-                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+                let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) =
+                    self.decomposition(psi, snap);
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 stats.substrate.decomposition_cache_hit = dec_hit;
                 stats.decomposition_nanos = dec_nanos;
@@ -533,11 +817,11 @@ impl<'g> DsdEngine<'g> {
                 (r.result, Guarantee::Ratio(ratio))
             }
             Method::CoreApp => {
-                let (oracle, oracle_hit) = self.oracle(psi);
+                let (oracle, oracle_hit) = self.oracle(psi, snap);
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 // γ bounds for cliques come from the classical k-core order.
                 let kcore = if matches!(psi.kind(), dsd_motif::pattern::PatternKind::Clique(_)) {
-                    let (kc, kc_hit) = self.kcore();
+                    let (kc, kc_hit) = self.kcore(snap);
                     stats.substrate.kcore_cache_hit = kc_hit;
                     Some(kc)
                 } else {
@@ -577,14 +861,14 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_top_k(&self, req: &DsdRequest, k: usize) -> Solution {
-        let g = self.graph();
+    fn solve_top_k(&self, req: &DsdRequest, k: usize, snap: &GraphSnapshot<'_>) -> Solution {
+        let g: &Graph = snap;
         let psi = &req.psi;
         // Validate before paying for the decomposition.
         if k == 0 {
             return invalid(Method::CoreExact, Objective::TopK(k), SolveStats::default());
         }
-        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi, snap);
         let mut stats = SolveStats::default();
         stats.substrate.oracle_cache_hit = oracle_hit;
         stats.substrate.decomposition_cache_hit = dec_hit;
@@ -619,8 +903,8 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_at_least_k(&self, req: &DsdRequest, k: usize) -> Solution {
-        let g = self.graph();
+    fn solve_at_least_k(&self, req: &DsdRequest, k: usize, snap: &GraphSnapshot<'_>) -> Solution {
+        let g: &Graph = snap;
         let psi = &req.psi;
         // Validate before paying for the decomposition.
         if k == 0 || k > g.num_vertices() {
@@ -630,7 +914,7 @@ impl<'g> DsdEngine<'g> {
                 SolveStats::default(),
             );
         }
-        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi, snap);
         let mut stats = SolveStats::default();
         stats.substrate.oracle_cache_hit = oracle_hit;
         stats.substrate.decomposition_cache_hit = dec_hit;
@@ -657,8 +941,8 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_at_most_k(&self, req: &DsdRequest, k: usize) -> Solution {
-        let g = self.graph();
+    fn solve_at_most_k(&self, req: &DsdRequest, k: usize, snap: &GraphSnapshot<'_>) -> Solution {
+        let g: &Graph = snap;
         let psi = &req.psi;
         // Validate before paying for the decomposition.
         if k == 0 {
@@ -668,7 +952,7 @@ impl<'g> DsdEngine<'g> {
                 SolveStats::default(),
             );
         }
-        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi);
+        let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) = self.decomposition(psi, snap);
         let mut stats = SolveStats::default();
         stats.substrate.oracle_cache_hit = oracle_hit;
         stats.substrate.decomposition_cache_hit = dec_hit;
@@ -689,8 +973,13 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_with_query(&self, req: &DsdRequest, query: Vec<VertexId>) -> Solution {
-        let g = self.graph();
+    fn solve_with_query(
+        &self,
+        req: &DsdRequest,
+        query: Vec<VertexId>,
+        snap: &GraphSnapshot<'_>,
+    ) -> Solution {
+        let g: &Graph = snap;
         // Validate before paying for the k-core order.
         let n = g.num_vertices();
         if query.is_empty() || query.iter().any(|&q| q as usize >= n) {
@@ -700,7 +989,7 @@ impl<'g> DsdEngine<'g> {
                 SolveStats::default(),
             );
         }
-        let (kcore, kcore_hit) = self.kcore();
+        let (kcore, kcore_hit) = self.kcore(snap);
         let mut stats = SolveStats::default();
         stats.substrate.kcore_cache_hit = kcore_hit;
         stats.kmax = Some(kcore.kmax as u64);
@@ -927,5 +1216,101 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.decomposition_builds, 1);
         assert_eq!(stats.oracle_builds, 1);
+    }
+
+    /// `apply` bumps the epoch, patches the cached k-core in place, and
+    /// conservatively drops the Ψ-substrates, so post-update answers match
+    /// a cold engine over the updated graph.
+    #[test]
+    fn apply_updates_patch_kcore_and_invalidate_psi_substrates() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+        let engine = DsdEngine::new(g.clone());
+        let psi = Pattern::triangle();
+
+        // Warm all three substrates at epoch 0.
+        let warm = engine.request(&psi).method(Method::CoreExact).solve();
+        assert_eq!(warm.stats.epoch, 0);
+        let anchored = engine
+            .request(&psi)
+            .objective(Objective::WithQuery(vec![4]))
+            .solve();
+        assert_eq!(engine.cache_stats().kcore_builds, 1);
+        assert!(anchored.vertices.contains(&4));
+
+        // Densify the tail: 3-4-5 becomes a triangle hanging off the core.
+        let stats = engine.apply(&[
+            GraphUpdate::Insert(3, 5),
+            GraphUpdate::Insert(3, 5), // duplicate → ignored
+            GraphUpdate::Delete(0, 3),
+        ]);
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.deleted, 1);
+        assert_eq!(stats.ignored, 1);
+        assert!(stats.kcore_patched);
+        assert!(stats.substrates_dropped >= 2, "oracle + decomposition");
+        assert_eq!(engine.epoch(), 1);
+
+        // The patched k-core is served as a cache hit at the new epoch —
+        // no rebuild — and matches a cold engine bit for bit.
+        let updated = engine
+            .request(&psi)
+            .objective(Objective::WithQuery(vec![4]))
+            .solve();
+        assert_eq!(updated.stats.epoch, 1);
+        assert!(updated.stats.substrate.kcore_cache_hit);
+        assert_eq!(engine.cache_stats().kcore_builds, 1);
+
+        let fresh = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let cold = DsdEngine::new(fresh);
+        let expect = cold
+            .request(&psi)
+            .objective(Objective::WithQuery(vec![4]))
+            .solve();
+        assert_eq!(updated.vertices, expect.vertices);
+        assert_eq!(updated.density.to_bits(), expect.density.to_bits());
+
+        // Ψ-substrates rebuilt once at the new epoch.
+        let cds = engine.request(&psi).method(Method::CoreExact).solve();
+        assert!(!cds.stats.substrate.decomposition_cache_hit);
+        let expect_cds = cold.request(&psi).method(Method::CoreExact).solve();
+        assert_eq!(cds.vertices, expect_cds.vertices);
+        assert_eq!(cds.density.to_bits(), expect_cds.density.to_bits());
+    }
+
+    /// A batch of pure no-ops leaves epoch and substrates untouched.
+    #[test]
+    fn noop_apply_keeps_epoch_and_caches() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+        let engine = DsdEngine::new(g);
+        let psi = Pattern::triangle();
+        engine.warm(&psi);
+        let stats = engine.apply(&[
+            GraphUpdate::Insert(0, 1), // present
+            GraphUpdate::Delete(0, 3), // absent
+            GraphUpdate::Insert(2, 2), // self-loop
+        ]);
+        assert_eq!(stats.epoch, 0);
+        assert_eq!(stats.ignored, 3);
+        assert_eq!(engine.epoch(), 0);
+        let s = engine.request(&psi).method(Method::PeelApp).solve();
+        assert!(
+            s.stats.substrate.decomposition_cache_hit,
+            "no-op batch must not drop warm substrates"
+        );
+    }
+
+    /// Borrowed engines copy on write: the first effective apply detaches
+    /// the engine's graph from the borrowed CSR.
+    #[test]
+    fn borrowed_engine_applies_updates_copy_on_write() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let engine = DsdEngine::over(&g);
+        let stats = engine.apply(&[GraphUpdate::Insert(1, 2), GraphUpdate::Insert(0, 2)]);
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(engine.graph().num_edges(), 3);
+        assert_eq!(g.num_edges(), 1, "borrowed base graph is untouched");
+        let s = engine.request(&Pattern::triangle()).solve();
+        assert_eq!(s.vertices, vec![0, 1, 2]);
     }
 }

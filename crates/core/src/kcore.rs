@@ -3,6 +3,10 @@
 //! Used three ways in the paper: directly for the h = 2 (edge-density) case,
 //! as the source of the `γ(v, Ψ) = C(x, h−1)` upper bounds in CoreApp
 //! (Algorithm 6 line 1), and as the substrate for the EMcore baseline.
+//!
+//! Under edge updates the decomposition is repaired in place instead of
+//! re-peeled — see [`crate::dynamic`] for the single-edge subcore repair
+//! and `DsdEngine::apply` for the batch rebuild-or-patch policy.
 
 use dsd_graph::{Graph, VertexId, VertexSet};
 

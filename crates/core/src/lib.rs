@@ -65,6 +65,7 @@ pub mod approx;
 pub mod bounds;
 pub mod clique_core;
 pub mod core_exact;
+pub mod dynamic;
 pub mod emcore;
 pub mod engine;
 pub mod exact;
@@ -87,10 +88,12 @@ pub use clique_core::{decompose, CliqueCoreDecomposition};
 pub use core_exact::{
     core_exact, core_exact_from, core_exact_with, CoreExactConfig, CoreExactStats,
 };
+pub use dsd_graph::GraphUpdate;
+pub use dynamic::{repair_delete, repair_insert};
 pub use emcore::emcore_max_core;
 pub use engine::{
-    BoundRequest, DsdEngine, DsdRequest, EngineCacheStats, Guarantee, Objective, Outcome, Solution,
-    SolveStats,
+    ApplyStats, BoundRequest, DsdEngine, DsdRequest, EngineCacheStats, GraphSnapshot, Guarantee,
+    Objective, Outcome, Solution, SolveStats,
 };
 pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;

@@ -15,6 +15,12 @@
 //! 3. **Parallel execution** — requests run on `Parallelism::threads()`
 //!    scoped workers pulling from a shared queue.
 //!
+//! Registered graphs are **live**: [`DsdService::update`] applies edge
+//! insert/delete batches to a named graph in place (incremental k-core
+//! repair + conservative Ψ-substrate invalidation, see
+//! [`DsdEngine::apply`]), so update and query traffic interleave without
+//! evicting and re-registering.
+//!
 //! ```
 //! use dsd_core::service::DsdService;
 //! use dsd_core::{DsdRequest, Objective, Parallelism};
@@ -49,9 +55,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use dsd_graph::Graph;
+use dsd_graph::{Graph, GraphUpdate};
 
-use crate::engine::{pattern_key, DsdEngine, DsdRequest, PatternKey, Solution};
+use crate::engine::{pattern_key, ApplyStats, DsdEngine, DsdRequest, PatternKey, Solution};
 use crate::parallelism::Parallelism;
 
 /// Why the service could not serve a request.
@@ -200,6 +206,18 @@ impl DsdService {
     /// Serves one routed request (built with [`DsdRequest::on`]).
     pub fn solve(&self, req: &DsdRequest) -> Result<Solution, ServiceError> {
         Ok(self.route(req)?.solve(req))
+    }
+
+    /// Applies a batch of edge updates to the named graph **in place** —
+    /// no re-registration, no substrate cold start beyond what the batch
+    /// invalidates (see [`DsdEngine::apply`]). Requests already in flight
+    /// against the graph finish on their pre-update snapshot; later
+    /// requests see the new epoch.
+    pub fn update(&self, name: &str, updates: &[GraphUpdate]) -> Result<ApplyStats, ServiceError> {
+        let engine = self
+            .engine(name)
+            .ok_or_else(|| ServiceError::UnknownGraph(name.to_string()))?;
+        Ok(engine.apply(updates))
     }
 
     fn route(&self, req: &DsdRequest) -> Result<Arc<DsdEngine<'static>>, ServiceError> {
@@ -436,6 +454,51 @@ mod tests {
         // One group → one substrate build, the second request hit.
         assert_eq!(outcome.stats.substrate_builds, 1);
         assert_eq!(outcome.stats.substrate_hits, 1);
+    }
+
+    #[test]
+    fn update_routes_by_name_and_advances_epoch() {
+        let service = DsdService::new();
+        service.register("toy", toy());
+        let psi = Pattern::triangle();
+        let before = service
+            .solve(&DsdRequest::new(&psi).on("toy").method(Method::CoreExact))
+            .unwrap();
+        assert_eq!(before.stats.epoch, 0);
+
+        let stats = service
+            .update("toy", &[dsd_graph::GraphUpdate::Insert(3, 5)])
+            .unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.epoch, 1);
+
+        let after = service
+            .solve(&DsdRequest::new(&psi).on("toy").method(Method::CoreExact))
+            .unwrap();
+        assert_eq!(after.stats.epoch, 1);
+        // Same answer as a cold engine over the updated graph.
+        let updated = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (0, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
+        );
+        let cold = DsdEngine::new(updated);
+        let expect = cold.request(&psi).method(Method::CoreExact).solve();
+        assert_eq!(after.vertices, expect.vertices);
+        assert_eq!(after.density.to_bits(), expect.density.to_bits());
+
+        assert_eq!(
+            service.update("gone", &[]).unwrap_err(),
+            ServiceError::UnknownGraph("gone".into())
+        );
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Property-style tests of the max-flow substrate: the two solvers agree,
 //! flows are conserved and capacity-feasible, and max-flow equals the
 //! capacity of the extracted minimum cut (strong duality). Driven by a
-//! deterministic xorshift seed loop (no crates.io access in the container).
+//! deterministic xorshift seed loop (no crates.io access in the container),
+//! plus a deeper seeded backend-equivalence sweep over the workspace
+//! generator (`crates/rand`) that honours the `DSD_PROP_ITERS` knob used
+//! by the nightly CI job.
 
 use dsd_flow::{min_cut_source_side, Dinic, FlowNetwork, MaxFlow, NodeId, PushRelabel, EPS};
 use dsd_graph::testing::XorShift;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Clone, Debug)]
 struct NetSpec {
@@ -109,6 +114,59 @@ fn max_flow_equals_min_cut() {
         assert!(!side.contains(&t));
         let cap = cut_capacity(&net, &side);
         assert!((f - cap).abs() < 1e-6, "flow {f} vs cut {cap}");
+    }
+}
+
+/// Backend equivalence, closed end to end: on larger randomized networks
+/// from the workspace's seeded generator, Dinic and push-relabel agree on
+/// the max-flow value *and* each backend's own extracted min cut certifies
+/// it (strong duality holds per backend, not just for Dinic). Iteration
+/// count honours `DSD_PROP_ITERS`.
+#[test]
+fn backend_equivalence_on_seeded_networks() {
+    let iters = std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300usize);
+    for seed in 0..iters as u64 {
+        let mut rng = StdRng::seed_from_u64(0xF70A ^ seed);
+        let n = rng.gen_range(4usize..=24);
+        let m = rng.gen_range(n..=n * 6);
+        let spec = NetSpec {
+            n,
+            edges: (0..m)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..n as u32),
+                        rng.gen_range(0u32..n as u32),
+                        rng.gen_range(0.05f64..25.0),
+                    )
+                })
+                .collect(),
+        };
+        let s: NodeId = 0;
+        let t: NodeId = (n - 1) as NodeId;
+        let mut dinic_net = build(&spec);
+        let mut pr_net = build(&spec);
+        let f_dinic = Dinic::new().max_flow(&mut dinic_net, s, t);
+        let f_pr = PushRelabel::new().max_flow(&mut pr_net, s, t);
+        assert!(
+            (f_dinic - f_pr).abs() < 1e-6,
+            "seed {seed}: dinic {f_dinic} vs push-relabel {f_pr}"
+        );
+        for (name, net, flow) in [
+            ("dinic", &dinic_net, f_dinic),
+            ("push-relabel", &pr_net, f_pr),
+        ] {
+            let side = min_cut_source_side(net, s);
+            assert!(side.contains(&s), "seed {seed}: {name} cut misses source");
+            assert!(!side.contains(&t), "seed {seed}: {name} cut contains sink");
+            let cap = cut_capacity(net, &side);
+            assert!(
+                (flow - cap).abs() < 1e-6,
+                "seed {seed}: {name} flow {flow} vs own cut {cap}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,458 @@
+//! Dynamic edge updates over the immutable CSR [`Graph`].
+//!
+//! The CSR representation is deliberately immutable — every algorithm in
+//! the workspace reads sorted adjacency slices — so evolving graphs are
+//! expressed as a **base CSR plus an edge overlay**:
+//!
+//! * [`GraphUpdate`] — one edge insertion or deletion;
+//! * [`EdgeOverlay`] — an accumulated batch of effective updates, stored
+//!   as per-vertex sorted add/remove lists;
+//! * [`DeltaGraph`] — a read view of `base ⊕ overlay` (degrees, neighbour
+//!   iteration, edge probes) that incremental algorithms run against
+//!   *without* rebuilding the CSR;
+//! * [`DeltaGraph::materialize`] — the rebuild-or-patch policy that turns
+//!   the view back into a plain [`Graph`]: small overlays are merged into
+//!   the existing CSR arrays in one linear pass, large overlays fall back
+//!   to a full [`GraphBuilder`] rebuild.
+//!
+//! The intended lifecycle (what `dsd-core`'s engine does): accumulate
+//! updates in an overlay, repair incremental substrates against the
+//! [`DeltaGraph`] view after each edge, and materialize lazily — only when
+//! a reader actually needs a CSR snapshot.
+//!
+//! ```
+//! use dsd_graph::{DeltaGraph, EdgeOverlay, Graph, GraphUpdate};
+//!
+//! let base = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]);
+//! let mut overlay = EdgeOverlay::default();
+//! assert!(overlay.apply(&base, &GraphUpdate::Insert(2, 3)));
+//! assert!(overlay.apply(&base, &GraphUpdate::Delete(0, 1)));
+//! assert!(!overlay.apply(&base, &GraphUpdate::Insert(1, 2))); // already present
+//!
+//! let view = DeltaGraph::new(&base, &overlay);
+//! assert_eq!(view.num_edges(), 3);
+//! assert!(view.has_edge(2, 3));
+//! assert!(!view.has_edge(0, 1));
+//!
+//! let g = view.materialize();
+//! assert_eq!(g.neighbors(2), &[0, 1, 3]);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// One edge-level change to an undirected simple graph.
+///
+/// Endpoints are unordered; `Insert(u, v)` and `Insert(v, u)` denote the
+/// same update. Updates that do not change the graph (inserting a present
+/// edge, deleting an absent one, self-loops, out-of-range endpoints) are
+/// *no-ops*: appliers report them as ineffective rather than failing, so
+/// idempotent update streams can be replayed safely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Insert the undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}`.
+    Delete(VertexId, VertexId),
+}
+
+impl GraphUpdate {
+    /// The update's endpoints, in the order they were written.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            GraphUpdate::Insert(u, v) | GraphUpdate::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+/// Read access to an adjacency structure — the slice of the [`Graph`] API
+/// that incremental maintenance algorithms need, implemented by both the
+/// plain CSR and the [`DeltaGraph`] overlay view. Neighbour iteration is
+/// statically dispatched (the per-edge inner loop of the k-core repairs).
+pub trait AdjacencyView {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Calls `f` once per neighbour of `v`, in unspecified order.
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F);
+}
+
+impl AdjacencyView for Graph {
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+}
+
+/// An accumulated batch of effective edge updates relative to a base
+/// [`Graph`].
+///
+/// The overlay stores, per endpoint, the sorted list of neighbours added
+/// and removed, and keeps itself *reduced*: an edge is never in both
+/// lists, inserting a previously-deleted edge cancels the deletion (and
+/// vice versa), and no-op updates leave the overlay untouched. This makes
+/// `added_edges`/`removed_edges` exact deltas of the edge count.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeOverlay {
+    /// `added[v]` = sorted neighbours gained by `v` (both directions kept).
+    added: HashMap<VertexId, Vec<VertexId>>,
+    /// `removed[v]` = sorted neighbours lost by `v`.
+    removed: HashMap<VertexId, Vec<VertexId>>,
+    /// Undirected count of edges in `added`.
+    added_edges: usize,
+    /// Undirected count of edges in `removed`.
+    removed_edges: usize,
+}
+
+impl EdgeOverlay {
+    /// Whether the overlay holds no changes.
+    pub fn is_empty(&self) -> bool {
+        self.added_edges == 0 && self.removed_edges == 0
+    }
+
+    /// Number of edges added and removed relative to the base.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.added_edges, self.removed_edges)
+    }
+
+    /// Total number of edge slots the overlay touches.
+    pub fn len(&self) -> usize {
+        self.added_edges + self.removed_edges
+    }
+
+    /// Applies one update on top of `base ⊕ self`. Returns whether the
+    /// update was effective (`false` for no-ops: self-loops, out-of-range
+    /// endpoints, inserting a present edge, deleting an absent one).
+    pub fn apply(&mut self, base: &Graph, update: &GraphUpdate) -> bool {
+        let n = base.num_vertices();
+        let (u, v) = update.endpoints();
+        if u == v || u as usize >= n || v as usize >= n {
+            return false;
+        }
+        let present = self.edge_present(base, u, v);
+        match update {
+            GraphUpdate::Insert(..) => {
+                if present {
+                    return false;
+                }
+                if base.has_edge(u, v) {
+                    // Re-inserting a base edge we deleted: cancel the delete.
+                    remove_sorted(&mut self.removed, u, v);
+                    remove_sorted(&mut self.removed, v, u);
+                    self.removed_edges -= 1;
+                } else {
+                    insert_sorted(&mut self.added, u, v);
+                    insert_sorted(&mut self.added, v, u);
+                    self.added_edges += 1;
+                }
+                true
+            }
+            GraphUpdate::Delete(..) => {
+                if !present {
+                    return false;
+                }
+                if base.has_edge(u, v) {
+                    insert_sorted(&mut self.removed, u, v);
+                    insert_sorted(&mut self.removed, v, u);
+                    self.removed_edges += 1;
+                } else {
+                    // Deleting an overlay-added edge: cancel the insert.
+                    remove_sorted(&mut self.added, u, v);
+                    remove_sorted(&mut self.added, v, u);
+                    self.added_edges -= 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Whether `{u, v}` is present in `base ⊕ self`.
+    fn edge_present(&self, base: &Graph, u: VertexId, v: VertexId) -> bool {
+        if contains_sorted(&self.added, u, v) {
+            return true;
+        }
+        if contains_sorted(&self.removed, u, v) {
+            return false;
+        }
+        base.has_edge(u, v)
+    }
+
+    fn added_at(&self, v: VertexId) -> &[VertexId] {
+        self.added.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn removed_at(&self, v: VertexId) -> &[VertexId] {
+        self.removed.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+fn insert_sorted(map: &mut HashMap<VertexId, Vec<VertexId>>, key: VertexId, value: VertexId) {
+    let list = map.entry(key).or_default();
+    if let Err(at) = list.binary_search(&value) {
+        list.insert(at, value);
+    }
+}
+
+fn remove_sorted(map: &mut HashMap<VertexId, Vec<VertexId>>, key: VertexId, value: VertexId) {
+    if let Some(list) = map.get_mut(&key) {
+        if let Ok(at) = list.binary_search(&value) {
+            list.remove(at);
+        }
+    }
+}
+
+fn contains_sorted(map: &HashMap<VertexId, Vec<VertexId>>, key: VertexId, value: VertexId) -> bool {
+    map.get(&key)
+        .is_some_and(|list| list.binary_search(&value).is_ok())
+}
+
+/// A read view of `base ⊕ overlay`: adjacency with the overlay's adds and
+/// removes spliced in, without rebuilding the CSR.
+///
+/// Neighbour iteration visits the surviving base neighbours (sorted)
+/// followed by the added neighbours (sorted) — the combined order is *not*
+/// globally sorted, which the incremental algorithms don't need.
+#[derive(Clone, Copy)]
+pub struct DeltaGraph<'a> {
+    base: &'a Graph,
+    overlay: &'a EdgeOverlay,
+}
+
+impl<'a> DeltaGraph<'a> {
+    /// A view of `base` with `overlay` applied.
+    pub fn new(base: &'a Graph, overlay: &'a EdgeOverlay) -> Self {
+        DeltaGraph { base, overlay }
+    }
+
+    /// The base CSR graph.
+    pub fn base(&self) -> &'a Graph {
+        self.base
+    }
+
+    /// Number of vertices (updates never change the vertex universe).
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Number of undirected edges in the combined view.
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.overlay.added_edges - self.overlay.removed_edges
+    }
+
+    /// Degree of `v` in the combined view.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.base.degree(v) + self.overlay.added_at(v).len() - self.overlay.removed_at(v).len()
+    }
+
+    /// Whether `{u, v}` is present in the combined view.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.overlay.edge_present(self.base, u, v)
+    }
+
+    /// Calls `f` once per neighbour of `v` in the combined view.
+    pub fn for_each_neighbor_impl<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        let removed = self.overlay.removed_at(v);
+        for &u in self.base.neighbors(v) {
+            if removed.is_empty() || removed.binary_search(&u).is_err() {
+                f(u);
+            }
+        }
+        for &u in self.overlay.added_at(v) {
+            f(u);
+        }
+    }
+
+    /// Materializes the combined view into a plain [`Graph`].
+    ///
+    /// The rebuild-or-patch policy: overlays smaller than half the base
+    /// edge count are **patched** — per-vertex three-way merges of the
+    /// sorted base/added/removed lists into fresh CSR arrays, one linear
+    /// pass with no global sort; larger overlays **rebuild** through
+    /// [`GraphBuilder`] (whose sort-based path wins once most of the
+    /// adjacency changes anyway).
+    pub fn materialize(&self) -> Graph {
+        if self.overlay.is_empty() {
+            return self.base.clone();
+        }
+        if self.overlay.len() * 2 >= self.base.num_edges().max(1) {
+            // Rebuild: collect the surviving edge list and sort once.
+            let mut b = GraphBuilder::with_capacity(self.num_vertices(), self.num_edges());
+            for v in 0..self.num_vertices() as VertexId {
+                self.for_each_neighbor_impl(v, &mut |u| {
+                    if v < u {
+                        b.add_edge(v, u);
+                    }
+                });
+            }
+            return b.build();
+        }
+        // Patch: merge each vertex's sorted lists directly into new CSR
+        // arrays.
+        let n = self.num_vertices();
+        let m = self.num_edges();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * m);
+        offsets.push(0usize);
+        for v in 0..n as VertexId {
+            let removed = self.overlay.removed_at(v);
+            let added = self.overlay.added_at(v);
+            let mut add_it = added.iter().copied().peekable();
+            for &u in self.base.neighbors(v) {
+                while let Some(&a) = add_it.peek() {
+                    if a < u {
+                        adj.push(a);
+                        add_it.next();
+                    } else {
+                        break;
+                    }
+                }
+                if removed.binary_search(&u).is_err() {
+                    adj.push(u);
+                }
+            }
+            adj.extend(add_it);
+            offsets.push(adj.len());
+        }
+        debug_assert_eq!(adj.len(), 2 * m);
+        Graph::from_csr_parts(offsets, adj, m)
+    }
+}
+
+impl AdjacencyView for DeltaGraph<'_> {
+    fn num_vertices(&self) -> usize {
+        DeltaGraph::num_vertices(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        DeltaGraph::degree(self, v)
+    }
+
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        self.for_each_neighbor_impl(v, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::XorShift;
+
+    fn base() -> Graph {
+        // Triangle 0-1-2, pendant 3 on 0, isolated 4.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    fn sorted_neighbors(view: &DeltaGraph<'_>, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        view.for_each_neighbor_impl(v, &mut |u| out.push(u));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn noop_updates_are_rejected() {
+        let g = base();
+        let mut ov = EdgeOverlay::default();
+        assert!(!ov.apply(&g, &GraphUpdate::Insert(0, 0)), "self-loop");
+        assert!(!ov.apply(&g, &GraphUpdate::Insert(0, 9)), "out of range");
+        assert!(!ov.apply(&g, &GraphUpdate::Insert(0, 1)), "already present");
+        assert!(!ov.apply(&g, &GraphUpdate::Delete(1, 3)), "already absent");
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_cancels() {
+        let g = base();
+        let mut ov = EdgeOverlay::default();
+        assert!(ov.apply(&g, &GraphUpdate::Insert(3, 4)));
+        assert!(ov.apply(&g, &GraphUpdate::Delete(3, 4)));
+        assert!(ov.is_empty(), "insert+delete of a new edge cancels");
+        assert!(ov.apply(&g, &GraphUpdate::Delete(0, 1)));
+        assert!(ov.apply(&g, &GraphUpdate::Insert(0, 1)));
+        assert!(ov.is_empty(), "delete+insert of a base edge cancels");
+    }
+
+    #[test]
+    fn view_reflects_overlay() {
+        let g = base();
+        let mut ov = EdgeOverlay::default();
+        ov.apply(&g, &GraphUpdate::Insert(2, 3));
+        ov.apply(&g, &GraphUpdate::Insert(3, 4));
+        ov.apply(&g, &GraphUpdate::Delete(0, 1));
+        let view = DeltaGraph::new(&g, &ov);
+        assert_eq!(view.num_edges(), 5);
+        assert_eq!(view.degree(0), 2);
+        assert_eq!(view.degree(3), 3);
+        assert!(view.has_edge(3, 4));
+        assert!(!view.has_edge(0, 1));
+        assert_eq!(sorted_neighbors(&view, 3), vec![0, 2, 4]);
+        assert_eq!(sorted_neighbors(&view, 0), vec![2, 3]);
+    }
+
+    #[test]
+    fn materialize_matches_rebuild_from_scratch() {
+        let mut rng = XorShift::new(0xDE17A);
+        for _ in 0..60 {
+            let g = rng.random_graph(2, 14, 30);
+            let n = g.num_vertices();
+            let mut ov = EdgeOverlay::default();
+            let mut edges: std::collections::BTreeSet<(VertexId, VertexId)> = g.edges().collect();
+            for _ in 0..12 {
+                let u = (rng.next() % n as u64) as VertexId;
+                let v = (rng.next() % n as u64) as VertexId;
+                let update = if rng.next().is_multiple_of(2) {
+                    GraphUpdate::Insert(u, v)
+                } else {
+                    GraphUpdate::Delete(u, v)
+                };
+                let effective = ov.apply(&g, &update);
+                let key = (u.min(v), u.max(v));
+                let expect = match update {
+                    GraphUpdate::Insert(..) => u != v && edges.insert(key),
+                    GraphUpdate::Delete(..) => edges.remove(&key),
+                };
+                assert_eq!(effective, expect, "effectiveness mirror diverged");
+            }
+            let view = DeltaGraph::new(&g, &ov);
+            let materialized = view.materialize();
+            let edge_list: Vec<_> = edges.iter().copied().collect();
+            let expect = Graph::from_edges(n, &edge_list);
+            assert_eq!(materialized, expect, "materialize != from-scratch");
+            assert_eq!(view.num_edges(), expect.num_edges());
+            for v in 0..n as VertexId {
+                assert_eq!(view.degree(v), expect.degree(v), "degree of {v}");
+                assert_eq!(
+                    sorted_neighbors(&view, v),
+                    expect.neighbors(v).to_vec(),
+                    "neighbours of {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_overlay_takes_rebuild_path() {
+        let g = Graph::from_edges(6, &[(0, 1)]);
+        let mut ov = EdgeOverlay::default();
+        // 5 added edges vs 1 base edge → rebuild branch.
+        for (u, v) in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            assert!(ov.apply(&g, &GraphUpdate::Insert(u, v)));
+        }
+        let got = DeltaGraph::new(&g, &ov).materialize();
+        let expect = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(got, expect);
+    }
+}

@@ -39,6 +39,20 @@ impl Graph {
         b.build()
     }
 
+    /// Assembles a graph from pre-built CSR arrays (the patch path of
+    /// [`crate::DeltaGraph::materialize`]). Callers guarantee sorted
+    /// neighbour lists and consistent offsets.
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, adj: Vec<VertexId>, m: usize) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        debug_assert_eq!(adj.len(), 2 * m);
+        debug_assert!(
+            (0..offsets.len() - 1).all(|v| adj[offsets[v]..offsets[v + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1]))
+        );
+        Graph { offsets, adj, m }
+    }
+
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
         Graph {

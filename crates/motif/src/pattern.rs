@@ -41,7 +41,26 @@ pub struct Pattern {
     edges: Vec<(u8, u8)>,
     /// `adj[u][v]` adjacency matrix.
     adj: Vec<Vec<bool>>,
+    /// Memoized canonical edge list ([`Self::canonical_edges`]): the
+    /// permutation search is worst-case 8! relabelings and sits on every
+    /// request's substrate-cache key, so it must run once per pattern,
+    /// not once per request.
+    canonical: CanonicalCache,
 }
+
+/// Lazily computed canonical form. Transparent for equality/comparison:
+/// it is derived from `edges`, so patterns that compare equal have equal
+/// canonical forms whether or not either side has been computed yet.
+#[derive(Clone, Debug, Default)]
+struct CanonicalCache(std::sync::OnceLock<Vec<(u8, u8)>>);
+
+impl PartialEq for CanonicalCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for CanonicalCache {}
 
 impl Pattern {
     /// Builds a pattern from an edge list over vertices `0..n`.
@@ -71,6 +90,7 @@ impl Pattern {
             n,
             edges: canon,
             adj,
+            canonical: CanonicalCache::default(),
         };
         assert!(p.is_connected(), "patterns must be connected");
         p
@@ -126,14 +146,17 @@ impl Pattern {
     /// labelings may then hash apart, costing a duplicate cache entry but
     /// never correctness.
     pub fn canonical_edges(&self) -> Vec<(u8, u8)> {
-        match self.kind() {
-            // Every relabeling of a clique is the same edge list.
-            PatternKind::Clique(_) => self.edges.clone(),
-            // Stars normalize to centre 0, tails 1..=x.
-            PatternKind::Star(x) => (1..=x as u8).map(|t| (0, t)).collect(),
-            _ if self.n <= Self::CANONICAL_MAX_VERTICES => self.minimal_relabeling(),
-            _ => self.edges.clone(),
-        }
+        self.canonical
+            .0
+            .get_or_init(|| match self.kind() {
+                // Every relabeling of a clique is the same edge list.
+                PatternKind::Clique(_) => self.edges.clone(),
+                // Stars normalize to centre 0, tails 1..=x.
+                PatternKind::Star(x) => (1..=x as u8).map(|t| (0, t)).collect(),
+                _ if self.n <= Self::CANONICAL_MAX_VERTICES => self.minimal_relabeling(),
+                _ => self.edges.clone(),
+            })
+            .clone()
     }
 
     /// Largest vertex count [`Self::canonical_edges`] canonicalizes by

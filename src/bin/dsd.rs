@@ -36,14 +36,26 @@
 //! req <name> [--psi <pattern>] [--objective <objective>] [--method <m>]
 //!            [--backend <b>] [--tolerance <t>] [--budget <probes>]
 //!            [--query v1,v2,...]
+//! # apply edge updates to a registered graph in place: +u:v inserts the
+//! # edge {u, v}, -u:v deletes it
+//! update <name> [+u:v | -u:v]...
 //! ```
+//!
+//! Directives execute in file order: an `update` line first flushes the
+//! requests accumulated above it (one grouped batch), then patches the
+//! graph — so update and query traffic genuinely interleave against the
+//! same registered engines (incremental k-core repair, epoch bump, no
+//! re-registration). Malformed directives and failed requests are
+//! reported on stderr and make the exit code 1, but never stop the rest
+//! of the file: every valid request still prints its solution.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
 use dsd::core::{
-    DsdEngine, DsdRequest, DsdService, FlowBackend, Method, Objective, Outcome, Parallelism,
+    DsdEngine, DsdRequest, DsdService, FlowBackend, GraphUpdate, Method, Objective, Outcome,
+    Parallelism,
 };
 use dsd::datasets::compute_stats;
 use dsd::graph::io::read_edge_list;
@@ -196,6 +208,82 @@ fn parse_req_directive(tokens: &[&str]) -> Result<DsdRequest, String> {
     Ok(req)
 }
 
+/// Parses one `+u:v` / `-u:v` update token.
+fn parse_update_token(token: &str) -> Result<GraphUpdate, String> {
+    let (insert, rest) = match token.split_at_checked(1) {
+        Some(("+", rest)) => (true, rest),
+        Some(("-", rest)) => (false, rest),
+        _ => return Err(format!("update token {token:?} must start with + or -")),
+    };
+    let Some((u, v)) = rest.split_once(':') else {
+        return Err(format!(
+            "update token {token:?} needs the form +u:v or -u:v"
+        ));
+    };
+    match (u.parse::<u32>(), v.parse::<u32>()) {
+        (Ok(u), Ok(v)) if insert => Ok(GraphUpdate::Insert(u, v)),
+        (Ok(u), Ok(v)) => Ok(GraphUpdate::Delete(u, v)),
+        _ => Err(format!("bad vertex ids in update token {token:?}")),
+    }
+}
+
+/// Parses one `update <graph> <tokens...>` directive.
+fn parse_update_directive(tokens: &[&str]) -> Result<(String, Vec<GraphUpdate>), String> {
+    let graph = tokens.first().ok_or("update needs a graph name")?;
+    if tokens.len() == 1 {
+        return Err("update needs at least one +u:v / -u:v token".into());
+    }
+    let updates = tokens[1..]
+        .iter()
+        .map(|t| parse_update_token(t))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((graph.to_string(), updates))
+}
+
+/// Drains `pending` through one grouped `solve_batch`, printing solutions
+/// with global request indices. Returns the number of failed requests.
+fn flush_requests(
+    service: &DsdService,
+    pending: &mut Vec<DsdRequest>,
+    next_index: &mut usize,
+) -> usize {
+    if pending.is_empty() {
+        return 0;
+    }
+    let outcome = service.solve_batch(std::mem::take(pending));
+    let mut failed = 0usize;
+    for (offset, result) in outcome.solutions.iter().enumerate() {
+        let i = *next_index + offset;
+        match result {
+            Ok(s) => println!(
+                "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}] (epoch {})",
+                s.objective,
+                s.method,
+                s.density,
+                s.len(),
+                s.guarantee,
+                s.stats.epoch
+            ),
+            Err(e) => {
+                failed += 1;
+                eprintln!("#{i}: error: {e}");
+            }
+        }
+    }
+    *next_index += outcome.solutions.len();
+    let st = &outcome.stats;
+    println!(
+        "batch: {:.3} ms wall, {} groups, {} substrate builds + {} hits, \
+         {:.0}% worker utilization",
+        st.wall_nanos as f64 / 1e6,
+        st.groups,
+        st.substrate_builds,
+        st.substrate_hits,
+        st.utilization() * 100.0
+    );
+    failed
+}
+
 fn run_batch(args: &[String]) -> ExitCode {
     let mut file: Option<&str> = None;
     let mut threads = 1usize;
@@ -223,24 +311,35 @@ fn run_batch(args: &[String]) -> ExitCode {
     };
 
     let service = DsdService::with_parallelism(Parallelism::new(threads));
-    let mut requests = Vec::new();
+    println!("batch: {} workers", threads);
+    let mut pending: Vec<DsdRequest> = Vec::new();
+    let mut next_index = 0usize;
+    let mut failed = 0usize;
+    let mut bad_directives = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        let fail = |msg: String| {
+        // Malformed directives are reported and skipped — the rest of the
+        // file (valid requests included) still runs; the exit code says 1.
+        let mut fail = |msg: String| {
             eprintln!("{path}:{}: {msg}", lineno + 1);
-            ExitCode::FAILURE
+            bad_directives += 1;
         };
         match tokens[0] {
             "graph" => {
                 let [_, name, file] = tokens[..] else {
-                    return fail("graph needs: graph <name> <edge-list-file>".into());
+                    fail("graph needs: graph <name> <edge-list-file>".into());
+                    continue;
                 };
                 match load_graph(file) {
                     Ok(g) => {
+                        // Queued requests must see the catalog as it was
+                        // above this line — flush before (re)registering,
+                        // like `update` does.
+                        failed += flush_requests(&service, &mut pending, &mut next_index);
                         println!(
                             "registered {name}: {} vertices, {} edges",
                             g.num_vertices(),
@@ -248,53 +347,45 @@ fn run_batch(args: &[String]) -> ExitCode {
                         );
                         service.register(name, g);
                     }
-                    Err(e) => return fail(format!("failed to read {file}: {e}")),
+                    Err(e) => fail(format!("failed to read {file}: {e}")),
                 }
             }
             "req" => match parse_req_directive(&tokens[1..]) {
-                Ok(req) => requests.push(req),
-                Err(e) => return fail(e),
+                Ok(req) => pending.push(req),
+                Err(e) => fail(e),
             },
-            other => return fail(format!("unknown directive {other:?}")),
+            "update" => match parse_update_directive(&tokens[1..]) {
+                Ok((name, updates)) => {
+                    // Updates interleave with the surrounding requests:
+                    // everything queued above sees the pre-update graph.
+                    failed += flush_requests(&service, &mut pending, &mut next_index);
+                    match service.update(&name, &updates) {
+                        Ok(st) => println!(
+                            "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}",
+                            st.inserted,
+                            st.deleted,
+                            st.ignored,
+                            st.epoch,
+                            if st.kcore_patched {
+                                "patched"
+                            } else {
+                                "deferred rebuild"
+                            }
+                        ),
+                        Err(e) => fail(format!("update failed: {e}")),
+                    }
+                }
+                Err(e) => fail(e),
+            },
+            other => fail(format!("unknown directive {other:?}")),
         }
     }
+    failed += flush_requests(&service, &mut pending, &mut next_index);
 
-    println!(
-        "batch: {} requests over {} graphs, {} workers",
-        requests.len(),
-        service.len(),
-        threads
-    );
-    let outcome = service.solve_batch(requests);
-    let mut failed = 0usize;
-    for (i, result) in outcome.solutions.iter().enumerate() {
-        match result {
-            Ok(s) => println!(
-                "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}]",
-                s.objective,
-                s.method,
-                s.density,
-                s.len(),
-                s.guarantee
-            ),
-            Err(e) => {
-                failed += 1;
-                eprintln!("#{i}: error: {e}");
-            }
-        }
-    }
-    let st = &outcome.stats;
-    println!(
-        "batch: {:.3} ms wall, {} groups, {} substrate builds + {} hits, \
-         {:.0}% worker utilization",
-        st.wall_nanos as f64 / 1e6,
-        st.groups,
-        st.substrate_builds,
-        st.substrate_hits,
-        st.utilization() * 100.0
-    );
-    if failed > 0 {
-        eprintln!("{failed} of {} requests failed", outcome.solutions.len());
+    if failed > 0 || bad_directives > 0 {
+        eprintln!(
+            "{failed} of {next_index} requests failed, {bad_directives} malformed directives"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

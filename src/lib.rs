@@ -42,6 +42,16 @@
 //! ([`core::densest_subgraph`] & co.), which shim through a throwaway
 //! engine.
 //!
+//! Graphs are not frozen: [`DsdEngine::apply`] (and
+//! [`DsdService::update`] for named graphs) absorbs
+//! [`GraphUpdate`](graph::GraphUpdate) batches in place — incremental
+//! k-core repair, conservative Ψ-substrate invalidation, lazy CSR
+//! materialization — bumping a graph epoch that every solution reports
+//! in its stats.
+//!
+//! [`DsdEngine::apply`]: core::engine::DsdEngine::apply
+//! [`DsdService::update`]: core::service::DsdService::update
+//!
 //! # Serving many graphs and batched workloads
 //!
 //! The engine is `Send + Sync`; [`DsdService`] puts a catalog of named
@@ -79,9 +89,10 @@ pub use dsd_motif as motif;
 pub mod prelude {
     pub use dsd_core::{
         core_exact, densest_subgraph, densest_with_query, exact, peel_app, top_k_densest,
-        BatchOutcome, BatchStats, DsdEngine, DsdRequest, DsdResult, DsdService, FlowBackend,
-        Guarantee, Method, Objective, Outcome, Parallelism, ServiceError, Solution, SolveStats,
+        ApplyStats, BatchOutcome, BatchStats, DsdEngine, DsdRequest, DsdResult, DsdService,
+        FlowBackend, Guarantee, Method, Objective, Outcome, Parallelism, ServiceError, Solution,
+        SolveStats,
     };
-    pub use dsd_graph::{Graph, GraphBuilder, VertexId, VertexSet};
+    pub use dsd_graph::{Graph, GraphBuilder, GraphUpdate, VertexId, VertexSet};
     pub use dsd_motif::Pattern;
 }
