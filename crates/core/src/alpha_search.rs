@@ -1,0 +1,271 @@
+//! The shared α-search framework behind every exact solver.
+//!
+//! All of the paper's exact algorithms — `Exact`/`PExact` (Algorithms 1
+//! and 8), `CoreExact`/`CorePExact` (Algorithm 4), the Section-6.3 query
+//! variant, and the exact fast paths of the size-constrained objectives —
+//! reduce to the same skeleton: binary-search a guessed density α, where
+//! each probe asks a min-cut decision question ("does some subgraph beat
+//! α?") and feasible probes yield a witness subgraph. Historically each
+//! call site hand-rolled its own loop; this module owns the one
+//! implementation:
+//!
+//! * [`DecisionProbe`] — the per-α decision a solver plugs in. Probes own
+//!   everything α-independent (the flow network, witness bookkeeping,
+//!   CoreExact's shrinking-network restarts) and are free to mutate
+//!   themselves on feasible probes;
+//! * [`alpha_search`] — the bisection loop with the shared gap /
+//!   tolerance / step-budget / witness handling, instrumented through
+//!   [`ExactStats`];
+//! * [`density_gap`] / [`effective_gap`] — Lemma 12's stopping separation
+//!   and its tolerance-widened form, previously copy-pasted per solver;
+//! * [`NetworkProbe`] — the standard probe over a [`DensityNetwork`]
+//!   used by `Exact` and reusable by benches and tests.
+//!
+//! Probes run against parametric flow state (see
+//! [`crate::flownet::DensityNetwork`] and `dsd_flow::parametric`): only
+//! the `v→t` capacities depend on α and they grow monotonically with it,
+//! so after the first feasible probe every later probe warm-resolves from
+//! checkpointed flow instead of paying a from-scratch max-flow — the
+//! Gallo–Grigoriadis–Tarjan amortization \[29\].
+
+use dsd_flow::ResolveStats;
+use dsd_graph::VertexId;
+
+use crate::flownet::{DensityNetwork, FlowBackend};
+
+/// Instrumentation from an α-search (shared by `Exact`, `CoreExact`, the
+/// query variant, and the size-constrained exact fast paths).
+#[derive(Clone, Debug, Default)]
+pub struct ExactStats {
+    /// Number of binary-search iterations (min-cut probes).
+    pub iterations: usize,
+    /// Flow-network node count at each iteration (constant for `Exact`,
+    /// shrinking for `CoreExact` — the Figure-9 series).
+    pub network_nodes: Vec<usize>,
+    /// Initial `[l, u]` bounds on α.
+    pub initial_bounds: (f64, f64),
+    /// Whether a step budget stopped the search before the gap closed
+    /// (the result is then the best witness found, not certified optimal).
+    pub budget_exhausted: bool,
+    /// Probes served warm by parametric resolve (flow-state reuse)
+    /// instead of a from-scratch max-flow.
+    pub resolve_hits: usize,
+    /// Total augmenting work (edge scans) spent inside the flow solvers,
+    /// warm and cold probes alike.
+    pub augment_work: u64,
+}
+
+impl ExactStats {
+    /// Folds a probe sequence's flow-reuse counters into these stats.
+    pub fn absorb_flow(&mut self, flow: ResolveStats) {
+        self.resolve_hits += flow.resolve_hits;
+        self.augment_work += flow.augment_work;
+    }
+
+    /// Folds another search's stats into these (used by multi-round
+    /// drivers like the top-k scan).
+    pub fn merge(&mut self, other: &ExactStats) {
+        self.iterations += other.iterations;
+        self.network_nodes.extend_from_slice(&other.network_nodes);
+        self.budget_exhausted |= other.budget_exhausted;
+        self.resolve_hits += other.resolve_hits;
+        self.augment_work += other.augment_work;
+    }
+}
+
+/// The binary-search stopping gap `1 / (n(n−1))` (Lemma 12: distinct
+/// densities differ by at least this much).
+pub fn density_gap(n: usize) -> f64 {
+    if n < 2 {
+        1.0
+    } else {
+        1.0 / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+/// The effective stopping gap: `max(density_gap(n), tolerance)`. The
+/// Lemma-12 default keeps the search certified exact; a larger tolerance
+/// trades certified precision for fewer probes. NaN tolerances are
+/// rejected in debug builds (they would silently disable the stop
+/// condition and then flow into the α edge capacities).
+pub fn effective_gap(n: usize, tolerance: Option<f64>) -> f64 {
+    let tol = tolerance.unwrap_or(0.0);
+    debug_assert!(!tol.is_nan(), "NaN α-search tolerance");
+    density_gap(n).max(tol)
+}
+
+/// One min-cut decision probe of an α-search.
+///
+/// `probe(alpha)` answers "does some subgraph beat density α?" and
+/// returns a witness when feasible. Implementations own all per-solver
+/// state and behaviour: the flow network and its parametric reuse,
+/// witness bookkeeping (e.g. CoreExact evaluating each witness against a
+/// global best), and feasibility-triggered mutation (e.g. CoreExact
+/// rebuilding a smaller network once the lower bound outgrows the located
+/// core). [`alpha_search`] guarantees probes arrive with α strictly above
+/// the current lower bound, so checkpointed flow state at the lower bound
+/// stays reusable.
+pub trait DecisionProbe {
+    /// The feasibility witness (typically the subgraph's vertices; `()`
+    /// when the probe tracks witnesses itself).
+    type Witness;
+
+    /// Decides whether some subgraph beats density `alpha`.
+    fn probe(&mut self, alpha: f64) -> Option<Self::Witness>;
+
+    /// Current flow-network node count (the Figure-9 instrumentation).
+    fn network_nodes(&self) -> usize;
+}
+
+/// Where an α-search ended.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome<W> {
+    /// Final lower bound (the α of the last feasible probe, or the
+    /// initial lower bound when none was feasible).
+    pub lower: f64,
+    /// Final upper bound.
+    pub upper: f64,
+    /// Witness of the last feasible probe. At the Lemma-12 gap this *is*
+    /// the optimum; at a coarser tolerance it is within that gap of it.
+    pub witness: Option<W>,
+}
+
+/// The one α-search loop: bisects `[lower, upper]` down to `gap`, probing
+/// the midpoint each step, raising the lower bound on feasible probes and
+/// lowering the upper bound otherwise.
+///
+/// `budget` caps `stats.iterations` *across searches sharing the same
+/// stats* (CoreExact's per-component searches share one budget); when it
+/// trips, `stats.budget_exhausted` is set and the best witness so far
+/// stands. Every probe is counted in `stats` along with the probe's
+/// current network size.
+pub fn alpha_search<P: DecisionProbe>(
+    probe: &mut P,
+    bounds: (f64, f64),
+    gap: f64,
+    budget: usize,
+    stats: &mut ExactStats,
+) -> SearchOutcome<P::Witness> {
+    let (mut lower, mut upper) = bounds;
+    debug_assert!(!gap.is_nan() && gap > 0.0, "degenerate α-search gap {gap}");
+    debug_assert!(
+        lower.is_finite() && upper.is_finite(),
+        "non-finite α bounds [{lower}, {upper}]"
+    );
+    let mut witness = None;
+    while upper - lower >= gap {
+        if stats.iterations >= budget {
+            stats.budget_exhausted = true;
+            break;
+        }
+        let alpha = (lower + upper) / 2.0;
+        stats.iterations += 1;
+        stats.network_nodes.push(probe.network_nodes());
+        match probe.probe(alpha) {
+            Some(w) => {
+                lower = alpha;
+                witness = Some(w);
+            }
+            None => upper = alpha,
+        }
+    }
+    SearchOutcome {
+        lower,
+        upper,
+        witness,
+    }
+}
+
+/// The standard probe over a [`DensityNetwork`]: feasible iff the min-cut
+/// source side is non-trivial (Lemma 14), witnessed by the subgraph's
+/// parent-graph vertex ids. Feasible probes checkpoint the network's flow
+/// state, so the parametric chain warm-resolves every later probe.
+pub struct NetworkProbe<'a> {
+    net: &'a mut DensityNetwork,
+    backend: FlowBackend,
+}
+
+impl<'a> NetworkProbe<'a> {
+    /// Wraps a network for one α-search with the given max-flow backend.
+    pub fn new(net: &'a mut DensityNetwork, backend: FlowBackend) -> Self {
+        NetworkProbe { net, backend }
+    }
+}
+
+impl DecisionProbe for NetworkProbe<'_> {
+    type Witness = Vec<VertexId>;
+
+    fn probe(&mut self, alpha: f64) -> Option<Vec<VertexId>> {
+        self.net.solve(alpha, self.backend)
+    }
+
+    fn network_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A probe with a known threshold: feasible strictly below ρ = 1.5.
+    struct Threshold {
+        rho: f64,
+        probes: usize,
+    }
+
+    impl DecisionProbe for Threshold {
+        type Witness = f64;
+
+        fn probe(&mut self, alpha: f64) -> Option<f64> {
+            self.probes += 1;
+            (alpha < self.rho).then_some(alpha)
+        }
+
+        fn network_nodes(&self) -> usize {
+            42
+        }
+    }
+
+    #[test]
+    fn converges_to_the_threshold() {
+        let mut probe = Threshold {
+            rho: 1.5,
+            probes: 0,
+        };
+        let mut stats = ExactStats::default();
+        let out = alpha_search(&mut probe, (0.0, 8.0), 1e-6, usize::MAX, &mut stats);
+        assert!(out.lower < 1.5 && 1.5 <= out.upper + 1e-6);
+        assert!(out.upper - out.lower < 1e-6);
+        assert_eq!(stats.iterations, probe.probes);
+        assert_eq!(stats.network_nodes.len(), stats.iterations);
+        assert!(!stats.budget_exhausted);
+        assert!((out.witness.unwrap() - out.lower).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_stops_the_search_and_is_shared() {
+        let mut stats = ExactStats::default();
+        let mut probe = Threshold {
+            rho: 1.0,
+            probes: 0,
+        };
+        let out = alpha_search(&mut probe, (0.0, 16.0), 1e-9, 3, &mut stats);
+        assert!(stats.budget_exhausted);
+        assert_eq!(stats.iterations, 3);
+        // A second search against the same stats gets no probes at all.
+        let out2 = alpha_search(&mut probe, (out.lower, 16.0), 1e-9, 3, &mut stats);
+        assert_eq!(stats.iterations, 3);
+        assert!(out2.witness.is_none());
+    }
+
+    #[test]
+    fn gap_and_tolerance_compose() {
+        assert_eq!(density_gap(1), 1.0);
+        assert!((density_gap(10) - 1.0 / 90.0).abs() < 1e-15);
+        assert_eq!(effective_gap(10, None), density_gap(10));
+        assert_eq!(effective_gap(10, Some(0.25)), 0.25);
+        // A tolerance below the Lemma-12 separation never loosens it.
+        assert_eq!(effective_gap(10, Some(1e-9)), density_gap(10));
+    }
+}

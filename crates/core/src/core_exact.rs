@@ -1,7 +1,9 @@
 //! Algorithm 4 (`CoreExact`) and its pattern generalization `CorePExact`.
 //!
-//! The core-based exact algorithm applies three optimizations on top of the
-//! flow/binary-search framework of Algorithm 1:
+//! The core-based exact algorithm rides the shared
+//! [`mod@crate::alpha_search`] loop (one search implementation for every
+//! exact solver, with parametric flow reuse across probes) and applies
+//! three optimizations on top of Algorithm 1's framework:
 //!
 //! 1. **Tighter α bounds** — Theorem 1 gives `ρopt ∈ [kmax/|VΨ|, kmax]`,
 //!    and the densest *residual* graph seen during core decomposition
@@ -28,9 +30,10 @@ use std::time::Instant;
 use dsd_graph::{connected_components_within, Graph, VertexId, VertexSet};
 use dsd_motif::Pattern;
 
+use crate::alpha_search::{alpha_search, effective_gap, DecisionProbe, ExactStats};
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
-use crate::exact::{build_network_for, density_gap, ExactStats};
-use crate::flownet::FlowBackend;
+use crate::exact::build_network_for;
+use crate::flownet::{DensityNetwork, FlowBackend};
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
@@ -44,6 +47,10 @@ pub struct CoreExactConfig {
     pub pruning2: bool,
     /// Pruning3: component-local binary-search stopping gap.
     pub pruning3: bool,
+    /// Parametric flow reuse across probes (GGT-style resolve from the
+    /// checkpointed lower-bound flow). On by default; disable for the
+    /// from-scratch-per-probe ablation (`exact_probes` bench).
+    pub parametric: bool,
     /// Max-flow backend for the min-cut probes.
     pub backend: FlowBackend,
     /// Extra binary-search stopping tolerance on α (the effective gap is
@@ -63,6 +70,7 @@ impl Default for CoreExactConfig {
             pruning1: true,
             pruning2: true,
             pruning3: true,
+            parametric: true,
             backend: FlowBackend::Dinic,
             tolerance: None,
             step_budget: None,
@@ -110,6 +118,68 @@ fn restrict_to_core(members: &[VertexId], dec: &CliqueCoreDecomposition, k: u64)
 fn density_of(oracle: &dyn DensityOracle, g: &Graph, vs: &[VertexId]) -> f64 {
     let set = VertexSet::from_members(g.num_vertices(), vs);
     density(oracle, g, &set)
+}
+
+/// The per-component probe of CoreExact's α-search (Algorithm 4 lines
+/// 10–17): decides feasibility on the component's flow network, scores
+/// every witness against the run-global best, and — the Pruning3 restart
+/// — rebuilds the network on the smaller `(⌈α⌉, Ψ)`-core intersection
+/// once a feasible α outgrows the core level the component was built at.
+struct ComponentProbe<'a> {
+    g: &'a Graph,
+    psi: &'a Pattern,
+    oracle: &'a dyn DensityOracle,
+    dec: &'a CliqueCoreDecomposition,
+    backend: FlowBackend,
+    parametric: bool,
+    comp: Vec<VertexId>,
+    comp_k: u64,
+    net: DensityNetwork,
+    best_rho: &'a mut f64,
+    best_vs: &'a mut Vec<VertexId>,
+    /// Flow-reuse counters of networks already replaced by a shrink.
+    retired_flow: dsd_flow::ResolveStats,
+}
+
+impl ComponentProbe<'_> {
+    /// Total flow-reuse accounting across every network this component
+    /// probed (including the shrink-retired ones).
+    fn flow_stats(&self) -> dsd_flow::ResolveStats {
+        let mut stats = self.retired_flow;
+        stats += self.net.probe_stats();
+        stats
+    }
+}
+
+impl DecisionProbe for ComponentProbe<'_> {
+    type Witness = ();
+
+    fn probe(&mut self, alpha: f64) -> Option<()> {
+        let w = self.net.solve(alpha, self.backend)?;
+        let rho_w = density_of(self.oracle, self.g, &w);
+        if rho_w > *self.best_rho {
+            *self.best_rho = rho_w;
+            *self.best_vs = w;
+        }
+        // Line 17: a higher lower bound lets us relocate the component in
+        // a deeper core and rebuild smaller.
+        let ak = ceil_k(alpha);
+        if ak > self.comp_k {
+            let shrunk = restrict_to_core(&self.comp, self.dec, ak);
+            if shrunk.len() < self.comp.len() && shrunk.len() >= self.psi.vertex_count() {
+                self.retired_flow += self.net.probe_stats();
+                self.comp = shrunk;
+                self.net = build_network_for(self.g, &self.comp, self.psi, true);
+                self.net.set_warm_start(self.parametric);
+            }
+            self.comp_k = ak;
+        }
+        Some(())
+    }
+
+    fn network_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
 }
 
 /// Runs CoreExact (cliques) / CorePExact (general patterns) with the given
@@ -207,7 +277,8 @@ pub fn core_exact_from(
     stats.located_k = k_loc;
     stats.located_size = core_set.len();
 
-    // Step 3: per-component flow/binary search on shrinking networks.
+    // Step 3: per-component α-search on shrinking networks, all riding
+    // the shared loop with one probe budget across components.
     let u_global = dec.kmax as f64;
     let budget = config.step_budget.unwrap_or(usize::MAX);
     let ccs = connected_components_within(g, &core_set);
@@ -226,60 +297,40 @@ pub fn core_exact_from(
         if comp.len() < psi.vertex_count() {
             continue;
         }
+        let gap = effective_gap(
+            if config.pruning3 {
+                comp.len()
+            } else {
+                g.num_vertices()
+            },
+            config.tolerance,
+        );
         let mut net = build_network_for(g, &comp, psi, true);
-        // Lines 7-9: can this component beat the current lower bound at all?
-        stats.exact.iterations += 1;
-        stats.exact.network_nodes.push(net.num_nodes());
-        let first = match net.solve(l, config.backend) {
-            None => continue,
-            Some(w) => w,
+        net.set_warm_start(config.parametric);
+        let mut probe = ComponentProbe {
+            g,
+            psi,
+            oracle,
+            dec,
+            backend: config.backend,
+            parametric: config.parametric,
+            comp,
+            comp_k,
+            net,
+            best_rho: &mut best_rho,
+            best_vs: &mut best_vs,
+            retired_flow: dsd_flow::ResolveStats::default(),
         };
-        let rho_w = density_of(oracle, g, &first);
-        if rho_w > best_rho {
-            best_rho = rho_w;
-            best_vs = first;
+        // Lines 7-9: can this component beat the current lower bound at
+        // all? (A feasible seed probe at l also checkpoints the flow
+        // state the parametric chain warm-resolves from.)
+        stats.exact.iterations += 1;
+        stats.exact.network_nodes.push(probe.network_nodes());
+        if probe.probe(l).is_some() {
+            let outcome = alpha_search(&mut probe, (l, u_global), gap, budget, &mut stats.exact);
+            l = outcome.lower;
         }
-
-        let mut u = u_global;
-        let gap = if config.pruning3 {
-            density_gap(comp.len())
-        } else {
-            density_gap(g.num_vertices())
-        }
-        .max(config.tolerance.unwrap_or(0.0));
-        while u - l >= gap {
-            if stats.exact.iterations >= budget {
-                stats.exact.budget_exhausted = true;
-                break;
-            }
-            let alpha = (l + u) / 2.0;
-            stats.exact.iterations += 1;
-            stats.exact.network_nodes.push(net.num_nodes());
-            match net.solve(alpha, config.backend) {
-                None => u = alpha,
-                Some(w) => {
-                    let rho_w = density_of(oracle, g, &w);
-                    if rho_w > best_rho {
-                        best_rho = rho_w;
-                        best_vs = w;
-                    }
-                    // Line 17: a higher lower bound lets us relocate the
-                    // component in a deeper core and rebuild smaller.
-                    let ak = ceil_k(alpha);
-                    if ak > comp_k {
-                        let shrunk = restrict_to_core(&comp, dec, ak);
-                        if shrunk.len() < comp.len() && shrunk.len() >= psi.vertex_count() {
-                            comp = shrunk;
-                            comp_k = ak;
-                            net = build_network_for(g, &comp, psi, true);
-                        } else {
-                            comp_k = ak;
-                        }
-                    }
-                    l = alpha;
-                }
-            }
-        }
+        stats.exact.absorb_flow(probe.flow_stats());
     }
 
     best_vs.sort_unstable();

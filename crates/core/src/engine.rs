@@ -141,13 +141,18 @@ pub struct SolveStats {
     /// Wall time this request spent building the (k, Ψ)-core
     /// decomposition (0 on a cache hit).
     pub decomposition_nanos: u128,
-    /// Min-cut probes performed. Populated for `Densest` via
-    /// Exact/CoreExact; 0 for the probe-free peel/core methods and for
-    /// objectives that don't surface per-probe accounting (top-k and the
-    /// query variant track time only).
+    /// Min-cut probes performed. Populated for every α-search-backed
+    /// path — `Densest` via Exact/CoreExact, top-k, the query variant,
+    /// and the size-constrained exact attempts; 0 for the probe-free
+    /// peel/core methods.
     pub flow_iterations: usize,
     /// Flow-network node count at each probe (the Figure-9 series).
     pub network_nodes: Vec<usize>,
+    /// Probes served warm by parametric resolve (flow-state reuse across
+    /// the α-search) instead of a from-scratch max-flow.
+    pub flow_resolve_hits: usize,
+    /// Total augmenting work (edge scans) inside the flow solvers.
+    pub flow_augment_work: u64,
     /// kmax of the (k, Ψ)-core decomposition, when one was consulted.
     pub kmax: Option<u64>,
     /// Substrate cache accounting.
@@ -772,9 +777,8 @@ impl<'g> DsdEngine<'g> {
                     step_budget: req.step_budget,
                 };
                 let (r, es) = exact_with(g, psi, oracle.as_ref(), opts);
-                stats.flow_iterations = es.iterations;
-                stats.network_nodes = es.network_nodes;
                 let guarantee = exact_guarantee(es.budget_exhausted, req.tolerance);
+                record_flow(&mut stats, es);
                 (r, guarantee)
             }
             Method::CoreExact => {
@@ -791,9 +795,8 @@ impl<'g> DsdEngine<'g> {
                     ..CoreExactConfig::default()
                 };
                 let (r, ces) = core_exact_from(g, psi, config, oracle.as_ref(), &dec);
-                stats.flow_iterations = ces.exact.iterations;
-                stats.network_nodes = ces.exact.network_nodes;
                 let guarantee = exact_guarantee(ces.exact.budget_exhausted, req.tolerance);
+                record_flow(&mut stats, ces.exact);
                 (r, guarantee)
             }
             Method::PeelApp => {
@@ -881,6 +884,7 @@ impl<'g> DsdEngine<'g> {
             ..CoreExactConfig::default()
         };
         let scan = top_k_densest_from(g, psi, k, config, oracle.as_ref(), &dec);
+        record_flow(&mut stats, scan.exact.clone());
         let (vertices, density) = scan
             .subgraphs
             .first()
@@ -920,23 +924,40 @@ impl<'g> DsdEngine<'g> {
         stats.substrate.decomposition_cache_hit = dec_hit;
         stats.decomposition_nanos = dec_nanos;
         stats.kmax = Some(dec.kmax);
-        // Andersen–Chellapilla's 1/3 bound is proved for edge density.
-        let guarantee = if psi.vertex_count() == 2 {
-            Guarantee::Ratio(1.0 / 3.0)
-        } else {
-            Guarantee::Heuristic
+        let config = CoreExactConfig {
+            backend: req.backend,
+            tolerance: req.tolerance,
+            step_budget: req.step_budget,
+            ..CoreExactConfig::default()
         };
-        match densest_at_least_k_from(g, k, oracle.as_ref(), &dec) {
-            Some(r) => Solution {
-                vertices: r.vertices.clone(),
-                density: r.density,
-                subgraphs: vec![r],
-                method: Method::PeelApp,
-                objective: Objective::AtLeastK(k),
-                outcome: Outcome::Found,
-                guarantee,
-                stats,
-            },
+        match densest_at_least_k_from(g, psi, k, config, oracle.as_ref(), &dec) {
+            Some(o) => {
+                // Exact when the unconstrained CDS met the floor; else
+                // Andersen–Chellapilla's 1/3 bound (proved for edges).
+                let guarantee = if o.exact {
+                    exact_guarantee(o.stats.budget_exhausted, req.tolerance)
+                } else if psi.vertex_count() == 2 {
+                    Guarantee::Ratio(1.0 / 3.0)
+                } else {
+                    Guarantee::Heuristic
+                };
+                let method = if o.exact {
+                    Method::CoreExact
+                } else {
+                    Method::PeelApp
+                };
+                record_flow(&mut stats, o.stats);
+                Solution {
+                    vertices: o.result.vertices.clone(),
+                    density: o.result.density,
+                    subgraphs: vec![o.result],
+                    method,
+                    objective: Objective::AtLeastK(k),
+                    outcome: Outcome::Found,
+                    guarantee,
+                    stats,
+                }
+            }
             None => invalid(Method::PeelApp, Objective::AtLeastK(k), stats),
         }
     }
@@ -958,17 +979,36 @@ impl<'g> DsdEngine<'g> {
         stats.substrate.decomposition_cache_hit = dec_hit;
         stats.decomposition_nanos = dec_nanos;
         stats.kmax = Some(dec.kmax);
-        match densest_at_most_k_from(g, psi, k, oracle.as_ref(), &dec) {
-            Some(r) => Solution {
-                vertices: r.vertices.clone(),
-                density: r.density,
-                subgraphs: vec![r],
-                method: Method::PeelApp,
-                objective: Objective::AtMostK(k),
-                outcome: Outcome::Found,
-                guarantee: Guarantee::Heuristic,
-                stats,
-            },
+        let config = CoreExactConfig {
+            backend: req.backend,
+            tolerance: req.tolerance,
+            step_budget: req.step_budget,
+            ..CoreExactConfig::default()
+        };
+        match densest_at_most_k_from(g, psi, k, config, oracle.as_ref(), &dec) {
+            Some(o) => {
+                let guarantee = if o.exact {
+                    exact_guarantee(o.stats.budget_exhausted, req.tolerance)
+                } else {
+                    Guarantee::Heuristic
+                };
+                let method = if o.exact {
+                    Method::CoreExact
+                } else {
+                    Method::PeelApp
+                };
+                record_flow(&mut stats, o.stats);
+                Solution {
+                    vertices: o.result.vertices.clone(),
+                    density: o.result.density,
+                    subgraphs: vec![o.result],
+                    method,
+                    objective: Objective::AtMostK(k),
+                    outcome: Outcome::Found,
+                    guarantee,
+                    stats,
+                }
+            }
             None => invalid(Method::PeelApp, Objective::AtMostK(k), stats),
         }
     }
@@ -994,19 +1034,30 @@ impl<'g> DsdEngine<'g> {
         stats.substrate.kcore_cache_hit = kcore_hit;
         stats.kmax = Some(kcore.kmax as u64);
         match densest_with_query_from(g, &query, &kcore, req.backend) {
-            Some(r) => Solution {
-                vertices: r.vertices.clone(),
-                density: r.density,
-                subgraphs: vec![r],
-                method: Method::Exact,
-                objective: Objective::WithQuery(query),
-                outcome: Outcome::Found,
-                guarantee: Guarantee::Exact,
-                stats,
-            },
+            Some((r, es)) => {
+                record_flow(&mut stats, es);
+                Solution {
+                    vertices: r.vertices.clone(),
+                    density: r.density,
+                    subgraphs: vec![r],
+                    method: Method::Exact,
+                    objective: Objective::WithQuery(query),
+                    outcome: Outcome::Found,
+                    guarantee: Guarantee::Exact,
+                    stats,
+                }
+            }
             None => invalid(Method::Exact, Objective::WithQuery(query), stats),
         }
     }
+}
+
+/// Copies an α-search's instrumentation into a request's [`SolveStats`].
+fn record_flow(stats: &mut SolveStats, es: crate::alpha_search::ExactStats) {
+    stats.flow_iterations = es.iterations;
+    stats.network_nodes = es.network_nodes;
+    stats.flow_resolve_hits = es.resolve_hits;
+    stats.flow_augment_work = es.augment_work;
 }
 
 fn exact_guarantee(budget_exhausted: bool, tolerance: Option<f64>) -> Guarantee {

@@ -1,34 +1,27 @@
 //! Algorithm 1 (`Exact`) and Algorithm 8 (`PExact`): flow-based exact DSD
-//! by binary search over the guessed density α.
+//! riding the shared [`mod@crate::alpha_search`] loop over the guessed
+//! density α.
 //!
-//! The network is constructed over the entire graph and re-solved per guess
-//! (the paper's stated weakness that `CoreExact` repairs). Dispatch:
+//! The network is constructed over the entire graph (the size weakness
+//! that `CoreExact` repairs by locating in a core), but each guess is no
+//! longer solved from scratch: the probe sequence runs on one parametric
+//! solver that warm-resolves from the checkpointed lower-bound flow, so
+//! the whole search costs amortized about one max-flow (see
+//! [`crate::flownet::DensityNetwork`]). Dispatch:
 //! h = 2 → Goldberg's simplified network; h-clique (h ≥ 3) → Algorithm 1's
 //! (h−1)-clique network; general pattern → Algorithm 8's instance network.
 
 use dsd_graph::{Graph, VertexId, VertexSet};
 use dsd_motif::pattern::{Pattern, PatternKind};
 
+use crate::alpha_search::{alpha_search, effective_gap, NetworkProbe};
 use crate::flownet::{
     build_clique_network, build_edge_network, build_pattern_network, DensityNetwork, FlowBackend,
 };
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
-/// Instrumentation from an exact run.
-#[derive(Clone, Debug, Default)]
-pub struct ExactStats {
-    /// Number of binary-search iterations (min-cut probes).
-    pub iterations: usize,
-    /// Flow-network node count at each iteration (constant for `Exact`,
-    /// shrinking for `CoreExact` — the Figure-9 series).
-    pub network_nodes: Vec<usize>,
-    /// Initial `[l, u]` bounds on α.
-    pub initial_bounds: (f64, f64),
-    /// Whether a step budget stopped the search before the gap closed
-    /// (the result is then the best witness found, not certified optimal).
-    pub budget_exhausted: bool,
-}
+pub use crate::alpha_search::{density_gap, ExactStats};
 
 /// Per-request knobs for the flow/binary-search framework.
 #[derive(Clone, Copy, Debug, Default)]
@@ -66,16 +59,6 @@ pub(crate) fn build_network_for(
     }
 }
 
-/// The binary-search stopping gap `1 / (n(n−1))` (Lemma 12: distinct
-/// densities differ by at least this much).
-pub(crate) fn density_gap(n: usize) -> f64 {
-    if n < 2 {
-        1.0
-    } else {
-        1.0 / (n as f64 * (n as f64 - 1.0))
-    }
-}
-
 /// Runs `Exact` (cliques) / `PExact` (patterns) on the whole graph.
 pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, ExactStats) {
     let oracle = oracle_for(psi);
@@ -107,33 +90,22 @@ pub fn exact_with(
         return (DsdResult::empty(), stats);
     }
 
-    let mut l = 0.0f64;
-    let mut u = max_deg as f64;
-    stats.initial_bounds = (l, u);
-    let gap = density_gap(n).max(opts.tolerance.unwrap_or(0.0));
+    let bounds = (0.0f64, max_deg as f64);
+    stats.initial_bounds = bounds;
+    let gap = effective_gap(n, opts.tolerance);
     let budget = opts.step_budget.unwrap_or(usize::MAX);
     let members: Vec<VertexId> = g.vertices().collect();
     // PExact uses the ungrouped Algorithm-8 network; construct+ belongs to
     // CorePExact.
     let mut net = build_network_for(g, &members, psi, false);
-    let mut best: Vec<VertexId> = Vec::new();
-
-    while u - l >= gap {
-        if stats.iterations >= budget {
-            stats.budget_exhausted = true;
-            break;
-        }
-        let alpha = (l + u) / 2.0;
-        stats.iterations += 1;
-        stats.network_nodes.push(net.num_nodes());
-        match net.solve(alpha, opts.backend) {
-            Some(witness) => {
-                l = alpha;
-                best = witness;
-            }
-            None => u = alpha,
-        }
-    }
+    let outcome = alpha_search(
+        &mut NetworkProbe::new(&mut net, opts.backend),
+        bounds,
+        gap,
+        budget,
+        &mut stats,
+    );
+    let mut best = outcome.witness.unwrap_or_default();
     if best.is_empty() {
         // μ > 0 guarantees α = 0 is feasible, so an empty witness means an
         // exhausted step budget starved the search before any feasible
@@ -144,6 +116,7 @@ pub fn exact_with(
         stats.network_nodes.push(net.num_nodes());
         best = net.solve(0.0, opts.backend).unwrap_or_default();
     }
+    stats.absorb_flow(net.probe_stats());
     debug_assert!(!best.is_empty(), "μ > 0 guarantees a feasible guess");
     best.sort_unstable();
     let set = VertexSet::from_members(n, &best);

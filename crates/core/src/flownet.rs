@@ -17,11 +17,21 @@
 //!   `construct+` variant (one node per *group* of instances sharing a
 //!   vertex set, capacities scaled by `|g|`), selected by `grouped`.
 //!
-//! Only the `v→t` capacities depend on α, so a network is built once per
-//! candidate subgraph and re-solved for each binary-search guess via
-//! [`DensityNetwork::solve`].
+//! Only the `v→t` capacities depend on α — monotone *non-decreasingly* —
+//! so a network is built once per candidate subgraph and each
+//! binary-search guess is served by the parametric machinery of
+//! `dsd_flow::parametric`: [`DensityNetwork::solve`] keeps one solver
+//! allocation alive across the probe sequence, checkpoints the flow state
+//! of feasible probes (whose α becomes the search's lower bound), and
+//! warm-[`resolve`](dsd_flow::MaxFlow::resolve)s every probe whose α
+//! dominates the checkpoint instead of paying a from-scratch max-flow —
+//! the Gallo–Grigoriadis–Tarjan amortization \[29\] the paper cites as
+//! the classical EDS machinery.
 
-use dsd_flow::{min_cut_source_side, Dinic, EdgeId, FlowNetwork, MaxFlow, NodeId};
+use dsd_flow::{
+    min_cut_source_side, Dinic, EdgeId, FlowNetwork, MaxFlow, NodeId, ParametricSolver,
+    ResolveStats,
+};
 use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
 use dsd_motif::{kclist, pattern_enum, Pattern};
 
@@ -36,12 +46,32 @@ pub enum FlowBackend {
 }
 
 impl FlowBackend {
-    pub(crate) fn solver(self) -> Box<dyn MaxFlow> {
+    /// Instantiates the backend's solver. Called once per probe
+    /// *sequence* (a [`ParametricSolver`] keeps it alive across probes),
+    /// not once per probe.
+    pub(crate) fn solver(self) -> Box<dyn MaxFlow + Send> {
         match self {
             FlowBackend::Dinic => Box::new(Dinic::new()),
             FlowBackend::PushRelabel => Box::new(dsd_flow::PushRelabel::new()),
         }
     }
+}
+
+/// A parametric checkpoint: the network's flow state right after a probe
+/// at `alpha`, restorable for any later probe with α ≥ `alpha`.
+struct Checkpoint {
+    alpha: f64,
+    flows: Vec<f64>,
+}
+
+/// How a probe gets its flow state.
+enum ProbeMode {
+    /// Continue from the previous probe's flow (α non-decreasing).
+    Resolve,
+    /// Restore the checkpointed flow (α dominates the checkpoint's).
+    Restore,
+    /// From scratch.
+    Cold,
 }
 
 /// A density-decision flow network over an induced subgraph.
@@ -56,13 +86,50 @@ pub struct DensityNetwork {
     alpha_edges: Vec<(EdgeId, f64)>,
     /// Multiplier applied to α on `v→t` edges (`|VΨ|`, or 2 for Goldberg).
     alpha_scale: f64,
-    /// α of the previous solve, for warm starts.
+    /// α of the previous probe, for direct warm resolves.
     last_alpha: Option<f64>,
-    /// Whether monotone warm starts are enabled (see [`Self::set_warm_start`]).
+    /// Whether parametric reuse is enabled (see [`Self::set_warm_start`]).
     warm_start: bool,
+    /// The probe sequence's solver — one allocation, kept across probes.
+    solver: Option<(FlowBackend, ParametricSolver)>,
+    /// Flow state at the search's current lower bound (see
+    /// [`Self::checkpoint`]).
+    checkpoint: Option<Checkpoint>,
+    /// Reuse counters from solvers already retired (backend switches).
+    retired_stats: ResolveStats,
+    /// Scratch: edge ids whose capacity the current probe changed.
+    changed: Vec<EdgeId>,
+    /// All α-edge ids, precomputed for the checkpoint-restore path.
+    all_alpha_ids: Vec<EdgeId>,
 }
 
 impl DensityNetwork {
+    fn new(
+        net: FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        members: Vec<VertexId>,
+        alpha_edges: Vec<(EdgeId, f64)>,
+        alpha_scale: f64,
+    ) -> Self {
+        let all_alpha_ids = alpha_edges.iter().map(|&(e, _)| e).collect();
+        DensityNetwork {
+            net,
+            s,
+            t,
+            members,
+            alpha_edges,
+            alpha_scale,
+            last_alpha: None,
+            warm_start: true,
+            solver: None,
+            checkpoint: None,
+            retired_stats: ResolveStats::default(),
+            changed: Vec::new(),
+            all_alpha_ids,
+        }
+    }
+
     /// Number of flow nodes (the Figure-9 metric).
     pub fn num_nodes(&self) -> usize {
         self.net.num_nodes()
@@ -78,52 +145,157 @@ impl DensityNetwork {
         self.members.len()
     }
 
-    /// Enables or disables monotone warm starts (default: on).
+    /// Enables or disables parametric flow reuse (default: on).
     ///
     /// Only the `v→t` capacities depend on α, and they *increase* with α,
-    /// so when consecutive probes have non-decreasing α the previous flow
-    /// stays feasible and only needs augmenting — the simple monotone form
-    /// of the parametric max-flow idea of Gallo–Grigoriadis–Tarjan \[29\],
-    /// which the paper cites as the classical EDS machinery. Decreasing-α
-    /// probes fall back to a cold solve automatically.
+    /// so a probe whose α dominates the last probe (or the checkpointed
+    /// lower bound) keeps a feasible flow and only augments the delta —
+    /// Gallo–Grigoriadis–Tarjan \[29\]. Disabling forces every probe to a
+    /// from-scratch solve (the differential baseline).
     pub fn set_warm_start(&mut self, enabled: bool) {
         self.warm_start = enabled;
+        if !enabled {
+            self.checkpoint = None;
+            self.last_alpha = None;
+        }
+    }
+
+    /// Probe-reuse accounting across this network's whole probe sequence.
+    pub fn probe_stats(&self) -> ResolveStats {
+        let mut stats = self.retired_stats;
+        if let Some((_, solver)) = &self.solver {
+            stats += solver.stats();
+        }
+        stats
+    }
+
+    /// Checkpoints the current flow state for parametric restarts.
+    ///
+    /// Soundness rule: a checkpoint taken at α may seed any later probe
+    /// with α′ ≥ α (capacities only grow from α to α′, so the stored flow
+    /// stays feasible). The α-search loop probes strictly above its lower
+    /// bound, so callers checkpoint exactly when a probe's α *becomes*
+    /// the lower bound: [`Self::solve`] does it on every feasible probe;
+    /// seed probes at the initial lower bound call this directly.
+    pub fn checkpoint(&mut self) {
+        if !self.warm_start {
+            return;
+        }
+        let Some(alpha) = self.last_alpha else { return };
+        let mut flows = match self.checkpoint.take() {
+            Some(ck) => ck.flows,
+            None => Vec::new(),
+        };
+        self.net.save_flows(&mut flows);
+        self.checkpoint = Some(Checkpoint { alpha, flows });
+    }
+
+    /// Applies α to the `v→t` capacities, recording which edges changed.
+    fn apply_alpha(&mut self, alpha: f64) {
+        debug_assert!(
+            alpha.is_finite(),
+            "non-finite α {alpha} (check tolerance/bounds math)"
+        );
+        self.changed.clear();
+        let scale = self.alpha_scale;
+        for i in 0..self.alpha_edges.len() {
+            let (e, base) = self.alpha_edges[i];
+            let cap = (base + scale * alpha).max(0.0);
+            if self.net.edge(e).cap != cap {
+                self.net.set_cap(e, cap);
+                self.changed.push(e);
+            }
+        }
+    }
+
+    /// Runs one min-cut probe at `alpha`, choosing the cheapest sound
+    /// flow-reuse mode, and leaves the network in the post-probe residual
+    /// state.
+    fn probe(&mut self, alpha: f64, backend: FlowBackend) {
+        // A backend switch retires the old solver *and* its flow state —
+        // the two backends' (pre)flow conventions must never mix.
+        let matches_backend = matches!(&self.solver, Some((b, _)) if *b == backend);
+        if !matches_backend {
+            if let Some((_, old)) = self.solver.take() {
+                self.retired_stats += old.stats();
+            }
+            self.solver = Some((backend, ParametricSolver::new(backend.solver())));
+            self.checkpoint = None;
+            self.last_alpha = None;
+        }
+        let mode = if !self.warm_start {
+            ProbeMode::Cold
+        } else if self.last_alpha.is_some_and(|last| alpha >= last) {
+            ProbeMode::Resolve
+        } else if self.checkpoint.as_ref().is_some_and(|ck| ck.alpha <= alpha) {
+            ProbeMode::Restore
+        } else {
+            ProbeMode::Cold
+        };
+        self.apply_alpha(alpha);
+        let (_, solver) = self.solver.as_mut().expect("solver installed above");
+        match mode {
+            ProbeMode::Resolve => {
+                let _ = solver.resolve(&mut self.net, self.s, self.t, &self.changed);
+            }
+            ProbeMode::Restore => {
+                let ck = self.checkpoint.as_ref().expect("restore mode");
+                self.net.restore_flows(&ck.flows);
+                // Relative to the checkpoint every α-edge may have moved
+                // (non-decreasingly); pass them all.
+                let _ = solver.resolve(&mut self.net, self.s, self.t, &self.all_alpha_ids);
+            }
+            ProbeMode::Cold => {
+                let _ = solver.solve(&mut self.net, self.s, self.t);
+            }
+        }
+        self.last_alpha = Some(alpha);
+    }
+
+    /// The min-cut source side at guess `alpha` as parent-graph vertex
+    /// ids (`S \ {s}`, instance nodes dropped), regardless of whether the
+    /// cut is non-trivial. Does **not** checkpoint — callers with their
+    /// own feasibility rule (the pinned query variant) decide that.
+    pub fn min_cut_side(&mut self, alpha: f64, backend: FlowBackend) -> Vec<VertexId> {
+        self.probe(alpha, backend);
+        let side = min_cut_source_side(&self.net, self.s);
+        side.iter()
+            .filter(|&&node| node != self.s && (node as usize) <= self.members.len())
+            .map(|&node| self.members[node as usize - 1])
+            .collect()
+    }
+
+    /// Capacity of the cut the last probe left behind (Σ caps of edges
+    /// from the residual-reachable side to the rest) — the
+    /// differential-test invariant that must not depend on how the flow
+    /// state was reached.
+    pub fn cut_value(&self) -> f64 {
+        // Same reachable set the witness extraction uses — the cut and
+        // the witness must never come from different reachability rules.
+        let mut seen = vec![false; self.net.num_nodes()];
+        for node in min_cut_source_side(&self.net, self.s) {
+            seen[node as usize] = true;
+        }
+        let mut cap = 0.0;
+        for (from, e) in self.net.forward_edges() {
+            if seen[from as usize] && !seen[e.to as usize] {
+                cap += e.cap;
+            }
+        }
+        cap
     }
 
     /// Decides whether some subgraph beats density `alpha`.
     ///
     /// Returns `Some(vertices)` (parent-graph ids of `S \ {s}`) when such a
-    /// subgraph exists, `None` otherwise.
+    /// subgraph exists, `None` otherwise. Feasible probes checkpoint the
+    /// flow state (their α is the search's new lower bound).
     pub fn solve(&mut self, alpha: f64, backend: FlowBackend) -> Option<Vec<VertexId>> {
-        let scale = self.alpha_scale;
-        for i in 0..self.alpha_edges.len() {
-            let (e, base) = self.alpha_edges[i];
-            self.net.set_cap(e, (base + scale * alpha).max(0.0));
-        }
-        // Warm start: feasibility of the old flow is preserved when all
-        // capacity changes are increases. Push-relabel's invariants don't
-        // survive a capacity change, so warm starts are Dinic-only.
-        let warm = self.warm_start
-            && backend == FlowBackend::Dinic
-            && self.last_alpha.is_some_and(|last| alpha >= last);
-        if !warm {
-            self.net.reset_flow();
-        }
-        self.last_alpha = Some(alpha);
-        let mut solver = backend.solver();
-        let _ = solver.max_flow(&mut self.net, self.s, self.t);
-        let side = min_cut_source_side(&self.net, self.s);
-        if side.len() <= 1 {
-            return None;
-        }
-        let vertices: Vec<VertexId> = side
-            .iter()
-            .filter(|&&node| node != self.s && (node as usize) <= self.members.len())
-            .map(|&node| self.members[node as usize - 1])
-            .collect();
+        let vertices = self.min_cut_side(alpha, backend);
         if vertices.is_empty() {
             None
         } else {
+            self.checkpoint();
             Some(vertices)
         }
     }
@@ -150,16 +322,39 @@ pub fn build_edge_network(g: &Graph, members: &[VertexId]) -> DensityNetwork {
         net.add_edge((u + 1) as NodeId, (v + 1) as NodeId, 1.0);
         net.add_edge((v + 1) as NodeId, (u + 1) as NodeId, 1.0);
     }
-    DensityNetwork {
-        net,
-        s,
-        t,
-        members: sub.orig,
-        alpha_edges,
-        alpha_scale: 2.0,
-        last_alpha: None,
-        warm_start: true,
+    DensityNetwork::new(net, s, t, sub.orig, alpha_edges, 2.0)
+}
+
+/// Builds the Section-6.3 *pinned* Goldberg network over `g` (already the
+/// anchored subgraph): `s→q` has capacity ∞ for every `q ∈ pinned`, so
+/// every min cut keeps the pinned vertices on the source side; all other
+/// capacities match [`build_edge_network`]. Feasibility is decided by the
+/// caller from the returned side's density (the ∞ pins make the trivial
+/// `S = {s}` cut impossible), via [`DensityNetwork::min_cut_side`].
+pub fn build_query_network(g: &Graph, pinned: &[VertexId]) -> DensityNetwork {
+    let n = g.num_vertices();
+    let m = g.num_edges() as f64;
+    let s: NodeId = 0;
+    let t: NodeId = (n + 1) as NodeId;
+    let mut net = FlowNetwork::with_capacity(n + 2, 2 * g.num_edges() + 2 * n);
+    let mut is_pinned = vec![false; n];
+    for &q in pinned {
+        is_pinned[q as usize] = true;
     }
+    let mut alpha_edges = Vec::with_capacity(n);
+    for (v, &pinned) in is_pinned.iter().enumerate() {
+        let node = (v + 1) as NodeId;
+        let s_cap = if pinned { FlowNetwork::INF } else { m };
+        net.add_edge(s, node, s_cap);
+        let base = m - g.degree(v as VertexId) as f64;
+        let e = net.add_edge(node, t, 0.0);
+        alpha_edges.push((e, base));
+    }
+    for (u, v) in g.edges() {
+        net.add_edge((u + 1) as NodeId, (v + 1) as NodeId, 1.0);
+        net.add_edge((v + 1) as NodeId, (u + 1) as NodeId, 1.0);
+    }
+    DensityNetwork::new(net, s, t, g.vertices().collect(), alpha_edges, 2.0)
 }
 
 /// Builds the Algorithm-1 network for the h-clique (`h ≥ 3`) over
@@ -200,16 +395,7 @@ pub fn build_clique_network(g: &Graph, members: &[VertexId], h: usize) -> Densit
             net.add_edge((v + 1) as NodeId, psi_node, 1.0);
         }
     }
-    DensityNetwork {
-        net,
-        s,
-        t,
-        members: sub.orig,
-        alpha_edges,
-        alpha_scale: h as f64,
-        last_alpha: None,
-        warm_start: true,
-    }
+    DensityNetwork::new(net, s, t, sub.orig, alpha_edges, h as f64)
 }
 
 /// Vertices adjacent to every member of `clique` (excluding the members).
@@ -287,16 +473,7 @@ pub fn build_pattern_network(
             );
         }
     }
-    DensityNetwork {
-        net,
-        s,
-        t,
-        members: sub.orig,
-        alpha_edges,
-        alpha_scale: size as f64,
-        last_alpha: None,
-        warm_start: true,
-    }
+    DensityNetwork::new(net, s, t, sub.orig, alpha_edges, size as f64)
 }
 
 #[cfg(test)]

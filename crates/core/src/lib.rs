@@ -61,6 +61,7 @@
 //! assert_eq!(cds.vertices, vec![0, 1, 2, 3]);
 //! ```
 
+pub mod alpha_search;
 pub mod approx;
 pub mod bounds;
 pub mod clique_core;
@@ -82,6 +83,9 @@ pub mod size_constrained;
 pub mod top_k;
 pub mod types;
 
+pub use alpha_search::{
+    alpha_search, density_gap, effective_gap, DecisionProbe, NetworkProbe, SearchOutcome,
+};
 pub use approx::{core_app, core_app_from, inc_app, inc_app_from, inc_app_parallel, ApproxResult};
 pub use bounds::{density_bounds, locate_core_order, DensityBounds};
 pub use clique_core::{decompose, CliqueCoreDecomposition};
@@ -107,6 +111,7 @@ pub use query::{densest_with_query, densest_with_query_from};
 pub use service::{BatchOutcome, BatchStats, DsdService, ServiceError};
 pub use size_constrained::{
     densest_at_least_k, densest_at_least_k_from, densest_at_most_k, densest_at_most_k_from,
+    SizeConstrainedOutcome,
 };
 pub use top_k::{top_k_densest, top_k_densest_from};
 pub use types::DsdResult;

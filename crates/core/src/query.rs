@@ -5,14 +5,17 @@
 //! (2) `x` = minimum core number over Q, so the x-core contains Q and has
 //! density ≥ x/2 — a lower bound on the constrained optimum; (3) locate the
 //! answer inside a *Q-anchored* ⌈x/2⌉-core (peeling never removes Q); (4)
-//! binary-search α with a Goldberg network in which `s→q` has capacity ∞
-//! for q ∈ Q, pinning Q into the source side of every min-cut.
+//! α-search with a *pinned* Goldberg network (`s→q` capacity ∞ for
+//! `q ∈ Q`, forcing Q into the source side of every min cut), riding the
+//! shared [`mod@crate::alpha_search`] loop. The pinned network is built once
+//! and every probe runs through the parametric resolve machinery —
+//! previously this path rebuilt the network *and* re-solved from scratch
+//! at every guess.
 
-use dsd_flow::{min_cut_source_side, FlowNetwork, NodeId};
 use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
 
-use crate::exact::density_gap;
-use crate::flownet::FlowBackend;
+use crate::alpha_search::{alpha_search, density_gap, DecisionProbe, ExactStats};
+use crate::flownet::{build_query_network, DensityNetwork, FlowBackend};
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::types::DsdResult;
 
@@ -21,17 +24,50 @@ use crate::types::DsdResult;
 /// Returns `None` when `query` is empty or contains out-of-range vertices.
 pub fn densest_with_query(g: &Graph, query: &[VertexId]) -> Option<DsdResult> {
     let cores = k_core_decomposition(g);
-    densest_with_query_from(g, query, &cores, FlowBackend::Dinic)
+    densest_with_query_from(g, query, &cores, FlowBackend::Dinic).map(|(r, _)| r)
+}
+
+/// The pinned-network probe: the min cut always keeps Q on the source
+/// side (the ∞ pins make `S = {s}` impossible), so feasibility is decided
+/// by the returned side's *density* rather than cut non-triviality.
+/// Feasible probes checkpoint the flow state for the parametric chain.
+struct QueryProbe<'a> {
+    net: &'a mut DensityNetwork,
+    g: &'a Graph,
+    backend: FlowBackend,
+}
+
+impl DecisionProbe for QueryProbe<'_> {
+    type Witness = Vec<VertexId>;
+
+    fn probe(&mut self, alpha: f64) -> Option<Vec<VertexId>> {
+        let side = self.net.min_cut_side(alpha, self.backend);
+        if side.is_empty() {
+            return None;
+        }
+        let density = induced_edges(self.g, &side) as f64 / side.len() as f64;
+        if density > alpha {
+            self.net.checkpoint();
+            Some(side)
+        } else {
+            None
+        }
+    }
+
+    fn network_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
 }
 
 /// [`densest_with_query`] against a caller-provided (possibly warm)
-/// classical core decomposition and an explicit max-flow backend.
+/// classical core decomposition and an explicit max-flow backend. Also
+/// returns the α-search instrumentation (probe counts, flow reuse).
 pub fn densest_with_query_from(
     g: &Graph,
     query: &[VertexId],
     cores: &KCoreDecomposition,
     backend: FlowBackend,
-) -> Option<DsdResult> {
+) -> Option<(DsdResult, ExactStats)> {
     let n = g.num_vertices();
     if query.is_empty() || query.iter().any(|&q| q as usize >= n) {
         return None;
@@ -82,31 +118,48 @@ pub fn densest_with_query_from(
         .collect();
     debug_assert_eq!(local_query.len(), query.len());
 
-    // Binary search α with the pinned Goldberg network. Feasibility is
-    // decided by the density of the returned source side (robust against
-    // the ∞-pinned capacities making "S = {s}" impossible).
-    let mut l = x as f64 / 2.0;
-    let mut u = cores.kmax as f64;
-    let mut best = best_side_at(&sub.graph, &local_query, l, backend);
+    // α-search with the pinned network, built once for the whole probe
+    // sequence. The seed probe at l both captures the x-core-quality
+    // answer (robust when no strictly-denser subgraph exists) and
+    // checkpoints the parametric chain — every later probe has α > l.
+    let l = x as f64 / 2.0;
+    let u = cores.kmax as f64;
+    let mut stats = ExactStats {
+        initial_bounds: (l, u),
+        ..ExactStats::default()
+    };
+    let mut net = build_query_network(&sub.graph, &local_query);
+    stats.iterations += 1;
+    stats.network_nodes.push(net.num_nodes());
+    let seed = net.min_cut_side(l, backend);
+    net.checkpoint();
+    let mut best = if seed.is_empty() { None } else { Some(seed) };
+
     let gap = density_gap(sub.graph.num_vertices());
-    while u - l >= gap {
-        let alpha = (l + u) / 2.0;
-        match feasible_side(&sub.graph, &local_query, alpha, backend) {
-            Some(side) => {
-                l = alpha;
-                best = Some(side);
-            }
-            None => u = alpha,
-        }
+    let outcome = {
+        let mut probe = QueryProbe {
+            net: &mut net,
+            g: &sub.graph,
+            backend,
+        };
+        alpha_search(&mut probe, (l, u), gap, usize::MAX, &mut stats)
+    };
+    if let Some(side) = outcome.witness {
+        best = Some(side);
     }
+    stats.absorb_flow(net.probe_stats());
+
     let side = best?;
     let mut vertices: Vec<VertexId> = side.iter().map(|&v| sub.to_parent(v)).collect();
     vertices.sort_unstable();
     let m_in = induced_edges(&sub.graph, &side);
-    Some(DsdResult {
-        density: m_in as f64 / side.len() as f64,
-        vertices,
-    })
+    Some((
+        DsdResult {
+            density: m_in as f64 / side.len() as f64,
+            vertices,
+        },
+        stats,
+    ))
 }
 
 fn induced_edges(g: &Graph, members: &[VertexId]) -> usize {
@@ -119,68 +172,6 @@ fn induced_edges(g: &Graph, members: &[VertexId]) -> usize {
                 .count()
         })
         .sum()
-}
-
-/// Best source-side at guess α, or `None` when its density is ≤ α.
-fn feasible_side(
-    g: &Graph,
-    query: &[VertexId],
-    alpha: f64,
-    backend: FlowBackend,
-) -> Option<Vec<VertexId>> {
-    let side = min_cut_side(g, query, alpha, backend);
-    let density = induced_edges(g, &side) as f64 / side.len() as f64;
-    if density > alpha {
-        Some(side)
-    } else {
-        None
-    }
-}
-
-/// Source side at guess α regardless of feasibility (used to seed the
-/// answer with the x-core-quality subgraph).
-fn best_side_at(
-    g: &Graph,
-    query: &[VertexId],
-    alpha: f64,
-    backend: FlowBackend,
-) -> Option<Vec<VertexId>> {
-    let side = min_cut_side(g, query, alpha, backend);
-    if side.is_empty() {
-        None
-    } else {
-        Some(side)
-    }
-}
-
-fn min_cut_side(g: &Graph, query: &[VertexId], alpha: f64, backend: FlowBackend) -> Vec<VertexId> {
-    let n = g.num_vertices();
-    let m = g.num_edges() as f64;
-    let s: NodeId = 0;
-    let t: NodeId = (n + 1) as NodeId;
-    let mut net = FlowNetwork::with_capacity(n + 2, 2 * g.num_edges() + 2 * n);
-    let query_set: std::collections::HashSet<VertexId> = query.iter().copied().collect();
-    for v in 0..n {
-        let node = (v + 1) as NodeId;
-        let s_cap = if query_set.contains(&(v as VertexId)) {
-            FlowNetwork::INF
-        } else {
-            m
-        };
-        net.add_edge(s, node, s_cap);
-        net.add_edge(node, t, m + 2.0 * alpha - g.degree(v as VertexId) as f64);
-    }
-    for (u, v) in g.edges() {
-        net.add_edge((u + 1) as NodeId, (v + 1) as NodeId, 1.0);
-        net.add_edge((v + 1) as NodeId, (u + 1) as NodeId, 1.0);
-    }
-    let mut solver = backend.solver();
-    let _ = solver.max_flow(&mut net, s, t);
-    min_cut_source_side(&net, s)
-        .into_iter()
-        .filter(|&node| node != s && (node as usize) <= n)
-        .map(|node| (node - 1) as VertexId)
-        .collect()
 }
 
 #[cfg(test)]
@@ -264,5 +255,28 @@ mod tests {
         let g = two_cliques();
         assert!(densest_with_query(&g, &[]).is_none());
         assert!(densest_with_query(&g, &[99]).is_none());
+    }
+
+    /// The pinned-network probe sequence genuinely reuses flow state: all
+    /// probes after the seed warm-resolve, and both backends agree.
+    #[test]
+    fn parametric_reuse_and_backend_agreement() {
+        let g = two_cliques();
+        let cores = k_core_decomposition(&g);
+        for q in [vec![0], vec![9], vec![0, 9]] {
+            let (rd, sd) = densest_with_query_from(&g, &q, &cores, FlowBackend::Dinic).unwrap();
+            let (rp, sp) =
+                densest_with_query_from(&g, &q, &cores, FlowBackend::PushRelabel).unwrap();
+            assert_eq!(rd.vertices, rp.vertices, "query {q:?}");
+            assert_eq!(rd.density.to_bits(), rp.density.to_bits(), "query {q:?}");
+            for (name, s) in [("dinic", &sd), ("push-relabel", &sp)] {
+                assert!(s.iterations >= 2, "{name}: {q:?}");
+                assert_eq!(
+                    s.resolve_hits,
+                    s.iterations - 1,
+                    "{name} {q:?}: every probe after the seed must warm-resolve"
+                );
+            }
+        }
     }
 }

@@ -101,6 +101,12 @@ pub struct BatchStats {
     pub substrate_builds: usize,
     /// Decomposition cache hits during the batch (the dedup win).
     pub substrate_hits: usize,
+    /// Min-cut probes run by the batch's α-searches (summed over the
+    /// successfully solved requests).
+    pub flow_probes: usize,
+    /// Of those, probes served warm by parametric resolve (flow-state
+    /// reuse) instead of a from-scratch max-flow.
+    pub flow_resolve_hits: usize,
     /// Per-worker busy time (solving requests, not queue waits).
     pub worker_busy_nanos: Vec<u128>,
 }
@@ -351,17 +357,27 @@ impl DsdService {
             substrate_hits += a.decomposition_hits - b.decomposition_hits;
         }
 
+        let solutions: Vec<Result<Solution, ServiceError>> = solutions
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect();
+        let mut flow_probes = 0;
+        let mut flow_resolve_hits = 0;
+        for s in solutions.iter().flatten() {
+            flow_probes += s.stats.flow_iterations;
+            flow_resolve_hits += s.stats.flow_resolve_hits;
+        }
+
         BatchOutcome {
-            solutions: solutions
-                .into_iter()
-                .map(|s| s.expect("every slot filled"))
-                .collect(),
+            solutions,
             stats: BatchStats {
                 wall_nanos: t0.elapsed().as_nanos(),
                 requests: n,
                 groups: groups.len(),
                 substrate_builds,
                 substrate_hits,
+                flow_probes,
+                flow_resolve_hits,
                 worker_busy_nanos,
             },
         }

@@ -2,52 +2,108 @@
 //! ("we will also extend our core-based algorithms for finding densest
 //! subgraphs with size constraints").
 //!
-//! The at-least-k variant (DalkS: maximize ρ subject to `|S| ≥ k`) is
-//! NP-hard in general but admits a 1/3-approximation by greedy peeling
-//! (Andersen & Chellapilla 2009): peel minimum-degree vertices and return
-//! the best residual graph among those with at least `k` vertices. The
-//! machinery is exactly Algorithm 3's peel with a different density
-//! tracker, so the implementation rides the shared decomposition engine;
-//! the same schedule generalizes to any Ψ (with the guarantee proved for
-//! edges).
+//! Both variants now try an **exact fast path through the shared
+//! [`mod@crate::alpha_search`] framework first**: run `CoreExact` for the
+//! unconstrained optimum `D`; whenever `D` already satisfies the size
+//! constraint (`|D| ≥ k` for DalkS, `|D| ≤ k` for DamkS) it *is* the
+//! constrained optimum — the constrained optimum can never beat the
+//! unconstrained one, and `D` is feasible. The attempt is made for
+//! clique Ψ (including edges), where the located-core flow phase is
+//! near-free next to the decomposition the caller already holds; for
+//! general patterns the Algorithm-7 `construct+` network would
+//! re-enumerate instances inside the core — easily the dominant cost of
+//! an otherwise-approximate request — so those keep the greedy paths
+//! outright. When the constraint excludes `D` (or Ψ is a general
+//! pattern), the greedy machinery answers:
 //!
-//! The at-most-k variant (DamkS) is as hard as densest-k-subgraph; we
-//! provide the natural core-guided greedy heuristic the paper's framework
-//! suggests — locate the best core, then trim minimum-degree vertices to
-//! size — with no approximation claim (documented as a heuristic).
+//! * **at-least-k** (DalkS: maximize ρ subject to `|S| ≥ k`) is NP-hard
+//!   in general but admits a 1/3-approximation by greedy peeling
+//!   (Andersen & Chellapilla 2009): peel minimum-degree vertices and
+//!   return the best residual graph among those with at least `k`
+//!   vertices. The machinery is exactly Algorithm 3's peel with a
+//!   different density tracker, so the fallback replays the shared
+//!   decomposition's peel order; the same schedule generalizes to any Ψ
+//!   (with the guarantee proved for edges).
+//! * **at-most-k** (DamkS) is as hard as densest-k-subgraph; the fallback
+//!   is the natural core-guided greedy heuristic the paper's framework
+//!   suggests — locate the best core, then trim minimum-degree vertices
+//!   to size — with no approximation claim.
 
 use dsd_graph::{Graph, VertexId, VertexSet};
+use dsd_motif::pattern::PatternKind;
 use dsd_motif::Pattern;
 
+use crate::alpha_search::ExactStats;
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
+use crate::core_exact::{core_exact_from, CoreExactConfig};
 use crate::oracle::{oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
+/// A size-constrained solve: the subgraph plus how it was certified.
+#[derive(Clone, Debug)]
+pub struct SizeConstrainedOutcome {
+    /// The best subgraph found.
+    pub result: DsdResult,
+    /// Whether the exact fast path applied: the unconstrained optimum
+    /// satisfied the size constraint, so `result` is certified optimal
+    /// (up to the config's tolerance/budget). `false` means the greedy
+    /// fallback answered (1/3-approximate for DalkS on edges, heuristic
+    /// otherwise).
+    pub exact: bool,
+    /// α-search instrumentation of the exact attempt (probe counts, flow
+    /// reuse) — populated on the fallback paths too, which still paid for
+    /// the attempt.
+    pub stats: ExactStats,
+}
+
 /// Densest subgraph with **at least** `k` vertices (DalkS).
 ///
-/// Greedy peel, 1/3-approximation for Ψ = edge (Andersen–Chellapilla);
-/// heuristic quality for other Ψ. Returns `None` when `k` exceeds the
-/// vertex count.
+/// Exact for clique Ψ when the unconstrained CDS has ≥ `k` vertices;
+/// otherwise greedy peel (1/3-approximation for Ψ = edge per
+/// Andersen–Chellapilla, heuristic quality for other Ψ). Returns `None`
+/// when `k` is 0 or exceeds the vertex count.
 pub fn densest_at_least_k(g: &Graph, psi: &Pattern, k: usize) -> Option<DsdResult> {
     if k > g.num_vertices() || k == 0 {
         return None;
     }
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
-    densest_at_least_k_from(g, k, oracle.as_ref(), &dec)
+    densest_at_least_k_from(g, psi, k, CoreExactConfig::default(), oracle.as_ref(), &dec)
+        .map(|o| o.result)
 }
 
 /// [`densest_at_least_k`] against caller-provided (possibly warm)
-/// substrates: replays the decomposition's peel order without re-peeling.
+/// substrates: tries the exact fast path (a `CoreExact` α-search under
+/// `config`), then falls back to replaying the decomposition's peel order
+/// without re-peeling.
 pub fn densest_at_least_k_from(
     g: &Graph,
+    psi: &Pattern,
     k: usize,
+    config: CoreExactConfig,
     oracle: &dyn DensityOracle,
     dec: &CliqueCoreDecomposition,
-) -> Option<DsdResult> {
+) -> Option<SizeConstrainedOutcome> {
     let n = g.num_vertices();
     if k > n || k == 0 {
         return None;
+    }
+    // Exact fast path (clique Ψ): the unconstrained optimum bounds the
+    // constrained one from above and is feasible when it meets the floor.
+    // Skipped outright when the located core (which contains the CDS,
+    // Lemma 7) is already below the floor — the fast path provably can't
+    // fire, so don't pay its α-search just to discard it.
+    let mut stats = ExactStats::default();
+    if matches!(psi.kind(), PatternKind::Clique(_)) && located_core_len(dec, psi, config) >= k {
+        let (cds, ces) = core_exact_from(g, psi, config, oracle, dec);
+        if cds.len() >= k {
+            return Some(SizeConstrainedOutcome {
+                result: cds,
+                exact: true,
+                stats: ces.exact,
+            });
+        }
+        stats = ces.exact;
     }
     // Residual graphs are suffixes of the peel order; the feasible ones
     // are those with ≥ k vertices, i.e. the first n−k+1 suffixes.
@@ -85,38 +141,69 @@ pub fn densest_at_least_k_from(
     let (rho, suffix) = best?;
     let mut vertices: Vec<VertexId> = order[suffix..].to_vec();
     vertices.sort_unstable();
-    Some(DsdResult {
-        vertices,
-        density: rho,
+    Some(SizeConstrainedOutcome {
+        result: DsdResult {
+            vertices,
+            density: rho,
+        },
+        exact: false,
+        stats,
     })
 }
 
-/// Densest subgraph with **at most** `k` vertices (DamkS) — core-guided
-/// greedy heuristic, no approximation guarantee (the problem is
-/// densest-k-subgraph-hard).
+/// Size of the `(k″, Ψ)`-core CoreExact would locate the CDS in — an
+/// upper bound on `|CDS|` (Lemma 7), used to prove a DalkS fast path
+/// hopeless before paying for its α-search.
+fn located_core_len(
+    dec: &CliqueCoreDecomposition,
+    psi: &Pattern,
+    config: CoreExactConfig,
+) -> usize {
+    let bounds = crate::bounds::density_bounds(dec, psi.vertex_count(), config.pruning1);
+    dec.core_set(bounds.locate_k.max(1)).len()
+}
+
+/// Densest subgraph with **at most** `k` vertices (DamkS).
 ///
-/// Locates the (kmax, Ψ)-core, then trims minimum-degree vertices until at
-/// most `k` remain, tracking the densest prefix.
+/// Exact for clique Ψ when the unconstrained CDS has ≤ `k` vertices;
+/// otherwise the core-guided greedy trim with no approximation guarantee
+/// (the problem is densest-k-subgraph-hard).
 pub fn densest_at_most_k(g: &Graph, psi: &Pattern, k: usize) -> Option<DsdResult> {
     if k == 0 {
         return None;
     }
     let oracle = oracle_for(psi);
     let dec = decompose(g, oracle.as_ref());
-    densest_at_most_k_from(g, psi, k, oracle.as_ref(), &dec)
+    densest_at_most_k_from(g, psi, k, CoreExactConfig::default(), oracle.as_ref(), &dec)
+        .map(|o| o.result)
 }
 
 /// [`densest_at_most_k`] against caller-provided (possibly warm)
-/// substrates.
+/// substrates: tries the exact fast path, then the greedy trim.
 pub fn densest_at_most_k_from(
     g: &Graph,
     psi: &Pattern,
     k: usize,
+    config: CoreExactConfig,
     oracle: &dyn DensityOracle,
     dec: &CliqueCoreDecomposition,
-) -> Option<DsdResult> {
+) -> Option<SizeConstrainedOutcome> {
     if k == 0 {
         return None;
+    }
+    // Exact fast path (clique Ψ): a non-empty unconstrained optimum
+    // within the cap is the constrained optimum.
+    let mut stats = ExactStats::default();
+    if matches!(psi.kind(), PatternKind::Clique(_)) {
+        let (cds, ces) = core_exact_from(g, psi, config, oracle, dec);
+        if !cds.is_empty() && cds.len() <= k {
+            return Some(SizeConstrainedOutcome {
+                result: cds,
+                exact: true,
+                stats: ces.exact,
+            });
+        }
+        stats = ces.exact;
     }
     // Start from the densest residual graph (PeelApp's S*), the best
     // unconstrained greedy answer, then trim.
@@ -148,9 +235,13 @@ pub fn densest_at_most_k_from(
     }
     let (rho, mut vertices) = best?;
     vertices.sort_unstable();
-    Some(DsdResult {
-        vertices,
-        density: rho,
+    Some(SizeConstrainedOutcome {
+        result: DsdResult {
+            vertices,
+            density: rho,
+        },
+        exact: false,
+        stats,
     })
 }
 
@@ -181,7 +272,7 @@ mod tests {
         let g = k5_plus_path();
         let psi = Pattern::edge();
         let r = densest_at_least_k(&g, &psi, 2).unwrap();
-        // Greedy peel finds the K5 exactly here.
+        // The unconstrained CDS (the K5) satisfies the floor: exact path.
         assert_eq!(r.vertices, vec![0, 1, 2, 3, 4]);
         assert!((r.density - 2.0).abs() < 1e-9);
     }
@@ -226,6 +317,49 @@ mod tests {
                 r.density,
                 opt.density / 3.0
             );
+        }
+    }
+
+    /// The exact fast path fires exactly when the unconstrained CDS fits
+    /// the constraint, and then returns it verbatim.
+    #[test]
+    fn exact_fast_path_fires_on_feasible_cds() {
+        let g = k5_plus_path();
+        let psi = Pattern::edge();
+        let oracle = oracle_for(&psi);
+        let dec = decompose(&g, oracle.as_ref());
+        let (cds, _) = exact(&g, &psi, FlowBackend::Dinic);
+        assert_eq!(cds.vertices.len(), 5);
+        for k in 2..=9usize {
+            let o = densest_at_least_k_from(
+                &g,
+                &psi,
+                k,
+                CoreExactConfig::default(),
+                oracle.as_ref(),
+                &dec,
+            )
+            .unwrap();
+            assert_eq!(o.exact, k <= 5, "k = {k}");
+            if o.exact {
+                assert_eq!(o.result.vertices, cds.vertices);
+                assert!(o.stats.iterations > 0, "exact path must have probed");
+            }
+        }
+        for k in 1..=9usize {
+            let o = densest_at_most_k_from(
+                &g,
+                &psi,
+                k,
+                CoreExactConfig::default(),
+                oracle.as_ref(),
+                &dec,
+            )
+            .unwrap();
+            assert_eq!(o.exact, k >= 5, "k = {k}");
+            if o.exact {
+                assert_eq!(o.result.vertices, cds.vertices);
+            }
         }
     }
 

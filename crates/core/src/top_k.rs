@@ -12,6 +12,7 @@
 use dsd_graph::{Graph, InducedSubgraph, VertexSet};
 use dsd_motif::Pattern;
 
+use crate::alpha_search::ExactStats;
 use crate::clique_core::CliqueCoreDecomposition;
 use crate::core_exact::{core_exact_from, core_exact_with, CoreExactConfig};
 use crate::oracle::DensityOracle;
@@ -35,6 +36,9 @@ pub struct TopKScan {
     /// Whether any round's binary search was cut short by the config's
     /// step budget (the affected rounds are then not certified optimal).
     pub budget_exhausted: bool,
+    /// α-search instrumentation merged across all rounds (probe counts,
+    /// network sizes, flow reuse).
+    pub exact: ExactStats,
 }
 
 /// [`top_k_densest`] against caller-provided (possibly warm) substrates.
@@ -52,19 +56,19 @@ pub fn top_k_densest_from(
 ) -> TopKScan {
     let mut out = Vec::with_capacity(k);
     let mut alive = VertexSet::full(g.num_vertices());
-    let mut budget_exhausted = false;
+    let mut exact = ExactStats::default();
     for round in 0..k {
         if alive.len() < psi.vertex_count() {
             break;
         }
         let (vertices, density) = if round == 0 {
             let (first, stats) = core_exact_from(g, psi, config, oracle, dec);
-            budget_exhausted |= stats.exact.budget_exhausted;
+            exact.merge(&stats.exact);
             (first.vertices, first.density)
         } else {
             let sub = InducedSubgraph::from_set(g, &alive);
             let (local, stats) = core_exact_with(&sub.graph, psi, config);
-            budget_exhausted |= stats.exact.budget_exhausted;
+            exact.merge(&stats.exact);
             (sub.to_parent_vec(&local.vertices), local.density)
         };
         if vertices.is_empty() {
@@ -76,8 +80,9 @@ pub fn top_k_densest_from(
         out.push(DsdResult { vertices, density });
     }
     TopKScan {
+        budget_exhausted: exact.budget_exhausted,
+        exact,
         subgraphs: out,
-        budget_exhausted,
     }
 }
 

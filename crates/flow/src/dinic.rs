@@ -4,6 +4,12 @@
 //! augmentation) does not apply verbatim; we follow the standard practice of
 //! the reference DSD implementations and treat residuals below [`EPS`] as
 //! saturated. Level counts still bound the number of phases by `O(V)`.
+//!
+//! Besides the from-scratch [`MaxFlow::max_flow`], Dinic implements the
+//! warm [`MaxFlow::resolve`]: after monotone *non-decreasing* capacity
+//! bumps the previous flow stays feasible, so the solver just augments
+//! from the residual network — the cheap half of the parametric max-flow
+//! scheme (Gallo–Grigoriadis–Tarjan) driving the α-search framework.
 
 use crate::network::{EdgeId, FlowNetwork, NodeId, EPS};
 use crate::MaxFlow;
@@ -16,6 +22,7 @@ pub struct Dinic {
     level: Vec<i32>,
     iter: Vec<usize>,
     queue: Vec<NodeId>,
+    work: u64,
 }
 
 impl Dinic {
@@ -35,6 +42,7 @@ impl Dinic {
             let v = self.queue[qi];
             qi += 1;
             for &eid in net.out_edges(v) {
+                self.work += 1;
                 let e = net.edge(eid);
                 if e.residual() > EPS && self.level[e.to as usize] < 0 {
                     self.level[e.to as usize] = self.level[v as usize] + 1;
@@ -51,6 +59,7 @@ impl Dinic {
         }
         while self.iter[v as usize] < net.out_edges(v).len() {
             let eid: EdgeId = net.out_edges(v)[self.iter[v as usize]];
+            self.work += 1;
             let (to, residual) = {
                 let e = net.edge(eid);
                 (e.to, e.residual())
@@ -66,11 +75,10 @@ impl Dinic {
         }
         0.0
     }
-}
 
-impl MaxFlow for Dinic {
-    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
-        assert_ne!(s, t, "source and sink must differ");
+    /// Augments to a maximum flow from whatever (feasible) flow the
+    /// network currently carries; returns the amount added by this call.
+    fn augment(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
         let mut total = 0.0;
         while self.bfs(net, s, t) {
             self.iter.clear();
@@ -84,6 +92,31 @@ impl MaxFlow for Dinic {
             }
         }
         total
+    }
+}
+
+impl MaxFlow for Dinic {
+    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        self.augment(net, s, t)
+    }
+
+    fn resolve(
+        &mut self,
+        net: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        _changed_edges: &[EdgeId],
+    ) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        // The previous flow stays feasible (capacities only increased);
+        // only the delta needs augmenting.
+        let _ = self.augment(net, s, t);
+        net.inflow(t)
+    }
+
+    fn work(&self) -> u64 {
+        self.work
     }
 }
 
@@ -156,5 +189,25 @@ mod tests {
         assert!((f - 1.0).abs() < 1e-9);
         let s_side = min_cut_source_side(&net, 0);
         assert_eq!(s_side, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn resolve_after_capacity_bump_matches_cold() {
+        // Path with a bumped bottleneck: resolve must find the new value.
+        let mut net = FlowNetwork::new(3);
+        let e0 = net.add_edge(0, 1, 5.0);
+        let e1 = net.add_edge(1, 2, 1.0);
+        let mut solver = Dinic::new();
+        let f = solver.max_flow(&mut net, 0, 2);
+        assert!((f - 1.0).abs() < 1e-9);
+        net.set_cap(e1, 4.0);
+        let f2 = solver.resolve(&mut net, 0, 2, &[e1]);
+        assert!((f2 - 4.0).abs() < 1e-9, "resolved value {f2}");
+        assert!(net.conserves_flow(0, 2));
+        net.set_cap(e0, 10.0);
+        net.set_cap(e1, 20.0);
+        let f3 = solver.resolve(&mut net, 0, 2, &[e0, e1]);
+        assert!((f3 - 10.0).abs() < 1e-9, "resolved value {f3}");
+        assert!(solver.work() > 0);
     }
 }

@@ -30,10 +30,12 @@
 
 pub mod dinic;
 pub mod network;
+pub mod parametric;
 pub mod push_relabel;
 
 pub use dinic::Dinic;
 pub use network::{EdgeId, FlowNetwork, NodeId, EPS};
+pub use parametric::{ParametricSolver, ResolveStats};
 pub use push_relabel::PushRelabel;
 
 /// A maximum-flow solver over a [`FlowNetwork`].
@@ -41,6 +43,33 @@ pub trait MaxFlow {
     /// Computes the maximum s→t flow value, mutating the network's flow
     /// state in place.
     fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64;
+
+    /// Re-solves after **monotone non-decreasing** capacity changes to
+    /// `changed_edges`, reusing the (pre)flow already on the network from
+    /// this solver's previous run, and returns the new max-flow value.
+    ///
+    /// The previous flow stays feasible when capacities only grow, so an
+    /// implementation only pays for the delta (the parametric max-flow
+    /// idea of Gallo–Grigoriadis–Tarjan). The default falls back to a
+    /// from-scratch solve, which is always correct.
+    fn resolve(
+        &mut self,
+        net: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        changed_edges: &[EdgeId],
+    ) -> f64 {
+        let _ = changed_edges;
+        net.reset_flow();
+        self.max_flow(net, s, t)
+    }
+
+    /// Monotone counter of augmenting work (edge scans) performed by this
+    /// solver across its lifetime; differences around a probe measure the
+    /// probe's cost. Solvers that don't track work return 0.
+    fn work(&self) -> u64 {
+        0
+    }
 }
 
 /// Returns the source side `S` of a minimum st-cut after a max-flow run:

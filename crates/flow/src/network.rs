@@ -103,21 +103,61 @@ impl FlowNetwork {
         &self.head[v as usize]
     }
 
-    /// Replaces the capacity of edge `e` (negative values clamp to zero).
+    /// Replaces the capacity of edge `e`.
     ///
     /// Used by the binary-search drivers, where only the `v→t` capacities
-    /// depend on the guessed density α; call [`reset_flow`](Self::reset_flow)
-    /// before re-solving.
+    /// depend on the guessed density α. In debug builds NaN and negative
+    /// capacities are rejected outright — a NaN tolerance or unclamped
+    /// `base + scale·α` term would otherwise flow silently into the edge
+    /// caps and corrupt every later min-cut; release builds keep the
+    /// historical clamp-to-zero as a last line of defense.
     #[inline]
     pub fn set_cap(&mut self, e: EdgeId, cap: f64) {
+        debug_assert!(
+            !cap.is_nan(),
+            "edge {e}: capacity is NaN (bad α or tolerance?)"
+        );
+        debug_assert!(
+            cap >= 0.0,
+            "edge {e}: negative capacity {cap} (clamp before set_cap)"
+        );
         self.edges[e as usize].cap = cap.max(0.0);
     }
 
     /// Pushes `amount` along edge `e` (and pulls it back on `e ^ 1`).
     #[inline]
     pub fn push(&mut self, e: EdgeId, amount: f64) {
+        debug_assert!(!amount.is_nan(), "edge {e}: pushing NaN flow");
         self.edges[e as usize].flow += amount;
         self.edges[(e ^ 1) as usize].flow -= amount;
+    }
+
+    /// Iterates the *forward* edges as `(from, edge)` pairs (`edge.to` is
+    /// the head). Residual pairs are skipped.
+    pub fn forward_edges(&self) -> impl Iterator<Item = (NodeId, &Edge)> + '_ {
+        self.edges
+            .chunks_exact(2)
+            .map(|pair| (pair[1].to, &pair[0]))
+    }
+
+    /// Copies the current flow values into `out` (cleared first) — the
+    /// cheap snapshot half of the parametric checkpoint/restore cycle.
+    pub fn save_flows(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.edges.iter().map(|e| e.flow));
+    }
+
+    /// Restores flow values saved by [`save_flows`](Self::save_flows) on
+    /// this same network (topology must be unchanged).
+    pub fn restore_flows(&mut self, flows: &[f64]) {
+        assert_eq!(
+            flows.len(),
+            self.edges.len(),
+            "flow snapshot shape mismatch"
+        );
+        for (e, &f) in self.edges.iter_mut().zip(flows) {
+            e.flow = f;
+        }
     }
 
     /// Resets all flow to zero, keeping topology and capacities.
@@ -139,6 +179,13 @@ impl FlowNetwork {
                 edge.flow
             })
             .sum()
+    }
+
+    /// Total flow currently arriving at `t` (equals the max-flow value
+    /// after a solver run — including for *preflows*, where
+    /// [`outflow`](Self::outflow) can over-count by trapped excess).
+    pub fn inflow(&self, t: NodeId) -> f64 {
+        -self.outflow(t)
     }
 
     /// Checks flow conservation at every node except `s` and `t`; used by

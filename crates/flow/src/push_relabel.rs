@@ -5,8 +5,16 @@
 //! push-relabel and Dinic trade places depending on capacity skew. The
 //! `dsd-bench flow_solvers` bench compares the two; tests cross-validate
 //! their flow values on random networks.
+//!
+//! The warm [`MaxFlow::resolve`] entry point supports the parametric
+//! α-search framework: after monotone non-decreasing capacity bumps the
+//! previous (pre)flow stays feasible, so `resolve` keeps it, re-derives
+//! exact distance labels with one global relabel (a BFS from `t` in the
+//! residual network), re-saturates the source arcs to mint fresh excess,
+//! and discharges only the delta — the expensive flow routing of the
+//! previous probes is never repeated.
 
-use crate::network::{FlowNetwork, NodeId, EPS};
+use crate::network::{EdgeId, FlowNetwork, NodeId, EPS};
 use crate::MaxFlow;
 
 /// Push-relabel max-flow solver (highest-label selection, gap heuristic).
@@ -19,6 +27,7 @@ pub struct PushRelabel {
     /// Number of nodes at each height (for the gap heuristic).
     height_count: Vec<usize>,
     current_arc: Vec<usize>,
+    work: u64,
 }
 
 impl PushRelabel {
@@ -34,38 +43,63 @@ impl PushRelabel {
             self.buckets[h].push(v);
         }
     }
-}
 
-impl MaxFlow for PushRelabel {
-    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
-        assert_ne!(s, t, "source and sink must differ");
+    /// Saturates residual source arcs, crediting excess to the heads.
+    /// Restores the push-relabel init invariant that no residual arc
+    /// leaves `s` (which is what makes `h(s) = n` valid).
+    ///
+    /// `reachable_only` skips heads at height ≥ n — nodes with no
+    /// residual path to `t` (sound when labels are exact, i.e. right
+    /// after a global relabel). Excess minted there could never be
+    /// delivered and would only walk back to `s`.
+    ///
+    /// `mint_cap` bounds the excess minted *per arc*, and must be an
+    /// upper bound on the max-flow increment still achievable (so capping
+    /// any one arc's mint at it loses nothing). Cold runs pass the total
+    /// residual capacity into `t` (the trivial cut bound); warm resolves
+    /// pass the total residual of the changed arcs — every incremental
+    /// augmenting path crosses a changed arc, so the increment is bounded
+    /// by that sum. Keeping mints finite also keeps *flow values* finite
+    /// on `INF`-capacity pinned arcs: pushing `1e100` as preflow excess
+    /// would cancel catastrophically on the walk-back and leave
+    /// non-conserving flows behind, poisoning any later warm resolve that
+    /// recomputes excess from them. The reachability filter is the
+    /// difference between discharging just the delta and re-discharging
+    /// nearly the whole cold run (undeliverable excess walking home).
+    fn saturate_source(
+        &mut self,
+        net: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        reachable_only: bool,
+        mint_cap: f64,
+        highest: &mut usize,
+    ) {
+        if mint_cap <= EPS {
+            return;
+        }
         let n = net.num_nodes();
-        self.height = vec![0; n];
-        self.excess = vec![0.0; n];
-        self.buckets = vec![Vec::new(); 2 * n + 1];
-        self.height_count = vec![0; 2 * n + 1];
-        self.current_arc = vec![0; n];
-
-        self.height[s as usize] = n;
-        self.height_count[0] = n - 1;
-        self.height_count[n] += 1;
-
-        // Saturate all source arcs.
         let src_edges: Vec<_> = net.out_edges(s).to_vec();
-        let mut highest = 0usize;
         for eid in src_edges {
+            self.work += 1;
             let (to, residual) = {
                 let e = net.edge(eid);
                 (e.to, e.residual())
             };
-            if residual > EPS {
-                net.push(eid, residual);
-                self.excess[to as usize] += residual;
-                self.excess[s as usize] -= residual;
-                self.activate(to, s, t, &mut highest);
+            let amount = residual.min(mint_cap);
+            if amount > EPS && !(reachable_only && self.height[to as usize] >= n) {
+                net.push(eid, amount);
+                self.excess[to as usize] += amount;
+                self.excess[s as usize] -= amount;
+                self.activate(to, s, t, highest);
             }
         }
+    }
 
+    /// The main highest-label discharge loop. Requires a valid labeling
+    /// and the active buckets populated up to `highest`.
+    fn discharge(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId, mut highest: usize) {
+        let n = net.num_nodes();
         while highest > 0 || !self.buckets[0].is_empty() {
             // Find the highest non-empty bucket.
             while highest > 0 && self.buckets[highest].is_empty() {
@@ -88,6 +122,7 @@ impl MaxFlow for PushRelabel {
                     let old_h = self.height[v as usize];
                     let mut min_h = usize::MAX;
                     for &eid in net.out_edges(v) {
+                        self.work += 1;
                         let e = net.edge(eid);
                         if e.residual() > EPS {
                             min_h = min_h.min(self.height[e.to as usize]);
@@ -124,6 +159,7 @@ impl MaxFlow for PushRelabel {
                     continue;
                 }
                 let eid = net.out_edges(v)[self.current_arc[v as usize]];
+                self.work += 1;
                 let (to, residual) = {
                     let e = net.edge(eid);
                     (e.to, e.residual())
@@ -149,7 +185,127 @@ impl MaxFlow for PushRelabel {
                 highest = highest.max(h);
             }
         }
+    }
+
+    /// Global relabel: exact residual distances to `t` by reverse BFS.
+    /// Nodes that cannot reach `t` get height `n` (they relabel upward and
+    /// route their excess back toward `s`); `s` is pinned at `n`.
+    fn global_relabel(&mut self, net: &FlowNetwork, s: NodeId, t: NodeId) {
+        let n = net.num_nodes();
+        self.height = vec![n; n];
+        self.height[t as usize] = 0;
+        let mut queue = vec![t];
+        let mut qi = 0;
+        while qi < queue.len() {
+            let u = queue[qi];
+            qi += 1;
+            for &eid in net.out_edges(u) {
+                self.work += 1;
+                // Arc (v, u) is residual iff the pair of u's arc to v has
+                // residual capacity.
+                let v = net.edge(eid).to;
+                if v != s
+                    && self.height[v as usize] == n
+                    && v != t
+                    && net.edge(eid ^ 1).residual() > EPS
+                {
+                    self.height[v as usize] = self.height[u as usize] + 1;
+                    queue.push(v);
+                }
+            }
+        }
+        self.height[s as usize] = n;
+        self.height_count = vec![0; 2 * n + 1];
+        for &h in &self.height {
+            self.height_count[h] += 1;
+        }
+    }
+
+    /// Recomputes per-node excess from the (pre)flow the network carries.
+    fn recompute_excess(&mut self, net: &FlowNetwork) {
+        self.excess = vec![0.0; net.num_nodes()];
+        for (from, e) in net.forward_edges() {
+            self.excess[from as usize] -= e.flow;
+            self.excess[e.to as usize] += e.flow;
+        }
+    }
+
+    /// The trivial cut bound: total residual capacity of the arcs into
+    /// `t`. No s→t flow — and hence no single source arc's share of one —
+    /// can exceed it, so it is a sound (and crucially *finite*, even with
+    /// [`FlowNetwork::INF`] arcs elsewhere) per-arc mint cap for a cold
+    /// saturation.
+    fn sink_capacity_bound(net: &FlowNetwork, t: NodeId) -> f64 {
+        net.out_edges(t)
+            .iter()
+            .map(|&eid| net.edge(eid ^ 1).residual().max(0.0))
+            .sum()
+    }
+}
+
+impl MaxFlow for PushRelabel {
+    fn max_flow(&mut self, net: &mut FlowNetwork, s: NodeId, t: NodeId) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = net.num_nodes();
+        self.height = vec![0; n];
+        self.excess = vec![0.0; n];
+        self.buckets = vec![Vec::new(); 2 * n + 1];
+        self.height_count = vec![0; 2 * n + 1];
+        self.current_arc = vec![0; n];
+
+        self.height[s as usize] = n;
+        self.height_count[0] = n - 1;
+        self.height_count[n] += 1;
+
+        let mut highest = 0usize;
+        let sink_bound = Self::sink_capacity_bound(net, t);
+        self.saturate_source(net, s, t, false, sink_bound, &mut highest);
+        self.discharge(net, s, t, highest);
         self.excess[t as usize]
+    }
+
+    fn resolve(
+        &mut self,
+        net: &mut FlowNetwork,
+        s: NodeId,
+        t: NodeId,
+        changed_edges: &[EdgeId],
+    ) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = net.num_nodes();
+        // Keep the network's (pre)flow — it stays feasible because the
+        // capacity changes were non-decreasing — and rebuild the solver
+        // invariants around it: excesses from the flow, exact labels from
+        // a global relabel, fresh excess from the source arcs.
+        self.recompute_excess(net);
+        self.global_relabel(net, s, t);
+        self.buckets = vec![Vec::new(); 2 * n + 1];
+        self.current_arc = vec![0; n];
+        let mut highest = 0usize;
+        // Every incremental augmenting path crosses a changed arc (the
+        // old flow was maximum and only those arcs gained residual), so
+        // the increment is bounded by their total residual. Mint at most
+        // that much excess per source arc, and only on heads that can
+        // reach t under the exact labels — excess minted anywhere else
+        // could never be delivered and would only walk back to s.
+        let mint_cap: f64 = changed_edges
+            .iter()
+            .map(|&e| net.edge(e).residual().max(0.0))
+            .sum();
+        self.saturate_source(net, s, t, true, mint_cap, &mut highest);
+        // Nodes may carry excess trapped by a previous abandoned preflow;
+        // activate everything with excess so it is routed or returned.
+        for v in 0..n as NodeId {
+            if self.excess[v as usize] > EPS {
+                self.activate(v, s, t, &mut highest);
+            }
+        }
+        self.discharge(net, s, t, highest);
+        net.inflow(t)
+    }
+
+    fn work(&self) -> u64 {
+        self.work
     }
 }
 
@@ -219,5 +375,33 @@ mod tests {
         net.add_edge(0, 1, 2.0);
         let f = PushRelabel::new().max_flow(&mut net, 0, 1);
         assert!((f - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_after_capacity_bumps_matches_cold() {
+        for seed in 1..20u64 {
+            let base = random_network(seed, 10, 30);
+            let mut warm = base.clone();
+            let mut solver = PushRelabel::new();
+            let _ = solver.max_flow(&mut warm, 0, 9);
+            // Bump a few capacities upward and resolve.
+            let mut bumped = warm.clone();
+            bumped.reset_flow();
+            let mut changed = Vec::new();
+            for e in 0..(warm.num_edges() as EdgeId) {
+                if (seed + e as u64).is_multiple_of(3) {
+                    let cap = warm.edge(2 * e).cap + 2.5;
+                    warm.set_cap(2 * e, cap);
+                    bumped.set_cap(2 * e, cap);
+                    changed.push(2 * e);
+                }
+            }
+            let fw = solver.resolve(&mut warm, 0, 9, &changed);
+            let fc = PushRelabel::new().max_flow(&mut bumped, 0, 9);
+            assert!(
+                (fw - fc).abs() < 1e-6,
+                "seed {seed}: warm {fw} vs cold {fc}"
+            );
+        }
     }
 }

@@ -170,6 +170,76 @@ fn backend_equivalence_on_seeded_networks() {
     }
 }
 
+/// Parametric resolve: after monotone non-decreasing capacity bumps, each
+/// backend's warm `resolve` matches a from-scratch solve — value (within
+/// fp tolerance) and the extracted minimal min-cut source side (set
+/// equality; the reachability-minimal min cut is unique, so it must not
+/// depend on how the flow got there). Iterations honour `DSD_PROP_ITERS`.
+#[test]
+fn resolve_matches_cold_solve_across_backends() {
+    let iters = std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200usize);
+    for seed in 0..iters as u64 {
+        let mut rng = StdRng::seed_from_u64(0x6617 ^ seed);
+        let n = rng.gen_range(4usize..=16);
+        let m = rng.gen_range(n..=n * 5);
+        let spec = NetSpec {
+            n,
+            edges: (0..m)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..n as u32),
+                        rng.gen_range(0u32..n as u32),
+                        rng.gen_range(0.05f64..20.0),
+                    )
+                })
+                .collect(),
+        };
+        let s: NodeId = 0;
+        let t: NodeId = (n - 1) as NodeId;
+        for backend in 0..2 {
+            let solver = |b: usize| -> Box<dyn MaxFlow> {
+                if b == 0 {
+                    Box::new(Dinic::new())
+                } else {
+                    Box::new(PushRelabel::new())
+                }
+            };
+            let mut warm = build(&spec);
+            let mut warm_solver = solver(backend);
+            let _ = warm_solver.max_flow(&mut warm, s, t);
+            // Three rounds of monotone bumps, resolving after each.
+            for round in 0..3u64 {
+                let mut changed = Vec::new();
+                for e in 0..warm.num_edges() as u32 {
+                    if (seed + e as u64 + round).is_multiple_of(3) {
+                        let cap = warm.edge(2 * e).cap + rng.gen_range(0.1f64..8.0);
+                        warm.set_cap(2 * e, cap);
+                        changed.push(2 * e);
+                    }
+                }
+                let f_warm = warm_solver.resolve(&mut warm, s, t, &changed);
+                // Cold reference on an identically-capacitated network.
+                let mut cold = warm.clone();
+                cold.reset_flow();
+                let f_cold = solver(backend).max_flow(&mut cold, s, t);
+                assert!(
+                    (f_warm - f_cold).abs() < 1e-6,
+                    "seed {seed} round {round} backend {backend}: warm {f_warm} vs cold {f_cold}"
+                );
+                let side_warm = min_cut_source_side(&warm, s);
+                let side_cold = min_cut_source_side(&cold, s);
+                assert_eq!(
+                    side_warm, side_cold,
+                    "seed {seed} round {round} backend {backend}: min-cut source sides differ"
+                );
+            }
+        }
+    }
+}
+
 /// Re-solving after reset gives the same value (solver statelessness).
 #[test]
 fn reset_and_resolve_is_idempotent() {

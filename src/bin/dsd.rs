@@ -274,11 +274,13 @@ fn flush_requests(
     let st = &outcome.stats;
     println!(
         "batch: {:.3} ms wall, {} groups, {} substrate builds + {} hits, \
-         {:.0}% worker utilization",
+         {} flow probes ({} warm resolves), {:.0}% worker utilization",
         st.wall_nanos as f64 / 1e6,
         st.groups,
         st.substrate_builds,
         st.substrate_hits,
+        st.flow_probes,
+        st.flow_resolve_hits,
         st.utilization() * 100.0
     );
     failed
@@ -555,10 +557,13 @@ fn main() -> ExitCode {
     }
     let st = &solution.stats;
     println!(
-        "solve: {:.3} ms total, {:.3} ms decomposition, {} flow probes",
+        "solve: {:.3} ms total, {:.3} ms decomposition, {} flow probes \
+         ({} warm resolves, {} augment work)",
         st.total_nanos as f64 / 1e6,
         st.decomposition_nanos as f64 / 1e6,
         st.flow_iterations,
+        st.flow_resolve_hits,
+        st.flow_augment_work,
     );
     ExitCode::SUCCESS
 }

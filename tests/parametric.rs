@@ -1,0 +1,229 @@
+//! Parametric-resolve differential suite (ISSUE-4 satellite): after any
+//! α-bump, a warm `DensityNetwork` probe — served by `resolve` from the
+//! previous flow or by a checkpoint restore — must be **bit-identical**
+//! to a from-scratch solve at the same α: same feasibility decision, same
+//! witness set, and the same cut value (the capacity sum over the
+//! residual-reachable cut, which is determined by the cut alone and so
+//! must not depend on how the flow state was reached).
+//!
+//! Sweeps seeded random graphs × both backends × all three network
+//! constructions (edge / clique / pattern, the pattern one in both its
+//! grouped and ungrouped forms), driving each pair of networks through a
+//! bisection-shaped α schedule (ups after feasible probes, downs after
+//! infeasible ones — the downs are what exercise the checkpoint-restore
+//! path). Honours `DSD_PROP_ITERS` for the nightly deep run.
+
+use dsd::core::flownet::{
+    build_clique_network, build_edge_network, build_pattern_network, DensityNetwork, FlowBackend,
+};
+use dsd::graph::testing::XorShift;
+use dsd::graph::Graph;
+use dsd::motif::Pattern;
+
+fn iters() -> usize {
+    std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: usize| (n / 10).max(8))
+        .unwrap_or(24)
+}
+
+fn all(g: &Graph) -> Vec<u32> {
+    g.vertices().collect()
+}
+
+/// Builds every (construction, instance) pair under test for `g`.
+fn networks(g: &Graph) -> Vec<(String, DensityNetwork, DensityNetwork)> {
+    let members = all(g);
+    let mut out = Vec::new();
+    let mut push = |name: &str, a: DensityNetwork, b: DensityNetwork| {
+        out.push((name.to_string(), a, b));
+    };
+    push(
+        "edge",
+        build_edge_network(g, &members),
+        build_edge_network(g, &members),
+    );
+    push(
+        "clique3",
+        build_clique_network(g, &members, 3),
+        build_clique_network(g, &members, 3),
+    );
+    let diamond = Pattern::diamond();
+    push(
+        "pattern",
+        build_pattern_network(g, &members, &diamond, false),
+        build_pattern_network(g, &members, &diamond, false),
+    );
+    push(
+        "pattern-grouped",
+        build_pattern_network(g, &members, &diamond, true),
+        build_pattern_network(g, &members, &diamond, true),
+    );
+    out
+}
+
+/// One differential probe: warm (parametric) vs cold (from-scratch).
+fn check(
+    label: &str,
+    alpha: f64,
+    warm: &mut DensityNetwork,
+    cold: &mut DensityNetwork,
+    backend: FlowBackend,
+) -> bool {
+    let w = warm.solve(alpha, backend);
+    let c = cold.solve(alpha, backend);
+    assert_eq!(
+        w.is_some(),
+        c.is_some(),
+        "{label} α={alpha}: feasibility decision diverged"
+    );
+    if let (Some(mut wv), Some(mut cv)) = (w.clone(), c) {
+        wv.sort_unstable();
+        cv.sort_unstable();
+        assert_eq!(wv, cv, "{label} α={alpha}: witness sets diverged");
+    }
+    let (wcut, ccut) = (warm.cut_value(), cold.cut_value());
+    assert_eq!(
+        wcut.to_bits(),
+        ccut.to_bits(),
+        "{label} α={alpha}: cut value diverged ({wcut} vs {ccut})"
+    );
+    w.is_some()
+}
+
+/// The seeded sweep: a bisection α schedule (the real workload shape)
+/// against a from-scratch network re-solved at every α.
+#[test]
+fn resolve_after_alpha_bump_is_bit_identical_to_scratch() {
+    for seed in 0..iters() as u64 {
+        let mut rng = XorShift::new(0xA55E ^ (seed * 7919));
+        let g = rng.random_graph(6, 14, 35 + (seed % 30));
+        for backend in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
+            for (name, mut warm, mut cold) in networks(&g) {
+                cold.set_warm_start(false);
+                let label = format!("seed {seed} {name} {backend:?}");
+                let (mut l, mut u) = (0.0f64, 1.0 + g.num_vertices() as f64);
+                for _ in 0..18 {
+                    if u - l < 1e-7 {
+                        break;
+                    }
+                    let alpha = (l + u) / 2.0;
+                    if check(&label, alpha, &mut warm, &mut cold, backend) {
+                        l = alpha;
+                    } else {
+                        u = alpha;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An adversarial non-monotone α schedule: repeated descents below the
+/// previous probe (but above the checkpointed lower bound) force the
+/// restore path; jumps back up force direct resolves.
+#[test]
+fn non_monotone_schedules_hit_restore_and_resolve_paths() {
+    for seed in 0..iters() as u64 {
+        let mut rng = XorShift::new(0xBEE5 ^ (seed * 104_729));
+        let g = rng.random_graph(6, 12, 45);
+        let schedule = [0.25, 1.5, 0.9, 2.5, 0.6, 3.5, 0.3, 1.1, 4.0, 0.8];
+        for backend in [FlowBackend::Dinic, FlowBackend::PushRelabel] {
+            for (name, mut warm, mut cold) in networks(&g) {
+                cold.set_warm_start(false);
+                let label = format!("seed {seed} {name} {backend:?} (non-monotone)");
+                for &alpha in &schedule {
+                    check(&label, alpha, &mut warm, &mut cold, backend);
+                }
+                let stats = warm.probe_stats();
+                assert_eq!(stats.probes, schedule.len(), "{label}: probe count");
+                assert!(
+                    stats.resolve_hits > 0,
+                    "{label}: schedule never reused flow state"
+                );
+            }
+        }
+    }
+}
+
+/// A backend switch mid-sequence must retire the old solver's flow state
+/// (the two backends' conventions never mix) and still agree with cold
+/// solves afterwards.
+#[test]
+fn backend_switch_mid_sequence_stays_correct() {
+    for seed in 0..8u64 {
+        let mut rng = XorShift::new(0xC0DE ^ (seed * 31));
+        let g = rng.random_graph(6, 12, 40);
+        let members = all(&g);
+        let mut warm = build_edge_network(&g, &members);
+        let mut cold = build_edge_network(&g, &members);
+        cold.set_warm_start(false);
+        let schedule = [
+            (0.5, FlowBackend::Dinic),
+            (1.5, FlowBackend::Dinic),
+            (1.0, FlowBackend::PushRelabel),
+            (2.0, FlowBackend::PushRelabel),
+            (1.2, FlowBackend::Dinic),
+            (2.5, FlowBackend::Dinic),
+        ];
+        for &(alpha, backend) in &schedule {
+            check(
+                &format!("seed {seed} switch"),
+                alpha,
+                &mut warm,
+                &mut cold,
+                backend,
+            );
+        }
+    }
+}
+
+/// `exact` (which now rides the shared α-search with parametric reuse)
+/// returns the same answer as a reuse-disabled run of the same search —
+/// the end-to-end closure of the per-probe checks above.
+#[test]
+fn exact_results_match_between_parametric_and_scratch_probes() {
+    use dsd::core::{alpha_search, density_gap, exact, NetworkProbe};
+
+    for seed in 0..iters() as u64 {
+        let mut rng = XorShift::new(0xD1FF ^ (seed * 271));
+        let g = rng.random_graph(6, 14, 40);
+        for psi in [Pattern::edge(), Pattern::triangle()] {
+            let (reference, ref_stats) = exact(&g, &psi, FlowBackend::Dinic);
+            if reference.is_empty() {
+                continue;
+            }
+            // Re-run the identical search with reuse disabled.
+            let members = all(&g);
+            let mut net = match psi.vertex_count() {
+                2 => build_edge_network(&g, &members),
+                _ => build_clique_network(&g, &members, psi.vertex_count()),
+            };
+            net.set_warm_start(false);
+            let mut stats = dsd::core::exact::ExactStats::default();
+            let outcome = alpha_search(
+                &mut NetworkProbe::new(&mut net, FlowBackend::Dinic),
+                ref_stats.initial_bounds,
+                density_gap(g.num_vertices()),
+                usize::MAX,
+                &mut stats,
+            );
+            let mut scratch = outcome.witness.unwrap_or_default();
+            scratch.sort_unstable();
+            assert_eq!(
+                scratch,
+                reference.vertices,
+                "seed {seed} {}: parametric vs scratch exact diverged",
+                psi.name()
+            );
+            assert_eq!(stats.iterations, ref_stats.iterations, "same probe count");
+            assert_eq!(stats.resolve_hits, 0, "scratch run must not reuse");
+            assert!(
+                ref_stats.resolve_hits > 0,
+                "seed {seed} {}: parametric run never reused flow state",
+                psi.name()
+            );
+        }
+    }
+}
