@@ -1,0 +1,165 @@
+//! A hybrid monotone min-queue for peel loops.
+//!
+//! Algorithm 3 pops the minimum-degree vertex `n` times over a stream of
+//! decrements. Classical bin-sort peeling (Batagelj–Zaveršnik) is O(1)
+//! amortized per operation but needs one bucket per attainable degree —
+//! impractical for unbounded `u64` pattern degrees. A binary heap handles
+//! any degree but costs O(log n) per touch. This queue takes both: dense
+//! lazy buckets for degrees below a bound (where almost all peel traffic
+//! lives on skewed graphs) and an overflow heap for the hub tail above it.
+//!
+//! Entries are *lazy*: every degree change pushes a fresh entry and stale
+//! ones are filtered at pop time against the caller's current degree
+//! array, exactly like the heap-based loop this replaces. The pop order is
+//! min-degree first; ties are popped in unspecified (but deterministic)
+//! order, which any min-degree peel may do — core numbers are tie-break
+//! invariant (see `clique_core`'s debug cross-check).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsd_graph::VertexId;
+
+/// Degrees at or above this many buckets go to the overflow heap. 64Ki
+/// buckets ≈ 1.5 MiB of `Vec` headers — trivial next to any store, while
+/// covering the entire degree range of most real decompositions.
+const MAX_BUCKETS: u64 = 1 << 16;
+
+/// Hybrid bucket/heap min-queue over `(degree, vertex)` entries.
+pub struct PeelQueue {
+    /// `buckets[d]` holds (possibly stale) entries for degree `d < bound`.
+    buckets: Vec<Vec<VertexId>>,
+    /// Lowest bucket that may be non-empty.
+    cursor: usize,
+    /// Entries with degree ≥ `bound` (lazy, like the buckets).
+    overflow: BinaryHeap<Reverse<(u64, VertexId)>>,
+}
+
+impl PeelQueue {
+    /// A queue sized for initial degrees up to `max_degree`.
+    pub fn new(max_degree: u64) -> Self {
+        let bound = max_degree.saturating_add(1).min(MAX_BUCKETS) as usize;
+        PeelQueue {
+            buckets: (0..bound).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of dense buckets; degrees ≥ this bound overflow to the heap.
+    pub fn bound(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Queues (a possibly additional entry for) `v` at degree `deg`.
+    pub fn push(&mut self, deg: u64, v: VertexId) {
+        if deg < self.bound() {
+            let d = deg as usize;
+            self.buckets[d].push(v);
+            self.cursor = self.cursor.min(d);
+        } else {
+            self.overflow.push(Reverse((deg, v)));
+        }
+    }
+
+    /// Pops the queued entry with minimum degree, staleness *not*
+    /// filtered — callers skip entries whose degree no longer matches
+    /// (every live vertex always has a fresh entry at its current degree,
+    /// so skipping stale ones never loses the true minimum).
+    pub fn pop(&mut self) -> Option<(u64, VertexId)> {
+        while self.cursor < self.buckets.len() {
+            if let Some(v) = self.buckets[self.cursor].pop() {
+                return Some((self.cursor as u64, v));
+            }
+            self.cursor += 1;
+        }
+        self.overflow.pop().map(|Reverse(entry)| entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the queue with the caller-side staleness filter, returning
+    /// the accepted pop sequence.
+    fn drain(q: &mut PeelQueue, deg: &[u64], live: &mut [bool]) -> Vec<(u64, VertexId)> {
+        let mut out = Vec::new();
+        while let Some((d, v)) = q.pop() {
+            if !live[v as usize] || d != deg[v as usize] {
+                continue;
+            }
+            live[v as usize] = false;
+            out.push((d, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_min_degree_order_across_bound() {
+        let mut q = PeelQueue::new(10);
+        assert_eq!(q.bound(), 11);
+        let deg = vec![7u64, 2, 9, 2, 5];
+        for (v, &d) in deg.iter().enumerate() {
+            q.push(d, v as VertexId);
+        }
+        let mut live = vec![true; 5];
+        let popped = drain(&mut q, &deg, &mut live);
+        let degrees: Vec<u64> = popped.iter().map(|&(d, _)| d).collect();
+        assert_eq!(degrees, vec![2, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn overflow_heap_takes_huge_degrees() {
+        let mut q = PeelQueue::new(u64::MAX);
+        assert_eq!(q.bound(), MAX_BUCKETS);
+        let deg = vec![3u64, u64::MAX / 2, 1 << 20, 4];
+        for (v, &d) in deg.iter().enumerate() {
+            q.push(d, v as VertexId);
+        }
+        let mut live = vec![true; 4];
+        let popped = drain(&mut q, &deg, &mut live);
+        let order: Vec<VertexId> = popped.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, vec![0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn stale_entries_are_skippable_and_min_is_never_lost() {
+        let mut q = PeelQueue::new(100);
+        let mut deg = vec![50u64, 60];
+        q.push(50, 0);
+        q.push(60, 1);
+        // Vertex 1 decays below vertex 0 in two steps; each decrement
+        // pushes a fresh entry like the peel loop does.
+        deg[1] = 40;
+        q.push(40, 1);
+        deg[1] = 10;
+        q.push(10, 1);
+        let mut live = vec![true; 2];
+        let popped = drain(&mut q, &deg, &mut live);
+        assert_eq!(popped, vec![(10, 1), (50, 0)]);
+    }
+
+    #[test]
+    fn cursor_rewinds_on_lower_push_after_pop() {
+        let mut q = PeelQueue::new(16);
+        let mut deg = vec![5u64, 9];
+        q.push(5, 0);
+        q.push(9, 1);
+        assert_eq!(q.pop(), Some((5, 0)));
+        // Simulate a decrement caused by peeling vertex 0.
+        deg[1] = 3;
+        q.push(3, 1);
+        assert_eq!(q.pop(), Some((3, 1)));
+        let _ = deg;
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q = PeelQueue::new(0);
+        assert_eq!(q.pop(), None);
+        q.push(0, 7);
+        assert_eq!(q.pop(), Some((0, 7)));
+        assert_eq!(q.pop(), None);
+    }
+}

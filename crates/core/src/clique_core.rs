@@ -1,23 +1,30 @@
 //! (k, Ψ)-core decomposition — Algorithm 3 of the paper.
 //!
 //! Repeatedly removes the vertex of minimum instance-degree, recording the
-//! running-max threshold as each vertex's clique-core number. A lazy
-//! min-heap replaces the paper's bin-sort because pattern degrees are
-//! unbounded `u64`s (the bin-sort's O(deg) buckets are only practical for
-//! h = 2); complexity gains an `O(log n)` factor on the same decrement
-//! stream, which the Lemma-6 enumeration cost dominates anyway.
+//! running-max threshold as each vertex's clique-core number. The queue is
+//! a hybrid bucket/heap ([`crate::bucket_queue::PeelQueue`]): dense O(1)
+//! buckets in the paper's bin-sort spirit for the degree range where peel
+//! traffic actually lives, an overflow heap for the unbounded-`u64` hub
+//! tail that made a pure bin-sort impractical beyond h = 2.
+//!
+//! Decrements come from the oracle's cheapest engine: a store-backed
+//! [`InstancePeeler`] when the Ψ-substrate is materialized (per-row
+//! alive-member counts make each removal O(memberships touched) — the
+//! whole decomposition is then one columnar pass over the instance store),
+//! or streaming `removal_decrements` re-enumeration otherwise. Both paths
+//! drive the same loop, so their outputs are bit-identical; debug builds
+//! additionally cross-check the bucket order against a reference heap peel
+//! on small inputs.
 //!
 //! The decomposition simultaneously tracks the densest *residual* subgraph
 //! seen while peeling — this is the ρ′ of Pruning1 **and** exactly the
 //! subgraph `PeelApp` (Algorithm 2) returns, so `peel.rs` and `approx.rs`
 //! are thin wrappers over this engine.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use dsd_graph::{Graph, VertexId, VertexSet};
 
-use crate::oracle::DensityOracle;
+use crate::bucket_queue::PeelQueue;
+use crate::oracle::{DensityOracle, InstancePeeler};
 
 /// Result of a (k, Ψ)-core decomposition of `g[alive]`.
 #[derive(Clone, Debug)]
@@ -62,6 +69,33 @@ impl CliqueCoreDecomposition {
     pub fn best_residual(&self) -> Vec<VertexId> {
         self.peel_order[self.best_suffix..].to_vec()
     }
+
+    /// Approximate resident heap bytes (for substrate-cache accounting).
+    pub fn bytes(&self) -> usize {
+        8 * self.core.len() + 4 * self.peel_order.len() + 8 * self.degrees.len()
+    }
+}
+
+/// Streaming decrement adapter: drives the shared peel loop through
+/// per-call `removal_decrements` re-enumeration, for oracles without a
+/// materialized store.
+struct StreamingPeeler<'a> {
+    g: &'a Graph,
+    oracle: &'a dyn DensityOracle,
+    live: VertexSet,
+}
+
+impl InstancePeeler for StreamingPeeler<'_> {
+    fn degrees(&self) -> Vec<u64> {
+        self.oracle.degrees(self.g, &self.live)
+    }
+
+    fn remove(&mut self, v: VertexId, sink: &mut dyn FnMut(VertexId, u64)) {
+        for (u, amount) in self.oracle.removal_decrements(self.g, &self.live, v) {
+            sink(u, amount);
+        }
+        self.live.remove(v);
+    }
 }
 
 /// Runs Algorithm 3 on the whole graph.
@@ -75,15 +109,47 @@ pub fn decompose_within(
     oracle: &dyn DensityOracle,
     alive: &VertexSet,
 ) -> CliqueCoreDecomposition {
-    let n = g.num_vertices();
-    let mut live = alive.clone();
-    let degrees = oracle.degrees(g, &live);
-    let mut deg = degrees.clone();
-    let mut mu_total: u64 = degrees.iter().sum::<u64>() / oracle.psi_size() as u64;
+    let dec = match oracle.peeler(g, alive) {
+        Some(mut peeler) => peel(g.num_vertices(), alive, oracle.psi_size(), peeler.as_mut()),
+        None => {
+            let mut streaming = StreamingPeeler {
+                g,
+                oracle,
+                live: alive.clone(),
+            };
+            peel(g.num_vertices(), alive, oracle.psi_size(), &mut streaming)
+        }
+    };
+    // The bucket queue pops min-degree ties in a different order than the
+    // old lazy heap; core numbers are tie-break invariant, which debug
+    // builds verify against a reference heap peel on small inputs.
+    #[cfg(debug_assertions)]
+    if g.num_vertices() <= 96 {
+        debug_assert_eq!(
+            dec.core,
+            reference_heap_core(g, oracle, alive),
+            "bucket-queue peel must reproduce heap core numbers"
+        );
+    }
+    dec
+}
 
-    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::with_capacity(live.len());
+/// The shared peel loop: one [`PeelQueue`] over any decrement engine.
+fn peel(
+    n: usize,
+    alive: &VertexSet,
+    psi_size: usize,
+    peeler: &mut dyn InstancePeeler,
+) -> CliqueCoreDecomposition {
+    let mut live = alive.clone();
+    let degrees = peeler.degrees();
+    let mut deg = degrees.clone();
+    let mu_total: u64 = degrees.iter().sum::<u64>() / psi_size as u64;
+
+    let max_deg = live.iter().map(|v| deg[v as usize]).max().unwrap_or(0);
+    let mut queue = PeelQueue::new(max_deg);
     for v in live.iter() {
-        heap.push(Reverse((deg[v as usize], v)));
+        queue.push(deg[v as usize], v);
     }
 
     let mut core = vec![0u64; n];
@@ -98,9 +164,9 @@ pub fn decompose_within(
         mu as f64 / live.len() as f64
     };
 
-    while let Some(Reverse((d, v))) = heap.pop() {
+    while let Some((d, v)) = queue.pop() {
         if !live.contains(v) || d != deg[v as usize] {
-            continue; // stale heap entry
+            continue; // stale queue entry
         }
         // Peel v: its clique-core number is the running-max threshold.
         running_k = running_k.max(d);
@@ -108,11 +174,11 @@ pub fn decompose_within(
         kmax = kmax.max(running_k);
 
         // Instances through v die; decrement co-members (Alg. 3 lines 6-9).
-        for (u, amount) in oracle.removal_decrements(g, &live, v) {
+        peeler.remove(v, &mut |u, amount| {
             debug_assert!(live.contains(u) && u != v);
             deg[u as usize] -= amount.min(deg[u as usize]);
-            heap.push(Reverse((deg[u as usize], u)));
-        }
+            queue.push(deg[u as usize], u);
+        });
         mu -= d;
         live.remove(v);
         peel_order.push(v);
@@ -130,7 +196,6 @@ pub fn decompose_within(
     // `peel_order[best_suffix..]` only covers removed vertices; since we
     // peel to exhaustion, every vertex ends up in `peel_order`, so suffixes
     // are complete residual graphs.
-    mu_total = degrees.iter().sum::<u64>() / oracle.psi_size() as u64;
     CliqueCoreDecomposition {
         core,
         kmax,
@@ -140,6 +205,39 @@ pub fn decompose_within(
         best_suffix,
         best_density,
     }
+}
+
+/// The pre-bucket-queue peel (lazy binary min-heap over `(deg, v)`), kept
+/// as the debug-build referee for the tie-break-invariance of core
+/// numbers. Streams decrements straight from the oracle, so it also
+/// cross-checks the store-backed peeler against `removal_decrements`.
+#[cfg(debug_assertions)]
+fn reference_heap_core(g: &Graph, oracle: &dyn DensityOracle, alive: &VertexSet) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = g.num_vertices();
+    let mut live = alive.clone();
+    let mut deg = oracle.degrees(g, &live);
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::with_capacity(live.len());
+    for v in live.iter() {
+        heap.push(Reverse((deg[v as usize], v)));
+    }
+    let mut core = vec![0u64; n];
+    let mut running_k = 0u64;
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if !live.contains(v) || d != deg[v as usize] {
+            continue;
+        }
+        running_k = running_k.max(d);
+        core[v as usize] = running_k;
+        for (u, amount) in oracle.removal_decrements(g, &live, v) {
+            deg[u as usize] -= amount.min(deg[u as usize]);
+            heap.push(Reverse((deg[u as usize], u)));
+        }
+        live.remove(v);
+    }
+    core
 }
 
 #[cfg(test)]

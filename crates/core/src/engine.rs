@@ -68,7 +68,7 @@ use crate::dynamic::{repair_delete, repair_insert};
 use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
-use crate::oracle::{oracle_for_with, DensityOracle};
+use crate::oracle::{oracle_with_budget, DensityOracle, StoreStats, DEFAULT_STORE_BUDGET};
 use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
 use crate::query::densest_with_query_from;
@@ -157,6 +157,11 @@ pub struct SolveStats {
     pub kmax: Option<u64>,
     /// Substrate cache accounting.
     pub substrate: SubstrateUse,
+    /// Instance-store accounting for the request's Ψ-oracle: rows, bytes,
+    /// build time, and whether materialization fell back to streaming.
+    /// `None` when the request never consulted a store-capable oracle
+    /// (stars, diamonds, edges, the query variant).
+    pub store: Option<StoreStats>,
     /// Graph epoch this request was answered against: 0 for a graph that
     /// has never been updated, bumped by every effective
     /// [`DsdEngine::apply`] batch. Requests in flight during an update
@@ -337,6 +342,11 @@ pub struct ApplyStats {
     pub kcore_patched: bool,
     /// Ψ-substrates conservatively invalidated (oracles + decompositions).
     pub substrates_dropped: usize,
+    /// Resident bytes released by the dropped Ψ-substrates (instance
+    /// stores + decomposition arrays) — stale stores are never served
+    /// across an epoch, so this is exactly the rebuild debt the batch
+    /// created.
+    pub bytes_freed: u64,
     /// Wall time of the batch.
     pub total_nanos: u128,
 }
@@ -352,6 +362,7 @@ pub struct ApplyStats {
 pub struct DsdEngine<'g> {
     state: RwLock<GraphState<'g>>,
     parallelism: Parallelism,
+    substrate_budget: Option<u64>,
     cache: RwLock<SubstrateCache>,
     counters: Mutex<EngineCacheStats>,
 }
@@ -379,14 +390,16 @@ impl<'g> DsdEngine<'g> {
                 epoch: 0,
             }),
             parallelism: Parallelism::serial(),
+            substrate_budget: Some(DEFAULT_STORE_BUDGET),
             cache: RwLock::new(SubstrateCache::default()),
             counters: Mutex::new(EngineCacheStats::default()),
         }
     }
 
     /// Sets the worker count used for parallelizable substrate passes
-    /// (currently the h-clique bulk degree pass). Answers are identical
-    /// for every setting; this is a throughput knob only.
+    /// (the sharded instance-store build and the h-clique bulk degree
+    /// pass). Answers are identical for every setting; this is a
+    /// throughput knob only.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
@@ -395,6 +408,28 @@ impl<'g> DsdEngine<'g> {
     /// The engine's worker-count configuration.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Sets the instance-store byte budget: Ψ-oracles whose store would
+    /// exceed it answer from the streaming fallbacks instead (`None` =
+    /// unlimited, `Some(0)` = never materialize). Answers are identical
+    /// for every setting; this trades memory for peel speed. Default:
+    /// [`DEFAULT_STORE_BUDGET`].
+    pub fn with_substrate_budget(mut self, budget: Option<u64>) -> Self {
+        self.substrate_budget = budget;
+        self
+    }
+
+    /// The engine's instance-store byte budget.
+    pub fn substrate_budget(&self) -> Option<u64> {
+        self.substrate_budget
+    }
+
+    /// Resident bytes currently held by the substrate cache: instance
+    /// stores plus decomposition arrays, at the engine's current epoch.
+    pub fn substrate_bytes(&self) -> u64 {
+        let cache = self.cache.read().unwrap();
+        cache_bytes(&cache)
     }
 
     /// A consistent snapshot of the engine's graph at its current epoch.
@@ -516,6 +551,7 @@ impl<'g> DsdEngine<'g> {
         stats.epoch = *epoch;
         cache.epoch = *epoch;
         stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
+        stats.bytes_freed = cache_bytes(&cache);
         cache.oracles.clear();
         cache.decompositions.clear();
         stats.kcore_patched = kcore.is_some();
@@ -600,7 +636,11 @@ impl<'g> DsdEngine<'g> {
                 return (oracle, true);
             }
         }
-        let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_for_with(psi, self.parallelism));
+        let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_with_budget(
+            psi,
+            self.parallelism,
+            self.substrate_budget,
+        ));
         if cache.epoch == snap.epoch() {
             cache.oracles.insert(key, Arc::clone(&oracle));
         }
@@ -779,6 +819,7 @@ impl<'g> DsdEngine<'g> {
                 let (r, es) = exact_with(g, psi, oracle.as_ref(), opts);
                 let guarantee = exact_guarantee(es.budget_exhausted, req.tolerance);
                 record_flow(&mut stats, es);
+                stats.store = oracle.store_stats();
                 (r, guarantee)
             }
             Method::CoreExact => {
@@ -797,16 +838,17 @@ impl<'g> DsdEngine<'g> {
                 let (r, ces) = core_exact_from(g, psi, config, oracle.as_ref(), &dec);
                 let guarantee = exact_guarantee(ces.exact.budget_exhausted, req.tolerance);
                 record_flow(&mut stats, ces.exact);
+                stats.store = oracle.store_stats();
                 (r, guarantee)
             }
             Method::PeelApp => {
                 let ((oracle, oracle_hit), (dec, dec_hit), dec_nanos) =
                     self.decomposition(psi, snap);
-                let _ = oracle;
                 stats.substrate.oracle_cache_hit = oracle_hit;
                 stats.substrate.decomposition_cache_hit = dec_hit;
                 stats.decomposition_nanos = dec_nanos;
                 stats.kmax = Some(dec.kmax);
+                stats.store = oracle.store_stats();
                 (peel_app_from(&dec), Guarantee::Ratio(ratio))
             }
             Method::IncApp => {
@@ -817,6 +859,7 @@ impl<'g> DsdEngine<'g> {
                 stats.decomposition_nanos = dec_nanos;
                 stats.kmax = Some(dec.kmax);
                 let r = inc_app_from(g, oracle.as_ref(), &dec);
+                stats.store = oracle.store_stats();
                 (r.result, Guarantee::Ratio(ratio))
             }
             Method::CoreApp => {
@@ -838,6 +881,7 @@ impl<'g> DsdEngine<'g> {
                     kcore.as_deref(),
                 );
                 stats.kmax = Some(r.kmax);
+                stats.store = oracle.store_stats();
                 (r.result, Guarantee::Ratio(ratio))
             }
             Method::Auto => unreachable!("Auto resolves before dispatch"),
@@ -885,6 +929,7 @@ impl<'g> DsdEngine<'g> {
         };
         let scan = top_k_densest_from(g, psi, k, config, oracle.as_ref(), &dec);
         record_flow(&mut stats, scan.exact.clone());
+        stats.store = oracle.store_stats();
         let (vertices, density) = scan
             .subgraphs
             .first()
@@ -930,6 +975,7 @@ impl<'g> DsdEngine<'g> {
             step_budget: req.step_budget,
             ..CoreExactConfig::default()
         };
+        stats.store = oracle.store_stats();
         match densest_at_least_k_from(g, psi, k, config, oracle.as_ref(), &dec) {
             Some(o) => {
                 // Exact when the unconstrained CDS met the floor; else
@@ -985,6 +1031,7 @@ impl<'g> DsdEngine<'g> {
             step_budget: req.step_budget,
             ..CoreExactConfig::default()
         };
+        stats.store = oracle.store_stats();
         match densest_at_most_k_from(g, psi, k, config, oracle.as_ref(), &dec) {
             Some(o) => {
                 let guarantee = if o.exact {
@@ -1050,6 +1097,23 @@ impl<'g> DsdEngine<'g> {
             None => invalid(Method::Exact, Objective::WithQuery(query), stats),
         }
     }
+}
+
+/// Resident bytes of a substrate cache's droppable Ψ-substrates: instance
+/// stores (via [`DensityOracle::store_stats`]) plus decomposition arrays.
+fn cache_bytes(cache: &SubstrateCache) -> u64 {
+    let store_bytes: u64 = cache
+        .oracles
+        .values()
+        .filter_map(|o| o.store_stats())
+        .map(|s| s.build.bytes as u64)
+        .sum();
+    let dec_bytes: u64 = cache
+        .decompositions
+        .values()
+        .map(|d| d.bytes() as u64)
+        .sum();
+    store_bytes + dec_bytes
 }
 
 /// Copies an α-search's instrumentation into a request's [`SolveStats`].

@@ -64,6 +64,7 @@
 pub mod alpha_search;
 pub mod approx;
 pub mod bounds;
+pub mod bucket_queue;
 pub mod clique_core;
 pub mod core_exact;
 pub mod dynamic;
@@ -93,6 +94,7 @@ pub use core_exact::{
     core_exact, core_exact_from, core_exact_with, CoreExactConfig, CoreExactStats,
 };
 pub use dsd_graph::GraphUpdate;
+pub use dsd_motif::store::StoreBuildStats;
 pub use dynamic::{repair_delete, repair_insert};
 pub use emcore::emcore_max_core;
 pub use engine::{
@@ -104,7 +106,10 @@ pub use flownet::FlowBackend;
 pub use hierarchy::{core_hierarchy, core_spectrum, first_level_with_density, CoreLevel};
 pub use kcore::{k_core_decomposition, KCoreDecomposition};
 pub use nucleus::{nucleus_app, nucleus_decomposition};
-pub use oracle::{density, oracle_for, oracle_for_with, DensityOracle};
+pub use oracle::{
+    density, oracle_for, oracle_for_with, oracle_with_budget, DensityOracle, InstancePeeler,
+    MaterializedOracle, StoreFallback, StoreStats, DEFAULT_STORE_BUDGET,
+};
 pub use parallelism::Parallelism;
 pub use peel::{peel_app, peel_app_from};
 pub use query::{densest_with_query, densest_with_query_from};

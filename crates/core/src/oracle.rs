@@ -1,26 +1,48 @@
-//! Density oracles: a uniform interface over h-cliques and general patterns.
+//! Density oracles: a uniform interface over h-cliques and general
+//! patterns, backed by one columnar instance substrate.
 //!
 //! Every DSD algorithm in the paper needs exactly two primitives from Ψ:
-//! per-vertex instance counts (clique-/pattern-degrees, Definitions 3 and 9)
-//! and the degree *decrements* caused by peeling a vertex (the inner loop of
-//! Algorithm 3). The oracle dispatches to the cheapest sound implementation:
+//! per-vertex instance counts (clique-/pattern-degrees, Definitions 3 and
+//! 9) and the degree *decrements* caused by peeling a vertex (the inner
+//! loop of Algorithm 3). Since the Lemma-6 analysis makes instance
+//! enumeration the dominant cost of both, the default oracle for cliques
+//! (h ≥ 3) and general patterns is the [`MaterializedOracle`]: it
+//! enumerates the instance set **once** into a u32-indexed
+//! [`InstanceStore`] (CSR-of-members + CSR-of-incidence, built in parallel
+//! for cliques, sharded by degeneracy-ordered root) and answers every
+//! degree, count, and decrement query from the columns. Peel loops get an
+//! [`InstancePeeler`] with alive-count-per-row bookkeeping, making a full
+//! decomposition O(total memberships) after the single enumeration pass.
+//!
+//! A byte budget guards the materialization: when the store would overflow
+//! its `u32` indexing or the configured budget ([`oracle_with_budget`]),
+//! the oracle transparently falls back to the streaming implementations —
+//! kClist re-enumeration for cliques, anchored backtracking for general
+//! patterns — which are always available as:
 //!
 //! * h-cliques → kClist enumeration (`dsd-motif::kclist`);
-//! * x-stars and diamonds → Appendix-D closed forms (`dsd-motif::special`);
+//! * x-stars and diamonds → Appendix-D closed forms (`dsd-motif::special`,
+//!   always streaming: their closed forms beat materialization);
 //! * anything else → generic backtracking enumeration
 //!   (`dsd-motif::pattern_enum`).
 
 use dsd_graph::{Graph, VertexId, VertexSet};
 use dsd_motif::pattern::{Pattern, PatternKind};
+use dsd_motif::store::{InstanceStore, StoreBuildStats, StoreError};
 use dsd_motif::{kclist, pattern_enum, special};
 
 use crate::parallelism::Parallelism;
+
+/// Default byte budget for instance materialization: stores past this
+/// size fall back to streaming oracles (override per engine with
+/// [`crate::engine::DsdEngine::with_substrate_budget`]).
+pub const DEFAULT_STORE_BUDGET: u64 = 512 << 20;
 
 /// Degree/decrement oracle for a fixed pattern Ψ.
 ///
 /// Oracles are shared across threads by the engine's substrate cache, so
 /// the trait is bounded `Send + Sync`; implementations must make any
-/// internal memoization thread-safe (see [`MaterializedPatternOracle`]).
+/// internal memoization thread-safe (see [`MaterializedOracle`]).
 pub trait DensityOracle: Send + Sync {
     /// `|VΨ|`, the number of pattern vertices.
     fn psi_size(&self) -> usize;
@@ -42,9 +64,61 @@ pub trait DensityOracle: Send + Sync {
         let total: u64 = self.degrees(g, alive).iter().sum();
         total / self.psi_size() as u64
     }
+
+    /// A stateful decrement engine for one peel of `g[alive]`, when the
+    /// oracle can offer one cheaper than per-call [`Self::removal_decrements`]
+    /// (the store-backed oracle can: O(memberships touched) per removal).
+    /// `None` keeps the caller on the streaming path.
+    fn peeler<'a>(&'a self, g: &Graph, alive: &VertexSet) -> Option<Box<dyn InstancePeeler + 'a>> {
+        let _ = (g, alive);
+        None
+    }
+
+    /// Instance-store accounting, when this oracle materialized (or tried
+    /// to materialize) one. `None` for pure streaming oracles and for a
+    /// [`MaterializedOracle`] no query has touched yet.
+    fn store_stats(&self) -> Option<StoreStats> {
+        None
+    }
 }
 
-/// h-clique oracle backed by kClist.
+/// One peel run's decrement engine (see [`DensityOracle::peeler`]).
+///
+/// Not `Sync`: a peeler is owned by a single decomposition and mutates its
+/// alive-count bookkeeping as vertices are removed.
+pub trait InstancePeeler {
+    /// Initial degrees of the peeled subgraph (0 outside it).
+    fn degrees(&self) -> Vec<u64>;
+
+    /// Removes `v` (which must still be un-removed), invoking
+    /// `sink(u, amount)` once per other surviving vertex `u` that loses
+    /// `amount` instances, in ascending `u` order.
+    fn remove(&mut self, v: VertexId, sink: &mut dyn FnMut(VertexId, u64));
+}
+
+/// Why a [`MaterializedOracle`] is answering from the streaming fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFallback {
+    /// The store would exceed the byte budget.
+    Budget,
+    /// The instance set overflows u32 indexing.
+    Capacity,
+}
+
+/// Instance-store accounting surfaced through [`DensityOracle::store_stats`]
+/// into `SolveStats`/`BatchStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Whether the store was materialized (`false` = streaming fallback).
+    pub materialized: bool,
+    /// Why materialization was refused, when it was.
+    pub fallback: Option<StoreFallback>,
+    /// The build's instrumentation — rows, memberships, bytes, wall time,
+    /// shards (all zero on fallback).
+    pub build: StoreBuildStats,
+}
+
+/// h-clique oracle backed by kClist re-enumeration (the streaming path).
 pub struct CliqueOracle {
     h: usize,
 }
@@ -135,6 +209,13 @@ pub struct StarOracle {
     x: usize,
 }
 
+impl StarOracle {
+    /// Oracle for the x-star (hub plus `x` leaves).
+    pub fn new(x: usize) -> Self {
+        StarOracle { x }
+    }
+}
+
 impl DensityOracle for StarOracle {
     fn psi_size(&self) -> usize {
         self.x + 1
@@ -176,12 +257,19 @@ impl DensityOracle for DiamondOracle {
     }
 }
 
-/// Generic pattern oracle via backtracking enumeration.
-///
-/// Every query re-enumerates; see [`MaterializedPatternOracle`] for the
-/// decomposition-friendly variant that enumerates once.
+/// Generic pattern oracle via backtracking re-enumeration (the streaming
+/// path; [`MaterializedOracle`] wraps it for the decomposition workload).
 pub struct GenericPatternOracle {
     pattern: Pattern,
+}
+
+impl GenericPatternOracle {
+    /// Streaming oracle for `psi`.
+    pub fn new(psi: &Pattern) -> Self {
+        GenericPatternOracle {
+            pattern: psi.clone(),
+        }
+    }
 }
 
 impl DensityOracle for GenericPatternOracle {
@@ -217,87 +305,113 @@ impl DensityOracle for GenericPatternOracle {
     }
 }
 
-/// A pattern oracle that enumerates the instance set **once** and answers
-/// every later query from the materialized incidence lists.
-///
-/// Pattern-core decomposition (Algorithm 3) calls `removal_decrements`
-/// once per vertex; re-running anchored subgraph matching each time (as
-/// [`GenericPatternOracle`] does) dominates CorePExact's runtime. This
-/// oracle trades memory (`O(Σ instance sizes)`) for `O(|ψ|)`-per-dead-
-/// instance updates — the in-memory analogue of the paper's remark that
-/// pattern-degrees should be computed by one enumeration pass \[53\].
+/// The store-backed oracle: one enumeration pass into an [`InstanceStore`],
+/// then every degree/count/decrement query — and the peel loops through
+/// [`DensityOracle::peeler`] — is a columnar scan.
 ///
 /// The materialization is keyed to the first graph it sees; using one
 /// oracle value across different graphs is a bug (debug-asserted). The
-/// cache is a [`std::sync::OnceLock`], so concurrent first queries from
-/// several threads still materialize exactly once.
-pub struct MaterializedPatternOracle {
-    pattern: Pattern,
-    cache: std::sync::OnceLock<InstanceCache>,
+/// store sits in a [`std::sync::OnceLock`], so concurrent first queries
+/// from several threads still materialize exactly once. Builds that would
+/// exceed the byte budget or `u32` indexing fall back to the wrapped
+/// streaming oracle, recorded in [`StoreStats::fallback`].
+pub struct MaterializedOracle {
+    psi: Pattern,
+    streaming: Box<dyn DensityOracle>,
+    budget: Option<u64>,
+    threads: usize,
+    state: std::sync::OnceLock<StoreState>,
 }
 
-struct InstanceCache {
-    /// Fingerprint of the graph the cache was built for.
+struct StoreState {
+    /// Fingerprint of the graph the store was built for.
     fingerprint: (usize, usize),
-    /// Member lists of all instances in the full graph.
-    instances: Vec<Vec<VertexId>>,
-    /// `incidence[v]` = indices into `instances` containing `v`.
-    incidence: Vec<Vec<u32>>,
+    /// `None` when the build fell back to streaming.
+    store: Option<InstanceStore>,
+    stats: StoreStats,
 }
 
-impl MaterializedPatternOracle {
-    /// Creates the oracle for `psi`.
+impl MaterializedOracle {
+    /// Store-backed oracle for `psi` with the default budget, building
+    /// clique stores serially.
     pub fn new(psi: &Pattern) -> Self {
-        MaterializedPatternOracle {
-            pattern: psi.clone(),
-            cache: std::sync::OnceLock::new(),
+        Self::with_policy(psi, Parallelism::serial(), Some(DEFAULT_STORE_BUDGET))
+    }
+
+    /// Store-backed oracle with an explicit worker count (clique store
+    /// builds shard across them) and byte budget (`None` = unlimited).
+    pub fn with_policy(psi: &Pattern, parallelism: Parallelism, budget: Option<u64>) -> Self {
+        let streaming: Box<dyn DensityOracle> = match psi.kind() {
+            PatternKind::Clique(h) if !parallelism.is_serial() => {
+                Box::new(ParallelCliqueOracle::new(h, parallelism))
+            }
+            PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
+            PatternKind::Star(x) => Box::new(StarOracle::new(x)),
+            PatternKind::Diamond => Box::new(DiamondOracle),
+            PatternKind::General => Box::new(GenericPatternOracle::new(psi)),
+        };
+        MaterializedOracle {
+            psi: psi.clone(),
+            streaming,
+            budget,
+            threads: parallelism.threads(),
+            state: std::sync::OnceLock::new(),
         }
     }
 
-    fn cache(&self, g: &Graph) -> &InstanceCache {
-        let cache = self.cache.get_or_init(|| {
+    fn state(&self, g: &Graph) -> &StoreState {
+        let state = self.state.get_or_init(|| {
             let alive = VertexSet::full(g.num_vertices());
-            let instances: Vec<Vec<VertexId>> = pattern_enum::instances(g, &self.pattern, &alive)
-                .into_iter()
-                .map(|inst| inst.vertices)
-                .collect();
-            let mut incidence = vec![Vec::new(); g.num_vertices()];
-            for (i, inst) in instances.iter().enumerate() {
-                for &v in inst {
-                    incidence[v as usize].push(i as u32);
+            let built = match self.psi.kind() {
+                PatternKind::Clique(h) => {
+                    InstanceStore::cliques(g, h, &alive, self.threads, self.budget)
                 }
-            }
-            InstanceCache {
-                fingerprint: (g.num_vertices(), g.num_edges()),
-                instances,
-                incidence,
+                _ => InstanceStore::pattern(g, &self.psi, &alive, self.budget),
+            };
+            let fingerprint = (g.num_vertices(), g.num_edges());
+            match built {
+                Ok((store, build)) => StoreState {
+                    fingerprint,
+                    store: Some(store),
+                    stats: StoreStats {
+                        materialized: true,
+                        fallback: None,
+                        build,
+                    },
+                },
+                Err(e) => StoreState {
+                    fingerprint,
+                    store: None,
+                    stats: StoreStats {
+                        materialized: false,
+                        fallback: Some(match e {
+                            StoreError::BudgetExceeded { .. } => StoreFallback::Budget,
+                            StoreError::CapacityExceeded { .. } => StoreFallback::Capacity,
+                        }),
+                        build: StoreBuildStats::default(),
+                    },
+                },
             }
         });
         debug_assert_eq!(
-            cache.fingerprint,
+            state.fingerprint,
             (g.num_vertices(), g.num_edges()),
-            "MaterializedPatternOracle reused across graphs"
+            "MaterializedOracle reused across graphs"
         );
-        cache
+        state
     }
 }
 
-impl DensityOracle for MaterializedPatternOracle {
+impl DensityOracle for MaterializedOracle {
     fn psi_size(&self) -> usize {
-        self.pattern.vertex_count()
+        self.psi.vertex_count()
     }
 
     fn degrees(&self, g: &Graph, alive: &VertexSet) -> Vec<u64> {
-        let cache = self.cache(g);
-        let mut deg = vec![0u64; g.num_vertices()];
-        for inst in &cache.instances {
-            if inst.iter().all(|&v| alive.contains(v)) {
-                for &v in inst {
-                    deg[v as usize] += 1;
-                }
-            }
+        match &self.state(g).store {
+            Some(store) => store.degrees_within(alive),
+            None => self.streaming.degrees(g, alive),
         }
-        deg
     }
 
     fn removal_decrements(
@@ -306,18 +420,25 @@ impl DensityOracle for MaterializedPatternOracle {
         alive: &VertexSet,
         v: VertexId,
     ) -> Vec<(VertexId, u64)> {
-        let cache = self.cache(g);
+        let store = match &self.state(g).store {
+            Some(store) => store,
+            None => return self.streaming.removal_decrements(g, alive, v),
+        };
         let mut acc = std::collections::HashMap::new();
-        for &idx in &cache.incidence[v as usize] {
-            let inst = &cache.instances[idx as usize];
-            // The instance is live iff all members (v included) are alive;
-            // v must still be alive by the oracle contract, and callers
-            // that have already removed v get the same semantics because
-            // `v`'s own membership is exempted.
-            if inst.iter().all(|&u| u == v || alive.contains(u)) {
-                for &u in inst {
+        for &row in store.incidence(v) {
+            let row = row as usize;
+            // The row is live iff all members (v included) are alive; `v`
+            // itself is exempted so callers that already removed it from
+            // the mask get the same semantics.
+            if store
+                .members(row)
+                .iter()
+                .all(|&u| u == v || alive.contains(u))
+            {
+                let w = store.weight(row);
+                for &u in store.members(row) {
                     if u != v {
-                        *acc.entry(u).or_insert(0u64) += 1;
+                        *acc.entry(u).or_insert(0u64) += w;
                     }
                 }
             }
@@ -328,35 +449,131 @@ impl DensityOracle for MaterializedPatternOracle {
     }
 
     fn count(&self, g: &Graph, alive: &VertexSet) -> u64 {
-        let cache = self.cache(g);
-        cache
-            .instances
-            .iter()
-            .filter(|inst| inst.iter().all(|&v| alive.contains(v)))
-            .count() as u64
+        match &self.state(g).store {
+            Some(store) => store.count_within(alive),
+            None => self.streaming.count(g, alive),
+        }
+    }
+
+    fn peeler<'a>(&'a self, g: &Graph, alive: &VertexSet) -> Option<Box<dyn InstancePeeler + 'a>> {
+        self.state(g)
+            .store
+            .as_ref()
+            .map(|store| Box::new(StorePeeler::new(store, alive)) as Box<dyn InstancePeeler + 'a>)
+    }
+
+    fn store_stats(&self) -> Option<StoreStats> {
+        self.state.get().map(|s| s.stats)
     }
 }
 
-/// Picks the cheapest sound oracle for `psi`.
-///
-/// General patterns get the materialized oracle: one enumeration pass,
-/// then O(1)-amortized decrement queries (the decomposition workload).
+/// Store-backed peel engine: alive-member counts per row make each removal
+/// O(memberships of the dying rows) instead of a re-enumeration.
+struct StorePeeler<'s> {
+    store: &'s InstanceStore,
+    /// Alive members per row; a row is live iff this equals `|VΨ|`.
+    live_members: Vec<u32>,
+    /// Dense decrement accumulator (`0` outside `touched`).
+    scratch: Vec<u64>,
+    touched: Vec<VertexId>,
+}
+
+impl<'s> StorePeeler<'s> {
+    fn new(store: &'s InstanceStore, alive: &VertexSet) -> Self {
+        let mut live_members = vec![0u32; store.rows()];
+        for (row, counter) in live_members.iter_mut().enumerate() {
+            *counter = store
+                .members(row)
+                .iter()
+                .filter(|&&v| alive.contains(v))
+                .count() as u32;
+        }
+        StorePeeler {
+            store,
+            live_members,
+            scratch: vec![0u64; alive.universe()],
+            touched: Vec::new(),
+        }
+    }
+}
+
+impl InstancePeeler for StorePeeler<'_> {
+    fn degrees(&self) -> Vec<u64> {
+        let psi = self.store.psi_size() as u32;
+        let mut deg = vec![0u64; self.scratch.len()];
+        for (row, &count) in self.live_members.iter().enumerate() {
+            if count == psi {
+                let w = self.store.weight(row);
+                for &v in self.store.members(row) {
+                    deg[v as usize] += w;
+                }
+            }
+        }
+        deg
+    }
+
+    fn remove(&mut self, v: VertexId, sink: &mut dyn FnMut(VertexId, u64)) {
+        let psi = self.store.psi_size() as u32;
+        for &row in self.store.incidence(v) {
+            let row = row as usize;
+            let count = &mut self.live_members[row];
+            let was_live = *count == psi;
+            *count -= 1;
+            if was_live {
+                let w = self.store.weight(row);
+                for &u in self.store.members(row) {
+                    if u != v {
+                        if self.scratch[u as usize] == 0 {
+                            self.touched.push(u);
+                        }
+                        self.scratch[u as usize] += w;
+                    }
+                }
+            }
+        }
+        self.touched.sort_unstable();
+        for &u in &self.touched {
+            sink(u, self.scratch[u as usize]);
+            self.scratch[u as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Picks the cheapest sound oracle for `psi` with the default budget and
+/// no parallelism.
 pub fn oracle_for(psi: &Pattern) -> Box<dyn DensityOracle> {
     oracle_for_with(psi, Parallelism::serial())
 }
 
-/// [`oracle_for`] with a worker-count configuration: h-clique bulk degree
-/// passes run on the configured workers (other pattern kinds have no
-/// parallel path yet and ignore the setting).
+/// [`oracle_for`] with a worker-count configuration (clique store builds
+/// and streaming clique degree passes shard across the workers), at the
+/// default byte budget.
 pub fn oracle_for_with(psi: &Pattern, parallelism: Parallelism) -> Box<dyn DensityOracle> {
+    oracle_with_budget(psi, parallelism, Some(DEFAULT_STORE_BUDGET))
+}
+
+/// The full oracle policy: h-cliques (h ≥ 3) and general patterns
+/// materialize an [`InstanceStore`] capped at `budget` bytes (`None` =
+/// unlimited, `Some(0)` = never materialize), falling back to streaming
+/// when the store would not fit; edges keep the direct kClist path (the
+/// store would just duplicate the graph's own CSR) and stars/diamonds keep
+/// their closed forms.
+pub fn oracle_with_budget(
+    psi: &Pattern,
+    parallelism: Parallelism,
+    budget: Option<u64>,
+) -> Box<dyn DensityOracle> {
     match psi.kind() {
-        PatternKind::Clique(h) if !parallelism.is_serial() => {
-            Box::new(ParallelCliqueOracle::new(h, parallelism))
+        PatternKind::Clique(2) if !parallelism.is_serial() => {
+            Box::new(ParallelCliqueOracle::new(2, parallelism))
         }
-        PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
-        PatternKind::Star(x) => Box::new(StarOracle { x }),
+        PatternKind::Clique(2) => Box::new(CliqueOracle::new(2)),
+        PatternKind::Clique(_) | PatternKind::General => {
+            Box::new(MaterializedOracle::with_policy(psi, parallelism, budget))
+        }
+        PatternKind::Star(x) => Box::new(StarOracle::new(x)),
         PatternKind::Diamond => Box::new(DiamondOracle),
-        PatternKind::General => Box::new(MaterializedPatternOracle::new(psi)),
     }
 }
 
@@ -404,7 +621,7 @@ mod tests {
         let alive = full(&g);
         for p in Pattern::figure7() {
             let fast = oracle_for(&p);
-            let generic = GenericPatternOracle { pattern: p.clone() };
+            let generic = GenericPatternOracle::new(&p);
             assert_eq!(
                 fast.degrees(&g, &alive),
                 generic.degrees(&g, &alive),
@@ -452,31 +669,38 @@ mod tests {
     }
 
     #[test]
-    fn materialized_oracle_matches_generic_everywhere() {
+    fn materialized_oracle_matches_streaming_everywhere() {
         let g = wheel6();
         for p in Pattern::figure7() {
-            let mat = MaterializedPatternOracle::new(&p);
-            let gen = GenericPatternOracle { pattern: p.clone() };
+            let mat = MaterializedOracle::new(&p);
+            let stream = GenericPatternOracle::new(&p);
             let mut alive = full(&g);
             assert_eq!(
                 mat.degrees(&g, &alive),
-                gen.degrees(&g, &alive),
+                stream.degrees(&g, &alive),
                 "{}",
                 p.name()
             );
-            assert_eq!(mat.count(&g, &alive), gen.count(&g, &alive), "{}", p.name());
+            assert_eq!(
+                mat.count(&g, &alive),
+                stream.count(&g, &alive),
+                "{}",
+                p.name()
+            );
+            let stats = mat.store_stats().expect("store was consulted");
+            assert!(stats.materialized, "{}", p.name());
             // After removals too.
             for victim in [0u32, 3] {
                 assert_eq!(
                     mat.removal_decrements(&g, &alive, victim),
-                    gen.removal_decrements(&g, &alive, victim),
+                    stream.removal_decrements(&g, &alive, victim),
                     "{} victim {victim}",
                     p.name()
                 );
                 alive.remove(victim);
                 assert_eq!(
                     mat.degrees(&g, &alive),
-                    gen.degrees(&g, &alive),
+                    stream.degrees(&g, &alive),
                     "{} after removing {victim}",
                     p.name()
                 );
@@ -485,15 +709,68 @@ mod tests {
     }
 
     #[test]
+    fn materialized_clique_oracle_matches_kclist() {
+        let g = wheel6();
+        for h in [3usize, 4] {
+            let psi = Pattern::clique(h);
+            let mat = MaterializedOracle::new(&psi);
+            let stream = CliqueOracle::new(h);
+            let mut alive = full(&g);
+            assert_eq!(mat.degrees(&g, &alive), stream.degrees(&g, &alive));
+            assert_eq!(mat.count(&g, &alive), stream.count(&g, &alive));
+            assert_eq!(
+                mat.removal_decrements(&g, &alive, 0),
+                stream.removal_decrements(&g, &alive, 0)
+            );
+            alive.remove(0);
+            assert_eq!(mat.degrees(&g, &alive), stream.degrees(&g, &alive));
+        }
+    }
+
+    #[test]
+    fn budget_fallback_still_answers_and_reports() {
+        let g = wheel6();
+        let psi = Pattern::triangle();
+        let capped = MaterializedOracle::with_policy(&psi, Parallelism::serial(), Some(0));
+        let stream = CliqueOracle::new(3);
+        let alive = full(&g);
+        assert_eq!(capped.degrees(&g, &alive), stream.degrees(&g, &alive));
+        assert_eq!(capped.count(&g, &alive), stream.count(&g, &alive));
+        let stats = capped.store_stats().unwrap();
+        assert!(!stats.materialized);
+        assert_eq!(stats.fallback, Some(StoreFallback::Budget));
+        assert_eq!(stats.build.bytes, 0);
+        assert!(
+            capped.peeler(&g, &alive).is_none(),
+            "fallback oracle offers no store peeler"
+        );
+    }
+
+    #[test]
+    fn peeler_decrements_match_stateless_decrements() {
+        let g = wheel6();
+        let psi = Pattern::triangle();
+        let oracle = MaterializedOracle::new(&psi);
+        let mut alive = full(&g);
+        let mut peeler = oracle.peeler(&g, &alive).expect("materialized");
+        assert_eq!(peeler.degrees(), oracle.degrees(&g, &alive));
+        for victim in [0u32, 4, 2] {
+            let expect = oracle.removal_decrements(&g, &alive, victim);
+            let mut got: Vec<(VertexId, u64)> = Vec::new();
+            peeler.remove(victim, &mut |u, amount| got.push((u, amount)));
+            assert_eq!(got, expect, "victim {victim}");
+            alive.remove(victim);
+        }
+    }
+
+    #[test]
     fn materialized_oracle_full_decomposition_matches() {
         let g = wheel6();
         let psi = Pattern::two_triangle();
-        let mat = MaterializedPatternOracle::new(&psi);
-        let gen = GenericPatternOracle {
-            pattern: psi.clone(),
-        };
+        let mat = MaterializedOracle::new(&psi);
+        let stream = GenericPatternOracle::new(&psi);
         let a = crate::clique_core::decompose(&g, &mat);
-        let b = crate::clique_core::decompose(&g, &gen);
+        let b = crate::clique_core::decompose(&g, &stream);
         assert_eq!(a.core, b.core);
         assert_eq!(a.kmax, b.kmax);
         assert!((a.best_density - b.best_density).abs() < 1e-12);

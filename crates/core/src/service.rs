@@ -107,6 +107,15 @@ pub struct BatchStats {
     /// Of those, probes served warm by parametric resolve (flow-state
     /// reuse) instead of a from-scratch max-flow.
     pub flow_resolve_hits: usize,
+    /// Instance-store columns materialized by this batch's requests
+    /// (bytes, summed over solutions that paid a cold oracle build).
+    pub store_bytes_built: u64,
+    /// Instance-store enumeration time paid by this batch (nanoseconds,
+    /// same summation rule as [`BatchStats::store_bytes_built`]).
+    pub store_build_nanos: u128,
+    /// Resident substrate-cache bytes across the engines this batch
+    /// touched, measured after the batch (stores + decompositions).
+    pub substrate_bytes: u64,
     /// Per-worker busy time (solving requests, not queue waits).
     pub worker_busy_nanos: Vec<u128>,
 }
@@ -137,10 +146,16 @@ pub struct BatchOutcome {
 ///
 /// All methods take `&self`; the service is `Send + Sync` and is meant to
 /// sit in an `Arc` at the top of a server.
-#[derive(Default)]
 pub struct DsdService {
     catalog: RwLock<HashMap<String, Arc<DsdEngine<'static>>>>,
     parallelism: Parallelism,
+    substrate_budget: Option<u64>,
+}
+
+impl Default for DsdService {
+    fn default() -> Self {
+        Self::with_parallelism(Parallelism::serial())
+    }
 }
 
 impl DsdService {
@@ -160,6 +175,7 @@ impl DsdService {
         DsdService {
             catalog: RwLock::new(HashMap::new()),
             parallelism,
+            substrate_budget: Some(crate::oracle::DEFAULT_STORE_BUDGET),
         }
     }
 
@@ -168,12 +184,26 @@ impl DsdService {
         self.parallelism
     }
 
+    /// Sets the per-engine instance-store byte budget applied to graphs
+    /// registered *after* this call (`None` = unlimited, `Some(0)` =
+    /// never materialize; see [`DsdEngine::with_substrate_budget`]).
+    pub fn with_substrate_budget(mut self, budget: Option<u64>) -> Self {
+        self.substrate_budget = budget;
+        self
+    }
+
+    /// Resident substrate-cache bytes summed over every registered engine.
+    pub fn substrate_bytes(&self) -> u64 {
+        let catalog = self.catalog.read().unwrap();
+        catalog.values().map(|e| e.substrate_bytes()).sum()
+    }
+
     /// Registers (or replaces) a graph under `name` and returns its
     /// engine. Replacing drops the old engine's substrates once the last
     /// in-flight request holding its `Arc` finishes — requests already
     /// routed keep their consistent view.
     pub fn register(&self, name: impl Into<String>, graph: Graph) -> Arc<DsdEngine<'static>> {
-        let engine = Arc::new(DsdEngine::new(graph));
+        let engine = Arc::new(DsdEngine::new(graph).with_substrate_budget(self.substrate_budget));
         self.catalog
             .write()
             .unwrap()
@@ -363,10 +393,21 @@ impl DsdService {
             .collect();
         let mut flow_probes = 0;
         let mut flow_resolve_hits = 0;
+        let mut store_bytes_built = 0u64;
+        let mut store_build_nanos = 0u128;
         for s in solutions.iter().flatten() {
             flow_probes += s.stats.flow_iterations;
             flow_resolve_hits += s.stats.flow_resolve_hits;
+            // Attribute each store to the request that paid the cold
+            // oracle build (cache hits reuse the same columns).
+            if !s.stats.substrate.oracle_cache_hit {
+                if let Some(store) = &s.stats.store {
+                    store_bytes_built += store.build.bytes as u64;
+                    store_build_nanos += store.build.build_nanos;
+                }
+            }
         }
+        let substrate_bytes: u64 = engines.values().map(|e| e.substrate_bytes()).sum();
 
         BatchOutcome {
             solutions,
@@ -378,6 +419,9 @@ impl DsdService {
                 substrate_hits,
                 flow_probes,
                 flow_resolve_hits,
+                store_bytes_built,
+                store_build_nanos,
+                substrate_bytes,
                 worker_busy_nanos,
             },
         }

@@ -8,6 +8,78 @@
 
 use dsd_graph::{degeneracy_order, Graph, VertexId, VertexSet};
 
+/// Materializes alive, id-sorted out-neighbour lists over the degeneracy
+/// DAG, so intersections are linear merges. Shared by the sequential
+/// listers here, the parallel degree pass, and the sharded store build.
+pub(crate) fn build_out_lists(g: &Graph, alive: &VertexSet) -> Vec<Vec<VertexId>> {
+    let dag = degeneracy_order(g);
+    let n = g.num_vertices();
+    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in alive.iter() {
+        out[v as usize] = dag
+            .out_neighbors(g, v)
+            .filter(|&u| alive.contains(u))
+            .collect();
+        out[v as usize].sort_unstable();
+    }
+    out
+}
+
+/// Reusable per-worker scratch for [`CliqueLister`] traversals: the chain
+/// under construction plus a pool of candidate buffers, so sharded
+/// enumeration allocates nothing per clique.
+#[derive(Default)]
+pub struct CliqueScratch {
+    clique: Vec<VertexId>,
+    pool: Vec<Vec<VertexId>>,
+}
+
+/// A shareable h-clique enumeration context: the degeneracy-oriented DAG's
+/// out-lists, built once and read by any number of workers.
+///
+/// Every h-clique is listed exactly once, from its lowest-ranked member
+/// (its *root*), which makes root ranges an embarrassingly parallel shard
+/// boundary: [`CliqueLister::for_each_rooted_until`] emits exactly the
+/// cliques rooted at one vertex, so workers covering disjoint root sets
+/// cover the clique set disjointly. This is the sink-based emission API the
+/// instance store builds on — no intermediate `Vec<Vec<VertexId>>`.
+pub struct CliqueLister {
+    h: usize,
+    out: Vec<Vec<VertexId>>,
+}
+
+impl CliqueLister {
+    /// Builds the shared context for h-cliques of `g[alive]`, `h >= 2`.
+    pub fn new(g: &Graph, h: usize, alive: &VertexSet) -> Self {
+        assert!(h >= 2, "CliqueLister needs h >= 2");
+        CliqueLister {
+            h,
+            out: build_out_lists(g, alive),
+        }
+    }
+
+    /// Emits every h-clique whose lowest-ranked member is `root` (members
+    /// arrive in rank order, not id order). The sink returns `false` to
+    /// abort; the call then returns `false` immediately.
+    pub fn for_each_rooted_until<F: FnMut(&[VertexId]) -> bool>(
+        &self,
+        root: VertexId,
+        scratch: &mut CliqueScratch,
+        f: &mut F,
+    ) -> bool {
+        scratch.clique.clear();
+        scratch.clique.push(root);
+        rec(
+            &self.out,
+            &mut scratch.clique,
+            self.out[root as usize].clone(),
+            self.h,
+            &mut scratch.pool,
+            f,
+        )
+    }
+}
+
 /// Enumerates every h-clique of `g` exactly once, invoking `f` with the
 /// member list (unspecified order).
 ///
@@ -24,61 +96,63 @@ pub fn for_each_clique_within<F: FnMut(&[VertexId])>(
     alive: &VertexSet,
     mut f: F,
 ) {
+    for_each_clique_within_until(g, h, alive, |clique| {
+        f(clique);
+        true
+    });
+}
+
+/// Abortable form of [`for_each_clique_within`]: the sink returns `false`
+/// to stop the enumeration (budget-capped store builds use this). Returns
+/// `false` iff the sink aborted.
+pub fn for_each_clique_within_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    h: usize,
+    alive: &VertexSet,
+    mut f: F,
+) -> bool {
     assert!(h >= 1, "clique size must be at least 1");
     if h == 1 {
         let mut buf = [0 as VertexId];
         for v in alive.iter() {
             buf[0] = v;
-            f(&buf);
+            if !f(&buf) {
+                return false;
+            }
         }
-        return;
+        return true;
     }
-    let dag = degeneracy_order(g);
-    // Materialize alive out-neighbour lists sorted by id so intersections
-    // are linear merges.
-    let n = g.num_vertices();
-    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let lister = CliqueLister::new(g, h, alive);
+    let mut scratch = CliqueScratch::default();
     for v in alive.iter() {
-        out[v as usize] = dag
-            .out_neighbors(g, v)
-            .filter(|&u| alive.contains(u))
-            .collect();
-        out[v as usize].sort_unstable();
+        if !lister.for_each_rooted_until(v, &mut scratch, &mut f) {
+            return false;
+        }
     }
-    let mut clique = Vec::with_capacity(h);
-    let mut cand_stack: Vec<Vec<VertexId>> = Vec::new();
-    for v in alive.iter() {
-        clique.push(v);
-        rec(
-            &out,
-            &mut clique,
-            out[v as usize].clone(),
-            h,
-            &mut cand_stack,
-            &mut f,
-        );
-        clique.pop();
-    }
+    true
 }
 
-fn rec<F: FnMut(&[VertexId])>(
+fn rec<F: FnMut(&[VertexId]) -> bool>(
     out: &[Vec<VertexId>],
     clique: &mut Vec<VertexId>,
     cand: Vec<VertexId>,
     h: usize,
     pool: &mut Vec<Vec<VertexId>>,
     f: &mut F,
-) {
+) -> bool {
     if clique.len() + 1 == h {
         for &u in &cand {
             clique.push(u);
-            f(clique);
+            let keep = f(clique);
             clique.pop();
+            if !keep {
+                return false;
+            }
         }
-        return;
+        return true;
     }
     if clique.len() + cand.len() < h {
-        return; // not enough candidates left
+        return true; // not enough candidates left
     }
     for &u in cand.iter() {
         // The next member must be an out-neighbour of `u` *and* of every
@@ -88,17 +162,23 @@ fn rec<F: FnMut(&[VertexId])>(
         let mut next = pool.pop().unwrap_or_default();
         next.clear();
         intersect_sorted(&cand, &out[u as usize], &mut next);
+        let mut keep = true;
         if clique.len() + 1 + next.len() >= h {
             clique.push(u);
-            rec(out, clique, std::mem::take(&mut next), h, pool, f);
+            keep = rec(out, clique, std::mem::take(&mut next), h, pool, f);
             clique.pop();
         }
         pool.push(next);
+        if !keep {
+            return false;
+        }
     }
+    true
 }
 
-/// Intersects two id-sorted slices into `out`.
-fn intersect_sorted(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+/// Intersects two id-sorted slices into `out`. Shared with the parallel
+/// degree pass.
+pub(crate) fn intersect_sorted(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {

@@ -36,17 +36,20 @@ pub mod parallel;
 pub mod pattern;
 pub mod pattern_enum;
 pub mod special;
+pub mod store;
 
 pub use kclist::{
     clique_degrees, clique_degrees_within, count_cliques, count_cliques_within, for_each_clique,
-    for_each_clique_containing, for_each_clique_within,
+    for_each_clique_containing, for_each_clique_within, for_each_clique_within_until, CliqueLister,
+    CliqueScratch,
 };
 pub use parallel::{clique_degrees_parallel, clique_degrees_parallel_within};
 pub use pattern::{Pattern, PatternKind};
 pub use pattern_enum::{
-    count_instances, group_instances, instances, instances_containing, pattern_degrees,
-    InstanceGroup, PatternInstance,
+    count_instances, for_each_instance_until, group_instances, instances, instances_containing,
+    pattern_degrees, InstanceGroup, PatternInstance,
 };
+pub use store::{InstanceStore, StoreBuildStats, StoreError};
 
 /// Binomial coefficient `C(n, k)` saturating at `u64::MAX`.
 ///

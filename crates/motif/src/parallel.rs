@@ -11,37 +11,9 @@
 
 use std::thread;
 
-use dsd_graph::{degeneracy_order, Graph, VertexId, VertexSet};
+use dsd_graph::{Graph, VertexId, VertexSet};
 
-/// Shared read-only clique-listing context.
-fn build_out_lists(g: &Graph, alive: &VertexSet) -> Vec<Vec<VertexId>> {
-    let dag = degeneracy_order(g);
-    let n = g.num_vertices();
-    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    for v in alive.iter() {
-        out[v as usize] = dag
-            .out_neighbors(g, v)
-            .filter(|&u| alive.contains(u))
-            .collect();
-        out[v as usize].sort_unstable();
-    }
-    out
-}
-
-fn intersect_sorted(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-}
+use crate::kclist::{build_out_lists, intersect_sorted};
 
 fn rec_degrees(
     out: &[Vec<VertexId>],

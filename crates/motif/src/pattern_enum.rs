@@ -231,6 +231,47 @@ fn canonical_instance(p: &Pattern, image: &[VertexId]) -> PatternInstance {
     PatternInstance { vertices, edges }
 }
 
+/// Visits every **distinct** pattern instance of `g[alive]` exactly once
+/// (instances are identified by their canonical edge set, per Definition
+/// 8), handing the sink the id-sorted member list. The sink returns
+/// `false` to abort; the call then returns `false`.
+///
+/// This is the emission API the columnar instance store builds on: no
+/// intermediate `Vec<Vec<VertexId>>`, and the only transient state is the
+/// edge-set hash used for automorphism dedup.
+pub fn for_each_instance_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    p: &Pattern,
+    alive: &VertexSet,
+    f: &mut F,
+) -> bool {
+    let mut seen: HashSet<Vec<(VertexId, VertexId)>> = HashSet::new();
+    let mut members: Vec<VertexId> = Vec::with_capacity(p.vertex_count());
+    let mut aborted = false;
+    for_each_embedding_until(g, p, alive, None, &mut |image| {
+        let mut edges: Vec<(VertexId, VertexId)> = p
+            .edges()
+            .iter()
+            .map(|&(a, b)| {
+                let (u, v) = (image[a as usize], image[b as usize]);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        edges.sort_unstable();
+        if seen.insert(edges) {
+            members.clear();
+            members.extend_from_slice(image);
+            members.sort_unstable();
+            if !f(&members) {
+                aborted = true;
+                return false;
+            }
+        }
+        true
+    });
+    !aborted
+}
+
 /// Materializes the distinct pattern instances of `g[alive]`.
 ///
 /// Intended for the (small) located cores that exact PDS algorithms build

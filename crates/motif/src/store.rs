@@ -1,0 +1,715 @@
+//! `InstanceStore`: a columnar, CSR-backed materialization of all
+//! Ψ-instances of a graph.
+//!
+//! The Lemma-6 analysis makes instance enumeration the dominant cost of
+//! every Ψ-workload, so the system enumerates **once** and stores the
+//! result in two u32-indexed columnar arrays:
+//!
+//! * **members** — row-major member lists (`rows × |VΨ|`, each row sorted
+//!   by vertex id), optionally weighted: rows sharing a vertex set are
+//!   merged with a multiplicity column, in the spirit of factorised
+//!   representations that store each fact once and index into it;
+//! * **incidence** — a CSR from vertex id to the rows containing it
+//!   (offsets + row ids, both `u32`).
+//!
+//! Degrees, counts and peel decrements then become linear scans over these
+//! columns instead of repeated subgraph matching. h-clique stores are
+//! built in parallel, sharded by degeneracy-ordered root vertex (every
+//! clique is discovered exactly once, from its lowest-ranked member), with
+//! per-worker columns concatenated at the end.
+//!
+//! Row and membership counts are guarded against `u32` overflow, and an
+//! optional byte budget aborts oversized builds mid-enumeration — both
+//! reported as typed [`StoreError`]s so callers can fall back to streaming
+//! oracles instead of silently truncating indices.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use dsd_graph::{Graph, VertexId, VertexSet};
+
+use crate::kclist::{CliqueLister, CliqueScratch};
+use crate::pattern::Pattern;
+use crate::pattern_enum;
+
+/// Why a store build was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The instance set cannot be indexed with `u32` offsets: either the
+    /// row count or the total membership count (`rows × |VΨ|`) would
+    /// exceed `u32::MAX`. Building on would silently truncate incidence
+    /// indices, so this is a hard, typed refusal.
+    CapacityExceeded {
+        /// Rows already emitted when the guard tripped.
+        rows: u64,
+    },
+    /// The store would exceed the caller's byte budget.
+    BudgetExceeded {
+        /// Bytes the store had committed to when the build aborted.
+        bytes: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::CapacityExceeded { rows } => {
+                write!(f, "instance store overflows u32 indexing at {rows} rows")
+            }
+            StoreError::BudgetExceeded { bytes, budget } => {
+                write!(f, "instance store needs > {bytes} bytes (budget {budget})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Instrumentation for one store build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreBuildStats {
+    /// Distinct instances enumerated (before vertex-set grouping).
+    pub instances: u64,
+    /// Rows after grouping identical vertex sets.
+    pub rows: usize,
+    /// Total memberships (`rows × |VΨ|`).
+    pub memberships: usize,
+    /// Resident bytes of the finished store.
+    pub bytes: usize,
+    /// Wall time of the build (enumeration + column assembly).
+    pub build_nanos: u128,
+    /// Worker shards used by the enumeration (1 = serial).
+    pub shards: usize,
+}
+
+/// Columnar instance storage: CSR-of-members plus CSR-of-incidence.
+#[derive(Clone, Debug)]
+pub struct InstanceStore {
+    psi_size: usize,
+    /// Row-major member lists, stride `psi_size`, each row id-sorted.
+    members: Vec<VertexId>,
+    /// Per-row instance multiplicity; `None` means every row weighs 1
+    /// (always the case for cliques, whose vertex sets are unique).
+    weights: Option<Vec<u32>>,
+    /// `incidence(v) = inc_rows[inc_offsets[v]..inc_offsets[v + 1]]`.
+    inc_offsets: Vec<u32>,
+    inc_rows: Vec<u32>,
+}
+
+/// Shared row caps for a build: u32-indexing capacity and the byte budget.
+#[derive(Clone, Copy)]
+struct RowCaps {
+    /// Hard cap: rows beyond this overflow u32 row ids or membership
+    /// offsets.
+    capacity_rows: u64,
+    /// Soft cap from the byte budget (`u64::MAX` when unbudgeted).
+    budget_rows: u64,
+    budget: u64,
+    bytes_per_row: u64,
+    base_bytes: u64,
+}
+
+impl RowCaps {
+    /// `transient_per_row` charges build-time scratch that peaks alongside
+    /// the columns (the per-shard column copied at concatenation, the
+    /// pattern path's edge-set dedup entries) so a refused build cannot
+    /// itself blow the budget it was refused for.
+    fn new(n: usize, psi_size: usize, transient_per_row: u64, budget: Option<u64>) -> Self {
+        // Per row: members (4·|VΨ|) + incidence row ids (4·|VΨ|) + a
+        // worst-case weight slot (4) + build transients. Offsets are per
+        // vertex, not per row.
+        let bytes_per_row = 8 * psi_size as u64 + 4 + transient_per_row;
+        let base_bytes = 4 * (n as u64 + 1);
+        let capacity_rows = (u32::MAX as u64).min(u32::MAX as u64 / psi_size as u64);
+        let (budget, budget_rows) = match budget {
+            Some(b) => (b, b.saturating_sub(base_bytes) / bytes_per_row),
+            None => (u64::MAX, u64::MAX),
+        };
+        RowCaps {
+            capacity_rows,
+            budget_rows,
+            budget,
+            bytes_per_row,
+            base_bytes,
+        }
+    }
+
+    /// Largest row count a build may reach, and the error to report when
+    /// `rows` would exceed it.
+    fn max_rows(&self) -> u64 {
+        self.capacity_rows.min(self.budget_rows)
+    }
+
+    /// Refuses the build up front when even the row-independent base
+    /// allocation (the incidence offsets, one `u32` per vertex) overflows
+    /// the budget — otherwise an instance-free build on a huge graph
+    /// would materialize arbitrarily far over budget.
+    fn check_base(&self) -> Result<(), StoreError> {
+        if self.base_bytes > self.budget {
+            Err(StoreError::BudgetExceeded {
+                bytes: self.base_bytes,
+                budget: self.budget,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn error_at(&self, rows: u64) -> StoreError {
+        if rows >= self.capacity_rows {
+            StoreError::CapacityExceeded { rows }
+        } else {
+            StoreError::BudgetExceeded {
+                // Charge the row that tripped the guard, so the reported
+                // need is always strictly over the budget.
+                bytes: self.base_bytes + rows.saturating_add(1).saturating_mul(self.bytes_per_row),
+                budget: self.budget,
+            }
+        }
+    }
+}
+
+impl InstanceStore {
+    /// Builds the store of all h-cliques of `g[alive]`, `h >= 2`, sharded
+    /// across `threads` workers by degeneracy-ordered root vertex.
+    ///
+    /// Row order depends on the worker count (each worker's rows are
+    /// deterministic and concatenated in worker order), but every query
+    /// answered from the store — degrees, counts, decrements, peels — is
+    /// row-order invariant, so answers are identical for every `threads`.
+    pub fn cliques(
+        g: &Graph,
+        h: usize,
+        alive: &VertexSet,
+        threads: usize,
+        budget: Option<u64>,
+    ) -> Result<(Self, StoreBuildStats), StoreError> {
+        assert!(h >= 2, "clique store needs h >= 2");
+        let t0 = Instant::now();
+        let n = g.num_vertices();
+        // Transient: each shard's private column is copied once at merge.
+        let caps = RowCaps::new(n, h, 4 * h as u64, budget);
+        caps.check_base()?;
+        let max_rows = caps.max_rows();
+        let lister = CliqueLister::new(g, h, alive);
+        let roots: Vec<VertexId> = alive.iter().collect();
+
+        let shards = threads.max(1).min(roots.len().max(1));
+        let (members, overflowed) = if shards <= 1 {
+            let mut members: Vec<VertexId> = Vec::new();
+            let mut scratch = CliqueScratch::default();
+            let mut row = [0 as VertexId; 16];
+            let mut rows = 0u64;
+            let mut over = false;
+            'roots: for &v in &roots {
+                let done = lister.for_each_rooted_until(v, &mut scratch, &mut |clique| {
+                    if rows >= max_rows {
+                        over = true;
+                        return false;
+                    }
+                    rows += 1;
+                    push_sorted_row(&mut members, clique, &mut row);
+                    true
+                });
+                if !done {
+                    break 'roots;
+                }
+            }
+            (members, over)
+        } else {
+            // Each worker owns a strided root range (hub costs are skewed;
+            // striding mixes them) and a private column. The caps are
+            // enforced through a shared counter, but workers reserve row
+            // quota in chunks — one RMW per `ROW_CHUNK` emissions, not per
+            // clique — so the hot loop doesn't ping-pong a cache line.
+            // Quota is handed out as `min(chunk, remaining)`, so total
+            // admissions never exceed `max_rows` exactly as in the serial
+            // path (a shard may strand an unused partial chunk, which only
+            // makes the cap marginally conservative).
+            const ROW_CHUNK: u64 = 4_096;
+            // Shrink chunks when the cap is tight, so a small quota is
+            // still shared fairly across shards instead of being claimed
+            // whole by the first reservation.
+            let chunk = ROW_CHUNK.min((max_rows / shards as u64).max(1));
+            let total_rows = AtomicU64::new(0);
+            let shard_outputs = thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                for t in 0..shards {
+                    let lister = &lister;
+                    let roots = &roots;
+                    let total_rows = &total_rows;
+                    handles.push(scope.spawn(move || {
+                        let mut members: Vec<VertexId> = Vec::new();
+                        let mut scratch = CliqueScratch::default();
+                        let mut row = [0 as VertexId; 16];
+                        let mut over = false;
+                        let mut quota = 0u64;
+                        'roots: for &v in roots.iter().skip(t).step_by(shards) {
+                            let done =
+                                lister.for_each_rooted_until(v, &mut scratch, &mut |clique| {
+                                    if quota == 0 {
+                                        let start = total_rows.fetch_add(chunk, Ordering::Relaxed);
+                                        if start >= max_rows {
+                                            over = true;
+                                            return false;
+                                        }
+                                        quota = chunk.min(max_rows - start);
+                                    }
+                                    quota -= 1;
+                                    push_sorted_row(&mut members, clique, &mut row);
+                                    true
+                                });
+                            if !done {
+                                break 'roots;
+                            }
+                        }
+                        (members, over)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|hnd| hnd.join().expect("store shard panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let over = shard_outputs.iter().any(|(_, over)| *over);
+            let total: usize = shard_outputs.iter().map(|(m, _)| m.len()).sum();
+            let mut members = Vec::with_capacity(total);
+            for (shard, _) in shard_outputs {
+                members.extend_from_slice(&shard);
+            }
+            (members, over)
+        };
+
+        if overflowed {
+            return Err(caps.error_at(max_rows));
+        }
+        // Clique vertex sets are unique: no grouping pass, unit weights.
+        let instances = (members.len() / h) as u64;
+        Ok(Self::finish(h, members, None, n, instances, shards, t0))
+    }
+
+    /// Builds the store of all distinct instances of `psi` in `g[alive]`
+    /// (serial — general-pattern enumeration has no shard boundary as
+    /// clean as clique roots). Rows sharing a vertex set are merged into
+    /// one weighted row.
+    pub fn pattern(
+        g: &Graph,
+        psi: &Pattern,
+        alive: &VertexSet,
+        budget: Option<u64>,
+    ) -> Result<(Self, StoreBuildStats), StoreError> {
+        let t0 = Instant::now();
+        let n = g.num_vertices();
+        let k = psi.vertex_count();
+        // Transient: the edge-set dedup keeps one heap-allocated canonical
+        // edge list per instance (8 bytes/edge + ~48 of set overhead),
+        // and grouping copies the member column once.
+        let dedup_per_row = 8 * psi.edge_count() as u64 + 48 + 4 * k as u64;
+        let caps = RowCaps::new(n, k, dedup_per_row, budget);
+        caps.check_base()?;
+        let max_rows = caps.max_rows();
+
+        let mut members: Vec<VertexId> = Vec::new();
+        let mut rows = 0u64;
+        let mut over = false;
+        pattern_enum::for_each_instance_until(g, psi, alive, &mut |inst| {
+            if rows >= max_rows {
+                over = true;
+                return false;
+            }
+            rows += 1;
+            members.extend_from_slice(inst);
+            true
+        });
+        if over {
+            return Err(caps.error_at(max_rows));
+        }
+        let instances = rows;
+
+        // Group rows with identical vertex sets into one weighted row
+        // (Figure 6's instance groups — e.g. the 3 diamonds of a K4).
+        let (members, weights) = group_rows(members, k);
+        Ok(Self::finish(k, members, weights, n, instances, 1, t0))
+    }
+
+    /// Assembles the incidence CSR and the build stats.
+    fn finish(
+        psi_size: usize,
+        members: Vec<VertexId>,
+        weights: Option<Vec<u32>>,
+        n: usize,
+        instances: u64,
+        shards: usize,
+        t0: Instant,
+    ) -> (Self, StoreBuildStats) {
+        debug_assert_eq!(members.len() % psi_size, 0);
+        let rows = members.len() / psi_size;
+        let mut inc_offsets = vec![0u32; n + 1];
+        for &v in &members {
+            inc_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            inc_offsets[i + 1] += inc_offsets[i];
+        }
+        let mut cursor: Vec<u32> = inc_offsets[..n].to_vec();
+        let mut inc_rows = vec![0u32; members.len()];
+        for (row, chunk) in members.chunks_exact(psi_size).enumerate() {
+            for &v in chunk {
+                inc_rows[cursor[v as usize] as usize] = row as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        let store = InstanceStore {
+            psi_size,
+            members,
+            weights,
+            inc_offsets,
+            inc_rows,
+        };
+        let stats = StoreBuildStats {
+            instances,
+            rows,
+            memberships: store.memberships(),
+            bytes: store.bytes(),
+            build_nanos: t0.elapsed().as_nanos(),
+            shards,
+        };
+        (store, stats)
+    }
+
+    /// `|VΨ|`: members per row.
+    #[inline]
+    pub fn psi_size(&self) -> usize {
+        self.psi_size
+    }
+
+    /// Number of (grouped) rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.members.len() / self.psi_size
+    }
+
+    /// Total memberships across rows.
+    #[inline]
+    pub fn memberships(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Id-sorted members of `row`.
+    #[inline]
+    pub fn members(&self, row: usize) -> &[VertexId] {
+        &self.members[row * self.psi_size..(row + 1) * self.psi_size]
+    }
+
+    /// Instance multiplicity of `row`.
+    #[inline]
+    pub fn weight(&self, row: usize) -> u64 {
+        match &self.weights {
+            Some(w) => w[row] as u64,
+            None => 1,
+        }
+    }
+
+    /// Rows containing vertex `v`.
+    #[inline]
+    pub fn incidence(&self, v: VertexId) -> &[u32] {
+        let lo = self.inc_offsets[v as usize] as usize;
+        let hi = self.inc_offsets[v as usize + 1] as usize;
+        &self.inc_rows[lo..hi]
+    }
+
+    /// Total instance count of the full stored graph.
+    pub fn total_instances(&self) -> u64 {
+        match &self.weights {
+            Some(w) => w.iter().map(|&x| x as u64).sum(),
+            None => self.rows() as u64,
+        }
+    }
+
+    /// Resident heap bytes of the columns.
+    pub fn bytes(&self) -> usize {
+        4 * self.members.len()
+            + 4 * self.weights.as_ref().map_or(0, Vec::len)
+            + 4 * self.inc_offsets.len()
+            + 4 * self.inc_rows.len()
+    }
+
+    /// Whether every member of `row` is alive.
+    #[inline]
+    pub fn row_live(&self, row: usize, alive: &VertexSet) -> bool {
+        self.members(row).iter().all(|&v| alive.contains(v))
+    }
+
+    /// Per-vertex instance degrees of the stored graph restricted to
+    /// `alive` (0 outside).
+    pub fn degrees_within(&self, alive: &VertexSet) -> Vec<u64> {
+        let mut deg = vec![0u64; self.inc_offsets.len() - 1];
+        for row in 0..self.rows() {
+            if self.row_live(row, alive) {
+                let w = self.weight(row);
+                for &v in self.members(row) {
+                    deg[v as usize] += w;
+                }
+            }
+        }
+        deg
+    }
+
+    /// Total live instances under `alive`.
+    pub fn count_within(&self, alive: &VertexSet) -> u64 {
+        (0..self.rows())
+            .filter(|&row| self.row_live(row, alive))
+            .map(|row| self.weight(row))
+            .sum()
+    }
+}
+
+/// Appends `clique` to the column in id-sorted order via a fixed scratch
+/// row (rank chains arrive in degeneracy order; |VΨ| ≤ 16 covers every
+/// practical h — larger cliques fall back to a heap sort row).
+fn push_sorted_row(members: &mut Vec<VertexId>, clique: &[VertexId], row: &mut [VertexId; 16]) {
+    if clique.len() <= 16 {
+        let row = &mut row[..clique.len()];
+        row.copy_from_slice(clique);
+        row.sort_unstable();
+        members.extend_from_slice(row);
+    } else {
+        let mut big = clique.to_vec();
+        big.sort_unstable();
+        members.extend_from_slice(&big);
+    }
+}
+
+/// Merges rows with identical member lists, returning the compacted
+/// column plus weights (`None` when every row was already unique).
+fn group_rows(members: Vec<VertexId>, k: usize) -> (Vec<VertexId>, Option<Vec<u32>>) {
+    let rows = members.len() / k;
+    if rows <= 1 {
+        return (members, None);
+    }
+    let mut order: Vec<u32> = (0..rows as u32).collect();
+    let row_of = |i: u32| &members[i as usize * k..(i as usize + 1) * k];
+    order.sort_unstable_by(|&a, &b| row_of(a).cmp(row_of(b)));
+
+    let mut grouped: Vec<VertexId> = Vec::with_capacity(members.len());
+    let mut weights: Vec<u32> = Vec::new();
+    for &i in &order {
+        let row = row_of(i);
+        if grouped.len() >= k && &grouped[grouped.len() - k..] == row {
+            *weights.last_mut().expect("weight per emitted row") += 1;
+        } else {
+            grouped.extend_from_slice(row);
+            weights.push(1);
+        }
+    }
+    if weights.iter().all(|&w| w == 1) {
+        // No duplicates: keep the (cheaper) unweighted representation.
+        (grouped, None)
+    } else {
+        (grouped, Some(weights))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kclist;
+    use crate::pattern_enum::{count_instances, pattern_degrees};
+    use dsd_graph::GraphBuilder;
+
+    fn random_graph(seed: u64, n: usize, per_mille: u64) -> Graph {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() % 1000 < per_mille {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_store_matches_kclist_degrees_and_counts() {
+        let g = random_graph(11, 200, 60);
+        let alive = VertexSet::full(200);
+        for h in 2..=4 {
+            for threads in [1, 4] {
+                let (store, stats) = InstanceStore::cliques(&g, h, &alive, threads, None).unwrap();
+                assert_eq!(store.psi_size(), h);
+                assert_eq!(stats.rows, store.rows());
+                assert_eq!(store.total_instances(), kclist::count_cliques(&g, h));
+                assert_eq!(
+                    store.degrees_within(&alive),
+                    kclist::clique_degrees(&g, h),
+                    "h = {h}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clique_store_respects_alive_masks_at_build_and_query() {
+        let g = random_graph(5, 120, 80);
+        let mut alive = VertexSet::full(120);
+        for v in (0..120u32).step_by(3) {
+            alive.remove(v);
+        }
+        // Build on the full graph, query masked.
+        let (store, _) = InstanceStore::cliques(&g, 3, &VertexSet::full(120), 1, None).unwrap();
+        assert_eq!(
+            store.degrees_within(&alive),
+            kclist::clique_degrees_within(&g, 3, &alive)
+        );
+        assert_eq!(
+            store.count_within(&alive),
+            kclist::count_cliques_within(&g, 3, &alive)
+        );
+        // Build masked: same live content.
+        let (masked, _) = InstanceStore::cliques(&g, 3, &alive, 2, None).unwrap();
+        assert_eq!(masked.total_instances(), store.count_within(&alive));
+    }
+
+    #[test]
+    fn pattern_store_groups_and_matches_enumeration() {
+        let g = random_graph(23, 40, 300);
+        let alive = VertexSet::full(40);
+        for psi in [
+            Pattern::two_star(),
+            Pattern::diamond(),
+            Pattern::two_triangle(),
+            Pattern::c3_star(),
+        ] {
+            let (store, stats) = InstanceStore::pattern(&g, &psi, &alive, None).unwrap();
+            assert_eq!(store.total_instances(), count_instances(&g, &psi, &alive));
+            assert_eq!(stats.instances, store.total_instances());
+            assert!(stats.rows <= stats.instances as usize);
+            assert_eq!(
+                store.degrees_within(&alive),
+                pattern_degrees(&g, &psi, &alive),
+                "{}",
+                psi.name()
+            );
+        }
+    }
+
+    #[test]
+    fn diamond_store_in_k4_is_one_weighted_row() {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let (store, stats) =
+            InstanceStore::pattern(&g, &Pattern::diamond(), &VertexSet::full(4), None).unwrap();
+        assert_eq!(stats.instances, 3);
+        assert_eq!(store.rows(), 1, "3 diamonds on one vertex set group");
+        assert_eq!(store.weight(0), 3);
+        assert_eq!(store.members(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn incidence_is_consistent_with_members() {
+        let g = random_graph(7, 80, 120);
+        let alive = VertexSet::full(80);
+        let (store, _) = InstanceStore::cliques(&g, 3, &alive, 3, None).unwrap();
+        for v in 0..80u32 {
+            for &row in store.incidence(v) {
+                assert!(store.members(row as usize).contains(&v));
+            }
+        }
+        let total: usize = (0..80u32).map(|v| store.incidence(v).len()).sum();
+        assert_eq!(total, store.memberships());
+    }
+
+    #[test]
+    fn budget_exceeded_is_typed_and_aborts() {
+        let g = random_graph(3, 200, 200);
+        let alive = VertexSet::full(200);
+        let err = InstanceStore::cliques(&g, 3, &alive, 4, Some(2_000)).unwrap_err();
+        match err {
+            StoreError::BudgetExceeded { bytes, budget } => {
+                assert_eq!(budget, 2_000);
+                assert!(bytes >= budget);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The same graph fits a sane budget.
+        assert!(InstanceStore::cliques(&g, 3, &alive, 4, Some(64 << 20)).is_ok());
+        // Pattern path hits the same guard.
+        let err = InstanceStore::pattern(&g, &Pattern::two_star(), &alive, Some(1_500));
+        assert!(matches!(err, Err(StoreError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn capacity_guard_precedes_budget_and_is_typed() {
+        // A real u32 overflow needs > 4 × 10⁹ rows, so pin the guard's
+        // arithmetic directly: the capacity cap binds before any byte
+        // budget once rows × |VΨ| would overflow u32 offsets.
+        let caps = RowCaps::new(100, 8, 0, None);
+        assert_eq!(caps.max_rows(), u32::MAX as u64 / 8);
+        assert!(matches!(
+            caps.error_at(caps.max_rows()),
+            StoreError::CapacityExceeded { rows } if rows == u32::MAX as u64 / 8
+        ));
+        // With a budget tighter than capacity, the budget error wins.
+        let caps = RowCaps::new(100, 8, 0, Some(10_000));
+        assert!(caps.max_rows() < u32::MAX as u64 / 8);
+        assert!(matches!(
+            caps.error_at(caps.max_rows()),
+            StoreError::BudgetExceeded { budget: 10_000, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_budget_refuses_everything_nonempty() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let alive = VertexSet::full(3);
+        assert!(matches!(
+            InstanceStore::cliques(&g, 3, &alive, 1, Some(0)),
+            Err(StoreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn base_offsets_allocation_is_budgeted_even_without_instances() {
+        // A large instance-free graph: the per-vertex offsets column alone
+        // (4·(n+1) bytes) must not blow past the budget just because no
+        // row ever trips the per-row cap.
+        let g = Graph::empty(10_000);
+        let alive = VertexSet::full(10_000);
+        let err = InstanceStore::cliques(&g, 3, &alive, 1, Some(1_000)).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::BudgetExceeded { bytes, budget: 1_000 } if bytes >= 4 * 10_001
+        ));
+        assert!(matches!(
+            InstanceStore::pattern(&g, &Pattern::two_star(), &alive, Some(1_000)),
+            Err(StoreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_builds_empty_store() {
+        let g = Graph::empty(5);
+        let (store, stats) =
+            InstanceStore::cliques(&g, 3, &VertexSet::full(5), 2, Some(1 << 20)).unwrap();
+        assert_eq!(store.rows(), 0);
+        assert_eq!(store.total_instances(), 0);
+        assert_eq!(stats.memberships, 0);
+        assert!(store.bytes() >= 4 * 6, "offsets still resident");
+    }
+}

@@ -5,8 +5,9 @@
 //! dsd <edge-list-file> [--psi <pattern>] [--method <method>]
 //!                      [--objective <objective>] [--backend <backend>]
 //!                      [--tolerance <t>] [--budget <probes>]
-//!                      [--query v1,v2,...] [--threads <n>] [--stats]
-//! dsd batch <request-file> [--threads <n>]
+//!                      [--query v1,v2,...] [--threads <n>]
+//!                      [--substrate-budget <bytes>] [--stats]
+//! dsd batch <request-file> [--threads <n>] [--substrate-budget <bytes>]
 //!
 //! patterns:   edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
 //!             c3-star | diamond | 2-triangle | 3-triangle | basket
@@ -20,7 +21,10 @@
 //! `--query` runs the Section-6.3 variant (edge density, must contain the
 //! given vertices). `--stats` prints the Figure-18-style statistics
 //! instead. `--threads` sets the worker count for parallel substrate
-//! passes and batch execution (default 1).
+//! passes and batch execution (default 1). `--substrate-budget` caps the
+//! bytes the Ψ instance store may occupy (suffixes `k`/`m`/`g` accepted,
+//! `0` disables materialization, `unlimited` lifts the cap); oversized
+//! substrates transparently fall back to streaming enumeration.
 //!
 //! # Batch mode
 //!
@@ -122,12 +126,58 @@ fn parse_backend(s: &str) -> Option<FlowBackend> {
     }
 }
 
+/// Parses a byte count with optional `k`/`m`/`g` suffix; `unlimited`
+/// lifts the cap (engine semantics: `None` = unlimited bytes). No `none`
+/// alias — it reads as "no substrate", which is spelled `0`.
+fn parse_byte_budget(s: &str) -> Option<Option<u64>> {
+    if s.eq_ignore_ascii_case("unlimited") {
+        return Some(None);
+    }
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let base: u64 = digits.parse().ok()?;
+    // checked_mul (not checked_shl): shifting only faults on shift >= 64,
+    // silently discarding overflowed bits otherwise.
+    Some(Some(base.checked_mul(1u64 << shift)?))
+}
+
+/// Renders one `SolveStats.store` entry for the CLI.
+fn store_line(store: &dsd::core::StoreStats) -> String {
+    if store.materialized {
+        format!(
+            "substrate: {} instances in {} rows ({} memberships), {:.1} KiB, \
+             built in {:.3} ms on {} shard(s)",
+            store.build.instances,
+            store.build.rows,
+            store.build.memberships,
+            store.build.bytes as f64 / 1024.0,
+            store.build.build_nanos as f64 / 1e6,
+            store.build.shards
+        )
+    } else {
+        format!(
+            "substrate: streaming fallback ({})",
+            match store.fallback {
+                Some(dsd::core::StoreFallback::Budget) => "store over byte budget",
+                Some(dsd::core::StoreFallback::Capacity) => "store over u32 capacity",
+                None => "not attempted",
+            }
+        )
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: dsd <edge-list-file> [--psi <pattern>] [--method <method>] \
          [--objective <objective>] [--backend <backend>] [--tolerance <t>] \
-         [--budget <probes>] [--query v1,v2,...] [--threads <n>] [--stats]\n\
-         \x20      dsd batch <request-file> [--threads <n>]"
+         [--budget <probes>] [--query v1,v2,...] [--threads <n>] \
+         [--substrate-budget <bytes>] [--stats]\n\
+         \x20      dsd batch <request-file> [--threads <n>] \
+         [--substrate-budget <bytes>]"
     );
     ExitCode::FAILURE
 }
@@ -283,12 +333,19 @@ fn flush_requests(
         st.flow_resolve_hits,
         st.utilization() * 100.0
     );
+    println!(
+        "substrate: {:.1} KiB built in {:.3} ms this batch, {:.1} KiB resident",
+        st.store_bytes_built as f64 / 1024.0,
+        st.store_build_nanos as f64 / 1e6,
+        st.substrate_bytes as f64 / 1024.0
+    );
     failed
 }
 
 fn run_batch(args: &[String]) -> ExitCode {
     let mut file: Option<&str> = None;
     let mut threads = 1usize;
+    let mut substrate_budget: Option<Option<u64>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -296,6 +353,13 @@ fn run_batch(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => threads = n,
                 _ => {
                     eprintln!("bad --threads");
+                    return usage();
+                }
+            },
+            "--substrate-budget" => match it.next().and_then(|s| parse_byte_budget(s)) {
+                Some(b) => substrate_budget = Some(b),
+                None => {
+                    eprintln!("bad --substrate-budget");
                     return usage();
                 }
             },
@@ -312,7 +376,11 @@ fn run_batch(args: &[String]) -> ExitCode {
         }
     };
 
-    let service = DsdService::with_parallelism(Parallelism::new(threads));
+    let mut service = DsdService::with_parallelism(Parallelism::new(threads));
+    if let Some(budget) = substrate_budget {
+        service = service.with_substrate_budget(budget);
+    }
+    let service = service;
     println!("batch: {} workers", threads);
     let mut pending: Vec<DsdRequest> = Vec::new();
     let mut next_index = 0usize;
@@ -406,6 +474,7 @@ fn main() -> ExitCode {
     let mut tolerance: Option<f64> = None;
     let mut budget: Option<usize> = None;
     let mut threads = 1usize;
+    let mut substrate_budget: Option<Option<u64>> = None;
     let mut stats = false;
 
     let mut it = args.iter();
@@ -473,6 +542,13 @@ fn main() -> ExitCode {
                     return usage();
                 }
             },
+            "--substrate-budget" => match it.next().and_then(|s| parse_byte_budget(s)) {
+                Some(b) => substrate_budget = Some(b),
+                None => {
+                    eprintln!("bad --substrate-budget");
+                    return usage();
+                }
+            },
             "--stats" => stats = true,
             other if !other.starts_with("--") && file.is_none() => {
                 file = Some(other);
@@ -509,7 +585,11 @@ fn main() -> ExitCode {
             psi.name()
         );
     }
-    let engine = DsdEngine::new(g).with_parallelism(Parallelism::new(threads));
+    let mut engine = DsdEngine::new(g).with_parallelism(Parallelism::new(threads));
+    if let Some(b) = substrate_budget {
+        engine = engine.with_substrate_budget(b);
+    }
+    let engine = engine;
     let mut request = engine
         .request(&psi)
         .objective(objective.clone())
@@ -565,5 +645,8 @@ fn main() -> ExitCode {
         st.flow_resolve_hits,
         st.flow_augment_work,
     );
+    if let Some(store) = &st.store {
+        println!("{}", store_line(store));
+    }
     ExitCode::SUCCESS
 }
