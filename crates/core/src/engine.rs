@@ -55,6 +55,7 @@
 
 use std::collections::HashMap;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -230,11 +231,44 @@ pub struct EngineCacheStats {
 
 /// Cache key for a pattern: vertex count + the canonical edge list under
 /// vertex relabeling ([`Pattern::canonical_edges`]), so isomorphic
-/// patterns with different labelings share one cached substrate.
-pub(crate) type PatternKey = (usize, Vec<(u8, u8)>);
+/// patterns with different labelings share one cached substrate. This is
+/// also the unit the serving layer's substrate governor ledgers: one
+/// `(engine, PatternKey)` pair names one evictable cache entry.
+pub type PatternKey = (usize, Vec<(u8, u8)>);
 
-pub(crate) fn pattern_key(psi: &Pattern) -> PatternKey {
+/// The canonical [`PatternKey`] for Ψ.
+pub fn pattern_key(psi: &Pattern) -> PatternKey {
     (psi.vertex_count(), psi.canonical_edges())
+}
+
+/// Process-unique engine ids, so a cross-engine ledger (the serve-layer
+/// governor) can key entries without holding engine references.
+static ENGINE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Receiver for engine substrate-cache events, implemented by the serving
+/// layer's byte governor ([`crate::serve::SubstrateGovernor`]).
+///
+/// Call discipline (what keeps this deadlock-free): the engine invokes
+/// these callbacks only *after* releasing its own state/cache locks, while
+/// an implementation is allowed to call back into
+/// [`DsdEngine::evict_substrate`] (which takes the cache write lock) from
+/// inside a callback. The reverse order — engine lock held while entering
+/// the observer — never happens.
+pub trait CacheObserver: Send + Sync {
+    /// A request touched the substrate entry `(engine, key)` at `epoch`;
+    /// at notification time its cache-resident footprint was `bytes` (0
+    /// when the epoch moved on before accounting — the entry is already
+    /// gone). The value is advisory: it can go stale between the engine's
+    /// read and the observer's bookkeeping, so an implementation keeping
+    /// an exact ledger should re-read the footprint itself inside its own
+    /// critical section. `hit` reports whether the request was served
+    /// from cache.
+    fn on_substrate_used(&self, engine: u64, key: &PatternKey, epoch: u64, bytes: u64, hit: bool);
+
+    /// The engine released `bytes` of cache-resident substrates wholesale:
+    /// an [`DsdEngine::apply`] epoch bump, or the engine dropping. Every
+    /// ledger entry for this engine is now stale.
+    fn on_engine_release(&self, engine: u64, bytes: u64);
 }
 
 /// `(substrate, cache_hit)` pair.
@@ -360,11 +394,13 @@ pub struct ApplyStats {
 /// The lifetime parameter supports zero-copy engines over borrowed graphs
 /// ([`DsdEngine::over`]); owning engines are `DsdEngine<'static>`.
 pub struct DsdEngine<'g> {
+    id: u64,
     state: RwLock<GraphState<'g>>,
     parallelism: Parallelism,
     substrate_budget: Option<u64>,
     cache: RwLock<SubstrateCache>,
     counters: Mutex<EngineCacheStats>,
+    observer: RwLock<Option<Arc<dyn CacheObserver>>>,
 }
 
 impl DsdEngine<'static> {
@@ -384,6 +420,7 @@ impl<'g> DsdEngine<'g> {
 
     fn with_slot(slot: GraphSlot<'g>) -> Self {
         DsdEngine {
+            id: ENGINE_IDS.fetch_add(1, Ordering::Relaxed),
             state: RwLock::new(GraphState {
                 slot,
                 pending: EdgeOverlay::default(),
@@ -393,7 +430,65 @@ impl<'g> DsdEngine<'g> {
             substrate_budget: Some(DEFAULT_STORE_BUDGET),
             cache: RwLock::new(SubstrateCache::default()),
             counters: Mutex::new(EngineCacheStats::default()),
+            observer: RwLock::new(None),
         }
+    }
+
+    /// This engine's process-unique id — the stable half of the serving
+    /// layer's `(engine, Ψ)` ledger key.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Installs (or clears) the substrate-cache observer. At most one is
+    /// active; the serving layer's governor installs itself here when the
+    /// engine joins a governed catalog.
+    pub fn set_cache_observer(&self, observer: Option<Arc<dyn CacheObserver>>) {
+        *self.observer.write().unwrap() = observer;
+    }
+
+    fn notify(&self, f: impl FnOnce(&dyn CacheObserver)) {
+        let guard = self.observer.read().unwrap();
+        if let Some(obs) = guard.as_deref() {
+            f(obs);
+        }
+    }
+
+    /// Drops the cached Ψ-substrates (oracle + decomposition) for one
+    /// canonical key, returning the cache-resident bytes released. The
+    /// eviction hook of the serve-layer governor: in-flight requests that
+    /// already cloned the `Arc`s finish unaffected — eviction only severs
+    /// the cache's reference, so the bytes are reclaimed once the last
+    /// snapshot-holder drops. Does *not* notify the observer (the governor
+    /// is the caller and updates its own ledger).
+    pub fn evict_substrate(&self, key: &PatternKey) -> u64 {
+        let mut cache = self.cache.write().unwrap();
+        let mut freed = 0u64;
+        if let Some(oracle) = cache.oracles.remove(key) {
+            freed += oracle.resident_bytes();
+        }
+        if let Some(dec) = cache.decompositions.remove(key) {
+            freed += dec.bytes() as u64;
+        }
+        freed
+    }
+
+    /// Cache-resident bytes of the entry for `key`, observed at `epoch`
+    /// (0 when the cache has moved to a different epoch or holds nothing
+    /// for the key). The governor re-reads this under its own lock when
+    /// ledgering, so a record is always fresh relative to its own
+    /// evictions (an engine-side pre-read could go stale in between).
+    pub(crate) fn key_bytes(&self, key: &PatternKey, epoch: u64) -> u64 {
+        let cache = self.cache.read().unwrap();
+        if cache.epoch != epoch {
+            return 0;
+        }
+        let store = cache.oracles.get(key).map_or(0, |o| o.resident_bytes());
+        let dec = cache
+            .decompositions
+            .get(key)
+            .map_or(0, |d| d.bytes() as u64);
+        store + dec
     }
 
     /// Sets the worker count used for parallelizable substrate passes
@@ -557,6 +652,13 @@ impl<'g> DsdEngine<'g> {
         stats.kcore_patched = kcore.is_some();
         cache.kcore = kcore;
         stats.total_nanos = t0.elapsed().as_nanos();
+        // Release the state/cache locks before entering the observer (the
+        // lock-order rule documented on `CacheObserver`).
+        drop(cache);
+        drop(state);
+        if stats.bytes_freed > 0 || stats.substrates_dropped > 0 {
+            self.notify(|obs| obs.on_engine_release(self.id, stats.bytes_freed));
+        }
         stats
     }
 
@@ -794,6 +896,15 @@ impl<'g> DsdEngine<'g> {
         solution.objective = objective;
         solution.stats.epoch = snap.epoch();
         solution.stats.total_nanos = t0.elapsed().as_nanos();
+        // Ledger the touched substrate entry with the governor (if any).
+        // The query variant uses only the classical k-core order, which is
+        // repaired in place rather than evicted, so it is not ledgered.
+        if !matches!(req.objective, Objective::WithQuery(_)) {
+            let key = pattern_key(&req.psi);
+            let bytes = self.key_bytes(&key, snap.epoch());
+            let hit = solution.stats.substrate.oracle_cache_hit;
+            self.notify(|obs| obs.on_substrate_used(self.id, &key, snap.epoch(), bytes, hit));
+        }
         solution
     }
 
@@ -1099,15 +1210,25 @@ impl<'g> DsdEngine<'g> {
     }
 }
 
+impl Drop for DsdEngine<'_> {
+    /// Tells the observer the engine's whole cache footprint is gone, so a
+    /// governed catalog dropping an engine (eviction, shutdown) never
+    /// leaks its bytes in the global ledger.
+    fn drop(&mut self) {
+        let bytes = cache_bytes(self.cache.get_mut().unwrap());
+        if bytes > 0 {
+            if let Some(obs) = self.observer.get_mut().unwrap().as_deref() {
+                obs.on_engine_release(self.id, bytes);
+            }
+        }
+    }
+}
+
 /// Resident bytes of a substrate cache's droppable Ψ-substrates: instance
-/// stores (via [`DensityOracle::store_stats`]) plus decomposition arrays.
+/// stores (via [`DensityOracle::resident_bytes`]) plus decomposition
+/// arrays.
 fn cache_bytes(cache: &SubstrateCache) -> u64 {
-    let store_bytes: u64 = cache
-        .oracles
-        .values()
-        .filter_map(|o| o.store_stats())
-        .map(|s| s.build.bytes as u64)
-        .sum();
+    let store_bytes: u64 = cache.oracles.values().map(|o| o.resident_bytes()).sum();
     let dec_bytes: u64 = cache
         .decompositions
         .values()
@@ -1246,6 +1367,17 @@ impl DsdRequest {
     pub fn step_budget(mut self, probes: usize) -> Self {
         self.step_budget = Some(probes);
         self
+    }
+
+    /// The configured probe cap, if any — read by the serve pipeline to
+    /// clamp a request's budget against its deadline.
+    pub fn step_budget_limit(&self) -> Option<usize> {
+        self.step_budget
+    }
+
+    /// The request's objective.
+    pub fn objective_ref(&self) -> &Objective {
+        &self.objective
     }
 }
 

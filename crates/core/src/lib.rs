@@ -79,6 +79,7 @@ pub mod oracle;
 pub mod parallelism;
 pub mod peel;
 pub mod query;
+pub mod serve;
 pub mod service;
 pub mod size_constrained;
 pub mod top_k;
@@ -98,8 +99,8 @@ pub use dsd_motif::store::StoreBuildStats;
 pub use dynamic::{repair_delete, repair_insert};
 pub use emcore::emcore_max_core;
 pub use engine::{
-    ApplyStats, BoundRequest, DsdEngine, DsdRequest, EngineCacheStats, GraphSnapshot, Guarantee,
-    Objective, Outcome, Solution, SolveStats,
+    pattern_key, ApplyStats, BoundRequest, CacheObserver, DsdEngine, DsdRequest, EngineCacheStats,
+    GraphSnapshot, Guarantee, Objective, Outcome, PatternKey, Solution, SolveStats,
 };
 pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;
@@ -113,6 +114,10 @@ pub use oracle::{
 pub use parallelism::Parallelism;
 pub use peel::{peel_app, peel_app_from};
 pub use query::{densest_with_query, densest_with_query_from};
+pub use serve::{
+    DsdServer, GovernorStats, ServeConfig, ServeError, ServeOutcome, ServeStats, SubstrateGovernor,
+    SubstrateLease, Ticket,
+};
 pub use service::{BatchOutcome, BatchStats, DsdService, ServiceError};
 pub use size_constrained::{
     densest_at_least_k, densest_at_least_k_from, densest_at_most_k, densest_at_most_k_from,

@@ -80,6 +80,16 @@ pub trait DensityOracle: Send + Sync {
     fn store_stats(&self) -> Option<StoreStats> {
         None
     }
+
+    /// Cache-resident bytes this oracle currently holds (the materialized
+    /// instance store, for the store-backed oracle; 0 for pure streaming
+    /// oracles). This is the quantity a serving-layer byte governor
+    /// ledgers: the oracle is a *droppable store handle* — releasing the
+    /// engine's reference frees these bytes once in-flight requests
+    /// holding their own `Arc` finish, and later requests rebuild.
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// One peel run's decrement engine (see [`DensityOracle::peeler`]).
@@ -464,6 +474,13 @@ impl DensityOracle for MaterializedOracle {
 
     fn store_stats(&self) -> Option<StoreStats> {
         self.state.get().map(|s| s.stats)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.state
+            .get()
+            .and_then(|s| s.store.as_ref())
+            .map_or(0, |store| store.bytes() as u64)
     }
 }
 

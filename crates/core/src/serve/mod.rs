@@ -1,0 +1,50 @@
+//! `dsd_core::serve`: the self-limiting serving runtime.
+//!
+//! [`crate::service::DsdService`] gives one process a catalog of live
+//! graphs with warm substrate caches; this module makes that shape safe
+//! to run *indefinitely* under mixed traffic. Two failure modes of the
+//! bare catalog motivate it:
+//!
+//! 1. **Unbounded memory.** Engine caches are grow-only between updates:
+//!    every (graph, Ψ) pair a workload ever touches stays resident. The
+//!    [`SubstrateGovernor`] puts one LRU byte budget over all engines —
+//!    substrates are treated as the factorised materialized views they
+//!    are (expensive to build, cheap to share, first to evict under
+//!    pressure), and `Arc` reference counting makes eviction safe for
+//!    requests already holding the substrate.
+//! 2. **Unbounded latency.** A synchronous batch head-of-line-blocks
+//!    behind its slowest solve, and one hot graph's update stalls every
+//!    other graph. The [`DsdServer`] pipeline gives each graph its own
+//!    bounded FIFO (updates barrier only their own graph), sheds load
+//!    typed ([`ServeError::Overloaded`]) instead of queueing without
+//!    bound, and enforces per-request deadlines through the α-search
+//!    step-budget knob.
+//!
+//! ```
+//! use dsd_core::serve::{DsdServer, ServeConfig, ServeOutcome};
+//! use dsd_core::DsdRequest;
+//! use dsd_graph::Graph;
+//! use dsd_motif::Pattern;
+//!
+//! let server = DsdServer::new(ServeConfig {
+//!     workers: 2,
+//!     queue_depth: 16,
+//!     substrate_budget: Some(64 << 20),
+//!     ..ServeConfig::default()
+//! });
+//! let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+//! server.register("toy", g);
+//!
+//! let ticket = server.submit(DsdRequest::new(&Pattern::triangle()).on("toy")).unwrap();
+//! match ticket.wait().unwrap() {
+//!     ServeOutcome::Solved(s) => assert_eq!(s.vertices, vec![0, 1, 2, 3]),
+//!     ServeOutcome::Updated(_) => unreachable!(),
+//! }
+//! server.drain();
+//! ```
+
+mod governor;
+mod pipeline;
+
+pub use governor::{GovernorStats, SubstrateGovernor, SubstrateLease};
+pub use pipeline::{DsdServer, ServeConfig, ServeError, ServeOutcome, ServeStats, Ticket};

@@ -1,0 +1,533 @@
+//! The admission-controlled request pipeline.
+//!
+//! [`DsdServer`] wraps a governed [`DsdService`] in a hand-rolled
+//! thread+channel runtime (the workspace is dependency-free — plain
+//! `std::sync` primitives, no async executor): one bounded FIFO queue per
+//! registered graph, a shared worker pool pulling across the queues
+//! round-robin, and per-ticket completion channels.
+//!
+//! The scheduling rules, in order of importance:
+//!
+//! * **Per-graph FIFO, cross-graph freedom.** Queries on one graph run
+//!   concurrently; an update barriers *only its own graph's queue* — it
+//!   dispatches once that graph's in-flight queries drain, runs alone,
+//!   and later same-graph jobs wait behind it. Other graphs' traffic
+//!   flows the whole time. (This generalizes the batch CLI's
+//!   flush-before-update rule from "one global barrier" to "one barrier
+//!   per graph".)
+//! * **Bounded admission.** Each graph queue holds at most
+//!   [`ServeConfig::queue_depth`] jobs; a submit beyond that is shed
+//!   immediately with [`ServeError::Overloaded`] instead of growing an
+//!   unbounded backlog — the caller owns the retry policy.
+//! * **Deadlines shed at dispatch.** A job whose deadline passed while
+//!   queued is failed with [`ServeError::DeadlineExceeded`] without
+//!   running; a job dispatched in time may additionally have its
+//!   α-search probe count clamped ([`ServeConfig::deadline_step_budget`])
+//!   so one slow exact solve cannot blow through its deadline unbounded
+//!   (the answer then degrades to [`crate::Guarantee::Heuristic`], never
+//!   to a wrong density).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dsd_graph::{Graph, GraphUpdate};
+
+use crate::engine::{pattern_key, ApplyStats, DsdEngine, DsdRequest, Objective, Solution};
+use crate::serve::governor::{GovernorStats, SubstrateGovernor};
+use crate::service::DsdService;
+
+/// Sizing and policy knobs for a [`DsdServer`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads pulling jobs across all graph queues. `0` spawns
+    /// none — jobs then only run via [`DsdServer::step`], which tests use
+    /// to drive the pipeline deterministically.
+    pub workers: usize,
+    /// Max queued jobs per graph; submits beyond this shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Global substrate byte budget enforced by the governor across every
+    /// registered engine (`None` = account but never evict).
+    pub substrate_budget: Option<u64>,
+    /// Deadline attached to every submitted job, measured from submit
+    /// (`None` = jobs never expire).
+    pub deadline: Option<Duration>,
+    /// When a deadline is set, clamp each query's α-search to at most
+    /// this many min-cut probes (0 = no clamp; deadlines then only shed
+    /// jobs still queued at expiry).
+    pub deadline_step_budget: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            substrate_budget: None,
+            deadline: None,
+            deadline_step_budget: 0,
+        }
+    }
+}
+
+/// Why the pipeline refused or failed a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The graph's queue is full; retry after backoff.
+    Overloaded {
+        /// The saturated graph.
+        graph: String,
+        /// Its configured queue depth.
+        depth: usize,
+    },
+    /// The job names a graph the catalog does not hold.
+    UnknownGraph(String),
+    /// The request was never routed ([`DsdRequest::on`] was not called).
+    Unrouted,
+    /// The job's deadline passed before a worker could start it.
+    DeadlineExceeded,
+    /// The server shut down before the job ran.
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { graph, depth } => {
+                write!(f, "queue for graph {graph:?} is full ({depth} jobs)")
+            }
+            ServeError::UnknownGraph(name) => {
+                write!(f, "no graph named {name:?} in the catalog")
+            }
+            ServeError::Unrouted => {
+                write!(f, "request names no graph (build it with .on(name))")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline passed before dispatch"),
+            ServeError::ShutDown => write!(f, "server shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a completed job produced.
+#[derive(Clone, Debug)]
+pub enum ServeOutcome {
+    /// A query's solution (boxed: a `Solution` is large next to the
+    /// other variant and tickets move outcomes through channels).
+    Solved(Box<Solution>),
+    /// An update batch's apply stats.
+    Updated(ApplyStats),
+}
+
+impl ServeOutcome {
+    /// The solution, if this was a query.
+    pub fn solution(self) -> Option<Solution> {
+        match self {
+            ServeOutcome::Solved(s) => Some(*s),
+            ServeOutcome::Updated(_) => None,
+        }
+    }
+}
+
+/// A claim on one submitted job's result; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeOutcome, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the job completes (or the server drops it).
+    pub fn wait(self) -> Result<ServeOutcome, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+
+    /// Non-blocking poll; `None` while the job is still pending.
+    pub fn poll(&self) -> Option<Result<ServeOutcome, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Pipeline-level counters, from [`DsdServer::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs admitted to a queue.
+    pub submitted: u64,
+    /// Jobs that ran to completion (success or in-run failure).
+    pub completed: u64,
+    /// Submits shed with [`ServeError::Overloaded`].
+    pub shed_overload: u64,
+    /// Jobs shed at dispatch with [`ServeError::DeadlineExceeded`].
+    pub shed_deadline: u64,
+    /// Jobs currently queued across all graphs.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// The governor's counters.
+    pub governor: GovernorStats,
+}
+
+enum JobKind {
+    Query(DsdRequest),
+    Update(Vec<GraphUpdate>),
+}
+
+struct Job {
+    graph: String,
+    kind: JobKind,
+    tx: mpsc::Sender<Result<ServeOutcome, ServeError>>,
+    deadline: Option<Instant>,
+}
+
+#[derive(Default)]
+struct GraphQueue {
+    jobs: VecDeque<Job>,
+    running_queries: usize,
+    update_running: bool,
+}
+
+#[derive(Default)]
+struct PipeState {
+    graphs: HashMap<String, GraphQueue>,
+    /// Round-robin dispatch order over `graphs`.
+    order: Vec<String>,
+    cursor: usize,
+    queued: usize,
+    in_flight: usize,
+    shutdown: bool,
+    submitted: u64,
+    completed: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+}
+
+struct Shared {
+    service: DsdService,
+    governor: Arc<SubstrateGovernor>,
+    config: ServeConfig,
+    state: Mutex<PipeState>,
+    /// Workers park here when no job is dispatchable.
+    work: Condvar,
+    /// [`DsdServer::drain`] parks here until the pipeline is empty.
+    idle: Condvar,
+}
+
+/// The serving runtime: a governed catalog plus the admission-controlled
+/// worker pipeline. See the module docs for the scheduling rules.
+pub struct DsdServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DsdServer {
+    /// Builds the runtime and spawns its worker pool.
+    pub fn new(config: ServeConfig) -> Self {
+        let governor = SubstrateGovernor::new(config.substrate_budget);
+        let service = DsdService::new().with_governor(Arc::clone(&governor));
+        let shared = Arc::new(Shared {
+            service,
+            governor,
+            config,
+            state: Mutex::new(PipeState::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        DsdServer { shared, workers }
+    }
+
+    /// Registers (or replaces) a graph: the engine joins the governed
+    /// catalog and gets its own FIFO queue.
+    pub fn register(&self, name: impl Into<String>, graph: Graph) -> Arc<DsdEngine<'static>> {
+        let name = name.into();
+        let engine = self.shared.service.register(name.clone(), graph);
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.graphs.contains_key(&name) {
+            state.graphs.insert(name.clone(), GraphQueue::default());
+            state.order.push(name);
+        }
+        engine
+    }
+
+    /// Removes a graph. Queued jobs for it fail with
+    /// [`ServeError::UnknownGraph`]; its engine's bytes leave the
+    /// governor's ledger once the last in-flight holder drops it.
+    pub fn evict(&self, name: &str) -> bool {
+        let present = self.shared.service.evict(name);
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(mut q) = state.graphs.remove(name) {
+            state.queued -= q.jobs.len();
+            for job in q.jobs.drain(..) {
+                let _ = job.tx.send(Err(ServeError::UnknownGraph(name.to_string())));
+            }
+            state.order.retain(|g| g != name);
+            state.cursor = 0;
+        }
+        notify_if_idle(&self.shared, &state);
+        present
+    }
+
+    /// The engine serving `name`, if registered.
+    pub fn engine(&self, name: &str) -> Option<Arc<DsdEngine<'static>>> {
+        self.shared.service.engine(name)
+    }
+
+    /// The governor enforcing the global substrate budget.
+    pub fn governor(&self) -> &Arc<SubstrateGovernor> {
+        &self.shared.governor
+    }
+
+    /// Current pipeline + governor counters.
+    pub fn stats(&self) -> ServeStats {
+        let state = self.shared.state.lock().unwrap();
+        ServeStats {
+            submitted: state.submitted,
+            completed: state.completed,
+            shed_overload: state.shed_overload,
+            shed_deadline: state.shed_deadline,
+            queued: state.queued,
+            in_flight: state.in_flight,
+            governor: self.shared.governor.stats(),
+        }
+    }
+
+    /// Enqueues a routed query. Fails fast (without queueing) when the
+    /// graph is unknown or its queue is full.
+    pub fn submit(&self, req: DsdRequest) -> Result<Ticket, ServeError> {
+        let Some(name) = req.graph_name() else {
+            return Err(ServeError::Unrouted);
+        };
+        let name = name.to_string();
+        self.enqueue(name, JobKind::Query(req))
+    }
+
+    /// Enqueues an update batch for `name`. It obeys the same admission
+    /// control as queries and barriers only that graph's queue.
+    pub fn submit_update(
+        &self,
+        name: impl Into<String>,
+        updates: Vec<GraphUpdate>,
+    ) -> Result<Ticket, ServeError> {
+        self.enqueue(name.into(), JobKind::Update(updates))
+    }
+
+    fn enqueue(&self, name: String, kind: JobKind) -> Result<Ticket, ServeError> {
+        let deadline = self.shared.config.deadline.map(|d| Instant::now() + d);
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutdown {
+            return Err(ServeError::ShutDown);
+        }
+        let depth = self.shared.config.queue_depth;
+        let Some(queue) = state.graphs.get_mut(&name) else {
+            return Err(ServeError::UnknownGraph(name));
+        };
+        if queue.jobs.len() >= depth {
+            state.shed_overload += 1;
+            return Err(ServeError::Overloaded { graph: name, depth });
+        }
+        queue.jobs.push_back(Job {
+            graph: name,
+            kind,
+            tx,
+            deadline,
+        });
+        state.queued += 1;
+        state.submitted += 1;
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Runs at most one queued job on the calling thread; returns whether
+    /// one was dispatchable. With `workers: 0` this is the only engine of
+    /// progress — tests use it to sequence the pipeline deterministically.
+    pub fn step(&self) -> bool {
+        let job = {
+            let mut state = self.shared.state.lock().unwrap();
+            match take_next(&mut state) {
+                Some(job) => job,
+                None => return false,
+            }
+        };
+        run_job(&self.shared, job);
+        true
+    }
+
+    /// Blocks until every queued and in-flight job has completed, then
+    /// debug-asserts the governor's ledger against ground truth. Requires
+    /// `workers > 0` (with none, drive [`DsdServer::step`] instead).
+    pub fn drain(&self) {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.queued > 0 || state.in_flight > 0 {
+            state = self.shared.idle.wait(state).unwrap();
+        }
+        drop(state);
+        self.shared.governor.debug_assert_reconciled();
+    }
+
+    /// Stops the pipeline: queued jobs fail with [`ServeError::ShutDown`],
+    /// in-flight jobs finish, workers exit.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+            let mut dropped = 0;
+            for queue in state.graphs.values_mut() {
+                dropped += queue.jobs.len();
+                for job in queue.jobs.drain(..) {
+                    let _ = job.tx.send(Err(ServeError::ShutDown));
+                }
+            }
+            state.queued -= dropped;
+        }
+        self.shared.work.notify_all();
+        self.shared.idle.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("serve worker panicked");
+        }
+    }
+}
+
+impl Drop for DsdServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Picks the next dispatchable job round-robin across graph queues,
+/// updating the dispatch bookkeeping. The per-graph rules: a graph with a
+/// running update dispatches nothing; a front-of-queue query dispatches
+/// any time; a front-of-queue update dispatches only once the graph's
+/// in-flight queries drain (and never jumps the FIFO — later same-graph
+/// jobs wait behind it).
+fn take_next(state: &mut PipeState) -> Option<Job> {
+    let graphs = state.order.len();
+    for i in 0..graphs {
+        let at = (state.cursor + i) % graphs;
+        let name = &state.order[at];
+        let queue = state.graphs.get_mut(name).expect("order tracks graphs");
+        if queue.update_running {
+            continue;
+        }
+        let is_update = match queue.jobs.front() {
+            Some(job) => matches!(job.kind, JobKind::Update(_)),
+            None => continue,
+        };
+        if is_update {
+            if queue.running_queries > 0 {
+                continue;
+            }
+            queue.update_running = true;
+        } else {
+            queue.running_queries += 1;
+        }
+        let job = queue.jobs.pop_front().expect("front just inspected");
+        state.queued -= 1;
+        state.in_flight += 1;
+        state.cursor = (at + 1) % graphs;
+        return Some(job);
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = take_next(&mut state) {
+                    break job;
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        run_job(shared, job);
+    }
+}
+
+/// Executes one dispatched job and settles the pipeline bookkeeping.
+fn run_job(shared: &Shared, job: Job) {
+    let Job {
+        graph,
+        kind,
+        tx,
+        deadline,
+    } = job;
+    let is_update = matches!(kind, JobKind::Update(_));
+    let expired = deadline.is_some_and(|d| Instant::now() > d);
+
+    let result = if expired {
+        Err(ServeError::DeadlineExceeded)
+    } else {
+        match kind {
+            JobKind::Query(mut req) => match shared.service.engine(&graph) {
+                Some(engine) => {
+                    let cap = shared.config.deadline_step_budget;
+                    if deadline.is_some() && cap > 0 {
+                        let cap = req.step_budget_limit().map_or(cap, |b| b.min(cap));
+                        req = req.step_budget(cap);
+                    }
+                    // Pin the substrate entry this query is about to use
+                    // so the LRU doesn't thrash it mid-request. The query
+                    // variant runs on the (in-place-repaired, unevicted)
+                    // classical k-core order and needs no pin.
+                    let _lease = if matches!(req.objective_ref(), Objective::WithQuery(_)) {
+                        None
+                    } else {
+                        Some(shared.governor.lease(engine.id(), pattern_key(req.psi())))
+                    };
+                    Ok(ServeOutcome::Solved(Box::new(engine.solve(&req))))
+                }
+                None => Err(ServeError::UnknownGraph(graph.clone())),
+            },
+            JobKind::Update(updates) => match shared.service.engine(&graph) {
+                Some(engine) => Ok(ServeOutcome::Updated(engine.apply(&updates))),
+                None => Err(ServeError::UnknownGraph(graph.clone())),
+            },
+        }
+    };
+
+    let mut state = shared.state.lock().unwrap();
+    state.in_flight -= 1;
+    if expired {
+        state.shed_deadline += 1;
+    } else {
+        state.completed += 1;
+    }
+    if let Some(queue) = state.graphs.get_mut(&graph) {
+        if is_update {
+            queue.update_running = false;
+        } else {
+            queue.running_queries -= 1;
+        }
+    }
+    // Finishing can unblock a barriered update (or the jobs behind one);
+    // wake the pool to re-scan.
+    if state.queued > 0 {
+        shared.work.notify_all();
+    }
+    notify_if_idle(shared, &state);
+    drop(state);
+    let _ = tx.send(result);
+}
+
+fn notify_if_idle(shared: &Shared, state: &PipeState) {
+    if state.queued == 0 && state.in_flight == 0 {
+        shared.idle.notify_all();
+    }
+}

@@ -1,5 +1,16 @@
-//! `DsdService`: a thread-safe, multi-graph serving layer with batched
-//! request execution.
+//! `DsdService`: a thread-safe, multi-graph catalog with batched request
+//! execution — the synchronous substrate of the serving stack.
+//!
+//! Historically this *was* the serving layer: a synchronous catalog whose
+//! `solve_batch` ran one batch to completion on scoped workers, with
+//! grow-only per-engine substrate caches. That shape survives here as
+//! the execution core, but production serving now goes through
+//! [`crate::serve`]: [`crate::serve::DsdServer`] layers per-graph
+//! admission queues, worker pooling, deadlines, and a global substrate
+//! byte budget (the [`crate::serve::SubstrateGovernor`]) on top of this
+//! catalog. Use `DsdService` directly for offline batch workloads where
+//! "run everything, then return" is the right contract; use the serve
+//! pipeline when traffic is continuous and memory must stay bounded.
 //!
 //! One process, many datasets, many clients: the service keeps a catalog
 //! of named graphs, each behind its own [`DsdEngine`] (so each dataset's
@@ -59,6 +70,7 @@ use dsd_graph::{Graph, GraphUpdate};
 
 use crate::engine::{pattern_key, ApplyStats, DsdEngine, DsdRequest, PatternKey, Solution};
 use crate::parallelism::Parallelism;
+use crate::serve::SubstrateGovernor;
 
 /// Why the service could not serve a request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,6 +162,7 @@ pub struct DsdService {
     catalog: RwLock<HashMap<String, Arc<DsdEngine<'static>>>>,
     parallelism: Parallelism,
     substrate_budget: Option<u64>,
+    governor: Option<Arc<SubstrateGovernor>>,
 }
 
 impl Default for DsdService {
@@ -176,7 +189,18 @@ impl DsdService {
             catalog: RwLock::new(HashMap::new()),
             parallelism,
             substrate_budget: Some(crate::oracle::DEFAULT_STORE_BUDGET),
+            governor: None,
         }
+    }
+
+    /// Puts the catalog under a [`SubstrateGovernor`]: every engine
+    /// registered *after* this call is attached, so its substrate bytes
+    /// are ledgered against the governor's global budget and its entries
+    /// become eviction candidates. [`Self::evict`] and engine drop report
+    /// released bytes back through the same ledger.
+    pub fn with_governor(mut self, governor: Arc<SubstrateGovernor>) -> Self {
+        self.governor = Some(governor);
+        self
     }
 
     /// The service's worker-count configuration.
@@ -204,17 +228,28 @@ impl DsdService {
     /// routed keep their consistent view.
     pub fn register(&self, name: impl Into<String>, graph: Graph) -> Arc<DsdEngine<'static>> {
         let engine = Arc::new(DsdEngine::new(graph).with_substrate_budget(self.substrate_budget));
-        self.catalog
+        if let Some(governor) = &self.governor {
+            governor.attach(&engine);
+        }
+        let replaced = self
+            .catalog
             .write()
             .unwrap()
             .insert(name.into(), Arc::clone(&engine));
+        // Dropped outside the catalog lock: a replaced engine's Drop
+        // reports its bytes to the governor, which may call back into
+        // engine locks.
+        drop(replaced);
         engine
     }
 
     /// Removes `name` from the catalog; returns whether it was present.
-    /// In-flight requests on the evicted engine run to completion.
+    /// In-flight requests on the evicted engine run to completion; under
+    /// a governor, the engine's drop then reports its released bytes so
+    /// the global ledger never drifts from reality.
     pub fn evict(&self, name: &str) -> bool {
-        self.catalog.write().unwrap().remove(name).is_some()
+        let removed = self.catalog.write().unwrap().remove(name);
+        removed.is_some()
     }
 
     /// The engine serving `name`, if registered.
@@ -274,6 +309,14 @@ impl DsdService {
     /// behind that engine's build-once write lock, so per-graph cold-start
     /// wall time is the sum of that graph's distinct substrate builds.
     pub fn solve_batch(&self, requests: Vec<DsdRequest>) -> BatchOutcome {
+        // Empty batch: nothing to route, group, or solve — return zeroed
+        // stats without spawning workers.
+        if requests.is_empty() {
+            return BatchOutcome {
+                solutions: Vec::new(),
+                stats: BatchStats::default(),
+            };
+        }
         let t0 = Instant::now();
         let n = requests.len();
 
@@ -561,12 +604,17 @@ mod tests {
         );
     }
 
+    /// The empty-batch fast path: zeroed stats, no worker bookkeeping,
+    /// no wall-clock measured (the early return never starts the timer).
     #[test]
     fn empty_batch_is_fine() {
-        let service = DsdService::new();
+        let service = DsdService::with_parallelism(Parallelism::new(4));
         let outcome = service.solve_batch(Vec::new());
         assert!(outcome.solutions.is_empty());
+        assert_eq!(outcome.stats.requests, 0);
         assert_eq!(outcome.stats.groups, 0);
+        assert_eq!(outcome.stats.wall_nanos, 0);
+        assert!(outcome.stats.worker_busy_nanos.is_empty());
         assert_eq!(outcome.stats.utilization(), 0.0);
     }
 

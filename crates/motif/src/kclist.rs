@@ -8,21 +8,42 @@
 
 use dsd_graph::{degeneracy_order, Graph, VertexId, VertexSet};
 
-/// Materializes alive, id-sorted out-neighbour lists over the degeneracy
-/// DAG, so intersections are linear merges. Shared by the sequential
-/// listers here, the parallel degree pass, and the sharded store build.
-pub(crate) fn build_out_lists(g: &Graph, alive: &VertexSet) -> Vec<Vec<VertexId>> {
+/// The degeneracy DAG's alive, id-sorted out-neighbour lists, flattened
+/// into one offsets+targets CSR: `targets[offsets[v]..offsets[v + 1]]` is
+/// `v`'s out-list. One allocation instead of one `Vec` per vertex — the
+/// per-vertex headers and heap scatter of the old `Vec<Vec<_>>` shape were
+/// a measurable slice of every cold enumeration (and of every rebuild an
+/// eviction forces). Shared by the sequential listers here, the parallel
+/// degree pass, and the sharded store build.
+pub(crate) struct OutCsr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl OutCsr {
+    /// The id-sorted out-neighbours of `v` (empty outside `alive`).
+    #[inline]
+    pub(crate) fn row(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+}
+
+/// Materializes the [`OutCsr`] for `g[alive]`, so intersections are linear
+/// merges over contiguous memory.
+pub(crate) fn build_out_csr(g: &Graph, alive: &VertexSet) -> OutCsr {
     let dag = degeneracy_order(g);
     let n = g.num_vertices();
-    let mut out: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    for v in alive.iter() {
-        out[v as usize] = dag
-            .out_neighbors(g, v)
-            .filter(|&u| alive.contains(u))
-            .collect();
-        out[v as usize].sort_unstable();
+    let mut offsets = vec![0usize; n + 1];
+    let mut targets: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        if alive.contains(v) {
+            let start = targets.len();
+            targets.extend(dag.out_neighbors(g, v).filter(|&u| alive.contains(u)));
+            targets[start..].sort_unstable();
+        }
+        offsets[v as usize + 1] = targets.len();
     }
-    out
+    OutCsr { offsets, targets }
 }
 
 /// Reusable per-worker scratch for [`CliqueLister`] traversals: the chain
@@ -45,7 +66,7 @@ pub struct CliqueScratch {
 /// instance store builds on — no intermediate `Vec<Vec<VertexId>>`.
 pub struct CliqueLister {
     h: usize,
-    out: Vec<Vec<VertexId>>,
+    out: OutCsr,
 }
 
 impl CliqueLister {
@@ -54,7 +75,7 @@ impl CliqueLister {
         assert!(h >= 2, "CliqueLister needs h >= 2");
         CliqueLister {
             h,
-            out: build_out_lists(g, alive),
+            out: build_out_csr(g, alive),
         }
     }
 
@@ -72,7 +93,7 @@ impl CliqueLister {
         rec(
             &self.out,
             &mut scratch.clique,
-            self.out[root as usize].clone(),
+            self.out.row(root).to_vec(),
             self.h,
             &mut scratch.pool,
             f,
@@ -133,7 +154,7 @@ pub fn for_each_clique_within_until<F: FnMut(&[VertexId]) -> bool>(
 }
 
 fn rec<F: FnMut(&[VertexId]) -> bool>(
-    out: &[Vec<VertexId>],
+    out: &OutCsr,
     clique: &mut Vec<VertexId>,
     cand: Vec<VertexId>,
     h: usize,
@@ -161,7 +182,7 @@ fn rec<F: FnMut(&[VertexId]) -> bool>(
         // produced exactly once, in rank order.
         let mut next = pool.pop().unwrap_or_default();
         next.clear();
-        intersect_sorted(&cand, &out[u as usize], &mut next);
+        intersect_sorted(&cand, out.row(u), &mut next);
         let mut keep = true;
         if clique.len() + 1 + next.len() >= h {
             clique.push(u);

@@ -13,10 +13,10 @@ use std::thread;
 
 use dsd_graph::{Graph, VertexId, VertexSet};
 
-use crate::kclist::{build_out_lists, intersect_sorted};
+use crate::kclist::{build_out_csr, intersect_sorted, OutCsr};
 
 fn rec_degrees(
-    out: &[Vec<VertexId>],
+    out: &OutCsr,
     clique: &mut Vec<VertexId>,
     cand: Vec<VertexId>,
     h: usize,
@@ -39,7 +39,7 @@ fn rec_degrees(
     for &u in cand.iter() {
         let mut next = pool.pop().unwrap_or_default();
         next.clear();
-        intersect_sorted(&cand, &out[u as usize], &mut next);
+        intersect_sorted(&cand, out.row(u), &mut next);
         if clique.len() + 1 + next.len() >= h {
             clique.push(u);
             rec_degrees(out, clique, std::mem::take(&mut next), h, pool, deg);
@@ -75,7 +75,7 @@ pub fn clique_degrees_parallel_within(
     if threads <= 1 || n < 256 {
         return crate::kclist::clique_degrees_within(g, h, alive);
     }
-    let out = build_out_lists(g, alive);
+    let out = build_out_csr(g, alive);
     let roots: Vec<VertexId> = alive.iter().collect();
     // Static interleaved partition: root costs are skewed (hubs first in id
     // order would imbalance contiguous chunks; striding mixes them).
@@ -93,7 +93,7 @@ pub fn clique_degrees_parallel_within(
                     rec_degrees(
                         out,
                         &mut clique,
-                        out[v as usize].clone(),
+                        out.row(v).to_vec(),
                         h,
                         &mut pool,
                         &mut deg,

@@ -8,6 +8,9 @@
 //!                      [--query v1,v2,...] [--threads <n>]
 //!                      [--substrate-budget <bytes>] [--stats]
 //! dsd batch <request-file> [--threads <n>] [--substrate-budget <bytes>]
+//! dsd serve <request-file> [--budget <bytes>] [--workers <n>]
+//!                          [--queue-depth <n>] [--deadline-ms <n>]
+//!                          [--deadline-probes <n>]
 //!
 //! patterns:   edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
 //!             c3-star | diamond | 2-triangle | 3-triangle | basket
@@ -52,14 +55,30 @@
 //! re-registration). Malformed directives and failed requests are
 //! reported on stderr and make the exit code 1, but never stop the rest
 //! of the file: every valid request still prints its solution.
+//!
+//! # Serve mode
+//!
+//! `dsd serve` drives the same request-file format through the
+//! `dsd_core::serve` runtime instead of synchronous batches: jobs stream
+//! into per-graph admission queues (an `update` barriers only its own
+//! graph — no global flush), `--workers` threads pull across graphs, and
+//! the `--budget` byte budget is enforced *globally* by the substrate
+//! governor, which evicts least-recently-used (graph, Ψ) substrates and
+//! rebuilds them on demand. `--queue-depth` bounds each graph's queue;
+//! when a queue fills, the driver applies backpressure (waits out its
+//! oldest pending job) rather than dropping requests. `--deadline-ms`
+//! attaches a deadline to every job (expired jobs are shed at dispatch)
+//! and `--deadline-probes` additionally clamps each deadlined query's
+//! α-search probe count. Results print in submission order; a final
+//! summary reports throughput and the governor's hit/eviction counters.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
 use dsd::core::{
-    DsdEngine, DsdRequest, DsdService, FlowBackend, GraphUpdate, Method, Objective, Outcome,
-    Parallelism,
+    DsdEngine, DsdRequest, DsdServer, DsdService, FlowBackend, GraphUpdate, Method, Objective,
+    Outcome, Parallelism, ServeConfig, ServeError, ServeOutcome, Ticket,
 };
 use dsd::datasets::compute_stats;
 use dsd::graph::io::read_edge_list;
@@ -177,7 +196,9 @@ fn usage() -> ExitCode {
          [--budget <probes>] [--query v1,v2,...] [--threads <n>] \
          [--substrate-budget <bytes>] [--stats]\n\
          \x20      dsd batch <request-file> [--threads <n>] \
-         [--substrate-budget <bytes>]"
+         [--substrate-budget <bytes>]\n\
+         \x20      dsd serve <request-file> [--budget <bytes>] [--workers <n>] \
+         [--queue-depth <n>] [--deadline-ms <n>] [--deadline-probes <n>]"
     );
     ExitCode::FAILURE
 }
@@ -461,10 +482,266 @@ fn run_batch(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A submitted serve-mode job awaiting its result: either the global
+/// request index (queries) or the target graph's name (updates).
+enum PendingJob {
+    Query(usize),
+    Update(String),
+}
+
+/// Redeems the oldest pending ticket, printing its result in submission
+/// order. Returns `false` when nothing is pending.
+fn settle_one(
+    pending: &mut std::collections::VecDeque<(PendingJob, Ticket)>,
+    failed: &mut usize,
+) -> bool {
+    let Some((job, ticket)) = pending.pop_front() else {
+        return false;
+    };
+    match (job, ticket.wait()) {
+        (PendingJob::Query(i), Ok(ServeOutcome::Solved(s))) => println!(
+            "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}] (epoch {})",
+            s.objective,
+            s.method,
+            s.density,
+            s.len(),
+            s.guarantee,
+            s.stats.epoch
+        ),
+        (PendingJob::Update(name), Ok(st)) => {
+            if let ServeOutcome::Updated(st) = st {
+                println!(
+                    "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}",
+                    st.inserted,
+                    st.deleted,
+                    st.ignored,
+                    st.epoch,
+                    if st.kcore_patched {
+                        "patched"
+                    } else {
+                        "deferred rebuild"
+                    }
+                );
+            }
+        }
+        (PendingJob::Query(i), Err(e)) => {
+            *failed += 1;
+            eprintln!("#{i}: error: {e}");
+        }
+        (PendingJob::Update(name), Err(e)) => {
+            *failed += 1;
+            eprintln!("update {name}: error: {e}");
+        }
+        (PendingJob::Query(_), Ok(ServeOutcome::Updated(_))) => unreachable!("query ticket"),
+    }
+    true
+}
+
+/// Submits through the admission controller with backpressure: a full
+/// queue waits out the oldest pending job (or briefly yields when none
+/// is pending) instead of dropping the request.
+fn submit_with_backpressure(
+    mut submit: impl FnMut() -> Result<Ticket, ServeError>,
+    pending: &mut std::collections::VecDeque<(PendingJob, Ticket)>,
+    failed: &mut usize,
+) -> Result<Ticket, ServeError> {
+    loop {
+        match submit() {
+            Err(ServeError::Overloaded { .. }) => {
+                if !settle_one(pending, failed) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+            other => return other,
+        }
+    }
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut file: Option<&str> = None;
+    let mut config = ServeConfig {
+        workers: 2,
+        queue_depth: 64,
+        substrate_budget: None,
+        deadline: None,
+        deadline_step_budget: 0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--budget" => match it.next().and_then(|s| parse_byte_budget(s)) {
+                Some(b) => config.substrate_budget = b,
+                None => {
+                    eprintln!("bad --budget");
+                    return usage();
+                }
+            },
+            "--workers" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => {
+                    eprintln!("bad --workers");
+                    return usage();
+                }
+            },
+            "--queue-depth" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.queue_depth = n,
+                _ => {
+                    eprintln!("bad --queue-depth");
+                    return usage();
+                }
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => config.deadline = Some(std::time::Duration::from_millis(ms)),
+                None => {
+                    eprintln!("bad --deadline-ms");
+                    return usage();
+                }
+            },
+            "--deadline-probes" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) => config.deadline_step_budget = n,
+                None => {
+                    eprintln!("bad --deadline-probes");
+                    return usage();
+                }
+            },
+            other if !other.starts_with("--") && file.is_none() => file = Some(other),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = file else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "serve: {} workers, queue depth {}, budget {}",
+        config.workers,
+        config.queue_depth,
+        match config.substrate_budget {
+            Some(b) => format!("{:.1} KiB", b as f64 / 1024.0),
+            None => "unlimited".into(),
+        }
+    );
+    let t0 = std::time::Instant::now();
+    let server = DsdServer::new(config);
+    let mut pending: std::collections::VecDeque<(PendingJob, Ticket)> =
+        std::collections::VecDeque::new();
+    let mut next_index = 0usize;
+    let mut failed = 0usize;
+    let mut bad_directives = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let mut fail = |msg: String| {
+            eprintln!("{path}:{}: {msg}", lineno + 1);
+            bad_directives += 1;
+        };
+        match tokens[0] {
+            "graph" => {
+                let [_, name, file] = tokens[..] else {
+                    fail("graph needs: graph <name> <edge-list-file>".into());
+                    continue;
+                };
+                match load_graph(file) {
+                    Ok(g) => {
+                        // Re-registration swaps the engine under the
+                        // queue; drain so everything above this line
+                        // still ran against the old graph.
+                        if server.engine(name).is_some() {
+                            while settle_one(&mut pending, &mut failed) {}
+                            server.drain();
+                        }
+                        println!(
+                            "registered {name}: {} vertices, {} edges",
+                            g.num_vertices(),
+                            g.num_edges()
+                        );
+                        server.register(name, g);
+                    }
+                    Err(e) => fail(format!("failed to read {file}: {e}")),
+                }
+            }
+            "req" => match parse_req_directive(&tokens[1..]) {
+                Ok(req) => {
+                    let submitted = submit_with_backpressure(
+                        || server.submit(req.clone()),
+                        &mut pending,
+                        &mut failed,
+                    );
+                    match submitted {
+                        Ok(ticket) => {
+                            pending.push_back((PendingJob::Query(next_index), ticket));
+                            next_index += 1;
+                        }
+                        Err(e) => fail(format!("submit failed: {e}")),
+                    }
+                }
+                Err(e) => fail(e),
+            },
+            "update" => match parse_update_directive(&tokens[1..]) {
+                Ok((name, updates)) => {
+                    let submitted = submit_with_backpressure(
+                        || server.submit_update(name.clone(), updates.clone()),
+                        &mut pending,
+                        &mut failed,
+                    );
+                    match submitted {
+                        Ok(ticket) => pending.push_back((PendingJob::Update(name), ticket)),
+                        Err(e) => fail(format!("update submit failed: {e}")),
+                    }
+                }
+                Err(e) => fail(e),
+            },
+            other => fail(format!("unknown directive {other:?}")),
+        }
+    }
+    while settle_one(&mut pending, &mut failed) {}
+    server.drain();
+
+    let stats = server.stats();
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "serve: {} jobs in {:.3} s ({:.0} jobs/s), {} shed overloaded, {} shed on deadline",
+        stats.completed,
+        wall,
+        stats.completed as f64 / wall.max(1e-9),
+        stats.shed_overload,
+        stats.shed_deadline,
+    );
+    let g = &stats.governor;
+    println!(
+        "governor: {} hits / {} misses, {} evictions ({} rebuilds), \
+         {:.1} KiB resident (peak {:.1} KiB), {} budget violations",
+        g.hits,
+        g.misses,
+        g.evictions,
+        g.rebuilds,
+        g.resident_bytes as f64 / 1024.0,
+        g.peak_bytes as f64 / 1024.0,
+        g.violations,
+    );
+
+    if failed > 0 || bad_directives > 0 {
+        eprintln!("{failed} jobs failed, {bad_directives} malformed directives");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
     }
     let mut file: Option<&str> = None;
     let mut psi = Pattern::edge();

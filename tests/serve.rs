@@ -1,0 +1,410 @@
+//! Serving-runtime tests: the admission-controlled pipeline is
+//! bit-identical to a synchronous replay, forced substrate evictions
+//! never corrupt in-flight requests, the governor's ledger never drifts
+//! from ground truth, and the shed paths (overload, deadline) are
+//! deterministic.
+//!
+//! Iteration counts honour the `DSD_PROP_ITERS` env knob (the nightly CI
+//! job runs the suites with elevated counts).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsd::core::{
+    DsdEngine, DsdRequest, DsdServer, DsdService, Method, ServeConfig, ServeError, ServeOutcome,
+    Solution, SubstrateGovernor, Ticket,
+};
+use dsd::graph::{Graph, GraphBuilder, GraphUpdate, VertexId};
+use dsd::motif::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iteration knob: `DSD_PROP_ITERS` overrides, `default` otherwise.
+fn prop_iters(default: usize) -> usize {
+    std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn random_graph(rng: &mut StdRng, n_lo: usize, n_hi: usize) -> Graph {
+    let n = rng.gen_range(n_lo..=n_hi);
+    let p = rng.gen_range(0.10f64..0.30);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// One op of a mixed workload script, replayable both through the
+/// pipeline and through a serial reference.
+enum Op {
+    Query {
+        graph: usize,
+        req: DsdRequest,
+    },
+    Update {
+        graph: usize,
+        edges: Vec<GraphUpdate>,
+    },
+}
+
+/// A random mixed query/update script over `graphs.len()` graphs, with
+/// methods pinned (Auto's cache-sensitivity would break bit-identity).
+fn random_script(rng: &mut StdRng, graphs: &[Graph], names: &[&str], ops: usize) -> Vec<Op> {
+    let patterns = [Pattern::edge(), Pattern::triangle(), Pattern::two_star()];
+    let methods = [Method::CoreExact, Method::PeelApp, Method::IncApp];
+    (0..ops)
+        .map(|_| {
+            let graph = rng.gen_range(0..graphs.len());
+            if rng.gen_bool(0.25) {
+                let n = graphs[graph].num_vertices() as VertexId;
+                let edges = (0..rng.gen_range(1usize..=4))
+                    .map(|_| {
+                        let u = rng.gen_range(0..n);
+                        let v = rng.gen_range(0..n);
+                        if rng.gen_bool(0.5) {
+                            GraphUpdate::Insert(u, v)
+                        } else {
+                            GraphUpdate::Delete(u, v)
+                        }
+                    })
+                    .collect();
+                Op::Update { graph, edges }
+            } else {
+                let psi = &patterns[rng.gen_range(0..patterns.len())];
+                let method = methods[rng.gen_range(0..methods.len())];
+                let req = DsdRequest::new(psi).on(names[graph]).method(method);
+                Op::Query { graph, req }
+            }
+        })
+        .collect()
+}
+
+/// Serial ground truth: replay the script in order on fresh engines.
+/// Returns one `Option<Solution>` per op (None for updates).
+fn reference_replay(graphs: &[Graph], script: &[Op]) -> Vec<Option<Solution>> {
+    let engines: Vec<DsdEngine<'static>> =
+        graphs.iter().map(|g| DsdEngine::new(g.clone())).collect();
+    script
+        .iter()
+        .map(|op| match op {
+            Op::Query { graph, req } => Some(engines[*graph].solve(req)),
+            Op::Update { graph, edges } => {
+                engines[*graph].apply(edges);
+                None
+            }
+        })
+        .collect()
+}
+
+/// Replays the script through a `DsdServer`, waiting every ticket, and
+/// asserts each query's answer (vertices, density bits, epoch) matches
+/// the serial reference. Returns the server for stats assertions.
+fn pipeline_replay_matches(
+    graphs: &[Graph],
+    names: &[&str],
+    script: &[Op],
+    expected: &[Option<Solution>],
+    config: ServeConfig,
+) -> DsdServer {
+    let server = DsdServer::new(config);
+    for (name, g) in names.iter().zip(graphs) {
+        server.register(*name, g.clone());
+    }
+    let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+    for (i, op) in script.iter().enumerate() {
+        let ticket = match op {
+            Op::Query { req, .. } => server.submit(req.clone()),
+            Op::Update { graph, edges } => server.submit_update(names[*graph], edges.clone()),
+        };
+        tickets.push((i, ticket.expect("queue deep enough for the whole script")));
+    }
+    for (i, ticket) in tickets {
+        let outcome = ticket.wait().expect("no sheds in this configuration");
+        match (&script[i], outcome) {
+            (Op::Query { .. }, ServeOutcome::Solved(got)) => {
+                let want = expected[i].as_ref().expect("reference solved this op");
+                assert_eq!(got.vertices, want.vertices, "op {i}: vertices differ");
+                assert_eq!(
+                    got.density.to_bits(),
+                    want.density.to_bits(),
+                    "op {i}: density not bit-identical"
+                );
+                assert_eq!(
+                    got.stats.epoch, want.stats.epoch,
+                    "op {i}: FIFO/barrier order broken — query ran at the wrong epoch"
+                );
+            }
+            (Op::Update { .. }, ServeOutcome::Updated(_)) => {}
+            _ => panic!("op {i}: outcome kind does not match the submitted job"),
+        }
+    }
+    server.drain();
+    server
+}
+
+/// The tentpole contract: mixed query/update traffic through the
+/// pipeline is bit-identical (answers and epochs) to a serial replay —
+/// per-graph FIFO plus the update barrier is exactly serial order, while
+/// cross-graph traffic interleaves freely.
+#[test]
+fn pipeline_is_bit_identical_to_serial_replay() {
+    // One iteration is a full 40-op pipeline run plus its serial
+    // reference; cap the nightly elevation accordingly.
+    let iters = prop_iters(4).min(100);
+    for seed in 0..iters as u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E27E + seed);
+        let graphs: Vec<Graph> = (0..3).map(|_| random_graph(&mut rng, 16, 30)).collect();
+        let names = ["alpha", "beta", "gamma"];
+        let script = random_script(&mut rng, &graphs, &names, 40);
+        let expected = reference_replay(&graphs, &script);
+        let server = pipeline_replay_matches(
+            &graphs,
+            &names,
+            &script,
+            &expected,
+            ServeConfig {
+                workers: 4,
+                queue_depth: 64,
+                substrate_budget: None,
+                ..ServeConfig::default()
+            },
+        );
+        let stats = server.stats();
+        assert_eq!(stats.shed_overload, 0);
+        assert_eq!(stats.shed_deadline, 0);
+        assert_eq!(stats.completed as usize, script.len());
+    }
+}
+
+/// Chaos variant: a byte budget tight enough to force constant LRU
+/// eviction changes *nothing* about the answers — in-flight snapshots
+/// hold their own `Arc`s, so a dropped store is rebuilt, never observed
+/// mid-request. The governor must report the eviction/rebuild churn.
+#[test]
+fn forced_evictions_never_change_answers() {
+    // Same cap as the replay test: each iteration is a whole script.
+    let iters = prop_iters(4).min(100);
+    for seed in 0..iters as u64 {
+        let mut rng = StdRng::seed_from_u64(0xE71C + seed);
+        let graphs: Vec<Graph> = (0..3).map(|_| random_graph(&mut rng, 16, 30)).collect();
+        let names = ["alpha", "beta", "gamma"];
+        let script = random_script(&mut rng, &graphs, &names, 40);
+        let expected = reference_replay(&graphs, &script);
+        // A budget of one byte: every entry is over budget the moment it
+        // lands, so each unpinned substrate is evicted at settlement.
+        let server = pipeline_replay_matches(
+            &graphs,
+            &names,
+            &script,
+            &expected,
+            ServeConfig {
+                workers: 4,
+                queue_depth: 64,
+                substrate_budget: Some(1),
+                ..ServeConfig::default()
+            },
+        );
+        let gov = server.governor().stats();
+        assert!(gov.evictions > 0, "a 1-byte budget must evict");
+        assert!(
+            gov.resident_bytes <= 1 || gov.violations > 0,
+            "settled ledger over budget without a counted violation"
+        );
+    }
+}
+
+/// Direct assault on the store handles: one thread hammers
+/// `evict_substrate` while query threads solve — every answer matches
+/// the warm single-threaded one bit for bit.
+#[test]
+fn concurrent_evict_substrate_never_corrupts_in_flight_solves() {
+    let mut rng = StdRng::seed_from_u64(0xAB5E);
+    let g = random_graph(&mut rng, 24, 24);
+    let psi = Pattern::triangle();
+    let key = dsd::core::pattern_key(&psi);
+    let engine = Arc::new(DsdEngine::new(g));
+    let want = engine.request(&psi).method(Method::CoreExact).solve();
+
+    let iters = prop_iters(200);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let evictor = {
+            let engine = Arc::clone(&engine);
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    engine.evict_substrate(&key);
+                }
+            })
+        };
+        let solvers: Vec<_> = (0..3)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let want = &want;
+                let psi = &psi;
+                scope.spawn(move || {
+                    for i in 0..iters {
+                        let got = engine.request(psi).method(Method::CoreExact).solve();
+                        assert_eq!(got.vertices, want.vertices, "solve {i} diverged");
+                        assert_eq!(got.density.to_bits(), want.density.to_bits());
+                    }
+                })
+            })
+            .collect();
+        // Keep the evictor hammering until every solver finished, so
+        // evictions genuinely overlap in-flight solves end to end.
+        for s in solvers {
+            s.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        evictor.join().unwrap();
+    });
+}
+
+/// Satellite 1: the governor's ledger follows `DsdService::evict` and
+/// engine drop — reconciliation against summed `substrate_bytes()` holds
+/// at every quiescent point.
+#[test]
+fn governor_ledger_tracks_updates_evict_and_engine_drop() {
+    let mut rng = StdRng::seed_from_u64(0x1ED6E2);
+    let governor = SubstrateGovernor::new(None);
+    let service = DsdService::new().with_governor(Arc::clone(&governor));
+    service.register("a", random_graph(&mut rng, 20, 30));
+    service.register("b", random_graph(&mut rng, 20, 30));
+
+    let psi = Pattern::triangle();
+    for name in ["a", "b"] {
+        service
+            .solve(&DsdRequest::new(&psi).on(name).method(Method::CoreExact))
+            .unwrap();
+    }
+    let (ledger, actual) = governor.reconcile();
+    assert_eq!(ledger, actual, "ledger drifted after warmup");
+    assert!(ledger > 0, "triangle substrates occupy bytes");
+
+    // An update invalidates a's substrates; the apply hook reports it.
+    service.update("a", &[GraphUpdate::Insert(0, 1)]).unwrap();
+    let (ledger, actual) = governor.reconcile();
+    assert_eq!(ledger, actual, "ledger drifted after update");
+
+    // Re-warm a, then evict it: the catalog held the only strong
+    // reference, so the engine drops here and reports its bytes.
+    service
+        .solve(&DsdRequest::new(&psi).on("a").method(Method::CoreExact))
+        .unwrap();
+    assert!(service.evict("a"));
+    let (ledger, actual) = governor.reconcile();
+    assert_eq!(ledger, actual, "ledger drifted after evict + engine drop");
+    governor.debug_assert_reconciled();
+}
+
+/// Admission control with `workers: 0` is fully deterministic: the
+/// queue fills to exactly `queue_depth`, the next submit sheds typed,
+/// and `step()` makes room again.
+#[test]
+fn overload_sheds_typed_and_recovers() {
+    let server = DsdServer::new(ServeConfig {
+        workers: 0,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    });
+    server.register("toy", Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]));
+    let psi = Pattern::triangle();
+    let req = || DsdRequest::new(&psi).on("toy").method(Method::PeelApp);
+
+    let t1 = server.submit(req()).unwrap();
+    let _t2 = server.submit(req()).unwrap();
+    match server.submit(req()) {
+        Err(ServeError::Overloaded { graph, depth }) => {
+            assert_eq!(graph, "toy");
+            assert_eq!(depth, 2);
+        }
+        Err(other) => panic!("expected Overloaded, got {other:?}"),
+        Ok(_) => panic!("expected Overloaded, got an admitted job"),
+    }
+    assert_eq!(server.stats().shed_overload, 1);
+
+    assert!(server.step(), "one job dispatchable");
+    let solved = t1.wait().unwrap().solution().unwrap();
+    assert_eq!(solved.vertices, vec![0, 1, 2]);
+    server.submit(req()).unwrap();
+
+    // Routing failures are typed too, and never consume queue slots.
+    assert!(matches!(
+        server.submit(DsdRequest::new(&psi)),
+        Err(ServeError::Unrouted)
+    ));
+    assert!(matches!(
+        server.submit(DsdRequest::new(&psi).on("gone")),
+        Err(ServeError::UnknownGraph(_))
+    ));
+}
+
+/// A zero deadline expires every job while queued; dispatch sheds it
+/// with `DeadlineExceeded` without running the solve.
+#[test]
+fn expired_deadlines_shed_at_dispatch() {
+    let server = DsdServer::new(ServeConfig {
+        workers: 0,
+        queue_depth: 8,
+        deadline: Some(Duration::ZERO),
+        ..ServeConfig::default()
+    });
+    server.register("toy", Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]));
+    let psi = Pattern::triangle();
+    let ticket = server
+        .submit(DsdRequest::new(&psi).on("toy").method(Method::PeelApp))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(2));
+    assert!(server.step());
+    assert!(matches!(ticket.wait(), Err(ServeError::DeadlineExceeded)));
+    let stats = server.stats();
+    assert_eq!(stats.shed_deadline, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+/// The per-graph barrier, observed through epochs: a query queued after
+/// an update on the same graph must see the bumped epoch; a query queued
+/// before it must see the old one. FIFO makes this deterministic even
+/// with a full worker pool.
+#[test]
+fn updates_barrier_their_own_graph_queue() {
+    let server = DsdServer::new(ServeConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    });
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
+    server.register("hot", g.clone());
+    server.register("cold", g);
+    let psi = Pattern::triangle();
+    let q = |name: &str| DsdRequest::new(&psi).on(name).method(Method::CoreExact);
+
+    let mut tickets: VecDeque<(u64, Ticket)> = VecDeque::new();
+    for round in 0..4u64 {
+        tickets.push_back((round, server.submit(q("hot")).unwrap()));
+        server
+            .submit_update("hot", vec![GraphUpdate::Insert(round as u32, 5)])
+            .unwrap();
+        // Cross-traffic on the other graph, never barriered.
+        tickets.push_back((0, server.submit(q("cold")).unwrap()));
+    }
+    let before = tickets.len();
+    for (expected_epoch, ticket) in tickets {
+        let s = ticket.wait().unwrap().solution().unwrap();
+        assert_eq!(
+            s.stats.epoch, expected_epoch,
+            "query observed the wrong epoch through the barrier"
+        );
+    }
+    server.drain();
+    assert!(before > 0);
+}
