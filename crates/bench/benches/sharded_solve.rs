@@ -1,0 +1,302 @@
+//! Bench: sharded scatter-gather solves — the ISSUE-7 acceptance
+//! benchmark for `dsd_core::shard`.
+//!
+//! Three phases:
+//!
+//! 1. **Bit-identity sweep** — R-MAT, Chung-Lu, and multi-community
+//!    graphs at 4 and 8 shards, every scatter-gather objective (densest,
+//!    top-k, at-least-k) and pattern (edge, triangle): the sharded answer
+//!    must be bit-identical (vertices, density bits, subgraphs) to a
+//!    single whole-graph engine.
+//! 2. **Bound pruning** — on the skewed multi-community workload (one
+//!    planted cluster per shard-sized block, density shrinking block by
+//!    block) the best certified local density ρ* must prune at least one
+//!    sparse shard via its located-core bound, and the merge must skip at
+//!    least one certified component outright.
+//! 3. **Governed serving + wall-clock floor** — the same workload through
+//!    `DsdServer::register_sharded` under a byte budget (zero governor
+//!    violations allowed), then warm repeat solves timed against the
+//!    single-engine path: the sharded wall clock must stay within a
+//!    conservative CI factor of the unsharded one.
+//!
+//! By default this runs a CI-sized smoke configuration; `DSD_SHARD_FULL=1`
+//! switches to the nightly full-size sweep.
+//!
+//! Run with: `cargo bench -p dsd-bench --bench sharded_solve`
+
+use std::time::Instant;
+
+use dsd_core::{
+    DsdEngine, DsdRequest, DsdServer, Method, Objective, ServeConfig, ShardedGraph, Solution,
+};
+use dsd_datasets::{chung_lu, multi_community::multi_community, rmat, rmat::RmatParams};
+use dsd_graph::Graph;
+use dsd_motif::Pattern;
+
+struct Config {
+    rmat_scale: u32,
+    edge_factor: usize,
+    cl_n: usize,
+    mc_blocks: usize,
+    mc_block_size: usize,
+    /// Sharded warm solves may be at most this factor slower than the
+    /// single-engine path over the timed workload.
+    slowdown_ceiling: f64,
+    timed_rounds: usize,
+}
+
+fn config(full: bool) -> Config {
+    if full {
+        Config {
+            rmat_scale: 12,
+            edge_factor: 8,
+            cl_n: 4_000,
+            mc_blocks: 8,
+            mc_block_size: 256,
+            slowdown_ceiling: 3.0,
+            timed_rounds: 5,
+        }
+    } else {
+        Config {
+            rmat_scale: 9,
+            edge_factor: 6,
+            cl_n: 600,
+            mc_blocks: 6,
+            mc_block_size: 96,
+            slowdown_ceiling: 5.0,
+            timed_rounds: 3,
+        }
+    }
+}
+
+fn assert_bitwise_same(got: &Solution, want: &Solution, context: &str) {
+    assert_eq!(got.vertices, want.vertices, "{context}: vertices diverged");
+    assert_eq!(
+        got.density.to_bits(),
+        want.density.to_bits(),
+        "{context}: density not bit-identical ({} vs {})",
+        got.density,
+        want.density
+    );
+    assert_eq!(
+        got.subgraphs.len(),
+        want.subgraphs.len(),
+        "{context}: subgraph count"
+    );
+    for (i, (a, b)) in got.subgraphs.iter().zip(&want.subgraphs).enumerate() {
+        assert_eq!(a.vertices, b.vertices, "{context}: subgraph {i}");
+        assert_eq!(
+            a.density.to_bits(),
+            b.density.to_bits(),
+            "{context}: subgraph {i} density"
+        );
+    }
+}
+
+fn scatter_requests(psi: &Pattern) -> Vec<(DsdRequest, &'static str)> {
+    vec![
+        (
+            DsdRequest::new(psi).method(Method::CoreExact),
+            "densest/core-exact",
+        ),
+        (
+            DsdRequest::new(psi)
+                .objective(Objective::TopK(3))
+                .method(Method::CoreExact),
+            "top-3",
+        ),
+        (
+            DsdRequest::new(psi)
+                .objective(Objective::AtLeastK(5))
+                .method(Method::CoreExact),
+            "at-least-5",
+        ),
+    ]
+}
+
+fn main() {
+    let full = std::env::var_os("DSD_SHARD_FULL").is_some();
+    let cfg = config(full);
+    let mode = if full { "full" } else { "smoke" };
+
+    let named: Vec<(&str, Graph)> = vec![
+        (
+            "rmat",
+            rmat::rmat(
+                cfg.rmat_scale,
+                (1usize << cfg.rmat_scale) * cfg.edge_factor,
+                RmatParams::default(),
+                41,
+            ),
+        ),
+        (
+            "chung-lu",
+            chung_lu::chung_lu(cfg.cl_n, cfg.cl_n * 5, 2.4, 97),
+        ),
+        (
+            "multi-community",
+            multi_community(cfg.mc_blocks, cfg.mc_block_size, 0.02, 0.05, 17).graph,
+        ),
+    ];
+    println!(
+        "sharded_solve [{mode}]: {} graphs x {{4, 8}} shards x 3 objectives x 2 patterns",
+        named.len()
+    );
+
+    // Phase 1: bit-identity sweep.
+    let patterns = [Pattern::edge(), Pattern::triangle()];
+    for (name, g) in &named {
+        let engine = DsdEngine::new(g.clone());
+        for shards in [4usize, 8] {
+            let sharded = ShardedGraph::new(g.clone(), shards);
+            for psi in &patterns {
+                for (req, label) in scatter_requests(psi) {
+                    let got = sharded.solve(&req);
+                    let want = engine.solve(&req);
+                    assert_bitwise_same(
+                        &got,
+                        &want,
+                        &format!("{name}, {shards} shards, {} {label}", psi.name()),
+                    );
+                }
+            }
+        }
+        println!(
+            "{name}: {} vertices, {} edges — all sharded answers bit-identical",
+            g.num_vertices(),
+            g.num_edges()
+        );
+    }
+
+    // Phase 2: bound pruning on the skewed planted workload.
+    let mc = &named
+        .iter()
+        .find(|(n, _)| *n == "multi-community")
+        .unwrap()
+        .1;
+    let shards = cfg.mc_blocks.min(8);
+    let sharded = ShardedGraph::new(mc.clone(), shards);
+    let out = sharded.solve_explained(&DsdRequest::new(&Pattern::edge()).method(Method::CoreExact));
+    assert!(out.scattered, "planted workload must scatter");
+    println!(
+        "pruning: rho* = {:.4}, {} of {} shards pruned by located-core bounds, {} merge components skipped",
+        out.rho_star,
+        out.shards_pruned,
+        sharded.num_shards(),
+        out.pruned_components
+    );
+    for report in &out.shards {
+        println!(
+            "  shard {}: {} vertices, local density {:.4}, kmax {:?}, certified {}, pruned {}",
+            report.shard,
+            report.vertices,
+            report.local_density,
+            report.kmax,
+            report.certified,
+            report.pruned
+        );
+    }
+    assert!(
+        out.shards_pruned >= 1,
+        "skewed planted input must let bound pruning skip at least one shard"
+    );
+
+    // Phase 2b: certified component skip. On the bridged workload above
+    // the located core may already exclude every pruned shard before the
+    // component loop runs; this disconnected-cliques fixture keeps a
+    // dominated component (K8, core number 7) alive past the located
+    // core of the K12 optimum (order 6), so only the region certificate
+    // can prove it hopeless.
+    let mut clique_edges = Vec::new();
+    for (lo, hi) in [(0u32, 6), (6, 14), (14, 26)] {
+        for u in lo..hi {
+            for v in (u + 1)..hi {
+                clique_edges.push((u, v));
+            }
+        }
+    }
+    let cliques = Graph::from_edges(26, &clique_edges);
+    let sharded_cliques = ShardedGraph::new(cliques.clone(), 2);
+    let req = DsdRequest::new(&Pattern::edge()).method(Method::CoreExact);
+    let out2 = sharded_cliques.solve_explained(&req);
+    assert_bitwise_same(
+        &out2.solution,
+        &DsdEngine::new(cliques).solve(&req),
+        "disconnected cliques",
+    );
+    println!(
+        "component skip: K6 + K8 + K12 at 2 shards -> {} of {} shards pruned, {} merge components skipped",
+        out2.shards_pruned,
+        sharded_cliques.num_shards(),
+        out2.pruned_components
+    );
+    assert!(
+        out2.pruned_components >= 1,
+        "the certified merge must skip at least one component"
+    );
+
+    // Phase 3a: governed serving — every shard engine on the ledger,
+    // zero budget violations.
+    let server = DsdServer::new(ServeConfig {
+        workers: 2,
+        substrate_budget: Some(64 << 20),
+        ..ServeConfig::default()
+    });
+    server.register_sharded("mc", mc.clone(), shards);
+    let tickets: Vec<_> = scatter_requests(&Pattern::edge())
+        .into_iter()
+        .map(|(req, _)| server.submit(req.on("mc")).expect("queue fits"))
+        .collect();
+    let reference = DsdEngine::new(mc.clone());
+    for (ticket, (req, label)) in tickets.into_iter().zip(scatter_requests(&Pattern::edge())) {
+        let got = ticket
+            .wait()
+            .expect("no sheds")
+            .solution()
+            .expect("queries only");
+        assert_bitwise_same(&got, &reference.solve(&req), &format!("served {label}"));
+    }
+    server.drain();
+    let gov = server.stats().governor;
+    println!(
+        "governor: {} hits / {} misses, {:.1} KiB resident, {} violations",
+        gov.hits,
+        gov.misses,
+        gov.resident_bytes as f64 / 1024.0,
+        gov.violations
+    );
+    assert_eq!(gov.violations, 0, "sharded serving must respect the budget");
+
+    // Phase 3b: wall-clock floor — warm repeat solves, best-of-N.
+    let single = DsdEngine::new(mc.clone());
+    let req = DsdRequest::new(&Pattern::edge()).method(Method::CoreExact);
+    sharded.solve(&req);
+    single.solve(&req);
+    let best = |f: &dyn Fn() -> Solution| {
+        (0..cfg.timed_rounds)
+            .map(|_| {
+                let t = Instant::now();
+                let s = f();
+                (t.elapsed(), s.density)
+            })
+            .min_by_key(|(d, _)| *d)
+            .unwrap()
+    };
+    let (t_sharded, d_sharded) = best(&|| sharded.solve(&req));
+    let (t_single, d_single) = best(&|| single.solve(&req));
+    assert_eq!(d_sharded.to_bits(), d_single.to_bits());
+    let ratio = t_sharded.as_secs_f64() / t_single.as_secs_f64().max(1e-9);
+    println!(
+        "wall clock (warm, best of {}): sharded {:.3} ms vs single {:.3} ms -> {:.2}x",
+        cfg.timed_rounds,
+        t_sharded.as_secs_f64() * 1e3,
+        t_single.as_secs_f64() * 1e3,
+        ratio
+    );
+    assert!(
+        ratio <= cfg.slowdown_ceiling,
+        "sharded warm solve {ratio:.2}x slower than single-engine (ceiling {:.1}x)",
+        cfg.slowdown_ceiling
+    );
+    println!("sharded_solve [{mode}]: all assertions passed");
+}

@@ -155,6 +155,55 @@ mod tests {
     }
 
     #[test]
+    fn crossover_peel_order_matches_heap_reference() {
+        // Degrees straddling the dense-bucket/overflow-heap boundary
+        // (2^16), including vertices that *decay across it*: entries born
+        // in the overflow heap whose fresh re-pushes land in the dense
+        // buckets. Final degrees are all distinct (decayed vertices are
+        // exactly those ≡ 0 mod 3 and the decrement is a multiple of 3,
+        // so decayed and undecayed finals can never collide), so the
+        // accepted pop sequence is fully determined and must match a
+        // plain lazy BinaryHeap fed the identical push script.
+        let n: u64 = 400;
+        let mut q = PeelQueue::new(MAX_BUCKETS + 100);
+        assert_eq!(q.bound(), MAX_BUCKETS);
+        let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+        let mut deg = vec![0u64; n as usize];
+        let mut push_both = |deg: u64, v: VertexId, q: &mut PeelQueue| {
+            q.push(deg, v);
+            heap.push(Reverse((deg, v)));
+        };
+        for v in 0..n {
+            deg[v as usize] = MAX_BUCKETS + 100 - v;
+            push_both(deg[v as usize], v as VertexId, &mut q);
+        }
+        // Finals include both sides of the boundary exactly: v = 100 ends
+        // at 2^16, v = 101 at 2^16 - 1.
+        assert!(deg.contains(&MAX_BUCKETS) && deg.contains(&(MAX_BUCKETS - 1)));
+        for v in (0..n).step_by(3) {
+            // Two-step decay like a peel loop's decrements; many cross
+            // from the overflow heap into the dense buckets.
+            deg[v as usize] -= 37;
+            push_both(deg[v as usize], v as VertexId, &mut q);
+            deg[v as usize] -= 38;
+            push_both(deg[v as usize], v as VertexId, &mut q);
+        }
+        let mut live = vec![true; n as usize];
+        let popped = drain(&mut q, &deg, &mut live);
+        assert_eq!(popped.len(), n as usize);
+        let mut heap_live = vec![true; n as usize];
+        let mut reference = Vec::new();
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if !heap_live[v as usize] || d != deg[v as usize] {
+                continue;
+            }
+            heap_live[v as usize] = false;
+            reference.push((d, v));
+        }
+        assert_eq!(popped, reference);
+    }
+
+    #[test]
     fn empty_queue_pops_none() {
         let mut q = PeelQueue::new(0);
         assert_eq!(q.pop(), None);

@@ -64,7 +64,7 @@ use dsd_motif::Pattern;
 
 use crate::approx::{core_app_from, inc_app_from};
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
-use crate::core_exact::{core_exact_from, CoreExactConfig};
+use crate::core_exact::{core_exact_from_certified, CoreExactConfig, RegionCertificates};
 use crate::dynamic::{repair_delete, repair_insert};
 use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
@@ -73,8 +73,8 @@ use crate::oracle::{oracle_with_budget, DensityOracle, StoreStats, DEFAULT_STORE
 use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
 use crate::query::densest_with_query_from;
-use crate::size_constrained::{densest_at_least_k_from, densest_at_most_k_from};
-use crate::top_k::top_k_densest_from;
+use crate::size_constrained::{densest_at_least_k_certified, densest_at_most_k_from};
+use crate::top_k::top_k_densest_certified;
 use crate::types::DsdResult;
 use crate::Method;
 
@@ -154,6 +154,9 @@ pub struct SolveStats {
     pub flow_resolve_hits: usize,
     /// Total augmenting work (edge scans) inside the flow solvers.
     pub flow_augment_work: u64,
+    /// Located-core components skipped via scatter-phase region
+    /// certificates (the sharded merge path; 0 for single-engine solves).
+    pub pruned_components: usize,
     /// kmax of the (k, Ψ)-core decomposition, when one was consulted.
     pub kmax: Option<u64>,
     /// Substrate cache accounting.
@@ -883,13 +886,28 @@ impl<'g> DsdEngine<'g> {
     /// the request carries ([`DsdRequest::on`]) is ignored here — routing
     /// by name is [`crate::service::DsdService`]'s job.
     pub fn solve(&self, req: &DsdRequest) -> Solution {
+        self.solve_inner(req, None)
+    }
+
+    /// [`DsdEngine::solve`] with scatter-phase region certificates from a
+    /// sharded solve (see [`RegionCertificates`]): the α-search-backed
+    /// paths skip located-core components a certificate proves unable to
+    /// beat the running lower bound. Answers are bit-identical to
+    /// [`DsdEngine::solve`]; only the amount of flow work differs.
+    /// Objectives that never consult certificates (AtMostK, WithQuery,
+    /// non-CoreExact Densest methods) behave exactly like `solve`.
+    pub fn solve_certified(&self, req: &DsdRequest, certs: &RegionCertificates) -> Solution {
+        self.solve_inner(req, Some(certs))
+    }
+
+    fn solve_inner(&self, req: &DsdRequest, certs: Option<&RegionCertificates>) -> Solution {
         let t0 = Instant::now();
         let snap = self.graph();
         let objective = req.objective.clone();
         let mut solution = match &req.objective {
-            Objective::Densest => self.solve_densest(req, &snap),
-            Objective::TopK(k) => self.solve_top_k(req, *k, &snap),
-            Objective::AtLeastK(k) => self.solve_at_least_k(req, *k, &snap),
+            Objective::Densest => self.solve_densest(req, &snap, certs),
+            Objective::TopK(k) => self.solve_top_k(req, *k, &snap, certs),
+            Objective::AtLeastK(k) => self.solve_at_least_k(req, *k, &snap, certs),
             Objective::AtMostK(k) => self.solve_at_most_k(req, *k, &snap),
             Objective::WithQuery(query) => self.solve_with_query(req, query.clone(), &snap),
         };
@@ -908,7 +926,12 @@ impl<'g> DsdEngine<'g> {
         solution
     }
 
-    fn solve_densest(&self, req: &DsdRequest, snap: &GraphSnapshot<'_>) -> Solution {
+    fn solve_densest(
+        &self,
+        req: &DsdRequest,
+        snap: &GraphSnapshot<'_>,
+        certs: Option<&RegionCertificates>,
+    ) -> Solution {
         let g: &Graph = snap;
         let psi = &req.psi;
         let method = match req.method {
@@ -946,7 +969,8 @@ impl<'g> DsdEngine<'g> {
                     step_budget: req.step_budget,
                     ..CoreExactConfig::default()
                 };
-                let (r, ces) = core_exact_from(g, psi, config, oracle.as_ref(), &dec);
+                let (r, ces) =
+                    core_exact_from_certified(g, psi, config, oracle.as_ref(), &dec, certs);
                 let guarantee = exact_guarantee(ces.exact.budget_exhausted, req.tolerance);
                 record_flow(&mut stats, ces.exact);
                 stats.store = oracle.store_stats();
@@ -1019,7 +1043,13 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_top_k(&self, req: &DsdRequest, k: usize, snap: &GraphSnapshot<'_>) -> Solution {
+    fn solve_top_k(
+        &self,
+        req: &DsdRequest,
+        k: usize,
+        snap: &GraphSnapshot<'_>,
+        certs: Option<&RegionCertificates>,
+    ) -> Solution {
         let g: &Graph = snap;
         let psi = &req.psi;
         // Validate before paying for the decomposition.
@@ -1038,7 +1068,7 @@ impl<'g> DsdEngine<'g> {
             step_budget: req.step_budget,
             ..CoreExactConfig::default()
         };
-        let scan = top_k_densest_from(g, psi, k, config, oracle.as_ref(), &dec);
+        let scan = top_k_densest_certified(g, psi, k, config, oracle.as_ref(), &dec, certs);
         record_flow(&mut stats, scan.exact.clone());
         stats.store = oracle.store_stats();
         let (vertices, density) = scan
@@ -1063,7 +1093,13 @@ impl<'g> DsdEngine<'g> {
         }
     }
 
-    fn solve_at_least_k(&self, req: &DsdRequest, k: usize, snap: &GraphSnapshot<'_>) -> Solution {
+    fn solve_at_least_k(
+        &self,
+        req: &DsdRequest,
+        k: usize,
+        snap: &GraphSnapshot<'_>,
+        certs: Option<&RegionCertificates>,
+    ) -> Solution {
         let g: &Graph = snap;
         let psi = &req.psi;
         // Validate before paying for the decomposition.
@@ -1087,7 +1123,7 @@ impl<'g> DsdEngine<'g> {
             ..CoreExactConfig::default()
         };
         stats.store = oracle.store_stats();
-        match densest_at_least_k_from(g, psi, k, config, oracle.as_ref(), &dec) {
+        match densest_at_least_k_certified(g, psi, k, config, oracle.as_ref(), &dec, certs) {
             Some(o) => {
                 // Exact when the unconstrained CDS met the floor; else
                 // Andersen–Chellapilla's 1/3 bound (proved for edges).
@@ -1243,6 +1279,7 @@ fn record_flow(stats: &mut SolveStats, es: crate::alpha_search::ExactStats) {
     stats.network_nodes = es.network_nodes;
     stats.flow_resolve_hits = es.resolve_hits;
     stats.flow_augment_work = es.augment_work;
+    stats.pruned_components = es.pruned_components;
 }
 
 fn exact_guarantee(budget_exhausted: bool, tolerance: Option<f64>) -> Guarantee {
@@ -1373,6 +1410,12 @@ impl DsdRequest {
     /// clamp a request's budget against its deadline.
     pub fn step_budget_limit(&self) -> Option<usize> {
         self.step_budget
+    }
+
+    /// The request's configured method (possibly [`Method::Auto`]) —
+    /// read by the shard planner to route requests.
+    pub fn method_choice(&self) -> Method {
+        self.method
     }
 
     /// The request's objective.

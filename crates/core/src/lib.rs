@@ -65,6 +65,7 @@ pub mod alpha_search;
 pub mod approx;
 pub mod bounds;
 pub mod bucket_queue;
+pub mod budget;
 pub mod clique_core;
 pub mod core_exact;
 pub mod dynamic;
@@ -81,6 +82,7 @@ pub mod peel;
 pub mod query;
 pub mod serve;
 pub mod service;
+pub mod shard;
 pub mod size_constrained;
 pub mod top_k;
 pub mod types;
@@ -90,9 +92,11 @@ pub use alpha_search::{
 };
 pub use approx::{core_app, core_app_from, inc_app, inc_app_from, inc_app_parallel, ApproxResult};
 pub use bounds::{density_bounds, locate_core_order, DensityBounds};
+pub use budget::parse_byte_budget;
 pub use clique_core::{decompose, CliqueCoreDecomposition};
 pub use core_exact::{
-    core_exact, core_exact_from, core_exact_with, CoreExactConfig, CoreExactStats,
+    core_exact, core_exact_from, core_exact_from_certified, core_exact_with, CoreExactConfig,
+    CoreExactStats, RegionCertificates,
 };
 pub use dsd_graph::GraphUpdate;
 pub use dsd_motif::store::StoreBuildStats;
@@ -119,11 +123,12 @@ pub use serve::{
     SubstrateLease, Ticket,
 };
 pub use service::{BatchOutcome, BatchStats, DsdService, ServiceError};
+pub use shard::{ShardPlan, ShardPlanner, ShardReport, ShardedApply, ShardedGraph, ShardedSolve};
 pub use size_constrained::{
-    densest_at_least_k, densest_at_least_k_from, densest_at_most_k, densest_at_most_k_from,
-    SizeConstrainedOutcome,
+    densest_at_least_k, densest_at_least_k_certified, densest_at_least_k_from, densest_at_most_k,
+    densest_at_most_k_from, SizeConstrainedOutcome,
 };
-pub use top_k::{top_k_densest, top_k_densest_from};
+pub use top_k::{top_k_densest, top_k_densest_certified, top_k_densest_from};
 pub use types::DsdResult;
 
 use dsd_graph::Graph;

@@ -14,7 +14,9 @@ use dsd_motif::Pattern;
 
 use crate::alpha_search::ExactStats;
 use crate::clique_core::CliqueCoreDecomposition;
-use crate::core_exact::{core_exact_from, core_exact_with, CoreExactConfig};
+use crate::core_exact::{
+    core_exact_from_certified, core_exact_with, CoreExactConfig, RegionCertificates,
+};
 use crate::oracle::DensityOracle;
 use crate::types::DsdResult;
 
@@ -54,6 +56,23 @@ pub fn top_k_densest_from(
     oracle: &dyn DensityOracle,
     dec: &CliqueCoreDecomposition,
 ) -> TopKScan {
+    top_k_densest_certified(g, psi, k, config, oracle, dec, None)
+}
+
+/// [`top_k_densest_from`] with optional scatter-phase region
+/// certificates. Certificates speak about the *full* graph, so they only
+/// apply to round 0 (the unconstrained scan on the whole graph); residual
+/// rounds delete vertices and rebuild cold, where the per-region optima
+/// no longer bound anything.
+pub fn top_k_densest_certified(
+    g: &Graph,
+    psi: &Pattern,
+    k: usize,
+    config: CoreExactConfig,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+    certs: Option<&RegionCertificates>,
+) -> TopKScan {
     let mut out = Vec::with_capacity(k);
     let mut alive = VertexSet::full(g.num_vertices());
     let mut exact = ExactStats::default();
@@ -62,7 +81,7 @@ pub fn top_k_densest_from(
             break;
         }
         let (vertices, density) = if round == 0 {
-            let (first, stats) = core_exact_from(g, psi, config, oracle, dec);
+            let (first, stats) = core_exact_from_certified(g, psi, config, oracle, dec, certs);
             exact.merge(&stats.exact);
             (first.vertices, first.density)
         } else {

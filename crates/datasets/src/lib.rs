@@ -12,6 +12,8 @@
 //! * [`ssca`] — planted random-size cliques (GTgraph "SSCA#2");
 //! * [`chung_lu`] — power-law degree sequences with a target edge count,
 //!   used as stand-ins for the real graphs via their Appendix-A statistics;
+//! * [`multi_community()`] — one planted dense cluster per shard-sized
+//!   block with a skewed density profile, the sharded-serving workload;
 //! * [`planted`] — dense-subgraph planting plus the case-study generators
 //!   (collaboration network for Figure 17, PPI-like motif graph for
 //!   Figure 21);
@@ -27,11 +29,13 @@
 pub mod chung_lu;
 pub mod er;
 pub mod fixtures;
+pub mod multi_community;
 pub mod planted;
 pub mod registry;
 pub mod rmat;
 pub mod ssca;
 pub mod stats;
 
+pub use multi_community::{multi_community, MultiCommunity};
 pub use registry::{all_datasets, dataset, Dataset, DatasetKind};
 pub use stats::{compute_stats, GraphStats};

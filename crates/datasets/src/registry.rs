@@ -1,5 +1,6 @@
-//! The thirteen evaluation datasets (plus the three Appendix-E extras) as
-//! named synthetic configurations.
+//! The thirteen evaluation datasets (plus the three Appendix-E extras and
+//! the repo's own sharded-serving workload) as named synthetic
+//! configurations.
 //!
 //! Each entry records the paper's reported size (Appendix A, Figure 18),
 //! the generator standing in for it, and the scale factor we apply so the
@@ -9,7 +10,7 @@
 
 use dsd_graph::Graph;
 
-use crate::{chung_lu, er, rmat, ssca};
+use crate::{chung_lu, er, multi_community, rmat, ssca};
 
 /// Which experiment group a dataset belongs to (mirrors Table 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +54,9 @@ enum Generator {
     Er { n: usize, p: f64 },
     /// R-MAT (scale, edge draws).
     Rmat { scale: u32, m: usize },
+    /// Multi-community: one planted dense cluster per `block_size` block,
+    /// density skewed across blocks — the sharded-serving workload.
+    MultiCommunity { blocks: usize, block_size: usize },
 }
 
 /// A named dataset configuration.
@@ -93,6 +97,9 @@ impl Dataset {
             Generator::Rmat { scale, m } => {
                 rmat::rmat(scale, m, rmat::RmatParams::default(), self.seed)
             }
+            Generator::MultiCommunity { blocks, block_size } => {
+                multi_community::multi_community(blocks, block_size, 0.02, 0.05, self.seed).graph
+            }
         }
     }
 
@@ -103,6 +110,7 @@ impl Dataset {
             Generator::Ssca { n, .. } => n,
             Generator::Er { n, .. } => n,
             Generator::Rmat { scale, .. } => 1usize << scale,
+            Generator::MultiCommunity { blocks, block_size } => blocks * block_size,
         };
         n as f64 / self.paper_vertices as f64
     }
@@ -306,6 +314,23 @@ pub fn all_datasets() -> Vec<Dataset> {
             },
             seed: 13,
         },
+        // Not a paper dataset: the sharded-serving workload (one planted
+        // dense cluster per shard-sized block, density skewed so bound
+        // pruning has sparse shards to skip). `paper_*` fields describe
+        // the generated graph itself (scale 1.0).
+        Dataset {
+            name: "MultiComm",
+            kind: Synthetic,
+            paper_vertices: 2048,
+            paper_edges: 21_000,
+            paper_alpha: 0.0,
+            paper_kmax: 0,
+            gen: MultiCommunity {
+                blocks: 8,
+                block_size: 256,
+            },
+            seed: 17,
+        },
         // -- Appendix-E extras ---------------------------------------------
         Dataset {
             name: "Flickr",
@@ -369,7 +394,7 @@ mod tests {
     #[test]
     fn registry_covers_paper_tables() {
         let all = all_datasets();
-        assert_eq!(all.len(), 16);
+        assert_eq!(all.len(), 17);
         assert_eq!(
             all.iter()
                 .filter(|d| d.kind == DatasetKind::SmallReal)
@@ -386,7 +411,7 @@ mod tests {
             all.iter()
                 .filter(|d| d.kind == DatasetKind::Synthetic)
                 .count(),
-            3
+            4
         );
         assert_eq!(
             all.iter().filter(|d| d.kind == DatasetKind::Extra).count(),
@@ -407,6 +432,7 @@ mod tests {
     fn lookup_by_name() {
         assert!(dataset("yeast").is_some());
         assert!(dataset("UK-2002").is_some());
+        assert!(dataset("multicomm").is_some());
         assert!(dataset("nope").is_none());
     }
 

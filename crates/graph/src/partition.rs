@@ -1,0 +1,194 @@
+//! Cut-aware graph partitioning for the sharded serving path.
+//!
+//! A [`Partition`] splits the vertex set into `k` contiguous-in-degeneracy-
+//! order ranges, keeping whole connected components together whenever a
+//! component fits inside a shard. Components are packed in ascending order
+//! of their earliest degeneracy rank, so densely entangled vertices (which
+//! the peel removes late) cluster into the same shard and the boundary-edge
+//! overlay stays small. Only components larger than a shard's target size
+//! are ever split.
+//!
+//! The assignment is deterministic: same graph, same `k`, same partition.
+
+use crate::components::connected_components;
+use crate::graph::{Graph, VertexId};
+use crate::order::degeneracy_order;
+
+/// A vertex-disjoint partition of a graph into at most `k` shards.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `assignment[v]` = shard index of `v`.
+    pub assignment: Vec<u32>,
+    /// Per-shard member lists, ascending vertex id. Trailing empty shards
+    /// are trimmed, so `shards.len()` may be less than the requested `k`
+    /// (e.g. a 3-vertex graph asked for 8 shards).
+    pub shards: Vec<Vec<VertexId>>,
+    /// Number of edges whose endpoints land in different shards.
+    pub boundary_edges: usize,
+}
+
+impl Partition {
+    /// Number of (non-empty) shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when every endpoint pair of `edges`-style probes stays local;
+    /// convenience for tests.
+    pub fn is_internal(&self, u: VertexId, v: VertexId) -> bool {
+        self.assignment[u as usize] == self.assignment[v as usize]
+    }
+}
+
+/// Partitions `g` into at most `k` shards using a component-aware greedy
+/// fill over the degeneracy order.
+///
+/// Components are ordered by the minimum degeneracy rank of their members
+/// and packed greedily with target size `ceil(n / k)`; a component that
+/// would overflow a partially-filled shard starts the next shard instead,
+/// so components smaller than the target are never split across shards.
+pub fn partition_degeneracy(g: &Graph, k: usize) -> Partition {
+    let n = g.num_vertices();
+    let k = k.max(1);
+    if n == 0 {
+        return Partition {
+            assignment: Vec::new(),
+            shards: Vec::new(),
+            boundary_edges: 0,
+        };
+    }
+
+    let order = degeneracy_order(g);
+    let cc = connected_components(g);
+    let mut comps = cc.all_members();
+    // Members within a component follow the degeneracy order; components
+    // follow the rank of their earliest-peeled member.
+    for comp in comps.iter_mut() {
+        comp.sort_unstable_by_key(|&v| order.rank[v as usize]);
+    }
+    comps.sort_by_key(|comp| order.rank[comp[0] as usize]);
+
+    let target = n.div_ceil(k);
+    let mut assignment = vec![0u32; n];
+    let mut shard = 0usize;
+    let mut fill = 0usize;
+    for comp in &comps {
+        // A component that fits in a shard but not in the remainder of the
+        // current one starts the next shard instead of being split.
+        if fill > 0 && fill + comp.len() > target && shard + 1 < k {
+            shard += 1;
+            fill = 0;
+        }
+        for &v in comp {
+            if fill >= target && shard + 1 < k {
+                shard += 1;
+                fill = 0;
+            }
+            assignment[v as usize] = shard as u32;
+            fill += 1;
+        }
+    }
+
+    let mut shards = vec![Vec::new(); shard + 1];
+    for v in 0..n {
+        shards[assignment[v] as usize].push(v as VertexId);
+    }
+    while shards.last().is_some_and(Vec::is_empty) {
+        shards.pop();
+    }
+
+    let mut boundary_edges = 0usize;
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            if u > v && assignment[u as usize] != assignment[v as usize] {
+                boundary_edges += 1;
+            }
+        }
+    }
+
+    Partition {
+        assignment,
+        shards,
+        boundary_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_edge() -> Graph {
+        // Triangle {0,1,2}, triangle {3,4,5}, edge {6,7}.
+        Graph::from_edges(8, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 7)])
+    }
+
+    #[test]
+    fn covers_all_vertices_disjointly() {
+        let g = two_triangles_and_edge();
+        let p = partition_degeneracy(&g, 3);
+        let mut seen = [false; 8];
+        for (s, members) in p.shards.iter().enumerate() {
+            for &v in members {
+                assert_eq!(p.assignment[v as usize], s as u32);
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn small_components_are_never_split() {
+        let g = two_triangles_and_edge();
+        // target = ceil(8/3) = 3, every component fits.
+        let p = partition_degeneracy(&g, 3);
+        for comp in connected_components(&g).all_members() {
+            let s = p.assignment[comp[0] as usize];
+            assert!(comp.iter().all(|&v| p.assignment[v as usize] == s));
+        }
+        assert_eq!(p.boundary_edges, 0);
+    }
+
+    #[test]
+    fn oversized_component_is_split_and_counted() {
+        // One path component of 8 vertices into 4 shards: must split.
+        let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let p = partition_degeneracy(&g, 4);
+        assert_eq!(p.num_shards(), 4);
+        for members in &p.shards {
+            assert_eq!(members.len(), 2);
+        }
+        assert!(p.boundary_edges > 0);
+    }
+
+    #[test]
+    fn more_shards_than_vertices_trims_empties() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let p = partition_degeneracy(&g, 8);
+        assert!(p.num_shards() <= 3);
+        assert_eq!(
+            p.shards.iter().map(Vec::len).sum::<usize>(),
+            g.num_vertices()
+        );
+        assert!(p.shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let g = two_triangles_and_edge();
+        let p = partition_degeneracy(&g, 1);
+        assert_eq!(p.num_shards(), 1);
+        assert_eq!(p.boundary_edges, 0);
+        assert!(p.assignment.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = two_triangles_and_edge();
+        let a = partition_degeneracy(&g, 3);
+        let b = partition_degeneracy(&g, 3);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(a.boundary_edges, b.boundary_edges);
+    }
+}

@@ -8,9 +8,10 @@
 //!                      [--query v1,v2,...] [--threads <n>]
 //!                      [--substrate-budget <bytes>] [--stats]
 //! dsd batch <request-file> [--threads <n>] [--substrate-budget <bytes>]
+//!                          [--shards <n>]
 //! dsd serve <request-file> [--budget <bytes>] [--workers <n>]
 //!                          [--queue-depth <n>] [--deadline-ms <n>]
-//!                          [--deadline-probes <n>]
+//!                          [--deadline-probes <n>] [--shards <n>]
 //!
 //! patterns:   edge | triangle | clique:<h> | star:<x> | 2-star | 3-star |
 //!             c3-star | diamond | 2-triangle | 3-triangle | basket
@@ -71,14 +72,28 @@
 //! and `--deadline-probes` additionally clamps each deadlined query's
 //! α-search probe count. Results print in submission order; a final
 //! summary reports throughput and the governor's hit/eviction counters.
+//!
+//! # Sharded execution
+//!
+//! `--shards <n>` (batch and serve) registers every graph as a
+//! `ShardedGraph`: the CSR is partitioned into `n` degeneracy-contiguous
+//! shard engines plus a whole-graph spine, exact densest / top-k /
+//! at-least-k requests scatter across the shards, the best certified
+//! local density prunes shards whose located-core bound cannot beat it,
+//! and the spine merge skips the pruned regions — bit-identical answers,
+//! less flow work. Updates route to only the shards they touch. In serve
+//! mode all shard engines share the governed global byte budget.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dsd::core::{
-    DsdEngine, DsdRequest, DsdServer, DsdService, FlowBackend, GraphUpdate, Method, Objective,
-    Outcome, Parallelism, ServeConfig, ServeError, ServeOutcome, Ticket,
+    parse_byte_budget, DsdEngine, DsdRequest, DsdServer, DsdService, FlowBackend, GraphUpdate,
+    Method, Objective, Outcome, Parallelism, ServeConfig, ServeError, ServeOutcome, ShardedGraph,
+    Ticket,
 };
 use dsd::datasets::compute_stats;
 use dsd::graph::io::read_edge_list;
@@ -145,25 +160,6 @@ fn parse_backend(s: &str) -> Option<FlowBackend> {
     }
 }
 
-/// Parses a byte count with optional `k`/`m`/`g` suffix; `unlimited`
-/// lifts the cap (engine semantics: `None` = unlimited bytes). No `none`
-/// alias — it reads as "no substrate", which is spelled `0`.
-fn parse_byte_budget(s: &str) -> Option<Option<u64>> {
-    if s.eq_ignore_ascii_case("unlimited") {
-        return Some(None);
-    }
-    let (digits, shift) = match s.as_bytes().last()? {
-        b'k' | b'K' => (&s[..s.len() - 1], 10),
-        b'm' | b'M' => (&s[..s.len() - 1], 20),
-        b'g' | b'G' => (&s[..s.len() - 1], 30),
-        _ => (s, 0),
-    };
-    let base: u64 = digits.parse().ok()?;
-    // checked_mul (not checked_shl): shifting only faults on shift >= 64,
-    // silently discarding overflowed bits otherwise.
-    Some(Some(base.checked_mul(1u64 << shift)?))
-}
-
 /// Renders one `SolveStats.store` entry for the CLI.
 fn store_line(store: &dsd::core::StoreStats) -> String {
     if store.materialized {
@@ -196,9 +192,10 @@ fn usage() -> ExitCode {
          [--budget <probes>] [--query v1,v2,...] [--threads <n>] \
          [--substrate-budget <bytes>] [--stats]\n\
          \x20      dsd batch <request-file> [--threads <n>] \
-         [--substrate-budget <bytes>]\n\
+         [--substrate-budget <bytes>] [--shards <n>]\n\
          \x20      dsd serve <request-file> [--budget <bytes>] [--workers <n>] \
-         [--queue-depth <n>] [--deadline-ms <n>] [--deadline-probes <n>]"
+         [--queue-depth <n>] [--deadline-ms <n>] [--deadline-probes <n>] \
+         [--shards <n>]"
     );
     ExitCode::FAILURE
 }
@@ -363,9 +360,64 @@ fn flush_requests(
     failed
 }
 
+/// Drains `pending` through the sharded executors, one scatter-gather
+/// solve per request (sharding replaces batch grouping as the reuse
+/// story: each shard engine's substrates stay warm across requests).
+fn flush_requests_sharded(
+    catalog: &HashMap<String, Arc<ShardedGraph>>,
+    pending: &mut Vec<DsdRequest>,
+    next_index: &mut usize,
+) -> usize {
+    if pending.is_empty() {
+        return 0;
+    }
+    let t0 = std::time::Instant::now();
+    let mut failed = 0usize;
+    let mut scattered = 0usize;
+    let mut shards_pruned = 0usize;
+    let requests = std::mem::take(pending);
+    let count = requests.len();
+    for req in requests {
+        let i = *next_index;
+        *next_index += 1;
+        let Some(name) = req.graph_name() else {
+            failed += 1;
+            eprintln!("#{i}: error: request names no graph (build it with .on(name))");
+            continue;
+        };
+        let Some(sharded) = catalog.get(name) else {
+            failed += 1;
+            eprintln!("#{i}: error: no graph named {name:?} in the catalog");
+            continue;
+        };
+        let out = sharded.solve_explained(&req);
+        if out.scattered {
+            scattered += 1;
+            shards_pruned += out.shards_pruned;
+        }
+        let s = &out.solution;
+        println!(
+            "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}] (epoch {})",
+            s.objective,
+            s.method,
+            s.density,
+            s.len(),
+            s.guarantee,
+            s.stats.epoch
+        );
+    }
+    println!(
+        "batch: {:.3} ms wall, {count} requests, {scattered} scatter-gather, \
+         {shards_pruned} shard solves pruned by located-core bounds",
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    failed
+}
+
 fn run_batch(args: &[String]) -> ExitCode {
     let mut file: Option<&str> = None;
     let mut threads = 1usize;
+    let mut shards = 1usize;
     let mut substrate_budget: Option<Option<u64>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -374,6 +426,13 @@ fn run_batch(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => threads = n,
                 _ => {
                     eprintln!("bad --threads");
+                    return usage();
+                }
+            },
+            "--shards" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("bad --shards");
                     return usage();
                 }
             },
@@ -402,7 +461,15 @@ fn run_batch(args: &[String]) -> ExitCode {
         service = service.with_substrate_budget(budget);
     }
     let service = service;
-    println!("batch: {} workers", threads);
+    // `--shards` swaps the execution core: graphs register as partitioned
+    // [`ShardedGraph`]s and requests run scatter-gather instead of through
+    // `solve_batch` grouping.
+    let mut sharded_catalog: HashMap<String, Arc<ShardedGraph>> = HashMap::new();
+    if shards > 1 {
+        println!("batch: {threads} workers, {shards} shards");
+    } else {
+        println!("batch: {threads} workers");
+    }
     let mut pending: Vec<DsdRequest> = Vec::new();
     let mut next_index = 0usize;
     let mut failed = 0usize;
@@ -430,13 +497,30 @@ fn run_batch(args: &[String]) -> ExitCode {
                         // Queued requests must see the catalog as it was
                         // above this line — flush before (re)registering,
                         // like `update` does.
-                        failed += flush_requests(&service, &mut pending, &mut next_index);
+                        failed += if shards > 1 {
+                            flush_requests_sharded(&sharded_catalog, &mut pending, &mut next_index)
+                        } else {
+                            flush_requests(&service, &mut pending, &mut next_index)
+                        };
                         println!(
                             "registered {name}: {} vertices, {} edges",
                             g.num_vertices(),
                             g.num_edges()
                         );
-                        service.register(name, g);
+                        if shards > 1 {
+                            let sg = match substrate_budget {
+                                Some(b) => ShardedGraph::with_substrate_budget(g, shards, b),
+                                None => ShardedGraph::new(g, shards),
+                            };
+                            println!(
+                                "sharded {name}: {} shards, {} boundary edges",
+                                sg.num_shards(),
+                                sg.boundary_edges()
+                            );
+                            sharded_catalog.insert(name.to_string(), Arc::new(sg));
+                        } else {
+                            service.register(name, g);
+                        }
                     }
                     Err(e) => fail(format!("failed to read {file}: {e}")),
                 }
@@ -449,10 +533,9 @@ fn run_batch(args: &[String]) -> ExitCode {
                 Ok((name, updates)) => {
                     // Updates interleave with the surrounding requests:
                     // everything queued above sees the pre-update graph.
-                    failed += flush_requests(&service, &mut pending, &mut next_index);
-                    match service.update(&name, &updates) {
-                        Ok(st) => println!(
-                            "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}",
+                    let print_apply = |st: &dsd::core::ApplyStats, suffix: &str| {
+                        println!(
+                            "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}{suffix}",
                             st.inserted,
                             st.deleted,
                             st.ignored,
@@ -462,8 +545,30 @@ fn run_batch(args: &[String]) -> ExitCode {
                             } else {
                                 "deferred rebuild"
                             }
-                        ),
-                        Err(e) => fail(format!("update failed: {e}")),
+                        );
+                    };
+                    if shards > 1 {
+                        failed +=
+                            flush_requests_sharded(&sharded_catalog, &mut pending, &mut next_index);
+                        match sharded_catalog.get(&name) {
+                            Some(sharded) => {
+                                let st = sharded.apply(&updates);
+                                print_apply(
+                                    &st.spine,
+                                    &format!(
+                                        ", {} shard(s) touched, {} cross-shard",
+                                        st.shards_touched, st.cross_shard
+                                    ),
+                                );
+                            }
+                            None => fail(format!("no graph named {name:?} in the catalog")),
+                        }
+                    } else {
+                        failed += flush_requests(&service, &mut pending, &mut next_index);
+                        match service.update(&name, &updates) {
+                            Ok(st) => print_apply(&st, ""),
+                            Err(e) => fail(format!("update failed: {e}")),
+                        }
                     }
                 }
                 Err(e) => fail(e),
@@ -471,7 +576,11 @@ fn run_batch(args: &[String]) -> ExitCode {
             other => fail(format!("unknown directive {other:?}")),
         }
     }
-    failed += flush_requests(&service, &mut pending, &mut next_index);
+    failed += if shards > 1 {
+        flush_requests_sharded(&sharded_catalog, &mut pending, &mut next_index)
+    } else {
+        flush_requests(&service, &mut pending, &mut next_index)
+    };
 
     if failed > 0 || bad_directives > 0 {
         eprintln!(
@@ -559,6 +668,7 @@ fn submit_with_backpressure(
 
 fn run_serve(args: &[String]) -> ExitCode {
     let mut file: Option<&str> = None;
+    let mut shards = 1usize;
     let mut config = ServeConfig {
         workers: 2,
         queue_depth: 64,
@@ -569,6 +679,13 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--shards" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("bad --shards");
+                    return usage();
+                }
+            },
             "--budget" => match it.next().and_then(|s| parse_byte_budget(s)) {
                 Some(b) => config.substrate_budget = b,
                 None => {
@@ -618,12 +735,17 @@ fn run_serve(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "serve: {} workers, queue depth {}, budget {}",
+        "serve: {} workers, queue depth {}, budget {}{}",
         config.workers,
         config.queue_depth,
         match config.substrate_budget {
             Some(b) => format!("{:.1} KiB", b as f64 / 1024.0),
             None => "unlimited".into(),
+        },
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
         }
     );
     let t0 = std::time::Instant::now();
@@ -663,7 +785,16 @@ fn run_serve(args: &[String]) -> ExitCode {
                             g.num_vertices(),
                             g.num_edges()
                         );
-                        server.register(name, g);
+                        if shards > 1 {
+                            let sg = server.register_sharded(name, g, shards);
+                            println!(
+                                "sharded {name}: {} shards, {} boundary edges",
+                                sg.num_shards(),
+                                sg.boundary_edges()
+                            );
+                        } else {
+                            server.register(name, g);
+                        }
                     }
                     Err(e) => fail(format!("failed to read {file}: {e}")),
                 }

@@ -1,0 +1,272 @@
+//! Sharded-graph subsystem tests: scatter-gather solves are bit-identical
+//! to the single-engine path across random graphs, shard counts, and
+//! objectives; update batches route to only the shards they touch (and
+//! stay differential against a whole-graph apply); and the serve pipeline
+//! answers through a sharded registration exactly as through a plain one,
+//! with zero governor budget violations.
+//!
+//! Iteration counts honour the `DSD_PROP_ITERS` env knob (the nightly CI
+//! job runs the suites with elevated counts).
+
+use dsd::core::{
+    DsdEngine, DsdRequest, DsdServer, Method, Objective, ServeConfig, ServeOutcome, ShardedGraph,
+    Solution,
+};
+use dsd::graph::{Graph, GraphBuilder, GraphUpdate, VertexId};
+use dsd::motif::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iteration knob: `DSD_PROP_ITERS` overrides, `default` otherwise.
+fn prop_iters(default: usize) -> usize {
+    std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A clustered random graph: a few dense-ish blocks with sparse bridges,
+/// the shape sharding is for (uniform G(n, p) also passes, but exercises
+/// the partitioner less).
+fn clustered_graph(rng: &mut StdRng) -> Graph {
+    let blocks = rng.gen_range(2..=4usize);
+    let block = rng.gen_range(6..=10usize);
+    let n = blocks * block;
+    let mut b = GraphBuilder::new(n);
+    for blk in 0..blocks {
+        let base = blk * block;
+        let p = rng.gen_range(0.35f64..0.85);
+        for u in 0..block {
+            for v in (u + 1)..block {
+                if rng.gen_bool(p) {
+                    b.add_edge((base + u) as VertexId, (base + v) as VertexId);
+                }
+            }
+        }
+    }
+    for blk in 1..blocks {
+        if rng.gen_bool(0.7) {
+            let u = ((blk - 1) * block + rng.gen_range(0..block)) as VertexId;
+            let v = (blk * block + rng.gen_range(0..block)) as VertexId;
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+fn assert_bitwise_same(a: &Solution, b: &Solution, context: &str) {
+    assert_eq!(a.vertices, b.vertices, "{context}: vertices");
+    assert_eq!(
+        a.density.to_bits(),
+        b.density.to_bits(),
+        "{context}: density {} vs {}",
+        a.density,
+        b.density
+    );
+    assert_eq!(a.subgraphs.len(), b.subgraphs.len(), "{context}: subgraphs");
+    for (i, (sa, sb)) in a.subgraphs.iter().zip(&b.subgraphs).enumerate() {
+        assert_eq!(sa.vertices, sb.vertices, "{context}: subgraph {i}");
+        assert_eq!(
+            sa.density.to_bits(),
+            sb.density.to_bits(),
+            "{context}: subgraph {i} density"
+        );
+    }
+}
+
+fn scatter_objectives(rng: &mut StdRng) -> Vec<(Objective, Method)> {
+    vec![
+        (Objective::Densest, Method::CoreExact),
+        (Objective::Densest, Method::Auto),
+        (Objective::TopK(rng.gen_range(2..=3)), Method::CoreExact),
+        (Objective::AtLeastK(rng.gen_range(3..=6)), Method::CoreExact),
+    ]
+}
+
+#[test]
+fn sharded_solves_are_bit_identical_to_single_engine() {
+    let mut rng = StdRng::seed_from_u64(0x5AADED);
+    let patterns = [Pattern::edge(), Pattern::triangle(), Pattern::clique(4)];
+    for round in 0..prop_iters(6) {
+        let g = clustered_graph(&mut rng);
+        let shards = rng.gen_range(2..=5usize);
+        let sharded = ShardedGraph::new(g.clone(), shards);
+        let engine = DsdEngine::new(g);
+        let psi = &patterns[round % patterns.len()];
+        for (objective, method) in scatter_objectives(&mut rng) {
+            let req = DsdRequest::new(psi)
+                .objective(objective.clone())
+                .method(method);
+            let got = sharded.solve(&req);
+            let want = engine.solve(&req);
+            assert_bitwise_same(
+                &got,
+                &want,
+                &format!("round {round}, {shards} shards, {objective:?} via {method:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_solves_stay_bit_identical_under_updates() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for round in 0..prop_iters(4) {
+        let g = clustered_graph(&mut rng);
+        let n = g.num_vertices() as VertexId;
+        let shards = rng.gen_range(2..=4usize);
+        let sharded = ShardedGraph::new(g.clone(), shards);
+        let engine = DsdEngine::new(g);
+        let psi = Pattern::triangle();
+        for batch in 0..3 {
+            let updates: Vec<GraphUpdate> = (0..rng.gen_range(1..=5usize))
+                .map(|_| {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    let (u, v) = if u == v { (u, (v + 1) % n) } else { (u, v) };
+                    if rng.gen_bool(0.5) {
+                        GraphUpdate::Insert(u, v)
+                    } else {
+                        GraphUpdate::Delete(u, v)
+                    }
+                })
+                .collect();
+            // Differential: the routed per-shard apply must leave every
+            // objective agreeing with a whole-graph apply.
+            sharded.apply(&updates);
+            engine.apply(&updates);
+            let req = DsdRequest::new(&psi).method(Method::CoreExact);
+            assert_bitwise_same(
+                &sharded.solve(&req),
+                &engine.solve(&req),
+                &format!("round {round} batch {batch}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn single_shard_batches_leave_sibling_epochs_alone() {
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    for _ in 0..prop_iters(4) {
+        let g = clustered_graph(&mut rng);
+        let sharded = ShardedGraph::new(g, 3);
+        if sharded.num_shards() < 2 {
+            continue;
+        }
+        // An update strictly inside one shard's vertex set.
+        let home = (0..sharded.num_shards())
+            .find(|&i| sharded.shard_members(i).len() >= 2)
+            .expect("some shard holds at least two vertices");
+        let members = sharded.shard_members(home);
+        let (u, v) = (members[0], members[1]);
+        let before: Vec<u64> = (0..sharded.num_shards())
+            .map(|i| sharded.shard_engine(i).epoch())
+            .collect();
+        let stats = sharded.apply(&[GraphUpdate::Insert(u, v), GraphUpdate::Delete(u, v)]);
+        assert_eq!(stats.shards_touched, 1);
+        assert_eq!(stats.cross_shard, 0);
+        for (i, epoch_before) in before.iter().enumerate() {
+            if i == home {
+                assert!(sharded.shard_engine(i).epoch() > *epoch_before);
+            } else {
+                assert_eq!(
+                    sharded.shard_engine(i).epoch(),
+                    *epoch_before,
+                    "sibling shard {i} was touched"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_server_matches_plain_registration() {
+    let mut rng = StdRng::seed_from_u64(0x5E4E);
+    let server = DsdServer::new(ServeConfig {
+        workers: 2,
+        substrate_budget: Some(1 << 20),
+        ..ServeConfig::default()
+    });
+    for round in 0..prop_iters(3) {
+        let g = clustered_graph(&mut rng);
+        let sharded = server.register_sharded("shard", g.clone(), 4);
+        server.register("plain", g);
+        assert!(server.sharded("shard").is_some());
+        assert!(server.sharded("plain").is_none());
+        let psi = Pattern::triangle();
+        let mk = |name: &str, objective: Objective| {
+            DsdRequest::new(&psi)
+                .on(name)
+                .objective(objective)
+                .method(Method::CoreExact)
+        };
+        for objective in [
+            Objective::Densest,
+            Objective::TopK(2),
+            Objective::AtLeastK(4),
+        ] {
+            let a = server.submit(mk("shard", objective.clone())).unwrap();
+            let b = server.submit(mk("plain", objective.clone())).unwrap();
+            let (a, b) = (a.wait().unwrap(), b.wait().unwrap());
+            let (ServeOutcome::Solved(a), ServeOutcome::Solved(b)) = (a, b) else {
+                panic!("queries returned non-solutions");
+            };
+            assert_bitwise_same(&a, &b, &format!("round {round}, {objective:?}"));
+        }
+        // Updates flow through the same logical queue and both paths
+        // agree afterwards.
+        let members = (0..sharded.num_shards())
+            .map(|i| sharded.shard_members(i))
+            .find(|m| m.len() >= 2)
+            .expect("some shard holds at least two vertices")
+            .to_vec();
+        let updates = vec![GraphUpdate::Insert(members[0], members[1])];
+        let ua = server.submit_update("shard", updates.clone()).unwrap();
+        let ub = server.submit_update("plain", updates).unwrap();
+        assert!(matches!(ua.wait().unwrap(), ServeOutcome::Updated(_)));
+        assert!(matches!(ub.wait().unwrap(), ServeOutcome::Updated(_)));
+        let a = server.submit(mk("shard", Objective::Densest)).unwrap();
+        let b = server.submit(mk("plain", Objective::Densest)).unwrap();
+        let (Ok(ServeOutcome::Solved(a)), Ok(ServeOutcome::Solved(b))) = (a.wait(), b.wait())
+        else {
+            panic!("post-update queries failed");
+        };
+        assert_bitwise_same(&a, &b, &format!("round {round} post-update"));
+        server.drain();
+        server.evict("shard");
+        server.evict("plain");
+        assert!(server.sharded("shard").is_none());
+    }
+    assert_eq!(server.stats().governor.violations, 0);
+}
+
+#[test]
+fn sharded_registration_attaches_every_engine_to_the_governor() {
+    let server = DsdServer::new(ServeConfig {
+        workers: 0,
+        substrate_budget: Some(1 << 20),
+        ..ServeConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = clustered_graph(&mut rng);
+    let sharded = server.register_sharded("g", g, 4);
+    let psi = Pattern::triangle();
+    let ticket = server
+        .submit(DsdRequest::new(&psi).on("g").method(Method::CoreExact))
+        .unwrap();
+    while server.step() {}
+    assert!(matches!(ticket.wait(), Ok(ServeOutcome::Solved(_))));
+    // The scatter warmed shard substrates; their bytes must be on the
+    // governor's ledger (attached engines report through the observer).
+    let resident: u64 = (0..sharded.num_shards())
+        .map(|i| sharded.shard_engine(i).substrate_bytes())
+        .sum::<u64>()
+        + sharded.spine_engine().substrate_bytes();
+    let stats = server.stats().governor;
+    assert!(resident > 0, "scatter warmed nothing");
+    assert_eq!(stats.resident_bytes, resident);
+    assert_eq!(stats.violations, 0);
+    drop(sharded);
+    server.governor().debug_assert_reconciled();
+}
