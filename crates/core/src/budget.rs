@@ -29,6 +29,10 @@ pub fn parse_byte_budget(s: &str) -> Option<Option<u64>> {
         b'g' | b'G' => (&s[..s.len() - 1], 30),
         _ => (s, 0),
     };
+    // `u64::from_str` accepts a leading `+`, which the grammar does not.
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
     let base: u64 = digits.parse().ok()?;
     Some(Some(base.checked_mul(1u64 << shift)?))
 }
@@ -64,6 +68,9 @@ mod tests {
             "m",
             "g",
             "-1",
+            "+1",
+            "+0",
+            "+64m",
             "1.5m",
             "64mb",
             "64 m",

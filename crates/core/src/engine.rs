@@ -69,7 +69,9 @@ use crate::dynamic::{repair_delete, repair_insert};
 use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
-use crate::oracle::{oracle_with_budget, DensityOracle, StoreStats, DEFAULT_STORE_BUDGET};
+use crate::oracle::{
+    oracle_with_budget, DensityOracle, StoreStats, SubstrateRepair, DEFAULT_STORE_BUDGET,
+};
 use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
 use crate::query::densest_with_query_from;
@@ -272,6 +274,19 @@ pub trait CacheObserver: Send + Sync {
     /// an [`DsdEngine::apply`] epoch bump, or the engine dropping. Every
     /// ledger entry for this engine is now stale.
     fn on_engine_release(&self, engine: u64, bytes: u64);
+
+    /// An [`DsdEngine::apply`] batch carried the substrate entry
+    /// `(engine, key)` across an epoch bump by in-place repair: the entry
+    /// now lives at `epoch` (the *new* epoch) with a possibly changed
+    /// footprint, advisorily `bytes` at notification time (0 when the
+    /// entry was dropped rather than repaired — e.g. its decomposition
+    /// half, which always drops). A ledger-keeping observer should
+    /// *resize* its entry in place — not drop it wholesale — re-reading
+    /// the authoritative footprint inside its own critical section, as
+    /// with [`Self::on_substrate_used`]. Default: no-op.
+    fn on_substrate_repaired(&self, engine: u64, key: &PatternKey, epoch: u64, bytes: u64) {
+        let _ = (engine, key, epoch, bytes);
+    }
 }
 
 /// `(substrate, cache_hit)` pair.
@@ -377,12 +392,23 @@ pub struct ApplyStats {
     /// (`false` when it was absent, or dropped for a batch too large for
     /// per-edge repair to win).
     pub kcore_patched: bool,
-    /// Ψ-substrates conservatively invalidated (oracles + decompositions).
+    /// Ψ-substrates dropped (oracles + decompositions): decompositions
+    /// always drop on an effective batch (peel order has no cheap
+    /// repair), oracles drop only when in-place repair was refused.
     pub substrates_dropped: usize,
+    /// Ψ-oracles whose instance store was repaired in place — the entry
+    /// survives the epoch bump, answer-identical to a cold rebuild.
+    pub substrates_repaired: usize,
+    /// Ψ-oracles dropped for lazy rebuild because no sound cheap repair
+    /// existed (prior streaming fallback, byte/capacity guard, batch over
+    /// the repair threshold). Subset of [`ApplyStats::substrates_dropped`].
+    pub substrates_rebuilt: usize,
+    /// Store rows tombstoned across every in-place repair of this batch.
+    pub rows_tombstoned: usize,
     /// Resident bytes released by the dropped Ψ-substrates (instance
     /// stores + decomposition arrays) — stale stores are never served
     /// across an epoch, so this is exactly the rebuild debt the batch
-    /// created.
+    /// created. Repaired stores are not counted: they stay resident.
     pub bytes_freed: u64,
     /// Wall time of the batch.
     pub total_nanos: u128,
@@ -576,16 +602,27 @@ impl<'g> DsdEngine<'g> {
     ///   edge, with the subcore traversal of [`crate::dynamic`] — unless
     ///   the batch is large enough that a from-scratch re-peel is cheaper,
     ///   in which case it is dropped and lazily rebuilt (rebuild-or-patch);
-    /// * **Ψ-oracles and (k, Ψ)-core decompositions** are conservatively
-    ///   invalidated — instance lists have no cheap repair, and a stale
-    ///   decomposition would silently change answers;
-    /// * the **CSR itself** is not rebuilt here: updates accumulate in an
-    ///   overlay and merge on the next snapshot, so an update-only stream
-    ///   pays one materialization.
+    /// * **Ψ-oracles** are repaired in place through the instance store's
+    ///   incidence CSR (rows killed by removed edges tombstoned, instances
+    ///   created by inserted edges delta-enumerated and appended) —
+    ///   answer-identical to a cold rebuild — falling back to drop-and-
+    ///   rebuild when the batch is over the repair threshold, a prior
+    ///   build fell back to streaming, or the repaired store would break
+    ///   the byte budget;
+    /// * **(k, Ψ)-core decompositions** are always dropped on an
+    ///   effective batch: a peel order has no cheap repair, and a stale
+    ///   one would silently change answers (it rebuilds lazily from the
+    ///   repaired oracle);
+    /// * the **CSR** is materialized eagerly only when oracles are being
+    ///   repaired (delta enumeration needs the post-batch adjacency);
+    ///   otherwise updates accumulate in an overlay and merge on the next
+    ///   snapshot, so an update-only stream pays one materialization.
     ///
-    /// No-op updates (duplicate inserts, deletes of absent edges,
-    /// self-loops, out-of-range endpoints) are counted in
-    /// [`ApplyStats::ignored`] and never advance the epoch on their own.
+    /// Updates are normalized to the batch's **net** effect first:
+    /// opposing updates on the same edge cancel, so `inserted`/`deleted`
+    /// count net changes, everything else lands in
+    /// [`ApplyStats::ignored`], and a net-empty batch (e.g.
+    /// `[+{u,v}, -{u,v}]`) keeps the epoch and every warm substrate.
     /// Requests already in flight keep their pre-update snapshot.
     pub fn apply(&self, updates: &[GraphUpdate]) -> ApplyStats {
         /// Batches beyond this many effective updates drop the k-core
@@ -593,6 +630,10 @@ impl<'g> DsdEngine<'g> {
         /// whole subcore, so at some batch size one bucket re-peel of the
         /// final graph is cheaper than the sum of traversals.
         const KCORE_PATCH_MAX_BATCH: usize = 4_096;
+        /// Batches beyond this many *net* edge changes drop the Ψ-stores
+        /// instead of repairing: delta enumeration is per-edge, so at
+        /// some batch size one sharded rebuild wins.
+        const SUBSTRATE_REPAIR_MAX_BATCH: usize = 512;
 
         let t0 = Instant::now();
         let mut state = self.state.write().unwrap();
@@ -603,6 +644,7 @@ impl<'g> DsdEngine<'g> {
             epoch,
         } = &mut *state;
         let base = slot.graph();
+        let had_pending = !pending.is_empty();
 
         // Take the cached k-core out for patching; it goes back only if
         // the whole batch stays under the repair threshold.
@@ -612,17 +654,24 @@ impl<'g> DsdEngine<'g> {
             epoch: *epoch,
             ..ApplyStats::default()
         };
+        // Net toggles of this batch: an edge key is present iff the batch
+        // changed it an odd number of times. The overlay already
+        // self-reduces (insert + delete cancel), so effective updates on
+        // one key strictly alternate and a remove-or-insert suffices.
+        let mut toggles: HashMap<(VertexId, VertexId), bool> = HashMap::new();
+        let mut effective = 0usize;
         for update in updates {
             if !pending.apply(base, update) {
-                stats.ignored += 1;
                 continue;
             }
+            effective += 1;
             let (u, v) = update.endpoints();
-            match update {
-                GraphUpdate::Insert(..) => stats.inserted += 1,
-                GraphUpdate::Delete(..) => stats.deleted += 1,
+            let key = (u.min(v), u.max(v));
+            let insert = matches!(update, GraphUpdate::Insert(..));
+            if toggles.remove(&key).is_none() {
+                toggles.insert(key, insert);
             }
-            if stats.inserted + stats.deleted > KCORE_PATCH_MAX_BATCH {
+            if effective > KCORE_PATCH_MAX_BATCH {
                 // The threshold counts *effective* updates — no-ops cost
                 // nothing, and replayed idempotent streams are mostly
                 // no-ops. Past it, one re-peel beats the repair sum.
@@ -637,9 +686,26 @@ impl<'g> DsdEngine<'g> {
                 }
             }
         }
+        let mut inserted: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut removed: Vec<(VertexId, VertexId)> = Vec::new();
+        for (&key, &ins) in &toggles {
+            if ins {
+                inserted.push(key);
+            } else {
+                removed.push(key);
+            }
+        }
+        inserted.sort_unstable();
+        removed.sort_unstable();
+        stats.inserted = inserted.len();
+        stats.deleted = removed.len();
+        stats.ignored = updates.len() - stats.inserted - stats.deleted;
 
         if stats.inserted + stats.deleted == 0 {
-            // Pure no-op batch: nothing moved, keep epoch and substrates.
+            // Net no-op batch (pure no-ops, or opposing updates that
+            // cancelled): the graph is unchanged, and so is the patched
+            // k-core — each cancelling pair's repairs are exact inverses
+            // through the same overlay states. Keep epoch and substrates.
             cache.kcore = kcore;
             stats.total_nanos = t0.elapsed().as_nanos();
             return stats;
@@ -648,19 +714,111 @@ impl<'g> DsdEngine<'g> {
         *epoch += 1;
         stats.epoch = *epoch;
         cache.epoch = *epoch;
-        stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
-        stats.bytes_freed = cache_bytes(&cache);
-        cache.oracles.clear();
-        cache.decompositions.clear();
         stats.kcore_patched = kcore.is_some();
         cache.kcore = kcore;
+
+        // Every key that may sit in an observer's ledger at the old epoch;
+        // the repair path re-reports each one at the new epoch.
+        let mut ledger_keys: Vec<PatternKey> = Vec::new();
+        // Repair is sound only when the cached oracles were built against
+        // the `base` CSR with no pending overlay — which the substrate
+        // lifecycle guarantees (oracles are built from materialized
+        // snapshots only). Fall back to the wholesale drop if that
+        // invariant ever stops holding rather than leaning on it.
+        let wholesale = cache.oracles.is_empty()
+            || had_pending
+            || stats.inserted + stats.deleted > SUBSTRATE_REPAIR_MAX_BATCH;
+        if wholesale {
+            stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
+            stats.substrates_rebuilt = cache.oracles.len();
+            stats.bytes_freed = cache_bytes(&cache);
+            cache.oracles.clear();
+            cache.decompositions.clear();
+        } else {
+            ledger_keys = cache
+                .oracles
+                .keys()
+                .chain(cache.decompositions.keys())
+                .cloned()
+                .collect();
+            ledger_keys.sort_unstable();
+            ledger_keys.dedup();
+
+            // Decompositions always drop: a peel order has no cheap
+            // repair.
+            stats.substrates_dropped = cache.decompositions.len();
+            stats.bytes_freed = cache
+                .decompositions
+                .values()
+                .map(|d| d.bytes() as u64)
+                .sum();
+            cache.decompositions.clear();
+
+            // The general-pattern repair recounts touched rows in the
+            // mid graph (base minus removals); cliques never read it, so
+            // build it only when a non-clique key is cached and both edge
+            // directions moved.
+            let needs_mid = !inserted.is_empty()
+                && !removed.is_empty()
+                && cache
+                    .oracles
+                    .keys()
+                    .any(|(k, edges)| edges.len() * 2 != k * (k - 1));
+            let g_mid: Option<Graph> = if needs_mid {
+                let mut deletions = EdgeOverlay::default();
+                for &(u, v) in &removed {
+                    deletions.apply(base, &GraphUpdate::Delete(u, v));
+                }
+                Some(DeltaGraph::new(base, &deletions).materialize())
+            } else {
+                None
+            };
+            // Materialize the post-batch CSR in place — delta enumeration
+            // needs real adjacency, and the next snapshot would pay this
+            // merge anyway.
+            let g_new = Arc::new(DeltaGraph::new(base, pending).materialize());
+            *slot = GraphSlot::Owned(Arc::clone(&g_new));
+            *pending = EdgeOverlay::default();
+            let g_mid: &Graph = g_mid.as_ref().unwrap_or(&g_new);
+
+            let keys: Vec<PatternKey> = cache.oracles.keys().cloned().collect();
+            for key in keys {
+                let oracle = cache.oracles.get(&key).expect("key just listed");
+                match oracle.repair_for_update(&g_new, g_mid, &inserted, &removed) {
+                    SubstrateRepair::Keep => {}
+                    SubstrateRepair::Repaired(repaired, r) => {
+                        stats.substrates_repaired += 1;
+                        stats.rows_tombstoned += r.rows_tombstoned;
+                        cache.oracles.insert(key, repaired);
+                    }
+                    SubstrateRepair::Rebuild => {
+                        let old = cache.oracles.remove(&key).expect("key just listed");
+                        stats.bytes_freed += old.resident_bytes();
+                        stats.substrates_dropped += 1;
+                        stats.substrates_rebuilt += 1;
+                    }
+                }
+            }
+        }
+
         stats.total_nanos = t0.elapsed().as_nanos();
         // Release the state/cache locks before entering the observer (the
         // lock-order rule documented on `CacheObserver`).
         drop(cache);
         drop(state);
-        if stats.bytes_freed > 0 || stats.substrates_dropped > 0 {
-            self.notify(|obs| obs.on_engine_release(self.id, stats.bytes_freed));
+        if wholesale {
+            if stats.bytes_freed > 0 || stats.substrates_dropped > 0 {
+                self.notify(|obs| obs.on_engine_release(self.id, stats.bytes_freed));
+            }
+        } else {
+            // Repair path: the ledger is *resized* per key at the new
+            // epoch instead of dropped wholesale — entries for repaired
+            // stores re-read their new footprint, entries for dropped
+            // halves re-read 0 and fall out.
+            for key in &ledger_keys {
+                let bytes = self.key_bytes(key, stats.epoch);
+                self.notify(|obs| obs.on_substrate_repaired(self.id, key, stats.epoch, bytes));
+            }
         }
         stats
     }
@@ -1508,9 +1666,10 @@ mod tests {
         assert_eq!(stats.oracle_builds, 1);
     }
 
-    /// `apply` bumps the epoch, patches the cached k-core in place, and
-    /// conservatively drops the Ψ-substrates, so post-update answers match
-    /// a cold engine over the updated graph.
+    /// `apply` bumps the epoch, patches the cached k-core in place,
+    /// repairs the Ψ-oracle's store through its incidence CSR, and drops
+    /// only the decomposition, so post-update answers match a cold engine
+    /// over the updated graph.
     #[test]
     fn apply_updates_patch_kcore_and_invalidate_psi_substrates() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (2, 3), (3, 4), (4, 5)]);
@@ -1538,7 +1697,10 @@ mod tests {
         assert_eq!(stats.deleted, 1);
         assert_eq!(stats.ignored, 1);
         assert!(stats.kcore_patched);
-        assert!(stats.substrates_dropped >= 2, "oracle + decomposition");
+        assert_eq!(stats.substrates_dropped, 1, "decomposition only");
+        assert_eq!(stats.substrates_repaired, 1, "oracle repaired in place");
+        assert_eq!(stats.substrates_rebuilt, 0);
+        assert_eq!(stats.rows_tombstoned, 1, "triangle 0-2-3 died with {{0,3}}");
         assert_eq!(engine.epoch(), 1);
 
         // The patched k-core is served as a cache hit at the new epoch —
@@ -1560,9 +1722,15 @@ mod tests {
         assert_eq!(updated.vertices, expect.vertices);
         assert_eq!(updated.density.to_bits(), expect.density.to_bits());
 
-        // Ψ-substrates rebuilt once at the new epoch.
+        // The decomposition rebuilds once at the new epoch, but the
+        // repaired oracle is served as a cache hit — no store rebuild.
         let cds = engine.request(&psi).method(Method::CoreExact).solve();
         assert!(!cds.stats.substrate.decomposition_cache_hit);
+        assert!(
+            cds.stats.substrate.oracle_cache_hit,
+            "repaired oracle survives the epoch bump"
+        );
+        assert_eq!(engine.cache_stats().oracle_builds, 1);
         let expect_cds = cold.request(&psi).method(Method::CoreExact).solve();
         assert_eq!(cds.vertices, expect_cds.vertices);
         assert_eq!(cds.density.to_bits(), expect_cds.density.to_bits());

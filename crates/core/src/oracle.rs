@@ -26,9 +26,11 @@
 //! * anything else → generic backtracking enumeration
 //!   (`dsd-motif::pattern_enum`).
 
+use std::sync::Arc;
+
 use dsd_graph::{Graph, VertexId, VertexSet};
 use dsd_motif::pattern::{Pattern, PatternKind};
-use dsd_motif::store::{InstanceStore, StoreBuildStats, StoreError};
+use dsd_motif::store::{InstanceStore, StoreBuildStats, StoreError, StoreRepairStats};
 use dsd_motif::{kclist, pattern_enum, special};
 
 use crate::parallelism::Parallelism;
@@ -90,6 +92,42 @@ pub trait DensityOracle: Send + Sync {
     fn resident_bytes(&self) -> u64 {
         0
     }
+
+    /// Asks the oracle to carry its state across an edge batch instead of
+    /// being dropped. `g_new` is the post-batch graph; `g_mid` is `g_new`
+    /// minus the inserted edges (the caller passes `g_new` itself when
+    /// nothing was inserted — only the general-pattern recount reads it);
+    /// `inserted` / `removed` are the *net* edge changes.
+    ///
+    /// Default: [`SubstrateRepair::Keep`] — correct for every oracle that
+    /// recomputes from the `g` argument of each query, which is all the
+    /// streaming oracles. Oracles holding a graph-keyed materialization
+    /// must override and either return a repaired replacement or request
+    /// a rebuild (see [`MaterializedOracle`]).
+    fn repair_for_update(
+        &self,
+        g_new: &Graph,
+        g_mid: &Graph,
+        inserted: &[(VertexId, VertexId)],
+        removed: &[(VertexId, VertexId)],
+    ) -> SubstrateRepair {
+        let _ = (g_new, g_mid, inserted, removed);
+        SubstrateRepair::Keep
+    }
+}
+
+/// Outcome of [`DensityOracle::repair_for_update`].
+pub enum SubstrateRepair {
+    /// The oracle is valid as-is on the new graph (streaming oracles, or
+    /// a store-backed oracle nothing has materialized yet).
+    Keep,
+    /// A repaired replacement oracle, answer-identical to a cold rebuild
+    /// on the new graph, plus the repair's instrumentation.
+    Repaired(Arc<dyn DensityOracle>, StoreRepairStats),
+    /// No sound cheap repair exists (prior streaming fallback whose
+    /// verdict may flip, or the repair tripped the byte/capacity guards):
+    /// drop the entry and rebuild lazily.
+    Rebuild,
 }
 
 /// One peel run's decrement engine (see [`DensityOracle::peeler`]).
@@ -351,18 +389,9 @@ impl MaterializedOracle {
     /// Store-backed oracle with an explicit worker count (clique store
     /// builds shard across them) and byte budget (`None` = unlimited).
     pub fn with_policy(psi: &Pattern, parallelism: Parallelism, budget: Option<u64>) -> Self {
-        let streaming: Box<dyn DensityOracle> = match psi.kind() {
-            PatternKind::Clique(h) if !parallelism.is_serial() => {
-                Box::new(ParallelCliqueOracle::new(h, parallelism))
-            }
-            PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
-            PatternKind::Star(x) => Box::new(StarOracle::new(x)),
-            PatternKind::Diamond => Box::new(DiamondOracle),
-            PatternKind::General => Box::new(GenericPatternOracle::new(psi)),
-        };
         MaterializedOracle {
             psi: psi.clone(),
-            streaming,
+            streaming: streaming_for(psi, parallelism),
             budget,
             threads: parallelism.threads(),
             state: std::sync::OnceLock::new(),
@@ -437,13 +466,15 @@ impl DensityOracle for MaterializedOracle {
         let mut acc = std::collections::HashMap::new();
         for &row in store.incidence(v) {
             let row = row as usize;
-            // The row is live iff all members (v included) are alive; `v`
-            // itself is exempted so callers that already removed it from
-            // the mask get the same semantics.
-            if store
-                .members(row)
-                .iter()
-                .all(|&u| u == v || alive.contains(u))
+            // The row is live iff it is not repair-tombstoned and all
+            // members (v included) are alive; `v` itself is exempted so
+            // callers that already removed it from the mask get the same
+            // semantics.
+            if !store.row_tombstoned(row)
+                && store
+                    .members(row)
+                    .iter()
+                    .all(|&u| u == v || alive.contains(u))
             {
                 let w = store.weight(row);
                 for &u in store.members(row) {
@@ -482,6 +513,78 @@ impl DensityOracle for MaterializedOracle {
             .and_then(|s| s.store.as_ref())
             .map_or(0, |store| store.bytes() as u64)
     }
+
+    fn repair_for_update(
+        &self,
+        g_new: &Graph,
+        g_mid: &Graph,
+        inserted: &[(VertexId, VertexId)],
+        removed: &[(VertexId, VertexId)],
+    ) -> SubstrateRepair {
+        let state = match self.state.get() {
+            // Nothing materialized yet: the first query will build against
+            // the new graph anyway.
+            None => return SubstrateRepair::Keep,
+            Some(s) => s,
+        };
+        let Some(store) = &state.store else {
+            // A prior build fell back to streaming; the fallback verdict
+            // may flip on the new graph, so re-decide from scratch.
+            return SubstrateRepair::Rebuild;
+        };
+        let mut store = store.clone();
+        let alive = VertexSet::full(g_new.num_vertices());
+        let repaired = match self.psi.kind() {
+            PatternKind::Clique(_) => {
+                store.repair_cliques(g_new, inserted, removed, &alive, self.budget)
+            }
+            _ => store.repair_pattern(
+                g_new,
+                g_mid,
+                &self.psi,
+                inserted,
+                removed,
+                &alive,
+                self.budget,
+            ),
+        };
+        let repair = match repaired {
+            Ok(r) => r,
+            Err(_) => return SubstrateRepair::Rebuild,
+        };
+        let mut stats = state.stats;
+        stats.build.instances = store.total_instances();
+        stats.build.rows = store.rows();
+        stats.build.memberships = store.memberships();
+        stats.build.bytes = store.bytes();
+        let replacement = MaterializedOracle {
+            psi: self.psi.clone(),
+            streaming: streaming_for(&self.psi, Parallelism::new(self.threads)),
+            budget: self.budget,
+            threads: self.threads,
+            state: std::sync::OnceLock::new(),
+        };
+        let seeded = replacement.state.set(StoreState {
+            fingerprint: (g_new.num_vertices(), g_new.num_edges()),
+            store: Some(store),
+            stats,
+        });
+        debug_assert!(seeded.is_ok(), "fresh OnceLock accepts the seed");
+        SubstrateRepair::Repaired(Arc::new(replacement), repair)
+    }
+}
+
+/// The streaming fallback for `psi` (see [`oracle_with_budget`]'s policy).
+fn streaming_for(psi: &Pattern, parallelism: Parallelism) -> Box<dyn DensityOracle> {
+    match psi.kind() {
+        PatternKind::Clique(h) if !parallelism.is_serial() => {
+            Box::new(ParallelCliqueOracle::new(h, parallelism))
+        }
+        PatternKind::Clique(h) => Box::new(CliqueOracle::new(h)),
+        PatternKind::Star(x) => Box::new(StarOracle::new(x)),
+        PatternKind::Diamond => Box::new(DiamondOracle),
+        PatternKind::General => Box::new(GenericPatternOracle::new(psi)),
+    }
 }
 
 /// Store-backed peel engine: alive-member counts per row make each removal
@@ -499,6 +602,11 @@ impl<'s> StorePeeler<'s> {
     fn new(store: &'s InstanceStore, alive: &VertexSet) -> Self {
         let mut live_members = vec![0u32; store.rows()];
         for (row, counter) in live_members.iter_mut().enumerate() {
+            // Repair-tombstoned rows stay at 0: never live (|VΨ| ≥ 2)
+            // and skipped by `remove`, so the counter cannot underflow.
+            if store.row_tombstoned(row) {
+                continue;
+            }
             *counter = store
                 .members(row)
                 .iter()
@@ -533,6 +641,9 @@ impl InstancePeeler for StorePeeler<'_> {
         let psi = self.store.psi_size() as u32;
         for &row in self.store.incidence(v) {
             let row = row as usize;
+            if self.store.row_tombstoned(row) {
+                continue;
+            }
             let count = &mut self.live_members[row];
             let was_live = *count == psi;
             *count -= 1;

@@ -275,6 +275,48 @@ impl CacheObserver for SubstrateGovernor {
         drop(deferred);
     }
 
+    fn on_substrate_repaired(&self, engine: u64, key: &PatternKey, epoch: u64, _bytes: u64) {
+        let mut deferred;
+        {
+            let mut state = self.state.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            // Resize the entry in place at the new epoch — a repair is
+            // cache maintenance, not a request, so hit/miss/rebuild
+            // counters stay untouched and an already-ledgered entry keeps
+            // its LRU stamp. As in `on_substrate_used`, the footprint is
+            // re-read inside the critical section; 0 means the key's
+            // cache half was dropped rather than repaired (e.g. the
+            // decomposition) and the entry falls out.
+            let handle = state.engines.get(&engine).and_then(Weak::upgrade);
+            let bytes = handle.as_ref().map_or(0, |e| e.key_bytes(key, epoch));
+            let ledger_key = (engine, key.clone());
+            if bytes == 0 {
+                if let Some(old) = state.entries.remove(&ledger_key) {
+                    state.total -= old.bytes;
+                }
+            } else {
+                let last_used = state.entries.get(&ledger_key).map_or(tick, |e| e.last_used);
+                let old = state.entries.insert(
+                    ledger_key,
+                    Entry {
+                        epoch,
+                        bytes,
+                        last_used,
+                    },
+                );
+                state.total += bytes;
+                if let Some(old) = old {
+                    state.total -= old.bytes;
+                    debug_assert!(old.epoch <= epoch, "engine epochs only advance");
+                }
+            }
+            deferred = self.enforce(&mut state);
+            deferred.extend(handle);
+        }
+        drop(deferred);
+    }
+
     fn on_engine_release(&self, engine: u64, _bytes: u64) {
         let mut state = self.state.lock().unwrap();
         // Every ledger entry for this engine is gone wholesale (epoch

@@ -127,6 +127,10 @@ pub struct ShardedSolve {
     pub rho_star: f64,
     /// Per-shard scatter outcomes (empty when the plan never scattered).
     pub shards: Vec<ShardReport>,
+    /// Actual shard count of the partition. `partition_degeneracy` trims
+    /// trailing empty shards, so this can be smaller than the requested
+    /// count — callers should report this, not what they asked for.
+    pub shards_total: usize,
     /// Shards failing the located-core bound test against ρ*.
     pub shards_pruned: usize,
     /// Located-core components the certified merge skipped without
@@ -149,6 +153,11 @@ pub struct ShardedApply {
     /// spine (and the boundary overlay it implies), never in a shard
     /// subgraph.
     pub cross_shard: usize,
+    /// Ψ-substrates repaired in place across the spine and every touched
+    /// shard engine (siblings outside the batch footprint never count).
+    pub substrates_repaired: usize,
+    /// Ψ-substrates that fell back to invalidation across the same set.
+    pub substrates_rebuilt: usize,
 }
 
 /// One logical graph fanned out over per-shard engines plus a spine.
@@ -253,6 +262,7 @@ impl ShardedGraph {
                 solution: self.spine.solve(req),
                 rho_star: 0.0,
                 shards: Vec::new(),
+                shards_total: self.shards.len(),
                 shards_pruned: 0,
                 pruned_components: 0,
                 scattered: false,
@@ -309,6 +319,7 @@ impl ShardedGraph {
             solution,
             rho_star,
             shards: reports,
+            shards_total: self.shards.len(),
             shards_pruned,
             pruned_components,
             scattered: true,
@@ -343,9 +354,13 @@ impl ShardedGraph {
         }
         let spine = self.spine.apply(updates);
         let mut shards_touched = 0usize;
+        let mut substrates_repaired = spine.substrates_repaired;
+        let mut substrates_rebuilt = spine.substrates_rebuilt;
         for (shard, batch) in self.shards.iter().zip(&per_shard) {
             if !batch.is_empty() {
-                shard.engine.apply(batch);
+                let stats = shard.engine.apply(batch);
+                substrates_repaired += stats.substrates_repaired;
+                substrates_rebuilt += stats.substrates_rebuilt;
                 shards_touched += 1;
             }
         }
@@ -353,6 +368,8 @@ impl ShardedGraph {
             spine,
             shards_touched,
             cross_shard,
+            substrates_repaired,
+            substrates_rebuilt,
         }
     }
 }

@@ -283,6 +283,48 @@ pub fn for_each_clique_containing<F: FnMut(&[VertexId])>(
     });
 }
 
+/// Enumerates the h-cliques that contain the edge `{u, v}` of `g` and
+/// whose *other* members are all in `alive`, handing `f` those `h - 2`
+/// other members. This is the append step of incremental store repair:
+/// the h-cliques an edge insertion `{u, v}` creates are exactly
+/// `{u, v} ∪ C` for the (h−2)-cliques `C` of `G[N(u) ∩ N(v) ∩ alive]`,
+/// each listed exactly once.
+pub fn for_each_clique_containing_edge<F: FnMut(&[VertexId])>(
+    g: &Graph,
+    h: usize,
+    u: VertexId,
+    v: VertexId,
+    alive: &VertexSet,
+    mut f: F,
+) {
+    assert!(h >= 2, "a clique containing an edge needs h >= 2");
+    if h == 2 {
+        // The edge itself is the clique; no other members.
+        f(&[]);
+        return;
+    }
+    let mut common: Vec<VertexId> = Vec::new();
+    intersect_sorted(g.neighbors(u), g.neighbors(v), &mut common);
+    common.retain(|&w| alive.contains(w));
+    if common.len() + 2 < h {
+        return;
+    }
+    if h == 3 {
+        for &w in &common {
+            f(&[w]);
+        }
+        return;
+    }
+    let sub = dsd_graph::InducedSubgraph::new(g, &common);
+    let mut mapped = vec![0 as VertexId; h - 2];
+    for_each_clique(&sub.graph, h - 2, |clique| {
+        for (slot, &w) in mapped.iter_mut().zip(clique) {
+            *slot = sub.to_parent(w);
+        }
+        f(&mapped);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +499,36 @@ mod tests {
         let g = k(3);
         assert_eq!(count_cliques(&g, 4), 0);
         assert_eq!(count_cliques(&g, 10), 0);
+    }
+
+    #[test]
+    fn cliques_containing_edge_match_brute_force() {
+        let g = k(5);
+        let alive = VertexSet::full(5);
+        for h in 2..=5 {
+            let mut found: Vec<Vec<VertexId>> = Vec::new();
+            for_each_clique_containing_edge(&g, h, 0, 1, &alive, |others| {
+                let mut c = others.to_vec();
+                c.extend([0, 1]);
+                c.sort_unstable();
+                found.push(c);
+            });
+            // K5: cliques through a fixed edge choose h-2 of the other 3.
+            let choose = [1u64, 3, 3, 1][h - 2];
+            assert_eq!(found.len() as u64, choose, "h = {h}");
+            found.sort();
+            found.dedup();
+            assert_eq!(found.len() as u64, choose, "each listed once, h = {h}");
+        }
+        // The alive mask restricts the *other* members only.
+        let mut alive = VertexSet::full(5);
+        alive.remove(2);
+        let mut n = 0;
+        for_each_clique_containing_edge(&g, 3, 0, 1, &alive, |_| n += 1);
+        assert_eq!(n, 2, "triangles 01x for x in {{3, 4}}");
+        let mut masked_endpoint = 0;
+        alive.remove(0);
+        for_each_clique_containing_edge(&g, 3, 0, 1, &alive, |_| masked_endpoint += 1);
+        assert_eq!(masked_endpoint, 2, "endpoints are exempt from the mask");
     }
 }

@@ -22,13 +22,22 @@
 //! optional byte budget aborts oversized builds mid-enumeration — both
 //! reported as typed [`StoreError`]s so callers can fall back to streaming
 //! oracles instead of silently truncating indices.
+//!
+//! Stores are also **repairable**: an edge batch against the stored graph
+//! tombstones the rows a removed edge kills (found through the incidence
+//! CSR — no re-enumeration) and appends only the instances an inserted
+//! edge creates (delta enumeration rooted at the touched endpoints), so a
+//! warm substrate survives updates at per-edge cost instead of re-paying
+//! the full build. See [`InstanceStore::repair_cliques`] and
+//! [`InstanceStore::repair_pattern`].
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Instant;
 
-use dsd_graph::{Graph, VertexId, VertexSet};
+use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
 
 use crate::kclist::{CliqueLister, CliqueScratch};
 use crate::pattern::Pattern;
@@ -86,6 +95,27 @@ pub struct StoreBuildStats {
     pub shards: usize,
 }
 
+/// Instrumentation for one in-place store repair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreRepairStats {
+    /// Rows tombstoned because a removed edge killed their instances.
+    pub rows_tombstoned: usize,
+    /// Rows appended for instances the inserted edges created.
+    pub rows_appended: usize,
+    /// Whether the repair compacted the columns (dead-row fraction passed
+    /// [`COMPACT_DEAD_NUM`]/[`COMPACT_DEAD_DEN`]).
+    pub compacted: bool,
+    /// Wall time of the repair.
+    pub repair_nanos: u128,
+}
+
+/// Compaction policy: a repair physically drops tombstoned rows once
+/// `dead_rows / rows > COMPACT_DEAD_NUM / COMPACT_DEAD_DEN`; below that,
+/// tombstones are carried and queries skip them through the mask.
+pub const COMPACT_DEAD_NUM: usize = 1;
+/// See [`COMPACT_DEAD_NUM`].
+pub const COMPACT_DEAD_DEN: usize = 4;
+
 /// Columnar instance storage: CSR-of-members plus CSR-of-incidence.
 #[derive(Clone, Debug)]
 pub struct InstanceStore {
@@ -98,6 +128,14 @@ pub struct InstanceStore {
     /// `incidence(v) = inc_rows[inc_offsets[v]..inc_offsets[v + 1]]`.
     inc_offsets: Vec<u32>,
     inc_rows: Vec<u32>,
+    /// Tombstone mask from in-place repairs. Empty means every row is
+    /// live; otherwise `dead.len() == rows()` and `dead[row]` marks a row
+    /// whose instances no longer exist in the repaired graph. Dead rows
+    /// keep their incidence entries until compaction; every query skips
+    /// them through the mask.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    dead_rows: usize,
 }
 
 /// Shared row caps for a build: u32-indexing capacity and the byte budget.
@@ -348,28 +386,16 @@ impl InstanceStore {
     ) -> (Self, StoreBuildStats) {
         debug_assert_eq!(members.len() % psi_size, 0);
         let rows = members.len() / psi_size;
-        let mut inc_offsets = vec![0u32; n + 1];
-        for &v in &members {
-            inc_offsets[v as usize + 1] += 1;
-        }
-        for i in 0..n {
-            inc_offsets[i + 1] += inc_offsets[i];
-        }
-        let mut cursor: Vec<u32> = inc_offsets[..n].to_vec();
-        let mut inc_rows = vec![0u32; members.len()];
-        for (row, chunk) in members.chunks_exact(psi_size).enumerate() {
-            for &v in chunk {
-                inc_rows[cursor[v as usize] as usize] = row as u32;
-                cursor[v as usize] += 1;
-            }
-        }
-        let store = InstanceStore {
+        let mut store = InstanceStore {
             psi_size,
             members,
             weights,
-            inc_offsets,
-            inc_rows,
+            inc_offsets: vec![0u32; n + 1],
+            inc_rows: Vec::new(),
+            dead: Vec::new(),
+            dead_rows: 0,
         };
+        store.rebuild_incidence();
         let stats = StoreBuildStats {
             instances,
             rows,
@@ -424,6 +450,12 @@ impl InstanceStore {
 
     /// Total instance count of the full stored graph.
     pub fn total_instances(&self) -> u64 {
+        if self.dead_rows > 0 {
+            return (0..self.rows())
+                .filter(|&row| !self.dead[row])
+                .map(|row| self.weight(row))
+                .sum();
+        }
         match &self.weights {
             Some(w) => w.iter().map(|&x| x as u64).sum(),
             None => self.rows() as u64,
@@ -436,12 +468,31 @@ impl InstanceStore {
             + 4 * self.weights.as_ref().map_or(0, Vec::len)
             + 4 * self.inc_offsets.len()
             + 4 * self.inc_rows.len()
+            + self.dead.len()
     }
 
-    /// Whether every member of `row` is alive.
+    /// Whether `row` was tombstoned by an in-place repair.
+    #[inline]
+    pub fn row_tombstoned(&self, row: usize) -> bool {
+        !self.dead.is_empty() && self.dead[row]
+    }
+
+    /// Rows not tombstoned.
+    #[inline]
+    pub fn live_rows(&self) -> usize {
+        self.rows() - self.dead_rows
+    }
+
+    /// Tombstoned rows currently carried (0 after compaction).
+    #[inline]
+    pub fn tombstoned_rows(&self) -> usize {
+        self.dead_rows
+    }
+
+    /// Whether `row` is not tombstoned and every member is alive.
     #[inline]
     pub fn row_live(&self, row: usize, alive: &VertexSet) -> bool {
-        self.members(row).iter().all(|&v| alive.contains(v))
+        !self.row_tombstoned(row) && self.members(row).iter().all(|&v| alive.contains(v))
     }
 
     /// Per-vertex instance degrees of the stored graph restricted to
@@ -465,6 +516,324 @@ impl InstanceStore {
             .filter(|&row| self.row_live(row, alive))
             .map(|row| self.weight(row))
             .sum()
+    }
+
+    /// Repairs an h-clique store in place across an edge batch. `g` is
+    /// the **post-batch** graph; `inserted` / `removed` are the net edge
+    /// changes (no key in both, endpoints within the stored vertex
+    /// range — the vertex set itself never changes under edge updates).
+    ///
+    /// Deletion: an h-clique dies iff it contains both endpoints of a
+    /// removed edge, so the rows to tombstone are found by walking one
+    /// endpoint's incidence list — no re-enumeration. Insertion: the
+    /// h-cliques an edge `{u, v}` creates are exactly `{u, v} ∪ C` for
+    /// the (h−2)-cliques `C` of `g[N(u) ∩ N(v) ∩ alive]`; a clique
+    /// containing several inserted edges is deduped by canonical member
+    /// set, and can never collide with a surviving row (old rows contain
+    /// no inserted edge). Every query is a row-order-invariant sum over
+    /// live rows, so the repaired store answers **identically** to a
+    /// from-scratch rebuild on `g`.
+    ///
+    /// On `Err` (budget/capacity, same guards as [`InstanceStore::cliques`])
+    /// the store may hold partial tombstones and must be discarded — the
+    /// caller falls back to a rebuild anyway.
+    pub fn repair_cliques(
+        &mut self,
+        g: &Graph,
+        inserted: &[(VertexId, VertexId)],
+        removed: &[(VertexId, VertexId)],
+        alive: &VertexSet,
+        budget: Option<u64>,
+    ) -> Result<StoreRepairStats, StoreError> {
+        debug_assert!(self.weights.is_none(), "clique stores are unweighted");
+        let t0 = Instant::now();
+        let h = self.psi_size;
+        let mut stats = StoreRepairStats::default();
+
+        for &(u, v) in removed {
+            stats.rows_tombstoned += self.tombstone_rows_with_edge(u, v);
+        }
+
+        let caps = RowCaps::new(self.inc_offsets.len() - 1, h, 0, budget);
+        caps.check_base()?;
+        let mut fresh: Vec<VertexId> = Vec::new();
+        let mut seen: HashSet<Vec<VertexId>> = HashSet::new();
+        let dedup = inserted.len() > 1;
+        for &(u, v) in inserted {
+            if !alive.contains(u) || !alive.contains(v) {
+                continue;
+            }
+            crate::kclist::for_each_clique_containing_edge(g, h, u, v, alive, |others| {
+                let mut row: Vec<VertexId> = Vec::with_capacity(h);
+                row.push(u);
+                row.push(v);
+                row.extend_from_slice(others);
+                row.sort_unstable();
+                if dedup && !seen.insert(row.clone()) {
+                    return;
+                }
+                fresh.extend_from_slice(&row);
+            });
+        }
+        self.append_rows(fresh, None, &caps, &mut stats)?;
+        self.settle(&mut stats);
+        stats.repair_nanos = t0.elapsed().as_nanos();
+        Ok(stats)
+    }
+
+    /// Repairs a general-pattern store in place across an edge batch.
+    /// `g` is the post-batch graph and `g_mid` is `g` minus the inserted
+    /// edges — equivalently the pre-batch graph minus the removed edges
+    /// (pass `g` itself when `inserted` is empty).
+    ///
+    /// Deletion: only rows containing both endpoints of a removed edge
+    /// can lose instances; each such row is **recounted** in `g_mid` —
+    /// an instance uses exactly `|VΨ|` distinct vertices, so counting
+    /// inside the induced subgraph of the row's member set is exact.
+    /// Weight drops to the surviving multiplicity; zero tombstones the
+    /// row. Insertion: the instances of `g` split into those of `g_mid`
+    /// (already stored, post-recount) and those using ≥ 1 inserted edge,
+    /// which are enumerated anchored at the inserted endpoints, deduped
+    /// by canonical edge set, grouped by member set, and merged — a
+    /// group whose set matches a live row bumps its weight, otherwise it
+    /// appends (a set matching only a tombstoned row appends a fresh
+    /// row; queries skip the dead twin). Same error contract as
+    /// [`InstanceStore::repair_cliques`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_pattern(
+        &mut self,
+        g: &Graph,
+        g_mid: &Graph,
+        psi: &Pattern,
+        inserted: &[(VertexId, VertexId)],
+        removed: &[(VertexId, VertexId)],
+        alive: &VertexSet,
+        budget: Option<u64>,
+    ) -> Result<StoreRepairStats, StoreError> {
+        debug_assert_eq!(psi.vertex_count(), self.psi_size);
+        let t0 = Instant::now();
+        let k = self.psi_size;
+        let mut stats = StoreRepairStats::default();
+
+        let mut touched: Vec<usize> = Vec::new();
+        for &(u, v) in removed {
+            let lo = self.inc_offsets[u as usize] as usize;
+            let hi = self.inc_offsets[u as usize + 1] as usize;
+            for idx in lo..hi {
+                let row = self.inc_rows[idx] as usize;
+                if !self.row_tombstoned(row) && self.members(row).contains(&v) {
+                    touched.push(row);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &row in &touched {
+            let sub = InducedSubgraph::new(g_mid, self.members(row));
+            let w = pattern_enum::count_instances(&sub.graph, psi, &VertexSet::full(k));
+            if w == 0 {
+                self.tombstone(row);
+                stats.rows_tombstoned += 1;
+            } else if w != self.weight(row) {
+                self.set_weight(row, u32::try_from(w).expect("touched-row recount fits u32"));
+            }
+        }
+
+        let mut seen: HashSet<Vec<(VertexId, VertexId)>> = HashSet::new();
+        let mut groups: HashMap<Vec<VertexId>, u32> = HashMap::new();
+        for &(u, v) in inserted {
+            if !alive.contains(u) || !alive.contains(v) {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            for inst in pattern_enum::instances_containing(g, psi, u, alive) {
+                if !inst.edges.contains(&key) || !seen.insert(inst.edges) {
+                    continue;
+                }
+                *groups.entry(inst.vertices).or_insert(0) += 1;
+            }
+        }
+        let mut grouped: Vec<(Vec<VertexId>, u32)> = groups.into_iter().collect();
+        grouped.sort_unstable();
+        let mut fresh_members: Vec<VertexId> = Vec::new();
+        let mut fresh_weights: Vec<u32> = Vec::new();
+        for (set, count) in grouped {
+            if let Some(row) = self.find_live_row(&set) {
+                let w = self.weight(row) + count as u64;
+                self.set_weight(row, u32::try_from(w).expect("merged weight fits u32"));
+            } else {
+                fresh_members.extend_from_slice(&set);
+                fresh_weights.push(count);
+            }
+        }
+
+        let dedup_per_row = 8 * psi.edge_count() as u64 + 48 + 4 * k as u64;
+        let caps = RowCaps::new(self.inc_offsets.len() - 1, k, dedup_per_row, budget);
+        caps.check_base()?;
+        self.append_rows(fresh_members, Some(fresh_weights), &caps, &mut stats)?;
+        self.settle(&mut stats);
+        stats.repair_nanos = t0.elapsed().as_nanos();
+        Ok(stats)
+    }
+
+    /// Tombstones every live row containing both `u` and `v`, returning
+    /// how many died.
+    fn tombstone_rows_with_edge(&mut self, u: VertexId, v: VertexId) -> usize {
+        let lo = self.inc_offsets[u as usize] as usize;
+        let hi = self.inc_offsets[u as usize + 1] as usize;
+        let mut died = 0;
+        for idx in lo..hi {
+            let row = self.inc_rows[idx] as usize;
+            if !self.row_tombstoned(row) && self.members(row).contains(&v) {
+                self.tombstone(row);
+                died += 1;
+            }
+        }
+        died
+    }
+
+    /// Marks `row` dead, materializing the mask on first use.
+    fn tombstone(&mut self, row: usize) {
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.rows()];
+        }
+        if !self.dead[row] {
+            self.dead[row] = true;
+            self.dead_rows += 1;
+        }
+    }
+
+    /// Sets `row`'s multiplicity, materializing the weight column when a
+    /// non-unit weight first appears.
+    fn set_weight(&mut self, row: usize, w: u32) {
+        if self.weights.is_none() {
+            if w == 1 {
+                return;
+            }
+            self.weights = Some(vec![1u32; self.rows()]);
+        }
+        self.weights.as_mut().expect("just materialized")[row] = w;
+    }
+
+    /// The live row holding exactly `set` (id-sorted), found through the
+    /// incidence of its first member. Rows appended by the caller after
+    /// the last CSR rebuild are not findable — repair appends only
+    /// mutually-distinct sets, so that never aliases.
+    fn find_live_row(&self, set: &[VertexId]) -> Option<usize> {
+        let v = *set.first()?;
+        self.incidence(v)
+            .iter()
+            .map(|&row| row as usize)
+            .find(|&row| !self.row_tombstoned(row) && self.members(row) == set)
+    }
+
+    /// Appends repaired rows under the build-time caps (checked against
+    /// the **physical** row count — tombstones occupy capacity until
+    /// compaction) and records the append in `stats`.
+    fn append_rows(
+        &mut self,
+        fresh_members: Vec<VertexId>,
+        fresh_weights: Option<Vec<u32>>,
+        caps: &RowCaps,
+        stats: &mut StoreRepairStats,
+    ) -> Result<(), StoreError> {
+        debug_assert_eq!(fresh_members.len() % self.psi_size, 0);
+        let new_rows = fresh_members.len() / self.psi_size;
+        let total_rows = (self.rows() + new_rows) as u64;
+        if total_rows > caps.max_rows() {
+            return Err(caps.error_at(total_rows));
+        }
+        if new_rows == 0 {
+            return Ok(());
+        }
+        let old_rows = self.rows();
+        if self.weights.is_none()
+            && fresh_weights
+                .as_ref()
+                .is_some_and(|w| w.iter().any(|&x| x != 1))
+        {
+            self.weights = Some(vec![1u32; old_rows]);
+        }
+        self.members.extend_from_slice(&fresh_members);
+        if let Some(col) = &mut self.weights {
+            match &fresh_weights {
+                Some(w) => col.extend_from_slice(w),
+                None => col.resize(old_rows + new_rows, 1),
+            }
+        }
+        if !self.dead.is_empty() {
+            self.dead.resize(old_rows + new_rows, false);
+        }
+        stats.rows_appended = new_rows;
+        Ok(())
+    }
+
+    /// Post-repair housekeeping: compacts once tombstones pass the dead
+    /// fraction, else rebuilds the incidence CSR if rows were appended
+    /// (a pure-deletion repair keeps the CSR — dead rows stay indexed
+    /// and queries skip them through the mask).
+    fn settle(&mut self, stats: &mut StoreRepairStats) {
+        if self.dead_rows > 0 && self.dead_rows * COMPACT_DEAD_DEN > self.rows() * COMPACT_DEAD_NUM
+        {
+            self.compact();
+            stats.compacted = true;
+        } else if stats.rows_appended > 0 {
+            self.rebuild_incidence();
+        }
+    }
+
+    /// Physically drops tombstoned rows and rebuilds the incidence CSR.
+    /// A no-op when nothing is tombstoned.
+    pub fn compact(&mut self) {
+        if self.dead_rows == 0 {
+            return;
+        }
+        let k = self.psi_size;
+        let rows = self.rows();
+        let mut out = 0usize;
+        for row in 0..rows {
+            if self.dead[row] {
+                continue;
+            }
+            if out != row {
+                self.members.copy_within(row * k..(row + 1) * k, out * k);
+                if let Some(w) = &mut self.weights {
+                    w[out] = w[row];
+                }
+            }
+            out += 1;
+        }
+        self.members.truncate(out * k);
+        if let Some(w) = &mut self.weights {
+            w.truncate(out);
+        }
+        self.dead = Vec::new();
+        self.dead_rows = 0;
+        self.rebuild_incidence();
+    }
+
+    /// Rebuilds the vertex → row incidence CSR from the current member
+    /// column in one counting pass (tombstoned rows keep entries; queries
+    /// skip them through the mask).
+    fn rebuild_incidence(&mut self) {
+        let n = self.inc_offsets.len() - 1;
+        let mut inc_offsets = vec![0u32; n + 1];
+        for &v in &self.members {
+            inc_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            inc_offsets[i + 1] += inc_offsets[i];
+        }
+        let mut cursor: Vec<u32> = inc_offsets[..n].to_vec();
+        let mut inc_rows = vec![0u32; self.members.len()];
+        for (row, chunk) in self.members.chunks_exact(self.psi_size).enumerate() {
+            for &v in chunk {
+                inc_rows[cursor[v as usize] as usize] = row as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        self.inc_offsets = inc_offsets;
+        self.inc_rows = inc_rows;
     }
 }
 
@@ -711,5 +1080,228 @@ mod tests {
         assert_eq!(store.total_instances(), 0);
         assert_eq!(stats.memberships, 0);
         assert!(store.bytes() >= 4 * 6, "offsets still resident");
+    }
+
+    fn edges_of(g: &Graph) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for u in 0..g.num_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    fn with_batch(
+        g: &Graph,
+        inserted: &[(VertexId, VertexId)],
+        removed: &[(VertexId, VertexId)],
+    ) -> Graph {
+        let mut set: std::collections::BTreeSet<(VertexId, VertexId)> =
+            edges_of(g).into_iter().collect();
+        for e in removed {
+            assert!(set.remove(e), "removed edge {e:?} must exist");
+        }
+        for &e in inserted {
+            assert!(set.insert(e), "inserted edge {e:?} must be absent");
+        }
+        Graph::from_edges(g.num_vertices(), &set.into_iter().collect::<Vec<_>>())
+    }
+
+    type EdgeList = Vec<(VertexId, VertexId)>;
+
+    /// Deterministic mixed batch: every 5th existing edge is removed and
+    /// a handful of absent edges are inserted.
+    fn mixed_batch(g: &Graph) -> (EdgeList, EdgeList) {
+        let removed: Vec<_> = edges_of(g).into_iter().step_by(5).collect();
+        let mut inserted = Vec::new();
+        let n = g.num_vertices() as VertexId;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    inserted.push((u, v));
+                    if inserted.len() == 8 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        (inserted, removed)
+    }
+
+    #[test]
+    fn clique_repair_matches_rebuild() {
+        for (seed, n, per_mille) in [(11, 60, 120), (29, 40, 250), (43, 80, 80)] {
+            let g = random_graph(seed, n, per_mille);
+            let alive = VertexSet::full(n);
+            let (inserted, removed) = mixed_batch(&g);
+            let g_new = with_batch(&g, &inserted, &removed);
+            for h in 2..=4 {
+                let (mut store, _) = InstanceStore::cliques(&g, h, &alive, 1, None).unwrap();
+                let stats = store
+                    .repair_cliques(&g_new, &inserted, &removed, &alive, None)
+                    .unwrap();
+                let (rebuilt, _) = InstanceStore::cliques(&g_new, h, &alive, 1, None).unwrap();
+                assert_eq!(
+                    store.total_instances(),
+                    rebuilt.total_instances(),
+                    "seed {seed}, h = {h}"
+                );
+                assert_eq!(store.degrees_within(&alive), rebuilt.degrees_within(&alive));
+                assert_eq!(store.count_within(&alive), rebuilt.count_within(&alive));
+                assert_eq!(store.live_rows(), rebuilt.rows());
+                if stats.compacted {
+                    assert_eq!(store.tombstoned_rows(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_repair_matches_rebuild() {
+        let g = random_graph(23, 32, 300);
+        let alive = VertexSet::full(32);
+        let (inserted, removed) = mixed_batch(&g);
+        let g_new = with_batch(&g, &inserted, &removed);
+        let g_mid = with_batch(&g, &[], &removed);
+        for psi in [
+            Pattern::two_star(),
+            Pattern::diamond(),
+            Pattern::two_triangle(),
+            Pattern::c3_star(),
+        ] {
+            let (mut store, _) = InstanceStore::pattern(&g, &psi, &alive, None).unwrap();
+            store
+                .repair_pattern(&g_new, &g_mid, &psi, &inserted, &removed, &alive, None)
+                .unwrap();
+            let (rebuilt, _) = InstanceStore::pattern(&g_new, &psi, &alive, None).unwrap();
+            assert_eq!(
+                store.total_instances(),
+                rebuilt.total_instances(),
+                "{}",
+                psi.name()
+            );
+            assert_eq!(
+                store.degrees_within(&alive),
+                rebuilt.degrees_within(&alive),
+                "{}",
+                psi.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_repair_reweights_and_revives_grouped_rows() {
+        // K4 holds one diamond row of weight 3; dropping an edge leaves
+        // exactly one diamond on the same vertex set (recount, not
+        // tombstone); re-inserting it restores weight 3 by merging the 2
+        // new instances into the surviving row.
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let k4 = b.build();
+        let alive = VertexSet::full(4);
+        let psi = Pattern::diamond();
+        let (mut store, _) = InstanceStore::pattern(&k4, &psi, &alive, None).unwrap();
+        let g_del = with_batch(&k4, &[], &[(0, 1)]);
+        store
+            .repair_pattern(&g_del, &g_del, &psi, &[], &[(0, 1)], &alive, None)
+            .unwrap();
+        assert_eq!(store.total_instances(), 1, "K4 minus an edge is a diamond");
+        assert_eq!(store.live_rows(), 1);
+        store
+            .repair_pattern(&k4, &g_del, &psi, &[(0, 1)], &[], &alive, None)
+            .unwrap();
+        assert_eq!(store.total_instances(), 3);
+        assert_eq!(store.live_rows(), 1, "merged back into the grouped row");
+        assert_eq!(store.weight(0), 3);
+    }
+
+    #[test]
+    fn repair_can_tombstone_every_row_then_compacts() {
+        // K4 has 4 triangles; removing the disjoint edges {0,1} and {2,3}
+        // kills all of them, pushing the dead fraction to 1 > 1/4.
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v);
+            }
+        }
+        let k4 = b.build();
+        let alive = VertexSet::full(4);
+        let (mut store, _) = InstanceStore::cliques(&k4, 3, &alive, 1, None).unwrap();
+        assert_eq!(store.rows(), 4);
+        let removed = [(0, 1), (2, 3)];
+        let g_new = with_batch(&k4, &[], &removed);
+        let stats = store
+            .repair_cliques(&g_new, &[], &removed, &alive, None)
+            .unwrap();
+        assert_eq!(stats.rows_tombstoned, 4);
+        assert!(stats.compacted);
+        assert_eq!(store.rows(), 0);
+        assert_eq!(store.live_rows(), 0);
+        assert_eq!(store.total_instances(), 0);
+        assert_eq!(store.degrees_within(&alive), vec![0; 4]);
+        let (rebuilt, _) = InstanceStore::cliques(&g_new, 3, &alive, 1, None).unwrap();
+        assert_eq!(rebuilt.rows(), 0);
+    }
+
+    #[test]
+    fn pure_deletion_repair_keeps_csr_and_queries_skip_dead() {
+        let g = random_graph(7, 60, 150);
+        let alive = VertexSet::full(60);
+        let (mut store, _) = InstanceStore::cliques(&g, 3, &alive, 1, None).unwrap();
+        let rows_before = store.rows();
+        let removed = [edges_of(&g)[0]];
+        let g_new = with_batch(&g, &[], &removed);
+        let stats = store
+            .repair_cliques(&g_new, &[], &removed, &alive, None)
+            .unwrap();
+        if !stats.compacted {
+            assert_eq!(store.rows(), rows_before, "tombstones carried, not cut");
+            assert_eq!(store.tombstoned_rows(), stats.rows_tombstoned);
+        }
+        let (rebuilt, _) = InstanceStore::cliques(&g_new, 3, &alive, 1, None).unwrap();
+        assert_eq!(store.total_instances(), rebuilt.total_instances());
+        assert_eq!(store.degrees_within(&alive), rebuilt.degrees_within(&alive));
+        // Tombstoned rows are still indexed but never live.
+        for row in 0..store.rows() {
+            if store.row_tombstoned(row) {
+                assert!(!store.row_live(row, &alive));
+            }
+        }
+    }
+
+    #[test]
+    fn repair_growth_past_budget_is_typed() {
+        // An instance-free store under a budget with room for 5 rows;
+        // inserting a K10 creates 120 triangles and must refuse, typed.
+        let n = 50;
+        let budget = 4 * (n as u64 + 1) + 5 * (8 * 3 + 4);
+        let g = Graph::empty(n);
+        let alive = VertexSet::full(n);
+        let (mut store, _) = InstanceStore::cliques(&g, 3, &alive, 1, Some(budget)).unwrap();
+        let mut inserted = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                inserted.push((u, v));
+            }
+        }
+        let g_new = with_batch(&g, &inserted, &[]);
+        let err = store
+            .repair_cliques(&g_new, &inserted, &[], &alive, Some(budget))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::BudgetExceeded { .. }));
+        // The same repair under no budget succeeds and matches a rebuild.
+        let (mut unbudgeted, _) = InstanceStore::cliques(&g, 3, &alive, 1, None).unwrap();
+        unbudgeted
+            .repair_cliques(&g_new, &inserted, &[], &alive, None)
+            .unwrap();
+        assert_eq!(unbudgeted.total_instances(), 120);
     }
 }

@@ -76,8 +76,10 @@
 //! # Sharded execution
 //!
 //! `--shards <n>` (batch and serve) registers every graph as a
-//! `ShardedGraph`: the CSR is partitioned into `n` degeneracy-contiguous
-//! shard engines plus a whole-graph spine, exact densest / top-k /
+//! `ShardedGraph`: the CSR is partitioned into *at most* `n`
+//! degeneracy-contiguous shard engines (trailing empty shards are
+//! trimmed; registration and per-request output report the actual
+//! count) plus a whole-graph spine, exact densest / top-k /
 //! at-least-k requests scatter across the shards, the best certified
 //! local density prunes shards whose located-core bound cannot beat it,
 //! and the spine merge skips the pruned regions — bit-identical answers,
@@ -391,13 +393,23 @@ fn flush_requests_sharded(
             continue;
         };
         let out = sharded.solve_explained(&req);
+        // Report the partition's *actual* shard count (trailing empty
+        // shards are trimmed), not what the command line asked for.
+        let shard_note = if out.scattered {
+            format!(
+                ", {} shards, {} pruned",
+                out.shards_total, out.shards_pruned
+            )
+        } else {
+            String::new()
+        };
         if out.scattered {
             scattered += 1;
             shards_pruned += out.shards_pruned;
         }
         let s = &out.solution;
         println!(
-            "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}] (epoch {})",
+            "#{i}: {:?} via {:?}: density {:.6}, {} vertices [{:?}] (epoch {}{shard_note})",
             s.objective,
             s.method,
             s.density,
@@ -466,7 +478,9 @@ fn run_batch(args: &[String]) -> ExitCode {
     // `solve_batch` grouping.
     let mut sharded_catalog: HashMap<String, Arc<ShardedGraph>> = HashMap::new();
     if shards > 1 {
-        println!("batch: {threads} workers, {shards} shards");
+        // The partitioner may trim trailing empty shards, so this is the
+        // *requested* count; each registration reports what it got.
+        println!("batch: {threads} workers, {shards} shards requested");
     } else {
         println!("batch: {threads} workers");
     }
@@ -513,7 +527,7 @@ fn run_batch(args: &[String]) -> ExitCode {
                                 None => ShardedGraph::new(g, shards),
                             };
                             println!(
-                                "sharded {name}: {} shards, {} boundary edges",
+                                "sharded {name}: {} shards ({shards} requested), {} boundary edges",
                                 sg.num_shards(),
                                 sg.boundary_edges()
                             );
@@ -535,7 +549,8 @@ fn run_batch(args: &[String]) -> ExitCode {
                     // everything queued above sees the pre-update graph.
                     let print_apply = |st: &dsd::core::ApplyStats, suffix: &str| {
                         println!(
-                            "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}{suffix}",
+                            "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}, \
+                             substrates {} repaired / {} rebuilt{suffix}",
                             st.inserted,
                             st.deleted,
                             st.ignored,
@@ -544,7 +559,9 @@ fn run_batch(args: &[String]) -> ExitCode {
                                 "patched"
                             } else {
                                 "deferred rebuild"
-                            }
+                            },
+                            st.substrates_repaired,
+                            st.substrates_rebuilt,
                         );
                     };
                     if shards > 1 {
@@ -620,7 +637,8 @@ fn settle_one(
         (PendingJob::Update(name), Ok(st)) => {
             if let ServeOutcome::Updated(st) = st {
                 println!(
-                    "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}",
+                    "updated {name}: +{} -{} (~{} no-ops), epoch {}, k-core {}, \
+                     substrates {} repaired / {} rebuilt",
                     st.inserted,
                     st.deleted,
                     st.ignored,
@@ -629,7 +647,9 @@ fn settle_one(
                         "patched"
                     } else {
                         "deferred rebuild"
-                    }
+                    },
+                    st.substrates_repaired,
+                    st.substrates_rebuilt,
                 );
             }
         }
@@ -743,7 +763,7 @@ fn run_serve(args: &[String]) -> ExitCode {
             None => "unlimited".into(),
         },
         if shards > 1 {
-            format!(", {shards} shards")
+            format!(", {shards} shards requested")
         } else {
             String::new()
         }
@@ -788,7 +808,7 @@ fn run_serve(args: &[String]) -> ExitCode {
                         if shards > 1 {
                             let sg = server.register_sharded(name, g, shards);
                             println!(
-                                "sharded {name}: {} shards, {} boundary edges",
+                                "sharded {name}: {} shards ({shards} requested), {} boundary edges",
                                 sg.num_shards(),
                                 sg.boundary_edges()
                             );

@@ -155,18 +155,25 @@ fn run_interleaving(seed: u64) {
             let batch: Vec<GraphUpdate> = (0..rng.gen_range(1usize..=3))
                 .map(|_| random_update(&mut rng, n))
                 .collect();
-            let effective = batch
-                .iter()
-                .filter(|u| mirror_update(&mut edges, n, u))
-                .count();
+            // Batch normalization cancels opposing updates, so the stats
+            // describe the *net* edge-set change, not per-update effects.
+            let before = edges.clone();
+            for update in &batch {
+                mirror_update(&mut edges, n, update);
+            }
+            let net_ins = edges.difference(&before).count();
+            let net_del = before.difference(&edges).count();
             let stats = service.update("dyn", &batch).expect("registered");
             assert_eq!(
-                stats.inserted + stats.deleted,
-                effective,
-                "seed {seed}, step {step}: effectiveness diverged from mirror"
+                stats.inserted, net_ins,
+                "seed {seed}, step {step}: net inserts diverged from mirror"
             );
-            assert_eq!(stats.ignored, batch.len() - effective);
-            if effective > 0 {
+            assert_eq!(
+                stats.deleted, net_del,
+                "seed {seed}, step {step}: net deletes diverged from mirror"
+            );
+            assert_eq!(stats.ignored, batch.len() - net_ins - net_del);
+            if net_ins + net_del > 0 {
                 expected_epoch += 1;
             }
             assert_eq!(stats.epoch, expected_epoch, "seed {seed}, step {step}");
@@ -263,4 +270,46 @@ fn epochs_count_effective_batches_only() {
         .solve();
     assert_eq!(s.stats.epoch, 3);
     assert_eq!(s.outcome, Outcome::Found);
+}
+
+/// Regression: a batch that nets to nothing (e.g. `[+{u,v}, -{u,v}]`)
+/// must take the `ignored` fast path. Opposing updates cancel during
+/// batch normalization — no epoch bump, no substrate invalidation, and
+/// the warm Ψ-substrate answers the next query as a cache hit.
+#[test]
+fn net_noop_batches_take_the_ignored_fast_path() {
+    let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+    let engine = DsdEngine::new(g);
+    // Warm a triangle substrate.
+    let warm = engine
+        .request(&Pattern::triangle())
+        .method(Method::CoreExact)
+        .solve();
+    assert_eq!(warm.stats.epoch, 0);
+
+    // Insert-then-delete of an absent edge cancels to nothing.
+    let stats = engine.apply(&[GraphUpdate::Insert(1, 3), GraphUpdate::Delete(1, 3)]);
+    assert_eq!(stats.inserted, 0);
+    assert_eq!(stats.deleted, 0);
+    assert_eq!(stats.ignored, 2, "opposing updates must cancel");
+    assert_eq!(stats.epoch, 0, "net-noop batch must not bump the epoch");
+    assert_eq!(stats.substrates_dropped, 0);
+    assert_eq!(stats.substrates_repaired, 0);
+
+    // Delete-then-insert of a present edge cancels too.
+    let stats = engine.apply(&[GraphUpdate::Delete(0, 1), GraphUpdate::Insert(0, 1)]);
+    assert_eq!(stats.ignored, 2);
+    assert_eq!(stats.epoch, 0);
+
+    // The warm substrate survived: same epoch, oracle cache hit.
+    let again = engine
+        .request(&Pattern::triangle())
+        .method(Method::CoreExact)
+        .solve();
+    assert_eq!(again.stats.epoch, 0);
+    assert!(
+        again.stats.substrate.oracle_cache_hit,
+        "warm substrate must survive a net-noop batch"
+    );
+    assert_eq!(again.density.to_bits(), warm.density.to_bits());
 }

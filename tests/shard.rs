@@ -150,7 +150,7 @@ fn single_shard_batches_leave_sibling_epochs_alone() {
     let mut rng = StdRng::seed_from_u64(0xE9);
     for _ in 0..prop_iters(4) {
         let g = clustered_graph(&mut rng);
-        let sharded = ShardedGraph::new(g, 3);
+        let sharded = ShardedGraph::new(g.clone(), 3);
         if sharded.num_shards() < 2 {
             continue;
         }
@@ -163,9 +163,31 @@ fn single_shard_batches_leave_sibling_epochs_alone() {
         let before: Vec<u64> = (0..sharded.num_shards())
             .map(|i| sharded.shard_engine(i).epoch())
             .collect();
-        let stats = sharded.apply(&[GraphUpdate::Insert(u, v), GraphUpdate::Delete(u, v)]);
+        // A net-noop batch cancels during normalization: the owning shard
+        // is still the only one called, but nobody's epoch moves.
+        let noop = if g.has_edge(u, v) {
+            [GraphUpdate::Delete(u, v), GraphUpdate::Insert(u, v)]
+        } else {
+            [GraphUpdate::Insert(u, v), GraphUpdate::Delete(u, v)]
+        };
+        let stats = sharded.apply(&noop);
         assert_eq!(stats.shards_touched, 1);
         assert_eq!(stats.cross_shard, 0);
+        for (i, epoch_before) in before.iter().enumerate() {
+            assert_eq!(
+                sharded.shard_engine(i).epoch(),
+                *epoch_before,
+                "net-noop batch bumped shard {i}"
+            );
+        }
+        // A real single-edge toggle bumps the home shard alone.
+        let real = if g.has_edge(u, v) {
+            GraphUpdate::Delete(u, v)
+        } else {
+            GraphUpdate::Insert(u, v)
+        };
+        let stats = sharded.apply(&[real]);
+        assert_eq!(stats.shards_touched, 1);
         for (i, epoch_before) in before.iter().enumerate() {
             if i == home {
                 assert!(sharded.shard_engine(i).epoch() > *epoch_before);

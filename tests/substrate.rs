@@ -229,9 +229,9 @@ fn budget_fallback_changes_no_engine_answer() {
 }
 
 /// Satellite regression: `DsdEngine::apply` must never serve a stale
-/// store. The epoch bump drops the Ψ-substrates (reporting their bytes),
-/// and the rebuilt store answers exactly like a cold engine over the
-/// updated graph.
+/// store. The epoch bump *repairs* the warm Ψ-substrates in place (no
+/// wholesale drop), and the repaired stores answer exactly like a cold
+/// engine over the updated graph.
 #[test]
 fn updates_never_serve_a_stale_store() {
     let iters = prop_iters(15);
@@ -266,13 +266,18 @@ fn updates_never_serve_a_stale_store() {
             let stats = engine.apply(&updates);
             if stats.inserted + stats.deleted > 0 {
                 assert_eq!(
-                    stats.bytes_freed, resident,
-                    "seed {seed}: dropping the Ψ-substrates frees exactly what was resident"
+                    stats.substrates_repaired,
+                    patterns.len(),
+                    "seed {seed}: both warm stores must be repaired in place"
                 );
+                assert_eq!(stats.substrates_rebuilt, 0, "seed {seed}");
                 break;
             }
         }
-        assert_eq!(engine.substrate_bytes(), 0, "stores dropped with the epoch");
+        assert!(
+            engine.substrate_bytes() > 0,
+            "repaired stores stay resident across the epoch bump"
+        );
 
         // Post-update answers match a cold engine over the updated graph.
         let updated = engine.graph();
@@ -289,7 +294,10 @@ fn updates_never_serve_a_stale_store() {
                 assert_eq!(warm.density.to_bits(), expect.density.to_bits(), "{label}");
             }
         }
-        assert!(engine.substrate_bytes() > 0, "stores rebuilt at new epoch");
+        assert!(
+            engine.substrate_bytes() > 0,
+            "repaired stores keep serving at the new epoch"
+        );
     }
 }
 
