@@ -1,6 +1,7 @@
 //! Bench: store-backed vs streaming (k, Ψ)-core decomposition — the
 //! ISSUE-5 acceptance benchmark, on the fig9 h-clique workload (full
-//! Algorithm-3 decompositions of the As-Caida stand-in, h ∈ {3, 4}).
+//! Algorithm-3 decompositions of the As-Caida stand-in, h ∈ {3, 4}),
+//! extended with the ISSUE-9 hardware-speed ablations.
 //!
 //! Both runs drive the *same* shared bucket-queue peel loop; the only
 //! difference is the decrement engine. The streaming baseline pays
@@ -8,27 +9,38 @@
 //! pre-substrate behaviour); the materialized run enumerates once into
 //! the columnar `InstanceStore` and then peels with O(memberships
 //! touched) alive-count bookkeeping — its measured time **includes** the
-//! store build, so the comparison is end-to-end. Core numbers, kmax, and
-//! ρ′ must be bit-identical, and the materialized path ≥ 3× faster in
-//! aggregate over both h.
+//! store build, so the comparison is end-to-end.
+//!
+//! Per-piece ablations (reported, and bit-identity asserted against the
+//! default path):
+//!
+//! * `DSD_NO_BITSET=1` — merge-only kClist kernels, isolating the
+//!   word-packed bitset intersection win;
+//! * serial store build — isolating the sharded-build win;
+//! * `DSD_ENUM_SHARDS` 1 vs 4 on a general-pattern store build,
+//!   isolating the canonical-root sharded pattern enumeration win.
+//!
+//! Core numbers, kmax, peel order, and ρ′ must be bit-identical across
+//! every configuration, and the default store path must beat streaming by
+//! the aggregate floor below.
 //!
 //! Run with: `cargo bench -p dsd-bench --bench substrate_peel`
 
 use std::time::{Duration, Instant};
 
-use dsd_core::oracle::{CliqueOracle, MaterializedOracle};
+use dsd_core::oracle::{CliqueOracle, GenericPatternOracle, MaterializedOracle};
 use dsd_core::{decompose, CliqueCoreDecomposition, DensityOracle, Parallelism};
 use dsd_datasets::dataset;
 use dsd_motif::Pattern;
 
-fn check_identical(a: &CliqueCoreDecomposition, b: &CliqueCoreDecomposition, h: usize) {
-    assert_eq!(a.core, b.core, "h = {h}: core numbers diverged");
-    assert_eq!(a.kmax, b.kmax, "h = {h}: kmax diverged");
-    assert_eq!(a.peel_order, b.peel_order, "h = {h}: peel order diverged");
+fn check_identical(a: &CliqueCoreDecomposition, b: &CliqueCoreDecomposition, ctx: &str) {
+    assert_eq!(a.core, b.core, "{ctx}: core numbers diverged");
+    assert_eq!(a.kmax, b.kmax, "{ctx}: kmax diverged");
+    assert_eq!(a.peel_order, b.peel_order, "{ctx}: peel order diverged");
     assert_eq!(
         a.best_density.to_bits(),
         b.best_density.to_bits(),
-        "h = {h}: rho' diverged"
+        "{ctx}: rho' diverged"
     );
 }
 
@@ -61,10 +73,11 @@ fn main() {
         }
         let streaming_dec = streaming_dec.unwrap();
 
-        // Materialized: one sharded enumeration pass into the columnar
-        // store (4 workers — the tentpole's parallel build), then an
-        // O(memberships) peel. A fresh oracle per repeat, so the measured
-        // time always includes the store build — end to end.
+        // Materialized, default kernels: one sharded enumeration pass
+        // (4 workers, bitset intersections past the density crossover)
+        // into the columnar store, then an O(memberships) peel. A fresh
+        // oracle per repeat, so the measured time always includes the
+        // store build — end to end.
         let mut store = Duration::MAX;
         let mut store_outcome = None;
         for _ in 0..REPEATS {
@@ -76,14 +89,23 @@ fn main() {
         }
         let (store_dec, stats) = store_outcome.unwrap();
 
-        // Serial-build ablation (reported, not asserted).
+        // Bitset-intersection ablation: merge-only kernels everywhere.
+        std::env::set_var("DSD_NO_BITSET", "1");
+        let merge_oracle = MaterializedOracle::with_policy(&psi, Parallelism::new(4), None);
+        let t = Instant::now();
+        let merge_dec = decompose(&g, &merge_oracle);
+        let merge_store = t.elapsed();
+        std::env::remove_var("DSD_NO_BITSET");
+        check_identical(&merge_dec, &store_dec, &format!("h = {h}, DSD_NO_BITSET"));
+
+        // Serial-build ablation (reported, not asserted on time).
         let serial_oracle = MaterializedOracle::with_policy(&psi, Parallelism::serial(), None);
         let t = Instant::now();
         let serial_dec = decompose(&g, &serial_oracle);
         let serial_store = t.elapsed();
-        check_identical(&serial_dec, &store_dec, h);
+        check_identical(&serial_dec, &store_dec, &format!("h = {h}, serial build"));
 
-        check_identical(&streaming_dec, &store_dec, h);
+        check_identical(&streaming_dec, &store_dec, &format!("h = {h}"));
         assert!(stats.materialized, "h = {h}: store must materialize");
 
         println!(
@@ -95,6 +117,12 @@ fn main() {
             stats.build.build_nanos as f64 / 1e6,
         );
         println!(
+            "  build phases: out-CSR {:.2} ms, enumerate {:.2} ms, assemble {:.2} ms",
+            stats.build.csr_build_nanos as f64 / 1e6,
+            stats.build.enumerate_nanos as f64 / 1e6,
+            stats.build.assemble_nanos as f64 / 1e6,
+        );
+        println!(
             "  streaming peel:            {:>9.1} ms",
             streaming.as_secs_f64() * 1e3
         );
@@ -102,6 +130,11 @@ fn main() {
             "  store peel (4 shards):     {:>9.1} ms ({:.2}x)",
             store.as_secs_f64() * 1e3,
             streaming.as_secs_f64() / store.as_secs_f64()
+        );
+        println!(
+            "  store peel (no bitset):    {:>9.1} ms ({:.2}x)",
+            merge_store.as_secs_f64() * 1e3,
+            streaming.as_secs_f64() / merge_store.as_secs_f64()
         );
         println!(
             "  store peel (serial build): {:>9.1} ms ({:.2}x)",
@@ -112,11 +145,75 @@ fn main() {
         total_store += store;
     }
 
-    let speedup = total_streaming.as_secs_f64() / total_store.as_secs_f64();
-    println!("aggregate speedup: {speedup:.2}x (acceptance floor: 3x)");
+    // General-pattern sharding ablation: a c3-star decomposition whose
+    // store build is the dominant cost, 1 shard vs 4 (the env knob routes
+    // through `InstanceStore::pattern` exactly as a caller's thread count
+    // would).
+    let pg = dataset("As-733").expect("registry dataset").generate();
+    let psi = Pattern::c3_star();
+    println!(
+        "\ngeneral-pattern workload: As-733 stand-in, n={} m={}, psi={}",
+        pg.num_vertices(),
+        pg.num_edges(),
+        psi.name()
+    );
+    let stream_psi = GenericPatternOracle::new(&psi);
+    let t = Instant::now();
+    let stream_pattern_dec = decompose(&pg, &stream_psi);
+    let pattern_streaming = t.elapsed();
+    let mut pattern_times = Vec::new();
+    let mut pattern_ref: Option<CliqueCoreDecomposition> = None;
+    for shards in [1usize, 4] {
+        std::env::set_var("DSD_ENUM_SHARDS", shards.to_string());
+        let oracle = MaterializedOracle::with_policy(&psi, Parallelism::new(shards), None);
+        let t = Instant::now();
+        let dec = decompose(&pg, &oracle);
+        let elapsed = t.elapsed();
+        std::env::remove_var("DSD_ENUM_SHARDS");
+        let stats = oracle.store_stats().expect("pattern store was built");
+        assert!(stats.materialized, "pattern store must materialize");
+        match &pattern_ref {
+            None => {
+                check_identical(&dec, &stream_pattern_dec, "c3-star store vs streaming");
+                pattern_ref = Some(dec);
+            }
+            Some(reference) => check_identical(
+                &dec,
+                reference,
+                &format!("c3-star, DSD_ENUM_SHARDS={shards}"),
+            ),
+        }
+        println!(
+            "  store peel ({shards} shard{}):    {:>9.1} ms ({:.2}x vs streaming; enumerate {:.2} ms)",
+            if shards == 1 { "" } else { "s" },
+            elapsed.as_secs_f64() * 1e3,
+            pattern_streaming.as_secs_f64() / elapsed.as_secs_f64(),
+            stats.build.enumerate_nanos as f64 / 1e6,
+        );
+        pattern_times.push(elapsed);
+    }
+    println!(
+        "  streaming peel:         {:>9.1} ms; sharded enumeration {:.2}x vs serial",
+        pattern_streaming.as_secs_f64() * 1e3,
+        pattern_times[0].as_secs_f64() / pattern_times[1].as_secs_f64(),
+    );
+    let pattern_speedup = pattern_streaming.as_secs_f64() / pattern_times[1].as_secs_f64();
     assert!(
-        speedup >= 3.0,
-        "materialized decomposition must beat streaming re-enumeration ≥ 3x \
+        pattern_speedup >= 8.0,
+        "materialized c3-star decomposition must beat streaming ≥ 8x \
+         (measured {pattern_speedup:.2}x)"
+    );
+
+    // The h-clique aggregate is build-dominated once the peel is
+    // store-backed, so the floor tracks the single-core build speed (the
+    // sharded build only helps on multi-core runners and CI floors must
+    // hold on one core). Measured 6.9x single-core; armed at 5x, up from
+    // the pre-bitset 3x.
+    let speedup = total_streaming.as_secs_f64() / total_store.as_secs_f64();
+    println!("\naggregate speedup: {speedup:.2}x (acceptance floor: 5x)");
+    assert!(
+        speedup >= 5.0,
+        "materialized decomposition must beat streaming re-enumeration ≥ 5x \
          (measured {speedup:.2}x)"
     );
 }

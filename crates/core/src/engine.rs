@@ -70,7 +70,7 @@ use crate::exact::{exact_with, ExactOpts};
 use crate::flownet::FlowBackend;
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::oracle::{
-    oracle_with_budget, DensityOracle, StoreStats, SubstrateRepair, DEFAULT_STORE_BUDGET,
+    oracle_with_policy, DensityOracle, StoreStats, SubstrateRepair, DEFAULT_STORE_BUDGET,
 };
 use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
@@ -405,6 +405,10 @@ pub struct ApplyStats {
     pub substrates_rebuilt: usize,
     /// Store rows tombstoned across every in-place repair of this batch.
     pub rows_tombstoned: usize,
+    /// Whether the batch stayed in the edge overlay: the single-update
+    /// fast path repaired the Ψ-stores against the overlay view and
+    /// deferred the O(n + m) CSR merge to the next graph snapshot.
+    pub csr_deferred: bool,
     /// Resident bytes released by the dropped Ψ-substrates (instance
     /// stores + decomposition arrays) — stale stores are never served
     /// across an epoch, so this is exactly the rebuild debt the batch
@@ -412,6 +416,57 @@ pub struct ApplyStats {
     pub bytes_freed: u64,
     /// Wall time of the batch.
     pub total_nanos: u128,
+}
+
+/// Knobs governing in-place Ψ-substrate repair in [`DsdEngine::apply`]
+/// (install with [`DsdEngine::with_repair_policy`]).
+///
+/// PR 8 hard-coded a 512-edge repair ceiling and a 1/4 dead-row compaction
+/// fraction; this costs them instead. The ceiling compares a **weighted**
+/// batch cost (inserts delta-enumerate new instances; deletes are pure
+/// incidence walks, so they weigh less) against a threshold that scales
+/// with the measured resident store bytes — the sharded rebuild a repair
+/// avoids grows with the store, so bigger stores tolerate bigger batches.
+/// Answers are identical for every setting; these trade repair latency
+/// against rebuild debt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairPolicy {
+    /// Base ceiling on the weighted net batch cost (default 512, PR 8's
+    /// constant).
+    pub max_batch: usize,
+    /// Weight of one inserted edge relative to one deleted edge in the
+    /// batch cost (default 2).
+    pub insert_weight: usize,
+    /// Dead-row compaction fraction `(num, den)`: a repaired store
+    /// compacts once tombstoned rows exceed `num / den` of all rows
+    /// (default `(1, 4)`, the store's built-in constant).
+    pub compact_dead: (usize, usize),
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy {
+            max_batch: 512,
+            insert_weight: 2,
+            compact_dead: (1, 4),
+        }
+    }
+}
+
+impl RepairPolicy {
+    /// Weighted cost of a net batch of `inserted` + `deleted` edges.
+    pub fn batch_cost(&self, inserted: usize, deleted: usize) -> usize {
+        inserted
+            .saturating_mul(self.insert_weight)
+            .saturating_add(deleted)
+    }
+
+    /// The effective repair ceiling given `resident` store bytes: one
+    /// extra [`Self::max_batch`] per 32 MiB resident, capped at 16x.
+    pub fn scaled_max_batch(&self, resident: u64) -> usize {
+        let steps = (resident / (32 << 20)).min(15) as usize;
+        self.max_batch.saturating_mul(steps + 1)
+    }
 }
 
 /// A long-lived query engine owning one graph plus its memoized substrates.
@@ -427,6 +482,7 @@ pub struct DsdEngine<'g> {
     state: RwLock<GraphState<'g>>,
     parallelism: Parallelism,
     substrate_budget: Option<u64>,
+    repair_policy: RepairPolicy,
     cache: RwLock<SubstrateCache>,
     counters: Mutex<EngineCacheStats>,
     observer: RwLock<Option<Arc<dyn CacheObserver>>>,
@@ -457,6 +513,7 @@ impl<'g> DsdEngine<'g> {
             }),
             parallelism: Parallelism::serial(),
             substrate_budget: Some(DEFAULT_STORE_BUDGET),
+            repair_policy: RepairPolicy::default(),
             cache: RwLock::new(SubstrateCache::default()),
             counters: Mutex::new(EngineCacheStats::default()),
             observer: RwLock::new(None),
@@ -549,6 +606,23 @@ impl<'g> DsdEngine<'g> {
         self.substrate_budget
     }
 
+    /// Sets the in-place repair knobs (batch ceiling, insert weight,
+    /// compaction fraction). Answers are identical for every setting.
+    /// Default: [`RepairPolicy::default`].
+    pub fn with_repair_policy(mut self, policy: RepairPolicy) -> Self {
+        assert!(
+            policy.compact_dead.1 > 0,
+            "compaction fraction needs a nonzero denominator"
+        );
+        self.repair_policy = policy;
+        self
+    }
+
+    /// The engine's in-place repair knobs.
+    pub fn repair_policy(&self) -> RepairPolicy {
+        self.repair_policy
+    }
+
     /// Resident bytes currently held by the substrate cache: instance
     /// stores plus decomposition arrays, at the engine's current epoch.
     pub fn substrate_bytes(&self) -> u64 {
@@ -614,9 +688,13 @@ impl<'g> DsdEngine<'g> {
     ///   one would silently change answers (it rebuilds lazily from the
     ///   repaired oracle);
     /// * the **CSR** is materialized eagerly only when oracles are being
-    ///   repaired (delta enumeration needs the post-batch adjacency);
-    ///   otherwise updates accumulate in an overlay and merge on the next
-    ///   snapshot, so an update-only stream pays one materialization.
+    ///   batch-repaired (delta enumeration needs the post-batch
+    ///   adjacency); otherwise updates accumulate in an overlay and merge
+    ///   on the next snapshot, so an update-only stream pays one
+    ///   materialization. Single-edge batches whose cached oracles all
+    ///   support it repair against the overlay view itself
+    ///   ([`ApplyStats::csr_deferred`]), so even a repairing single-edge
+    ///   stream skips the per-batch merge.
     ///
     /// Updates are normalized to the batch's **net** effect first:
     /// opposing updates on the same edge cancel, so `inserted`/`deleted`
@@ -630,10 +708,6 @@ impl<'g> DsdEngine<'g> {
         /// whole subcore, so at some batch size one bucket re-peel of the
         /// final graph is cheaper than the sum of traversals.
         const KCORE_PATCH_MAX_BATCH: usize = 4_096;
-        /// Batches beyond this many *net* edge changes drop the Ψ-stores
-        /// instead of repairing: delta enumeration is per-edge, so at
-        /// some batch size one sharded rebuild wins.
-        const SUBSTRATE_REPAIR_MAX_BATCH: usize = 512;
 
         let t0 = Instant::now();
         let mut state = self.state.write().unwrap();
@@ -720,14 +794,27 @@ impl<'g> DsdEngine<'g> {
         // Every key that may sit in an observer's ledger at the old epoch;
         // the repair path re-reports each one at the new epoch.
         let mut ledger_keys: Vec<PatternKey> = Vec::new();
-        // Repair is sound only when the cached oracles were built against
-        // the `base` CSR with no pending overlay — which the substrate
-        // lifecycle guarantees (oracles are built from materialized
-        // snapshots only). Fall back to the wholesale drop if that
-        // invariant ever stops holding rather than leaning on it.
+        // Single net edge + every cached oracle repairable from the
+        // overlay view: keep the update in `pending` (skipping the
+        // O(n + m) CSR materialization single-edge streams otherwise pay
+        // per batch) and repair against the [`DeltaGraph`]. Sound even
+        // with pending updates at entry: the only way `pending` survives
+        // with oracles cached is a previous fast-path batch, whose
+        // repairs kept every oracle consistent with `base ⊕ pending`.
+        let single_edge = stats.inserted + stats.deleted == 1
+            && !cache.oracles.is_empty()
+            && cache.oracles.values().all(|o| o.single_edge_repairable());
+        // Batch-repair soundness needs oracles keyed to the bare `base`
+        // CSR — guaranteed when nothing was pending (oracles are built
+        // from materialized snapshots only). Fall back to the wholesale
+        // drop if that invariant ever stops holding rather than leaning
+        // on it. The ceiling is costed, not fixed: weighted batch shape
+        // against a threshold scaled by the resident store bytes.
+        let policy = self.repair_policy;
+        let resident: u64 = cache.oracles.values().map(|o| o.resident_bytes()).sum();
         let wholesale = cache.oracles.is_empty()
-            || had_pending
-            || stats.inserted + stats.deleted > SUBSTRATE_REPAIR_MAX_BATCH;
+            || (had_pending && !single_edge)
+            || policy.batch_cost(stats.inserted, stats.deleted) > policy.scaled_max_batch(resident);
         if wholesale {
             stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
             stats.substrates_rebuilt = cache.oracles.len();
@@ -753,6 +840,41 @@ impl<'g> DsdEngine<'g> {
                 .map(|d| d.bytes() as u64)
                 .sum();
             cache.decompositions.clear();
+
+            if single_edge {
+                // Fast path: adjacency reads go through the overlay view;
+                // the CSR merge is deferred to the next snapshot.
+                let insert = !inserted.is_empty();
+                let (u, v) = if insert { inserted[0] } else { removed[0] };
+                let view = DeltaGraph::new(base, pending);
+                stats.csr_deferred = true;
+                let keys: Vec<PatternKey> = cache.oracles.keys().cloned().collect();
+                for key in keys {
+                    let oracle = cache.oracles.get(&key).expect("key just listed");
+                    match oracle.repair_for_edge(view, insert, u, v) {
+                        SubstrateRepair::Keep => {}
+                        SubstrateRepair::Repaired(repaired, r) => {
+                            stats.substrates_repaired += 1;
+                            stats.rows_tombstoned += r.rows_tombstoned;
+                            cache.oracles.insert(key, repaired);
+                        }
+                        SubstrateRepair::Rebuild => {
+                            let old = cache.oracles.remove(&key).expect("key just listed");
+                            stats.bytes_freed += old.resident_bytes();
+                            stats.substrates_dropped += 1;
+                            stats.substrates_rebuilt += 1;
+                        }
+                    }
+                }
+                stats.total_nanos = t0.elapsed().as_nanos();
+                drop(cache);
+                drop(state);
+                for key in &ledger_keys {
+                    let bytes = self.key_bytes(key, stats.epoch);
+                    self.notify(|obs| obs.on_substrate_repaired(self.id, key, stats.epoch, bytes));
+                }
+                return stats;
+            }
 
             // The general-pattern repair recounts touched rows in the
             // mid graph (base minus removals); cliques never read it, so
@@ -899,10 +1021,11 @@ impl<'g> DsdEngine<'g> {
                 return (oracle, true);
             }
         }
-        let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_with_budget(
+        let oracle: Arc<dyn DensityOracle> = Arc::from(oracle_with_policy(
             psi,
             self.parallelism,
             self.substrate_budget,
+            Some(self.repair_policy.compact_dead),
         ));
         if cache.epoch == snap.epoch() {
             cache.oracles.insert(key, Arc::clone(&oracle));

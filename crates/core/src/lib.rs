@@ -104,7 +104,7 @@ pub use dynamic::{repair_delete, repair_insert};
 pub use emcore::emcore_max_core;
 pub use engine::{
     pattern_key, ApplyStats, BoundRequest, CacheObserver, DsdEngine, DsdRequest, EngineCacheStats,
-    GraphSnapshot, Guarantee, Objective, Outcome, PatternKey, Solution, SolveStats,
+    GraphSnapshot, Guarantee, Objective, Outcome, PatternKey, RepairPolicy, Solution, SolveStats,
 };
 pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;
@@ -112,8 +112,8 @@ pub use hierarchy::{core_hierarchy, core_spectrum, first_level_with_density, Cor
 pub use kcore::{k_core_decomposition, KCoreDecomposition};
 pub use nucleus::{nucleus_app, nucleus_decomposition};
 pub use oracle::{
-    density, oracle_for, oracle_for_with, oracle_with_budget, DensityOracle, InstancePeeler,
-    MaterializedOracle, StoreFallback, StoreStats, DEFAULT_STORE_BUDGET,
+    density, oracle_for, oracle_for_with, oracle_with_budget, oracle_with_policy, DensityOracle,
+    InstancePeeler, MaterializedOracle, StoreFallback, StoreStats, DEFAULT_STORE_BUDGET,
 };
 pub use parallelism::Parallelism;
 pub use peel::{peel_app, peel_app_from};

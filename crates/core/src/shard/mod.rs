@@ -8,9 +8,10 @@
 //! decompose-then-combine discipline:
 //!
 //! 1. **Scatter** — solve `Densest` locally on every shard with
-//!    `CoreExact` (each shard engine memoizes its own substrates and is
-//!    individually budgetable by the serve layer's
-//!    [`crate::serve::SubstrateGovernor`]).
+//!    `CoreExact`, fanned out across the configured worker pool
+//!    ([`ShardedGraph::with_parallelism`]; serial by default). Each shard
+//!    engine memoizes its own substrates and is individually budgetable
+//!    by the serve layer's [`crate::serve::SubstrateGovernor`].
 //! 2. **Gather** — the best local density ρ* is a global lower bound,
 //!    because shards are vertex-induced: a subgraph confined to one shard
 //!    has identical Ψ-instance counts locally and globally. Each exact
@@ -48,6 +49,7 @@ use crate::bounds::locate_core_order;
 use crate::core_exact::RegionCertificates;
 use crate::engine::{ApplyStats, DsdEngine, DsdRequest, Guarantee, Objective, Solution};
 use crate::oracle::DEFAULT_STORE_BUDGET;
+use crate::parallelism::Parallelism;
 use crate::Method;
 
 /// How a [`ShardPlanner`] routes one request.
@@ -175,6 +177,9 @@ pub struct ShardedGraph {
     local_id: Vec<u32>,
     /// Edges crossing shards at partition time.
     boundary_edges: usize,
+    /// Worker pool for the scatter phase (shard solves run concurrently;
+    /// serial by default).
+    parallelism: Parallelism,
 }
 
 impl ShardedGraph {
@@ -213,7 +218,24 @@ impl ShardedGraph {
             assignment: partition.assignment,
             local_id,
             boundary_edges: partition.boundary_edges,
+            parallelism: Parallelism::serial(),
         }
+    }
+
+    /// Sets the worker pool for the scatter phase: shard-local solves run
+    /// concurrently across the configured workers ([`Parallelism::scatter`]),
+    /// with the gather's ρ* fold applied in shard order as each result
+    /// lands. ρ* is a commutative max and every local solve is
+    /// shard-private, so answers — and the full [`ShardedSolve`]
+    /// telemetry — are **bit-identical** for every setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The scatter phase's worker-count configuration.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Number of (non-empty) shards.
@@ -273,13 +295,19 @@ impl ShardedGraph {
         // with the certified-exact defaults (no tolerance, no budget) so
         // every local optimum is a sound certificate. The request's own
         // knobs (tolerance, step budget, backend) apply to the merge
-        // only — they must not weaken certificates.
+        // only — they must not weaken certificates. Shard solves are
+        // independent (each engine owns its subgraph and substrate
+        // cache), so they fan out across the configured workers; the ρ*
+        // fold below is a commutative max over shard-indexed results, so
+        // the gather is bit-identical for every worker count.
+        let locals = self.parallelism.scatter(&self.shards, |_, shard| {
+            let local_req = DsdRequest::new(req.psi()).method(Method::CoreExact);
+            shard.engine.solve(&local_req)
+        });
         let mut reports = Vec::with_capacity(self.shards.len());
         let mut bounds = Vec::with_capacity(self.shards.len());
         let mut rho_star = 0.0f64;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let local_req = DsdRequest::new(req.psi()).method(Method::CoreExact);
-            let local = shard.engine.solve(&local_req);
+        for (i, (shard, local)) in self.shards.iter().zip(&locals).enumerate() {
             let certified = matches!(local.guarantee, Guarantee::Exact);
             if certified && local.density > rho_star {
                 rho_star = local.density;
@@ -461,6 +489,34 @@ mod tests {
                 "{}: no component skipped",
                 psi.name()
             );
+        }
+    }
+
+    #[test]
+    fn parallel_scatter_matches_serial_scatter_bitwise() {
+        let g = planted();
+        let serial = ShardedGraph::new(g.clone(), 3);
+        for threads in [2, 4, 8] {
+            let par = ShardedGraph::new(g.clone(), 3).with_parallelism(Parallelism::new(threads));
+            for psi in [Pattern::edge(), Pattern::triangle()] {
+                let req = DsdRequest::new(&psi).method(Method::CoreExact);
+                let a = serial.solve_explained(&req);
+                let b = par.solve_explained(&req);
+                bitwise_same(&a.solution, &b.solution);
+                assert_eq!(
+                    a.rho_star.to_bits(),
+                    b.rho_star.to_bits(),
+                    "{} @ {threads} threads",
+                    psi.name()
+                );
+                assert_eq!(a.shards_pruned, b.shards_pruned);
+                assert_eq!(a.pruned_components, b.pruned_components);
+                for (x, y) in a.shards.iter().zip(&b.shards) {
+                    assert_eq!(x.local_density.to_bits(), y.local_density.to_bits());
+                    assert_eq!(x.kmax, y.kmax);
+                    assert_eq!(x.pruned, y.pruned);
+                }
+            }
         }
     }
 

@@ -46,8 +46,8 @@ pub use kclist::{
 pub use parallel::{clique_degrees_parallel, clique_degrees_parallel_within};
 pub use pattern::{Pattern, PatternKind};
 pub use pattern_enum::{
-    count_instances, for_each_instance_until, group_instances, instances, instances_containing,
-    pattern_degrees, InstanceGroup, PatternInstance,
+    count_instances, for_each_instance_until, for_each_owned_instance_until, group_instances,
+    instances, instances_containing, pattern_degrees, InstanceGroup, PatternInstance,
 };
 pub use store::{InstanceStore, StoreBuildStats, StoreError};
 

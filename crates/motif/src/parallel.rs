@@ -13,7 +13,7 @@ use std::thread;
 
 use dsd_graph::{Graph, VertexId, VertexSet};
 
-use crate::kclist::{build_out_csr, intersect_sorted, OutCsr};
+use crate::kclist::{bitset_worthwhile, build_out_csr, intersect_sorted, OutCsr, RootBitmap};
 
 fn rec_degrees(
     out: &OutCsr,
@@ -49,6 +49,90 @@ fn rec_degrees(
     }
 }
 
+/// The bitset twin of [`rec_degrees`] for roots past the density
+/// crossover: candidate sets are word masks over the root's universe,
+/// intersections are `u64` AND + `count_ones`, and completed cliques
+/// credit their members by popcount. Same degree totals as the merge
+/// kernel exactly (both count the same clique set).
+fn rec_degrees_bitset(
+    bm: &RootBitmap,
+    clique: &mut Vec<VertexId>,
+    cand: Vec<u64>,
+    cand_count: usize,
+    h: usize,
+    pool: &mut Vec<Vec<u64>>,
+    deg: &mut [u64],
+) {
+    if clique.len() + 1 == h {
+        for &member in clique.iter() {
+            deg[member as usize] += cand_count as u64;
+        }
+        for (w, &word) in cand.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let j = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                deg[bm.universe()[j] as usize] += 1;
+            }
+        }
+        return;
+    }
+    if clique.len() + cand_count < h {
+        return;
+    }
+    for (w, &word) in cand.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let j = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let mut next = pool.pop().unwrap_or_default();
+            next.clear();
+            next.resize(cand.len(), 0);
+            let row = bm.row(j);
+            let mut cnt = 0usize;
+            for k in 0..cand.len() {
+                let x = cand[k] & row[k];
+                cnt += x.count_ones() as usize;
+                next[k] = x;
+            }
+            if clique.len() + 1 + cnt >= h {
+                clique.push(bm.universe()[j]);
+                rec_degrees_bitset(bm, clique, std::mem::take(&mut next), cnt, h, pool, deg);
+                clique.pop();
+            }
+            pool.push(next);
+        }
+    }
+}
+
+/// One root's degree pass, dispatching between the merge and bitset
+/// kernels by the same per-root crossover the sequential lister uses.
+#[allow(clippy::too_many_arguments)]
+fn root_degrees(
+    out: &OutCsr,
+    v: VertexId,
+    h: usize,
+    bitset: bool,
+    clique: &mut Vec<VertexId>,
+    pool: &mut Vec<Vec<VertexId>>,
+    bm: &mut RootBitmap,
+    word_pool: &mut Vec<Vec<u64>>,
+    deg: &mut [u64],
+) {
+    let row = out.row(v);
+    clique.push(v);
+    if bitset && h >= 3 && bitset_worthwhile(out, row) {
+        let cand_count = row.len();
+        bm.build(out, v);
+        let mut cand = word_pool.pop().unwrap_or_default();
+        bm.full_mask(&mut cand);
+        rec_degrees_bitset(bm, clique, cand, cand_count, h, word_pool, deg);
+    } else {
+        rec_degrees(out, clique, row.to_vec(), h, pool, deg);
+    }
+    clique.pop();
+}
+
 /// Parallel [`crate::clique_degrees`]: identical output, `threads` workers.
 ///
 /// Falls back to a single-threaded pass for `threads <= 1`.
@@ -76,6 +160,7 @@ pub fn clique_degrees_parallel_within(
         return crate::kclist::clique_degrees_within(g, h, alive);
     }
     let out = build_out_csr(g, alive);
+    let bitset = std::env::var_os("DSD_NO_BITSET").is_none();
     let roots: Vec<VertexId> = alive.iter().collect();
     // Static interleaved partition: root costs are skewed (hubs first in id
     // order would imbalance contiguous chunks; striding mixes them).
@@ -88,17 +173,20 @@ pub fn clique_degrees_parallel_within(
                 let mut deg = vec![0u64; n];
                 let mut clique = Vec::with_capacity(h);
                 let mut pool: Vec<Vec<VertexId>> = Vec::new();
+                let mut bm = RootBitmap::default();
+                let mut word_pool: Vec<Vec<u64>> = Vec::new();
                 for &v in roots.iter().skip(t).step_by(threads) {
-                    clique.push(v);
-                    rec_degrees(
+                    root_degrees(
                         out,
-                        &mut clique,
-                        out.row(v).to_vec(),
+                        v,
                         h,
+                        bitset,
+                        &mut clique,
                         &mut pool,
+                        &mut bm,
+                        &mut word_pool,
                         &mut deg,
                     );
-                    clique.pop();
                 }
                 deg
             }));
@@ -166,6 +254,36 @@ mod tests {
         let seq = clique_degrees_within(&g, 3, &alive);
         let par = clique_degrees_parallel_within(&g, 3, &alive, 4);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn dense_roots_cross_bitset_threshold_and_match() {
+        // Dense enough that high-degree roots take rec_degrees_bitset.
+        let g = random_graph(11, 220, 450);
+        let alive = VertexSet::full(220);
+        let out = build_out_csr(&g, &alive);
+        assert!(
+            alive.iter().any(|v| bitset_worthwhile(&out, out.row(v))),
+            "test graph too sparse to exercise the bitset kernel"
+        );
+        for h in 3..=4usize {
+            // Merge-kernel reference, independent of the env toggle.
+            let lister = crate::kclist::CliqueLister::with_bitset(&g, h, &alive, false);
+            let mut scratch = crate::kclist::CliqueScratch::default();
+            let mut seq = vec![0u64; 220];
+            for v in alive.iter() {
+                lister.for_each_rooted_until(v, &mut scratch, &mut |c: &[VertexId]| {
+                    for &m in c {
+                        seq[m as usize] += 1;
+                    }
+                    true
+                });
+            }
+            for threads in [2, 5] {
+                let par = clique_degrees_parallel_within(&g, h, &alive, threads);
+                assert_eq!(par, seq, "h = {h}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -269,6 +269,52 @@ impl Pattern {
         rec(self, 0, &mut map, &mut used)
     }
 
+    /// The automorphism orbit of pattern vertex `v`: every pattern vertex
+    /// some automorphism maps `v` to, sorted ascending. Always contains
+    /// `v` itself (the identity). The sharded enumerator uses the orbit of
+    /// its pivot position to decide canonical ownership of an instance —
+    /// the images of an instance's embeddings at one pattern vertex are
+    /// exactly the images of that vertex's orbit, so the minimum over the
+    /// orbit is a shard-independent representative.
+    pub fn orbit(&self, v: usize) -> Vec<usize> {
+        assert!(v < self.n, "orbit of out-of-range pattern vertex");
+        let mut map = vec![usize::MAX; self.n];
+        let mut used = vec![false; self.n];
+        let mut images = vec![false; self.n];
+        fn rec(
+            p: &Pattern,
+            pos: usize,
+            v: usize,
+            map: &mut [usize],
+            used: &mut [bool],
+            images: &mut [bool],
+        ) {
+            if pos == p.n {
+                images[map[v]] = true;
+                return;
+            }
+            if pos > v && images[map[v]] {
+                // Everything below this node maps v identically; the image
+                // is already recorded, so the subtree adds nothing.
+                return;
+            }
+            for cand in 0..p.n {
+                if used[cand] || p.degree(cand) != p.degree(pos) {
+                    continue;
+                }
+                let ok = (0..pos).all(|q| p.adj[pos][q] == p.adj[cand][map[q]]);
+                if ok {
+                    map[pos] = cand;
+                    used[cand] = true;
+                    rec(p, pos + 1, v, map, used, images);
+                    used[cand] = false;
+                }
+            }
+        }
+        rec(self, 0, v, &mut map, &mut used, &mut images);
+        (0..self.n).filter(|&q| images[q]).collect()
+    }
+
     /// A search order for enumeration: starts at a max-degree vertex and
     /// extends so every vertex is adjacent to an earlier one (connected
     /// patterns guarantee this exists).
@@ -436,6 +482,45 @@ pub(crate) fn consistent(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn orbits_match_known_symmetry_groups() {
+        // Star: hub is fixed, leaves form one orbit.
+        let s = Pattern::star(3);
+        // Hub is the max-degree vertex; find it.
+        let hub = (0..4).find(|&v| s.degree(v) == 3).unwrap();
+        assert_eq!(s.orbit(hub), vec![hub]);
+        let leaves: Vec<usize> = (0..4).filter(|&v| v != hub).collect();
+        for &l in &leaves {
+            assert_eq!(s.orbit(l), leaves);
+        }
+        // Clique: vertex-transitive.
+        let c = Pattern::clique(4);
+        for v in 0..4 {
+            assert_eq!(c.orbit(v), vec![0, 1, 2, 3]);
+        }
+        // Paw (triangle + pendant on 0): orbits {0}, {1,2}, {3}.
+        let paw = Pattern::c3_star();
+        assert_eq!(paw.orbit(0), vec![0]);
+        assert_eq!(paw.orbit(1), vec![1, 2]);
+        assert_eq!(paw.orbit(2), vec![1, 2]);
+        assert_eq!(paw.orbit(3), vec![3]);
+        // Orbit sizes are consistent with |Aut| (orbit-stabilizer: the
+        // orbit of v divides |Aut|).
+        for p in Pattern::figure7() {
+            let aut = p.automorphism_count();
+            for v in 0..p.vertex_count() {
+                let orb = p.orbit(v);
+                assert!(orb.contains(&v), "{}: orbit must contain v", p.name());
+                assert_eq!(
+                    aut % orb.len() as u64,
+                    0,
+                    "{}: orbit size divides |Aut|",
+                    p.name()
+                );
+            }
+        }
+    }
 
     #[test]
     fn kinds_detected() {

@@ -8,6 +8,17 @@
 //! * counts are `#injective embeddings / |Aut(Ψ)|`;
 //! * explicit instance materialization dedups embeddings by the canonical
 //!   (sorted) image of the pattern's edge set.
+//!
+//! Enumeration shards cleanly over the first search position: restricting
+//! the position-0 candidates to a subset of vertices covers exactly the
+//! embeddings whose pivot image lands in that subset, and
+//! [`for_each_owned_instance_until`] turns that into a disjoint *instance*
+//! partition via canonical-root ownership — a shard emits an instance only
+//! when its pivot image is the instance's minimum vertex over the pivot's
+//! automorphism orbit, so automorphic embeddings discovered by different
+//! shards dedup with zero cross-shard communication. (The historical
+//! single-threaded-backtracking caveat is gone: the store's pattern build
+//! fans this out across workers exactly like the clique build.)
 
 use std::collections::HashSet;
 
@@ -40,12 +51,15 @@ pub struct InstanceGroup {
 /// order) and returns `true` to continue or `false` to abort the whole
 /// enumeration. If `anchor` is `Some((pv, v))`, pattern vertex `pv` is
 /// pinned to graph vertex `v`, and `v` is treated as alive regardless of
-/// the mask.
+/// the mask. If `first` is `Some(list)`, the position-0 candidates are
+/// restricted to `list` instead of all of `g.vertices()` — the shard
+/// boundary of the parallel pattern build.
 fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
     g: &Graph,
     p: &Pattern,
     alive: &VertexSet,
     anchor: Option<(usize, VertexId)>,
+    first: Option<&[VertexId]>,
     f: &mut F,
 ) {
     let order = p.search_order();
@@ -70,6 +84,7 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
         by_pattern: &mut [VertexId],
         used: &mut HashSet<VertexId>,
         anchor: Option<(usize, VertexId)>,
+        first: Option<&[VertexId]>,
         is_alive: &dyn Fn(VertexId) -> bool,
         f: &mut F,
     ) -> bool {
@@ -101,6 +116,7 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
                 by_pattern,
                 used,
                 anchor,
+                first,
                 is_alive,
                 f,
             );
@@ -113,9 +129,20 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
             }
         }
         if pos == 0 {
-            for cand in g.vertices() {
-                if !try_candidate(cand, images, by_pattern, used, f) {
-                    return false;
+            match first {
+                Some(list) => {
+                    for &cand in list {
+                        if !try_candidate(cand, images, by_pattern, used, f) {
+                            return false;
+                        }
+                    }
+                }
+                None => {
+                    for cand in g.vertices() {
+                        if !try_candidate(cand, images, by_pattern, used, f) {
+                            return false;
+                        }
+                    }
                 }
             }
         } else {
@@ -143,6 +170,7 @@ fn for_each_embedding_until<F: FnMut(&[VertexId]) -> bool>(
         &mut by_pattern,
         &mut used,
         anchor,
+        first,
         &is_alive,
         f,
     );
@@ -156,7 +184,7 @@ fn for_each_embedding<F: FnMut(&[VertexId])>(
     anchor: Option<(usize, VertexId)>,
     f: &mut F,
 ) {
-    for_each_embedding_until(g, p, alive, anchor, &mut |image| {
+    for_each_embedding_until(g, p, alive, anchor, None, &mut |image| {
         f(image);
         true
     });
@@ -184,7 +212,7 @@ pub fn count_instances_capped(g: &Graph, p: &Pattern, alive: &VertexSet, cap: u6
     let cap_embeddings = cap.saturating_mul(aut);
     let mut embeddings = 0u64;
     let mut over = false;
-    for_each_embedding_until(g, p, alive, None, &mut |_| {
+    for_each_embedding_until(g, p, alive, None, None, &mut |_| {
         embeddings += 1;
         if embeddings > cap_embeddings {
             over = true;
@@ -248,7 +276,66 @@ pub fn for_each_instance_until<F: FnMut(&[VertexId]) -> bool>(
     let mut seen: HashSet<Vec<(VertexId, VertexId)>> = HashSet::new();
     let mut members: Vec<VertexId> = Vec::with_capacity(p.vertex_count());
     let mut aborted = false;
-    for_each_embedding_until(g, p, alive, None, &mut |image| {
+    for_each_embedding_until(g, p, alive, None, None, &mut |image| {
+        let mut edges: Vec<(VertexId, VertexId)> = p
+            .edges()
+            .iter()
+            .map(|&(a, b)| {
+                let (u, v) = (image[a as usize], image[b as usize]);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        edges.sort_unstable();
+        if seen.insert(edges) {
+            members.clear();
+            members.extend_from_slice(image);
+            members.sort_unstable();
+            if !f(&members) {
+                aborted = true;
+                return false;
+            }
+        }
+        true
+    });
+    !aborted
+}
+
+/// One shard of a parallel distinct-instance enumeration: visits exactly
+/// the instances *owned* by the first-position candidate set `first`,
+/// handing the sink id-sorted member lists. The sink returns `false` to
+/// abort; the call then returns `false`.
+///
+/// Ownership is canonical-root: the pivot (first search position) of an
+/// instance's embeddings ranges over the image of the pivot's automorphism
+/// orbit — an embedding-independent vertex set — and the shard whose
+/// `first` contains the *minimum* of that set owns the instance. Shards
+/// over disjoint `first` sets therefore emit disjoint instance sets with
+/// no cross-shard dedup, and a partition of the alive vertices covers
+/// every instance exactly once. Within a shard, embeddings that fix the
+/// pivot (its stabilizer) still collide, so the canonical edge-set dedup
+/// stays, scoped shard-locally.
+pub fn for_each_owned_instance_until<F: FnMut(&[VertexId]) -> bool>(
+    g: &Graph,
+    p: &Pattern,
+    alive: &VertexSet,
+    first: &[VertexId],
+    f: &mut F,
+) -> bool {
+    let order = p.search_order();
+    let pivot = order[0];
+    let orbit = p.orbit(pivot);
+    let mut seen: HashSet<Vec<(VertexId, VertexId)>> = HashSet::new();
+    let mut members: Vec<VertexId> = Vec::with_capacity(p.vertex_count());
+    let mut aborted = false;
+    for_each_embedding_until(g, p, alive, None, Some(first), &mut |image| {
+        let canon = orbit
+            .iter()
+            .map(|&q| image[q])
+            .min()
+            .expect("orbit contains the pivot");
+        if image[pivot] != canon {
+            return true; // another first-candidate owns this instance
+        }
         let mut edges: Vec<(VertexId, VertexId)> = p
             .edges()
             .iter()
@@ -525,6 +612,79 @@ mod tests {
             Some(exact)
         );
         assert_eq!(count_instances_capped(&g, &p, &full(&g), exact - 1), None);
+    }
+
+    #[test]
+    fn owned_shards_partition_instances() {
+        // Random-ish graph small enough for every figure-7 pattern.
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 16usize;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if next() % 100 < 35 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let alive = full(&g);
+        for p in Pattern::figure7() {
+            let mut serial: Vec<Vec<VertexId>> = Vec::new();
+            for_each_instance_until(&g, &p, &alive, &mut |m| {
+                serial.push(m.to_vec());
+                true
+            });
+            serial.sort();
+            let roots: Vec<VertexId> = alive.iter().collect();
+            for shards in [1usize, 2, 3, 5] {
+                let mut all: Vec<Vec<VertexId>> = Vec::new();
+                for t in 0..shards {
+                    let firsts: Vec<VertexId> =
+                        roots.iter().copied().skip(t).step_by(shards).collect();
+                    for_each_owned_instance_until(&g, &p, &alive, &firsts, &mut |m| {
+                        all.push(m.to_vec());
+                        true
+                    });
+                }
+                all.sort();
+                // Multiset equality: groups with the same vertex set keep
+                // their multiplicity, so no dedup here.
+                assert_eq!(all, serial, "{} with {shards} shards", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn owned_enumeration_respects_alive_mask_and_abort() {
+        let g = k(6);
+        let p = Pattern::triangle();
+        let mut alive = full(&g);
+        alive.remove(5);
+        let roots: Vec<VertexId> = alive.iter().collect();
+        let mut count = 0u64;
+        for t in 0..2 {
+            let firsts: Vec<VertexId> = roots.iter().copied().skip(t).step_by(2).collect();
+            for_each_owned_instance_until(&g, &p, &alive, &firsts, &mut |_| {
+                count += 1;
+                true
+            });
+        }
+        assert_eq!(count, crate::binomial(5, 3));
+        // Abort stops the shard and reports it.
+        let mut seen = 0;
+        let done = for_each_owned_instance_until(&g, &p, &alive, &roots, &mut |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!done);
+        assert_eq!(seen, 3);
     }
 
     #[test]

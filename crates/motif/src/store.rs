@@ -16,7 +16,13 @@
 //! columns instead of repeated subgraph matching. h-clique stores are
 //! built in parallel, sharded by degeneracy-ordered root vertex (every
 //! clique is discovered exactly once, from its lowest-ranked member), with
-//! per-worker columns concatenated at the end.
+//! per-worker columns concatenated at the end. General-pattern stores
+//! shard the same way over first-position candidates with canonical-root
+//! ownership (see [`crate::for_each_owned_instance_until`]): each worker
+//! emits exactly the instances whose canonical minimum vertex it owns, so
+//! the per-worker columns concatenate without cross-shard dedup and the
+//! grouped result is bit-identical to the serial pass for every worker
+//! count.
 //!
 //! Row and membership counts are guarded against `u32` overflow, and an
 //! optional byte budget aborts oversized builds mid-enumeration — both
@@ -93,6 +99,18 @@ pub struct StoreBuildStats {
     pub build_nanos: u128,
     /// Worker shards used by the enumeration (1 = serial).
     pub shards: usize,
+    /// Phase split: nanos building the degeneracy-DAG out-CSR (and, for
+    /// bitset roots, contributing context shared by every worker). 0 for
+    /// general patterns, which enumerate straight off the graph CSR.
+    pub csr_build_nanos: u128,
+    /// Phase split: nanos inside enumeration — intersections + emission
+    /// into per-worker columns, including the shard concatenation (wall
+    /// time of the parallel region).
+    pub enumerate_nanos: u128,
+    /// Phase split: nanos assembling the finished store — row grouping
+    /// and the incidence-CSR build
+    /// (`build_nanos − csr_build_nanos − enumerate_nanos`).
+    pub assemble_nanos: u128,
 }
 
 /// Instrumentation for one in-place store repair.
@@ -109,9 +127,10 @@ pub struct StoreRepairStats {
     pub repair_nanos: u128,
 }
 
-/// Compaction policy: a repair physically drops tombstoned rows once
-/// `dead_rows / rows > COMPACT_DEAD_NUM / COMPACT_DEAD_DEN`; below that,
-/// tombstones are carried and queries skip them through the mask.
+/// Default compaction policy: a repair physically drops tombstoned rows
+/// once `dead_rows / rows > COMPACT_DEAD_NUM / COMPACT_DEAD_DEN`; below
+/// that, tombstones are carried and queries skip them through the mask.
+/// Per-store override: [`InstanceStore::set_compaction_fraction`].
 pub const COMPACT_DEAD_NUM: usize = 1;
 /// See [`COMPACT_DEAD_NUM`].
 pub const COMPACT_DEAD_DEN: usize = 4;
@@ -136,6 +155,13 @@ pub struct InstanceStore {
     dead: Vec<bool>,
     /// Number of `true` entries in `dead`.
     dead_rows: usize,
+    /// Compaction fraction for this store: repairs compact once
+    /// `dead_rows · compact_den > rows · compact_num`. Defaults to
+    /// [`COMPACT_DEAD_NUM`] / [`COMPACT_DEAD_DEN`]; the engine costs it
+    /// against measured store size (big stores tolerate a higher dead
+    /// fraction before a full rewrite pays off).
+    compact_num: usize,
+    compact_den: usize,
 }
 
 /// Shared row caps for a build: u32-indexing capacity and the byte budget.
@@ -235,6 +261,8 @@ impl InstanceStore {
         let max_rows = caps.max_rows();
         let lister = CliqueLister::new(g, h, alive);
         let roots: Vec<VertexId> = alive.iter().collect();
+        let csr_nanos = t0.elapsed().as_nanos();
+        let enum_t0 = Instant::now();
 
         let shards = threads.max(1).min(roots.len().max(1));
         let (members, overflowed) = if shards <= 1 {
@@ -325,19 +353,29 @@ impl InstanceStore {
         if overflowed {
             return Err(caps.error_at(max_rows));
         }
+        let enum_nanos = enum_t0.elapsed().as_nanos();
         // Clique vertex sets are unique: no grouping pass, unit weights.
         let instances = (members.len() / h) as u64;
-        Ok(Self::finish(h, members, None, n, instances, shards, t0))
+        Ok(Self::finish(
+            h, members, None, n, instances, shards, csr_nanos, enum_nanos, t0,
+        ))
     }
 
-    /// Builds the store of all distinct instances of `psi` in `g[alive]`
-    /// (serial — general-pattern enumeration has no shard boundary as
-    /// clean as clique roots). Rows sharing a vertex set are merged into
-    /// one weighted row.
+    /// Builds the store of all distinct instances of `psi` in `g[alive]`,
+    /// sharded across `threads` workers by first-position candidate with
+    /// canonical-root ownership (see
+    /// [`crate::for_each_owned_instance_until`]): shards emit disjoint
+    /// instance sets with no cross-shard dedup, and the grouping pass
+    /// sorts rows by content, so the finished store is **bit-identical**
+    /// for every worker count. Rows sharing a vertex set are merged into
+    /// one weighted row. The `DSD_ENUM_SHARDS` environment variable
+    /// overrides the shard count (read per build; `1` forces the serial
+    /// reference path).
     pub fn pattern(
         g: &Graph,
         psi: &Pattern,
         alive: &VertexSet,
+        threads: usize,
         budget: Option<u64>,
     ) -> Result<(Self, StoreBuildStats), StoreError> {
         let t0 = Instant::now();
@@ -351,30 +389,101 @@ impl InstanceStore {
         caps.check_base()?;
         let max_rows = caps.max_rows();
 
-        let mut members: Vec<VertexId> = Vec::new();
-        let mut rows = 0u64;
-        let mut over = false;
-        pattern_enum::for_each_instance_until(g, psi, alive, &mut |inst| {
-            if rows >= max_rows {
-                over = true;
-                return false;
+        let threads = match std::env::var("DSD_ENUM_SHARDS") {
+            Ok(s) => s.trim().parse::<usize>().unwrap_or(threads),
+            Err(_) => threads,
+        };
+        let roots: Vec<VertexId> = alive.iter().collect();
+        let shards = threads.max(1).min(roots.len().max(1));
+        let enum_t0 = Instant::now();
+
+        let (members, overflowed) = if shards <= 1 {
+            let mut members: Vec<VertexId> = Vec::new();
+            let mut rows = 0u64;
+            let mut over = false;
+            pattern_enum::for_each_instance_until(g, psi, alive, &mut |inst| {
+                if rows >= max_rows {
+                    over = true;
+                    return false;
+                }
+                rows += 1;
+                members.extend_from_slice(inst);
+                true
+            });
+            (members, over)
+        } else {
+            // Mirror of the sharded clique build: strided first-position
+            // candidates (hub costs are skewed; striding mixes them),
+            // per-worker columns, chunked row quota off one shared
+            // counter. Ownership makes shard outputs disjoint, so the
+            // columns concatenate with no dedup pass.
+            const ROW_CHUNK: u64 = 4_096;
+            let chunk = ROW_CHUNK.min((max_rows / shards as u64).max(1));
+            let total_rows = AtomicU64::new(0);
+            let shard_outputs = thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                for t in 0..shards {
+                    let roots = &roots;
+                    let total_rows = &total_rows;
+                    handles.push(scope.spawn(move || {
+                        let firsts: Vec<VertexId> =
+                            roots.iter().copied().skip(t).step_by(shards).collect();
+                        let mut members: Vec<VertexId> = Vec::new();
+                        let mut over = false;
+                        let mut quota = 0u64;
+                        pattern_enum::for_each_owned_instance_until(
+                            g,
+                            psi,
+                            alive,
+                            &firsts,
+                            &mut |inst| {
+                                if quota == 0 {
+                                    let start = total_rows.fetch_add(chunk, Ordering::Relaxed);
+                                    if start >= max_rows {
+                                        over = true;
+                                        return false;
+                                    }
+                                    quota = chunk.min(max_rows - start);
+                                }
+                                quota -= 1;
+                                members.extend_from_slice(inst);
+                                true
+                            },
+                        );
+                        (members, over)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|hnd| hnd.join().expect("pattern shard panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let over = shard_outputs.iter().any(|(_, over)| *over);
+            let total: usize = shard_outputs.iter().map(|(m, _)| m.len()).sum();
+            let mut members = Vec::with_capacity(total);
+            for (shard, _) in shard_outputs {
+                members.extend_from_slice(&shard);
             }
-            rows += 1;
-            members.extend_from_slice(inst);
-            true
-        });
-        if over {
+            (members, over)
+        };
+        if overflowed {
             return Err(caps.error_at(max_rows));
         }
-        let instances = rows;
+        let enum_nanos = enum_t0.elapsed().as_nanos();
+        let instances = (members.len() / k) as u64;
 
         // Group rows with identical vertex sets into one weighted row
         // (Figure 6's instance groups — e.g. the 3 diamonds of a K4).
+        // Grouping sorts rows by content, which also erases any
+        // shard-emission-order differences.
         let (members, weights) = group_rows(members, k);
-        Ok(Self::finish(k, members, weights, n, instances, 1, t0))
+        Ok(Self::finish(
+            k, members, weights, n, instances, shards, 0, enum_nanos, t0,
+        ))
     }
 
     /// Assembles the incidence CSR and the build stats.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         psi_size: usize,
         members: Vec<VertexId>,
@@ -382,6 +491,8 @@ impl InstanceStore {
         n: usize,
         instances: u64,
         shards: usize,
+        csr_build_nanos: u128,
+        enumerate_nanos: u128,
         t0: Instant,
     ) -> (Self, StoreBuildStats) {
         debug_assert_eq!(members.len() % psi_size, 0);
@@ -394,15 +505,23 @@ impl InstanceStore {
             inc_rows: Vec::new(),
             dead: Vec::new(),
             dead_rows: 0,
+            compact_num: COMPACT_DEAD_NUM,
+            compact_den: COMPACT_DEAD_DEN,
         };
         store.rebuild_incidence();
+        let build_nanos = t0.elapsed().as_nanos();
         let stats = StoreBuildStats {
             instances,
             rows,
             memberships: store.memberships(),
             bytes: store.bytes(),
-            build_nanos: t0.elapsed().as_nanos(),
+            build_nanos,
             shards,
+            csr_build_nanos,
+            enumerate_nanos,
+            assemble_nanos: build_nanos
+                .saturating_sub(csr_build_nanos)
+                .saturating_sub(enumerate_nanos),
         };
         (store, stats)
     }
@@ -773,13 +892,70 @@ impl InstanceStore {
     /// (a pure-deletion repair keeps the CSR — dead rows stay indexed
     /// and queries skip them through the mask).
     fn settle(&mut self, stats: &mut StoreRepairStats) {
-        if self.dead_rows > 0 && self.dead_rows * COMPACT_DEAD_DEN > self.rows() * COMPACT_DEAD_NUM
+        if self.dead_rows > 0 && self.dead_rows * self.compact_den > self.rows() * self.compact_num
         {
             self.compact();
             stats.compacted = true;
         } else if stats.rows_appended > 0 {
             self.rebuild_incidence();
         }
+    }
+
+    /// Overrides the compaction fraction for this store: repairs compact
+    /// once `dead_rows / rows > num / den`. Default
+    /// [`COMPACT_DEAD_NUM`] / [`COMPACT_DEAD_DEN`]. The engine's repair
+    /// policy costs this against measured store size — a large resident
+    /// store tolerates a higher dead fraction before the full column
+    /// rewrite of a compaction pays for itself.
+    pub fn set_compaction_fraction(&mut self, num: usize, den: usize) {
+        assert!(den > 0, "compaction fraction needs a nonzero denominator");
+        self.compact_num = num;
+        self.compact_den = den;
+    }
+
+    /// The compaction fraction `(num, den)` currently in force.
+    pub fn compaction_fraction(&self) -> (usize, usize) {
+        (self.compact_num, self.compact_den)
+    }
+
+    /// Single-edge **deletion** repair for clique stores: tombstones every
+    /// live row containing `{u, v}` through the incidence CSR, touching no
+    /// graph adjacency at all — which is what lets the engine's
+    /// single-update fast path skip the post-batch CSR materialization.
+    /// Sound only for unweighted clique stores (a clique dies iff it
+    /// contains both endpoints); weighted pattern stores need the recount
+    /// of [`InstanceStore::repair_pattern`].
+    pub fn repair_edge_delete(&mut self, u: VertexId, v: VertexId) -> StoreRepairStats {
+        debug_assert!(self.weights.is_none(), "edge-delete repair is clique-only");
+        let t0 = Instant::now();
+        let mut stats = StoreRepairStats {
+            rows_tombstoned: self.tombstone_rows_with_edge(u, v),
+            ..StoreRepairStats::default()
+        };
+        self.settle(&mut stats);
+        stats.repair_nanos = t0.elapsed().as_nanos();
+        stats
+    }
+
+    /// Single-edge **insertion** repair: appends pre-enumerated rows
+    /// (id-sorted, mutually distinct, each containing both inserted
+    /// endpoints — so none can collide with a surviving row) under the
+    /// same caps as a build. The caller enumerates the rows from its own
+    /// (overlay) view of the updated graph; the store never reads
+    /// adjacency.
+    pub fn repair_edge_insert_rows(
+        &mut self,
+        fresh_members: Vec<VertexId>,
+        budget: Option<u64>,
+    ) -> Result<StoreRepairStats, StoreError> {
+        let t0 = Instant::now();
+        let mut stats = StoreRepairStats::default();
+        let caps = RowCaps::new(self.inc_offsets.len() - 1, self.psi_size, 0, budget);
+        caps.check_base()?;
+        self.append_rows(fresh_members, None, &caps, &mut stats)?;
+        self.settle(&mut stats);
+        stats.repair_nanos = t0.elapsed().as_nanos();
+        Ok(stats)
     }
 
     /// Physically drops tombstoned rows and rebuilds the incidence CSR.
@@ -960,7 +1136,7 @@ mod tests {
             Pattern::two_triangle(),
             Pattern::c3_star(),
         ] {
-            let (store, stats) = InstanceStore::pattern(&g, &psi, &alive, None).unwrap();
+            let (store, stats) = InstanceStore::pattern(&g, &psi, &alive, 1, None).unwrap();
             assert_eq!(store.total_instances(), count_instances(&g, &psi, &alive));
             assert_eq!(stats.instances, store.total_instances());
             assert!(stats.rows <= stats.instances as usize);
@@ -983,7 +1159,7 @@ mod tests {
         }
         let g = b.build();
         let (store, stats) =
-            InstanceStore::pattern(&g, &Pattern::diamond(), &VertexSet::full(4), None).unwrap();
+            InstanceStore::pattern(&g, &Pattern::diamond(), &VertexSet::full(4), 1, None).unwrap();
         assert_eq!(stats.instances, 3);
         assert_eq!(store.rows(), 1, "3 diamonds on one vertex set group");
         assert_eq!(store.weight(0), 3);
@@ -1019,7 +1195,7 @@ mod tests {
         // The same graph fits a sane budget.
         assert!(InstanceStore::cliques(&g, 3, &alive, 4, Some(64 << 20)).is_ok());
         // Pattern path hits the same guard.
-        let err = InstanceStore::pattern(&g, &Pattern::two_star(), &alive, Some(1_500));
+        let err = InstanceStore::pattern(&g, &Pattern::two_star(), &alive, 1, Some(1_500));
         assert!(matches!(err, Err(StoreError::BudgetExceeded { .. })));
     }
 
@@ -1066,7 +1242,7 @@ mod tests {
             StoreError::BudgetExceeded { bytes, budget: 1_000 } if bytes >= 4 * 10_001
         ));
         assert!(matches!(
-            InstanceStore::pattern(&g, &Pattern::two_star(), &alive, Some(1_000)),
+            InstanceStore::pattern(&g, &Pattern::two_star(), &alive, 1, Some(1_000)),
             Err(StoreError::BudgetExceeded { .. })
         ));
     }
@@ -1172,11 +1348,11 @@ mod tests {
             Pattern::two_triangle(),
             Pattern::c3_star(),
         ] {
-            let (mut store, _) = InstanceStore::pattern(&g, &psi, &alive, None).unwrap();
+            let (mut store, _) = InstanceStore::pattern(&g, &psi, &alive, 1, None).unwrap();
             store
                 .repair_pattern(&g_new, &g_mid, &psi, &inserted, &removed, &alive, None)
                 .unwrap();
-            let (rebuilt, _) = InstanceStore::pattern(&g_new, &psi, &alive, None).unwrap();
+            let (rebuilt, _) = InstanceStore::pattern(&g_new, &psi, &alive, 1, None).unwrap();
             assert_eq!(
                 store.total_instances(),
                 rebuilt.total_instances(),
@@ -1207,7 +1383,7 @@ mod tests {
         let k4 = b.build();
         let alive = VertexSet::full(4);
         let psi = Pattern::diamond();
-        let (mut store, _) = InstanceStore::pattern(&k4, &psi, &alive, None).unwrap();
+        let (mut store, _) = InstanceStore::pattern(&k4, &psi, &alive, 1, None).unwrap();
         let g_del = with_batch(&k4, &[], &[(0, 1)]);
         store
             .repair_pattern(&g_del, &g_del, &psi, &[], &[(0, 1)], &alive, None)

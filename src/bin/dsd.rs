@@ -167,13 +167,17 @@ fn store_line(store: &dsd::core::StoreStats) -> String {
     if store.materialized {
         format!(
             "substrate: {} instances in {} rows ({} memberships), {:.1} KiB, \
-             built in {:.3} ms on {} shard(s)",
+             built in {:.3} ms on {} shard(s) \
+             [out-CSR {:.3} ms, enumerate {:.3} ms, assemble {:.3} ms]",
             store.build.instances,
             store.build.rows,
             store.build.memberships,
             store.build.bytes as f64 / 1024.0,
             store.build.build_nanos as f64 / 1e6,
-            store.build.shards
+            store.build.shards,
+            store.build.csr_build_nanos as f64 / 1e6,
+            store.build.enumerate_nanos as f64 / 1e6,
+            store.build.assemble_nanos as f64 / 1e6
         )
     } else {
         format!(

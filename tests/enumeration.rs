@@ -1,0 +1,312 @@
+//! Differential suite for enumeration invariance (ISSUE 9).
+//!
+//! The hardware-speed enumeration work swapped kernels and added
+//! sharding underneath every Ψ-instance pass; this suite pins the
+//! contract that none of it is observable:
+//!
+//! * the word-packed **bitset** kClist kernel and the sorted-**merge**
+//!   kernel emit the same cliques in the same order, root by root;
+//! * **sharded** general-pattern enumeration produces a store that is
+//!   bit-identical to the serial build — same rows in the same order,
+//!   same weights, same incidence CSR — for any worker count;
+//! * end-to-end decompositions (core numbers, kmax, peel order, ρ′
+//!   bits) agree across kernels, shard counts, and the streaming path;
+//! * the engine's single-edge fast path (repair against the overlay
+//!   view, CSR merge deferred) answers bit-identically to a cold
+//!   rebuild.
+//!
+//! Kernel and shard selection use the explicit constructors
+//! ([`CliqueLister::with_bitset`], the `threads` argument of
+//! [`InstanceStore::pattern`]) rather than the `DSD_NO_BITSET` /
+//! `DSD_ENUM_SHARDS` env toggles: tests in one binary run concurrently
+//! and env vars are process-global.
+//!
+//! Iteration counts honour `DSD_PROP_ITERS` like `tests/dynamic.rs`;
+//! nightly CI runs this suite at 5000 iterations.
+
+use std::collections::BTreeSet;
+
+use dsd::core::oracle::{CliqueOracle, GenericPatternOracle};
+use dsd::core::{
+    decompose, CliqueCoreDecomposition, DensityOracle, DsdEngine, DsdRequest, MaterializedOracle,
+    Method, Parallelism, Solution,
+};
+use dsd::graph::{Graph, GraphUpdate, VertexId, VertexSet};
+use dsd::motif::kclist::{CliqueLister, CliqueScratch};
+use dsd::motif::store::InstanceStore;
+use dsd::motif::Pattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Iteration knob: `DSD_PROP_ITERS` overrides, `default` otherwise.
+fn prop_iters(default: usize) -> usize {
+    std::env::var("DSD_PROP_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// G(n, p) with the given bounds — dense enough settings push roots past
+/// the bitset crossover, sparse ones stay on the merge kernel.
+fn random_graph(rng: &mut StdRng, n_lo: usize, n_hi: usize, p_lo: f64, p_hi: f64) -> Graph {
+    let n = rng.gen_range(n_lo..=n_hi);
+    let p = rng.gen_range(p_lo..p_hi);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Every h-clique of `g` through the chosen kernel, in emission order
+/// (roots ascending, members in rank order within each root).
+fn cliques_with_kernel(g: &Graph, h: usize, bitset: bool) -> Vec<Vec<VertexId>> {
+    let alive = VertexSet::full(g.num_vertices());
+    let lister = CliqueLister::with_bitset(g, h, &alive, bitset);
+    let mut scratch = CliqueScratch::default();
+    let mut out = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        lister.for_each_rooted_until(v, &mut scratch, &mut |c| {
+            out.push(c.to_vec());
+            true
+        });
+    }
+    out
+}
+
+/// Row-order fingerprint of a store: members per row, weights, the
+/// incidence CSR, and the total instance count.
+type StoreFingerprint = (Vec<Vec<VertexId>>, Vec<u64>, Vec<Vec<u32>>, u64);
+
+/// Everything the peel loop reads from a store, in row order.
+fn store_fingerprint(s: &InstanceStore) -> StoreFingerprint {
+    let rows: Vec<Vec<VertexId>> = (0..s.rows()).map(|r| s.members(r).to_vec()).collect();
+    let weights: Vec<u64> = (0..s.rows()).map(|r| s.weight(r)).collect();
+    let n = rows
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .map_or(0, |v| v as usize + 1);
+    let incidence: Vec<Vec<u32>> = (0..n as VertexId)
+        .map(|v| s.incidence(v).to_vec())
+        .collect();
+    (rows, weights, incidence, s.total_instances())
+}
+
+fn assert_decompositions_identical(
+    ctx: &str,
+    a: &CliqueCoreDecomposition,
+    b: &CliqueCoreDecomposition,
+) {
+    assert_eq!(a.core, b.core, "core numbers: {ctx}");
+    assert_eq!(a.kmax, b.kmax, "kmax: {ctx}");
+    assert_eq!(a.peel_order, b.peel_order, "peel order: {ctx}");
+    assert_eq!(
+        a.best_density.to_bits(),
+        b.best_density.to_bits(),
+        "rho' bits: {ctx}"
+    );
+}
+
+fn assert_solutions_identical(ctx: &str, warm: &Solution, cold: &Solution) {
+    assert_eq!(warm.vertices, cold.vertices, "vertices: {ctx}");
+    assert_eq!(
+        warm.density.to_bits(),
+        cold.density.to_bits(),
+        "density bits: {ctx}"
+    );
+}
+
+/// Bitset and merge kernels must emit identical cliques in identical
+/// order — per root, across sparse and crossover-dense graphs.
+#[test]
+fn bitset_and_merge_kernels_emit_identical_cliques() {
+    let iters = prop_iters(8);
+    let mut rng = StdRng::seed_from_u64(0x15E9_0001);
+    for iter in 0..iters {
+        // Alternate sparse (merge-only) and dense (bitset fires past the
+        // 64-neighbour crossover) shapes so both kernels and the
+        // per-root dispatch boundary are exercised.
+        let g = if iter % 2 == 0 {
+            random_graph(&mut rng, 30, 60, 0.05, 0.2)
+        } else {
+            random_graph(&mut rng, 130, 170, 0.45, 0.6)
+        };
+        for h in [3usize, 4, 5] {
+            let merge = cliques_with_kernel(&g, h, false);
+            let bitset = cliques_with_kernel(&g, h, true);
+            assert_eq!(
+                merge,
+                bitset,
+                "iter {iter}, h = {h}: kernels diverged (n = {})",
+                g.num_vertices()
+            );
+        }
+    }
+}
+
+/// Sharded general-pattern stores must be bit-identical to the serial
+/// build for every worker count — rows, order, weights, incidence.
+#[test]
+fn sharded_pattern_store_matches_serial_bitwise() {
+    let iters = prop_iters(6);
+    let mut rng = StdRng::seed_from_u64(0x15E9_0002);
+    for iter in 0..iters {
+        let g = random_graph(&mut rng, 14, 24, 0.25, 0.45);
+        let alive = VertexSet::full(g.num_vertices());
+        for psi in [Pattern::c3_star(), Pattern::diamond()] {
+            let (serial, _) = InstanceStore::pattern(&g, &psi, &alive, 1, None)
+                .expect("serial pattern build fits the default budget");
+            let reference = store_fingerprint(&serial);
+            for threads in [2usize, 3, 8] {
+                let (sharded, stats) = InstanceStore::pattern(&g, &psi, &alive, threads, None)
+                    .expect("sharded pattern build fits the default budget");
+                assert_eq!(
+                    store_fingerprint(&sharded),
+                    reference,
+                    "iter {iter}, psi = {}, threads = {threads}: store diverged",
+                    psi.name()
+                );
+                assert!(
+                    stats.shards >= 1,
+                    "build reports its shard count (got {})",
+                    stats.shards
+                );
+            }
+        }
+    }
+}
+
+/// Full decompositions agree across kernels, shard counts, and the
+/// streaming reference, for clique and general Ψ alike.
+#[test]
+fn decompositions_invariant_across_enumeration_paths() {
+    let iters = prop_iters(4);
+    let mut rng = StdRng::seed_from_u64(0x15E9_0003);
+    for iter in 0..iters {
+        let g = random_graph(&mut rng, 20, 40, 0.2, 0.4);
+        for h in [3usize, 4] {
+            let psi = Pattern::clique(h);
+            let streaming = decompose(&g, &CliqueOracle::new(h));
+            for threads in [1usize, 4] {
+                let oracle = MaterializedOracle::with_policy(&psi, Parallelism::new(threads), None);
+                let dec = decompose(&g, &oracle);
+                assert_decompositions_identical(
+                    &format!("iter {iter}, h = {h}, threads = {threads}"),
+                    &dec,
+                    &streaming,
+                );
+                assert!(
+                    oracle.store_stats().expect("store consulted").materialized,
+                    "clique store materializes at this scale"
+                );
+            }
+        }
+        let psi = Pattern::c3_star();
+        let streaming = decompose(&g, &GenericPatternOracle::new(&psi));
+        for threads in [1usize, 4] {
+            let oracle = MaterializedOracle::with_policy(&psi, Parallelism::new(threads), None);
+            let dec = decompose(&g, &oracle);
+            assert_decompositions_identical(
+                &format!("iter {iter}, c3-star, threads = {threads}"),
+                &dec,
+                &streaming,
+            );
+        }
+    }
+}
+
+/// The engine's single-edge fast path: repairs against the overlay view
+/// with the CSR merge deferred, stays bit-identical to a cold rebuild
+/// across chained single-edge batches, and a following multi-edge batch
+/// (which forces the wholesale path) still answers correctly.
+#[test]
+fn single_edge_fast_path_defers_csr_and_stays_bit_identical() {
+    let iters = prop_iters(4);
+    let mut rng = StdRng::seed_from_u64(0x15E9_0004);
+    for iter in 0..iters {
+        let n = rng.gen_range(12usize..=18);
+        let mut edges: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                if rng.gen_bool(0.3) {
+                    edges.insert((u, v));
+                }
+            }
+        }
+        let base: Vec<_> = edges.iter().copied().collect();
+        let engine = DsdEngine::new(Graph::from_edges(n, &base));
+        let psi = Pattern::triangle();
+        let req = DsdRequest::new(&psi).method(Method::CoreExact);
+        engine.solve(&req); // warm the Ψ-substrate cache
+
+        // Chained single-edge batches: every one must take the fast path.
+        let mut deferred = 0usize;
+        for round in 0..3 {
+            let update = loop {
+                let u = rng.gen_range(0u32..n as u32);
+                let v = rng.gen_range(0u32..n as u32);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if round % 2 == 0 {
+                    if edges.insert(key) {
+                        break GraphUpdate::Insert(key.0, key.1);
+                    }
+                } else if edges.remove(&key) {
+                    break GraphUpdate::Delete(key.0, key.1);
+                }
+            };
+            let stats = engine.apply(&[update]);
+            assert!(
+                stats.csr_deferred,
+                "iter {iter}, round {round}: single-edge batch must defer the CSR merge"
+            );
+            deferred += 1;
+
+            let now: Vec<_> = edges.iter().copied().collect();
+            let cold = DsdEngine::new(Graph::from_edges(n, &now));
+            assert_solutions_identical(
+                &format!("iter {iter}, round {round}"),
+                &engine.solve(&req),
+                &cold.solve(&req),
+            );
+        }
+        assert_eq!(deferred, 3);
+
+        // A multi-edge batch after fast-path batches takes the wholesale
+        // path (pending overlay + oracles dropped) and must still agree.
+        let mut batch = Vec::new();
+        for _ in 0..4 {
+            let u = rng.gen_range(0u32..n as u32);
+            let v = rng.gen_range(0u32..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if edges.insert(key) {
+                batch.push(GraphUpdate::Insert(key.0, key.1));
+            }
+        }
+        if batch.len() >= 2 {
+            let stats = engine.apply(&batch);
+            assert!(
+                !stats.csr_deferred,
+                "iter {iter}: multi-edge batch does not defer"
+            );
+            let now: Vec<_> = edges.iter().copied().collect();
+            let cold = DsdEngine::new(Graph::from_edges(n, &now));
+            assert_solutions_identical(
+                &format!("iter {iter}, wholesale"),
+                &engine.solve(&req),
+                &cold.solve(&req),
+            );
+        }
+    }
+}
