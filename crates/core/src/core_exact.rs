@@ -32,8 +32,8 @@ use dsd_motif::Pattern;
 
 use crate::alpha_search::{alpha_search, effective_gap, DecisionProbe, ExactStats};
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
-use crate::exact::build_network_for;
-use crate::flownet::{DensityNetwork, FlowBackend};
+use crate::exact::{acquire_network, release_network};
+use crate::flownet::{DensityNetwork, FlowBackend, NetworkLender};
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
 
@@ -190,6 +190,8 @@ struct ComponentProbe<'a> {
     best_vs: &'a mut Vec<VertexId>,
     /// Flow-reuse counters of networks already replaced by a shrink.
     retired_flow: dsd_flow::ResolveStats,
+    /// Network cache the shrink restarts borrow from / return to.
+    lender: Option<&'a dyn NetworkLender>,
 }
 
 impl ComponentProbe<'_> {
@@ -219,8 +221,15 @@ impl DecisionProbe for ComponentProbe<'_> {
             let shrunk = restrict_to_core(&self.comp, self.dec, ak);
             if shrunk.len() < self.comp.len() && shrunk.len() >= self.psi.vertex_count() {
                 self.retired_flow += self.net.probe_stats();
+                // Slice the shrunk component's network out of the store
+                // columns (or the lender's cache) — no kClist re-run per
+                // restart — and hand the outgrown one back for a later
+                // request that relocates at the same level.
+                let fresh =
+                    acquire_network(self.g, &shrunk, self.psi, true, self.oracle, self.lender);
+                let outgrown = std::mem::replace(&mut self.net, fresh);
+                release_network(&self.comp, outgrown, self.lender);
                 self.comp = shrunk;
-                self.net = build_network_for(self.g, &self.comp, self.psi, true);
                 self.net.set_warm_start(self.parametric);
             }
             self.comp_k = ak;
@@ -278,6 +287,22 @@ pub fn core_exact_from_certified(
     oracle: &dyn DensityOracle,
     dec: &CliqueCoreDecomposition,
     certs: Option<&RegionCertificates>,
+) -> (DsdResult, CoreExactStats) {
+    core_exact_certified_with_lender(g, psi, config, oracle, dec, certs, None)
+}
+
+/// [`core_exact_from_certified`] with a network lender: every component
+/// network (including Pruning3's shrink restarts) is borrowed from the
+/// lender's cache when warm and returned afterwards, so repeat requests
+/// on an unchanged graph skip construction entirely.
+pub(crate) fn core_exact_certified_with_lender(
+    g: &Graph,
+    psi: &Pattern,
+    config: CoreExactConfig,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+    certs: Option<&RegionCertificates>,
+    lender: Option<&dyn NetworkLender>,
 ) -> (DsdResult, CoreExactStats) {
     let t_total = Instant::now();
     let size = psi.vertex_count() as f64;
@@ -386,7 +411,7 @@ pub fn core_exact_from_certified(
             },
             config.tolerance,
         );
-        let mut net = build_network_for(g, &comp, psi, true);
+        let mut net = acquire_network(g, &comp, psi, true, oracle, lender);
         net.set_warm_start(config.parametric);
         let mut probe = ComponentProbe {
             g,
@@ -401,6 +426,7 @@ pub fn core_exact_from_certified(
             best_rho: &mut best_rho,
             best_vs: &mut best_vs,
             retired_flow: dsd_flow::ResolveStats::default(),
+            lender,
         };
         // Lines 7-9: can this component beat the current lower bound at
         // all? (A feasible seed probe at l also checkpoints the flow
@@ -412,6 +438,7 @@ pub fn core_exact_from_certified(
             l = outcome.lower;
         }
         stats.exact.absorb_flow(probe.flow_stats());
+        release_network(&probe.comp, probe.net, lender);
     }
 
     best_vs.sort_unstable();

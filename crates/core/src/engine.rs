@@ -53,7 +53,7 @@
 //! assert!(top2.stats.substrate.decomposition_cache_hit);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -64,19 +64,19 @@ use dsd_motif::Pattern;
 
 use crate::approx::{core_app_from, inc_app_from};
 use crate::clique_core::{decompose, CliqueCoreDecomposition};
-use crate::core_exact::{core_exact_from_certified, CoreExactConfig, RegionCertificates};
+use crate::core_exact::{core_exact_certified_with_lender, CoreExactConfig, RegionCertificates};
 use crate::dynamic::{repair_delete, repair_insert};
-use crate::exact::{exact_with, ExactOpts};
-use crate::flownet::FlowBackend;
+use crate::exact::{exact_with_lender, ExactOpts};
+use crate::flownet::{DensityNetwork, FlowBackend, Fnv, NetworkLender};
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::oracle::{
     oracle_with_policy, DensityOracle, StoreStats, SubstrateRepair, DEFAULT_STORE_BUDGET,
 };
 use crate::parallelism::Parallelism;
 use crate::peel::peel_app_from;
-use crate::query::densest_with_query_from;
+use crate::query::densest_with_query_lender;
 use crate::size_constrained::{densest_at_least_k_certified, densest_at_most_k_from};
-use crate::top_k::top_k_densest_certified;
+use crate::top_k::top_k_certified_with_lender;
 use crate::types::DsdResult;
 use crate::Method;
 
@@ -232,6 +232,14 @@ pub struct EngineCacheStats {
     pub kcore_hits: usize,
     /// Classical k-core cold builds.
     pub kcore_builds: usize,
+    /// Flow networks served warm from the network cache (the α-search
+    /// skipped construction entirely and only paid the parametric
+    /// resolve).
+    pub network_hits: usize,
+    /// Flow-network cache misses: the solve built (or store-sliced) a
+    /// fresh network. Every miss on a cacheable path later `put`s the
+    /// network back, so misses bound the cache's entry churn.
+    pub network_misses: usize,
 }
 
 /// Cache key for a pattern: vertex count + the canonical edge list under
@@ -245,6 +253,14 @@ pub type PatternKey = (usize, Vec<(u8, u8)>);
 pub fn pattern_key(psi: &Pattern) -> PatternKey {
     (psi.vertex_count(), psi.canonical_edges())
 }
+
+/// Batches with up to this many net edge changes ride the multi-edge
+/// delta-view fast path in [`DsdEngine::apply`] (when every cached oracle
+/// supports per-edge repair): the post-batch CSR merge is deferred to the
+/// next snapshot and Ψ-stores are repaired edge by edge against prefix
+/// overlay views. Past it, per-edge repair loses to one materialization
+/// plus the batched delta-enumeration repair.
+pub const MULTI_EDGE_DELTA_MAX: usize = 8;
 
 /// Process-unique engine ids, so a cross-engine ledger (the serve-layer
 /// governor) can key entries without holding engine references.
@@ -310,6 +326,99 @@ struct SubstrateCache {
     oracles: HashMap<PatternKey, Arc<dyn DensityOracle>>,
     decompositions: HashMap<PatternKey, Arc<CliqueCoreDecomposition>>,
     kcore: Option<Arc<KCoreDecomposition>>,
+}
+
+/// Epoch-keyed cache of solved [`DensityNetwork`]s — the third substrate
+/// tier, below the oracle and decomposition: repeat exact/top-k/query
+/// requests on an unchanged graph borrow a warm network (flow state and
+/// all) and pay only the parametric resolve, never re-constructing from
+/// instances. Entries are keyed by `(canonical Ψ, member/pinned-set
+/// fingerprint)` so the full-graph network, each located-core component,
+/// and each Q-anchored query network get their own slot. Take/put
+/// semantics (an entry is *removed* while lent) keep concurrent requests
+/// on the same key safe: the loser of the race simply builds fresh and
+/// the last `put` back wins the slot.
+#[derive(Default)]
+struct NetworkCache {
+    /// Graph epoch the cached networks were solved against; mismatched
+    /// takes and puts are skipped, exactly like [`SubstrateCache::epoch`].
+    epoch: u64,
+    /// Lent-out-able networks plus their byte footprint at insert time
+    /// (recorded once so the eviction ledger stays stable while the
+    /// network sits untouched in the cache).
+    entries: HashMap<(PatternKey, u64), (DensityNetwork, usize)>,
+}
+
+impl NetworkCache {
+    fn bytes(&self) -> u64 {
+        self.entries.values().map(|(_, b)| *b as u64).sum()
+    }
+}
+
+/// Stable fingerprint of a network's member (and pinned-query) vertex
+/// sets — the second half of a [`NetworkCache`] key. Order-insensitive:
+/// callers pass sets, and e.g. a query's pin list arrives in user order.
+fn member_fingerprint(members: &[VertexId], pinned: &[VertexId]) -> u64 {
+    let mut h = Fnv::new();
+    for set in [members, pinned] {
+        let mut sorted: Vec<VertexId> = set.to_vec();
+        sorted.sort_unstable();
+        h.write_u64(sorted.len() as u64);
+        for v in sorted {
+            h.write_u64(v as u64);
+        }
+    }
+    h.finish()
+}
+
+/// The engine-side [`NetworkLender`]: adapts one solve call's `(Ψ key,
+/// snapshot epoch)` context onto the engine's [`NetworkCache`]. Lives on
+/// the stack of the solve arm and is handed down the α-search entry
+/// points by reference.
+struct EngineLender<'a, 'g> {
+    engine: &'a DsdEngine<'g>,
+    key: PatternKey,
+    epoch: u64,
+}
+
+impl NetworkLender for EngineLender<'_, '_> {
+    fn take(&self, members: &[VertexId], pinned: &[VertexId]) -> Option<DensityNetwork> {
+        let fp = member_fingerprint(members, pinned);
+        let entry = {
+            let mut cache = self.engine.networks.lock().unwrap();
+            if cache.epoch == self.epoch {
+                cache.entries.remove(&(self.key.clone(), fp))
+            } else {
+                None
+            }
+        };
+        match entry {
+            Some((mut net, _)) => {
+                // Zero the probe ledger so this request's SolveStats
+                // report only its own resolves, not the whole history of
+                // the cached network.
+                net.reset_probe_stats();
+                self.engine.count(|c| c.network_hits += 1);
+                Some(net)
+            }
+            None => {
+                self.engine.count(|c| c.network_misses += 1);
+                None
+            }
+        }
+    }
+
+    fn put(&self, members: &[VertexId], pinned: &[VertexId], net: DensityNetwork) {
+        let fp = member_fingerprint(members, pinned);
+        let bytes = net.bytes();
+        let mut cache = self.engine.networks.lock().unwrap();
+        if cache.epoch == self.epoch {
+            cache.entries.insert((self.key.clone(), fp), (net, bytes));
+        }
+        // A stale put (the graph moved on mid-solve) just drops the
+        // network — it was solved against a snapshot nobody will ask
+        // about again.
+    }
 }
 
 /// The engine's graph storage: either a borrowed zero-copy CSR or an
@@ -484,6 +593,10 @@ pub struct DsdEngine<'g> {
     substrate_budget: Option<u64>,
     repair_policy: RepairPolicy,
     cache: RwLock<SubstrateCache>,
+    /// Warm flow networks (take/put, epoch-keyed). Lock order: always
+    /// after `cache` when both are held — `apply`, `key_bytes` and
+    /// `evict_substrate` follow it; the lender takes only this lock.
+    networks: Mutex<NetworkCache>,
     counters: Mutex<EngineCacheStats>,
     observer: RwLock<Option<Arc<dyn CacheObserver>>>,
 }
@@ -515,6 +628,7 @@ impl<'g> DsdEngine<'g> {
             substrate_budget: Some(DEFAULT_STORE_BUDGET),
             repair_policy: RepairPolicy::default(),
             cache: RwLock::new(SubstrateCache::default()),
+            networks: Mutex::new(NetworkCache::default()),
             counters: Mutex::new(EngineCacheStats::default()),
             observer: RwLock::new(None),
         }
@@ -556,6 +670,18 @@ impl<'g> DsdEngine<'g> {
         if let Some(dec) = cache.decompositions.remove(key) {
             freed += dec.bytes() as u64;
         }
+        // Cached flow networks ride the same eviction unit: they are
+        // derived from this key's substrates and cheaper to rebuild than
+        // the store, so they never outlive it in the ledger.
+        let mut networks = self.networks.lock().unwrap();
+        networks.entries.retain(|(k, _), (_, bytes)| {
+            if k == key {
+                freed += *bytes as u64;
+                false
+            } else {
+                true
+            }
+        });
         freed
     }
 
@@ -574,7 +700,18 @@ impl<'g> DsdEngine<'g> {
             .decompositions
             .get(key)
             .map_or(0, |d| d.bytes() as u64);
-        store + dec
+        let networks = self.networks.lock().unwrap();
+        let nets: u64 = if networks.epoch == epoch {
+            networks
+                .entries
+                .iter()
+                .filter(|((k, _), _)| k == key)
+                .map(|(_, (_, bytes))| *bytes as u64)
+                .sum()
+        } else {
+            0
+        };
+        store + dec + nets
     }
 
     /// Sets the worker count used for parallelizable substrate passes
@@ -624,10 +761,17 @@ impl<'g> DsdEngine<'g> {
     }
 
     /// Resident bytes currently held by the substrate cache: instance
-    /// stores plus decomposition arrays, at the engine's current epoch.
+    /// stores, decomposition arrays, plus cached flow networks, at the
+    /// engine's current epoch.
     pub fn substrate_bytes(&self) -> u64 {
         let cache = self.cache.read().unwrap();
-        cache_bytes(&cache)
+        cache_bytes(&cache) + self.networks.lock().unwrap().bytes()
+    }
+
+    /// Resident bytes of the cached flow networks alone (a subset of
+    /// [`Self::substrate_bytes`]) — the CLI's network-cache report.
+    pub fn network_bytes(&self) -> u64 {
+        self.networks.lock().unwrap().bytes()
     }
 
     /// A consistent snapshot of the engine's graph at its current epoch.
@@ -694,7 +838,12 @@ impl<'g> DsdEngine<'g> {
     ///   materialization. Single-edge batches whose cached oracles all
     ///   support it repair against the overlay view itself
     ///   ([`ApplyStats::csr_deferred`]), so even a repairing single-edge
-    ///   stream skips the per-batch merge.
+    ///   stream skips the per-batch merge. Small multi-edge batches (up
+    ///   to [`MULTI_EDGE_DELTA_MAX`] net changes) extend the same fast
+    ///   path by replaying the batch edge by edge against prefix overlay
+    ///   views — deletes first, then inserts in order, each insert added
+    ///   to the view *before* its repair so a clique spanning several
+    ///   inserted edges is discovered exactly once, at its last edge.
     ///
     /// Updates are normalized to the batch's **net** effect first:
     /// opposing updates on the same edge cancel, so `inserted`/`deleted`
@@ -728,6 +877,10 @@ impl<'g> DsdEngine<'g> {
             epoch: *epoch,
             ..ApplyStats::default()
         };
+        // Pre-batch overlay, kept aside so the multi-edge fast path can
+        // replay the batch's net effect edge by edge from the state the
+        // cached oracles actually describe (`base ⊕ pending_before`).
+        let pending_before = pending.clone();
         // Net toggles of this batch: an edge key is present iff the batch
         // changed it an odd number of times. The overlay already
         // self-reduces (insert + delete cancel), so effective updates on
@@ -791,6 +944,21 @@ impl<'g> DsdEngine<'g> {
         stats.kcore_patched = kcore.is_some();
         cache.kcore = kcore;
 
+        // Cached flow networks bind the exact member sets and arc
+        // capacities of the old snapshot; any effective batch invalidates
+        // them wholesale (unlike stores there is no in-place repair — a
+        // changed graph changes the α-feasibility frontier itself). Keys
+        // that held networks must be re-reported on the repair path so a
+        // governor's ledger sheds their network bytes.
+        let network_keys: Vec<PatternKey> = {
+            let mut networks = self.networks.lock().unwrap();
+            stats.bytes_freed += networks.bytes();
+            let keys = networks.entries.keys().map(|(k, _)| k.clone()).collect();
+            networks.entries.clear();
+            networks.epoch = *epoch;
+            keys
+        };
+
         // Every key that may sit in an observer's ledger at the old epoch;
         // the repair path re-reports each one at the new epoch.
         let mut ledger_keys: Vec<PatternKey> = Vec::new();
@@ -804,6 +972,14 @@ impl<'g> DsdEngine<'g> {
         let single_edge = stats.inserted + stats.deleted == 1
             && !cache.oracles.is_empty()
             && cache.oracles.values().all(|o| o.single_edge_repairable());
+        // Small multi-edge batches reuse the same per-edge repair and the
+        // same soundness argument: the batch is replayed as a sequence of
+        // effective single-edge changes from `base ⊕ pending_before`, so
+        // every oracle stays consistent with `base ⊕ pending` without a
+        // CSR materialization.
+        let multi_edge = (2..=MULTI_EDGE_DELTA_MAX).contains(&(stats.inserted + stats.deleted))
+            && !cache.oracles.is_empty()
+            && cache.oracles.values().all(|o| o.single_edge_repairable());
         // Batch-repair soundness needs oracles keyed to the bare `base`
         // CSR — guaranteed when nothing was pending (oracles are built
         // from materialized snapshots only). Fall back to the wholesale
@@ -813,12 +989,12 @@ impl<'g> DsdEngine<'g> {
         let policy = self.repair_policy;
         let resident: u64 = cache.oracles.values().map(|o| o.resident_bytes()).sum();
         let wholesale = cache.oracles.is_empty()
-            || (had_pending && !single_edge)
+            || (had_pending && !single_edge && !multi_edge)
             || policy.batch_cost(stats.inserted, stats.deleted) > policy.scaled_max_batch(resident);
         if wholesale {
             stats.substrates_dropped = cache.oracles.len() + cache.decompositions.len();
             stats.substrates_rebuilt = cache.oracles.len();
-            stats.bytes_freed = cache_bytes(&cache);
+            stats.bytes_freed += cache_bytes(&cache);
             cache.oracles.clear();
             cache.decompositions.clear();
         } else {
@@ -827,6 +1003,7 @@ impl<'g> DsdEngine<'g> {
                 .keys()
                 .chain(cache.decompositions.keys())
                 .cloned()
+                .chain(network_keys)
                 .collect();
             ledger_keys.sort_unstable();
             ledger_keys.dedup();
@@ -834,11 +1011,11 @@ impl<'g> DsdEngine<'g> {
             // Decompositions always drop: a peel order has no cheap
             // repair.
             stats.substrates_dropped = cache.decompositions.len();
-            stats.bytes_freed = cache
+            stats.bytes_freed += cache
                 .decompositions
                 .values()
                 .map(|d| d.bytes() as u64)
-                .sum();
+                .sum::<u64>();
             cache.decompositions.clear();
 
             if single_edge {
@@ -866,6 +1043,93 @@ impl<'g> DsdEngine<'g> {
                         }
                     }
                 }
+                stats.total_nanos = t0.elapsed().as_nanos();
+                drop(cache);
+                drop(state);
+                for key in &ledger_keys {
+                    let bytes = self.key_bytes(key, stats.epoch);
+                    self.notify(|obs| obs.on_substrate_repaired(self.id, key, stats.epoch, bytes));
+                }
+                return stats;
+            }
+
+            if multi_edge {
+                // Multi-edge fast path: replay the net batch as effective
+                // single-edge repairs against prefix views of a scratch
+                // overlay, deferring the CSR merge exactly like the
+                // single-edge path. Deletes go first — a delete repair is
+                // a pure incidence walk, so one post-deletes view serves
+                // them all, and no surviving or fresh row can contain a
+                // deleted edge. Each insert is applied to the scratch
+                // *before* its view is built, so a new clique spanning
+                // several inserted edges is complete only at its last
+                // inserted edge's view and is appended exactly once. The
+                // final per-key call always sees the full post-batch view,
+                // keying the surviving store to the right fingerprint.
+                stats.csr_deferred = true;
+                let mut scratch = pending_before;
+                // Keys that survived with at least one Repaired verdict;
+                // a later Rebuild retracts membership, so each key counts
+                // at most once in `substrates_repaired`.
+                let mut repaired_keys: HashSet<PatternKey> = HashSet::new();
+                if !removed.is_empty() {
+                    for &(u, v) in &removed {
+                        let effective = scratch.apply(base, &GraphUpdate::Delete(u, v));
+                        debug_assert!(effective, "net deletes toggle the pre-batch overlay");
+                    }
+                    let view = DeltaGraph::new(base, &scratch);
+                    for &(u, v) in &removed {
+                        let keys: Vec<PatternKey> = cache.oracles.keys().cloned().collect();
+                        for key in keys {
+                            let oracle = cache.oracles.get(&key).expect("key just listed");
+                            match oracle.repair_for_edge(view, false, u, v) {
+                                SubstrateRepair::Keep => {}
+                                SubstrateRepair::Repaired(repaired, r) => {
+                                    stats.rows_tombstoned += r.rows_tombstoned;
+                                    repaired_keys.insert(key.clone());
+                                    cache.oracles.insert(key, repaired);
+                                }
+                                SubstrateRepair::Rebuild => {
+                                    let old = cache.oracles.remove(&key).expect("key just listed");
+                                    repaired_keys.remove(&key);
+                                    stats.bytes_freed += old.resident_bytes();
+                                    stats.substrates_dropped += 1;
+                                    stats.substrates_rebuilt += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                for &(u, v) in &inserted {
+                    let effective = scratch.apply(base, &GraphUpdate::Insert(u, v));
+                    debug_assert!(effective, "net inserts toggle the pre-batch overlay");
+                    let view = DeltaGraph::new(base, &scratch);
+                    let keys: Vec<PatternKey> = cache.oracles.keys().cloned().collect();
+                    for key in keys {
+                        let oracle = cache.oracles.get(&key).expect("key just listed");
+                        match oracle.repair_for_edge(view, true, u, v) {
+                            SubstrateRepair::Keep => {}
+                            SubstrateRepair::Repaired(repaired, r) => {
+                                stats.rows_tombstoned += r.rows_tombstoned;
+                                repaired_keys.insert(key.clone());
+                                cache.oracles.insert(key, repaired);
+                            }
+                            SubstrateRepair::Rebuild => {
+                                let old = cache.oracles.remove(&key).expect("key just listed");
+                                repaired_keys.remove(&key);
+                                stats.bytes_freed += old.resident_bytes();
+                                stats.substrates_dropped += 1;
+                                stats.substrates_rebuilt += 1;
+                            }
+                        }
+                    }
+                }
+                debug_assert_eq!(
+                    DeltaGraph::new(base, &scratch).num_edges(),
+                    DeltaGraph::new(base, pending).num_edges(),
+                    "replayed scratch overlay must land on the post-batch graph"
+                );
+                stats.substrates_repaired += repaired_keys.len();
                 stats.total_nanos = t0.elapsed().as_nanos();
                 drop(cache);
                 drop(state);
@@ -1196,14 +1460,22 @@ impl<'g> DsdEngine<'g> {
         solution.stats.epoch = snap.epoch();
         solution.stats.total_nanos = t0.elapsed().as_nanos();
         // Ledger the touched substrate entry with the governor (if any).
-        // The query variant uses only the classical k-core order, which is
-        // repaired in place rather than evicted, so it is not ledgered.
-        if !matches!(req.objective, Objective::WithQuery(_)) {
-            let key = pattern_key(&req.psi);
-            let bytes = self.key_bytes(&key, snap.epoch());
-            let hit = solution.stats.substrate.oracle_cache_hit;
-            self.notify(|obs| obs.on_substrate_used(self.id, &key, snap.epoch(), bytes, hit));
-        }
+        // The query variant runs on the classical k-core order (repaired
+        // in place, never evicted) but caches its pinned flow network
+        // under the canonical edge key, so it ledgers that entry.
+        let (key, hit) = if matches!(req.objective, Objective::WithQuery(_)) {
+            (
+                pattern_key(&Pattern::edge()),
+                solution.stats.substrate.kcore_cache_hit,
+            )
+        } else {
+            (
+                pattern_key(&req.psi),
+                solution.stats.substrate.oracle_cache_hit,
+            )
+        };
+        let bytes = self.key_bytes(&key, snap.epoch());
+        self.notify(|obs| obs.on_substrate_used(self.id, &key, snap.epoch(), bytes, hit));
         solution
     }
 
@@ -1231,7 +1503,12 @@ impl<'g> DsdEngine<'g> {
                     tolerance: req.tolerance,
                     step_budget: req.step_budget,
                 };
-                let (r, es) = exact_with(g, psi, oracle.as_ref(), opts);
+                let lender = EngineLender {
+                    engine: self,
+                    key: pattern_key(psi),
+                    epoch: snap.epoch(),
+                };
+                let (r, es) = exact_with_lender(g, psi, oracle.as_ref(), opts, Some(&lender));
                 let guarantee = exact_guarantee(es.budget_exhausted, req.tolerance);
                 record_flow(&mut stats, es);
                 stats.store = oracle.store_stats();
@@ -1250,8 +1527,20 @@ impl<'g> DsdEngine<'g> {
                     step_budget: req.step_budget,
                     ..CoreExactConfig::default()
                 };
-                let (r, ces) =
-                    core_exact_from_certified(g, psi, config, oracle.as_ref(), &dec, certs);
+                let lender = EngineLender {
+                    engine: self,
+                    key: pattern_key(psi),
+                    epoch: snap.epoch(),
+                };
+                let (r, ces) = core_exact_certified_with_lender(
+                    g,
+                    psi,
+                    config,
+                    oracle.as_ref(),
+                    &dec,
+                    certs,
+                    Some(&lender),
+                );
                 let guarantee = exact_guarantee(ces.exact.budget_exhausted, req.tolerance);
                 record_flow(&mut stats, ces.exact);
                 stats.store = oracle.store_stats();
@@ -1349,7 +1638,21 @@ impl<'g> DsdEngine<'g> {
             step_budget: req.step_budget,
             ..CoreExactConfig::default()
         };
-        let scan = top_k_densest_certified(g, psi, k, config, oracle.as_ref(), &dec, certs);
+        let lender = EngineLender {
+            engine: self,
+            key: pattern_key(psi),
+            epoch: snap.epoch(),
+        };
+        let scan = top_k_certified_with_lender(
+            g,
+            psi,
+            k,
+            config,
+            oracle.as_ref(),
+            &dec,
+            certs,
+            Some(&lender),
+        );
         record_flow(&mut stats, scan.exact.clone());
         stats.store = oracle.store_stats();
         let (vertices, density) = scan
@@ -1508,7 +1811,14 @@ impl<'g> DsdEngine<'g> {
         let mut stats = SolveStats::default();
         stats.substrate.kcore_cache_hit = kcore_hit;
         stats.kmax = Some(kcore.kmax as u64);
-        match densest_with_query_from(g, &query, &kcore, req.backend) {
+        // Query networks cache under the canonical edge key — the variant
+        // is defined for edge density regardless of the request's Ψ.
+        let lender = EngineLender {
+            engine: self,
+            key: pattern_key(&Pattern::edge()),
+            epoch: snap.epoch(),
+        };
+        match densest_with_query_lender(g, &query, &kcore, req.backend, Some(&lender)) {
             Some((r, es)) => {
                 record_flow(&mut stats, es);
                 Solution {
@@ -1532,7 +1842,8 @@ impl Drop for DsdEngine<'_> {
     /// governed catalog dropping an engine (eviction, shutdown) never
     /// leaks its bytes in the global ledger.
     fn drop(&mut self) {
-        let bytes = cache_bytes(self.cache.get_mut().unwrap());
+        let bytes =
+            cache_bytes(self.cache.get_mut().unwrap()) + self.networks.get_mut().unwrap().bytes();
         if bytes > 0 {
             if let Some(obs) = self.observer.get_mut().unwrap().as_deref() {
                 obs.on_engine_release(self.id, bytes);

@@ -16,7 +16,8 @@ use dsd_motif::pattern::{Pattern, PatternKind};
 
 use crate::alpha_search::{alpha_search, effective_gap, NetworkProbe};
 use crate::flownet::{
-    build_clique_network, build_edge_network, build_pattern_network, DensityNetwork, FlowBackend,
+    build_clique_network, build_edge_network, build_pattern_network, build_store_network,
+    DensityNetwork, FlowBackend, NetworkLender,
 };
 use crate::oracle::{density, oracle_for, DensityOracle};
 use crate::types::DsdResult;
@@ -59,6 +60,57 @@ pub(crate) fn build_network_for(
     }
 }
 
+/// [`build_network_for`], preferring the factorised store-built
+/// construction when `oracle` holds a materialized [`InstanceStore`] —
+/// zero instance re-enumeration; decision- and witness-identical to the
+/// enumeration constructors (the residual-reachable source side is the
+/// unique inclusion-minimal min-cut, independent of formulation). h = 2
+/// keeps the Goldberg network: the graph CSR already is the factorised
+/// edge set, so a store would only add nodes.
+pub(crate) fn build_network_for_with(
+    g: &Graph,
+    members: &[VertexId],
+    psi: &Pattern,
+    grouped: bool,
+    oracle: &dyn DensityOracle,
+) -> DensityNetwork {
+    if !matches!(psi.kind(), PatternKind::Clique(2)) {
+        if let Some(store) = oracle.store(g) {
+            return build_store_network(g, members, store);
+        }
+    }
+    build_network_for(g, members, psi, grouped)
+}
+
+/// Acquires the network for `g[members]`: from the lender's cache when a
+/// warm one is resident, else freshly (store-built when possible).
+pub(crate) fn acquire_network(
+    g: &Graph,
+    members: &[VertexId],
+    psi: &Pattern,
+    grouped: bool,
+    oracle: &dyn DensityOracle,
+    lender: Option<&dyn NetworkLender>,
+) -> DensityNetwork {
+    if let Some(lender) = lender {
+        if let Some(net) = lender.take(members, &[]) {
+            return net;
+        }
+    }
+    build_network_for_with(g, members, psi, grouped, oracle)
+}
+
+/// Returns a network to the lender's cache for the next request.
+pub(crate) fn release_network(
+    members: &[VertexId],
+    net: DensityNetwork,
+    lender: Option<&dyn NetworkLender>,
+) {
+    if let Some(lender) = lender {
+        lender.put(members, &[], net);
+    }
+}
+
 /// Runs `Exact` (cliques) / `PExact` (patterns) on the whole graph.
 pub fn exact(g: &Graph, psi: &Pattern, backend: FlowBackend) -> (DsdResult, ExactStats) {
     let oracle = oracle_for(psi);
@@ -81,6 +133,20 @@ pub fn exact_with(
     oracle: &dyn DensityOracle,
     opts: ExactOpts,
 ) -> (DsdResult, ExactStats) {
+    exact_with_lender(g, psi, oracle, opts, None)
+}
+
+/// [`exact_with`] with a network lender: the α-search borrows its
+/// [`DensityNetwork`] from the lender's cache when one is warm (and
+/// returns it afterwards), so repeat requests on an unchanged graph pay
+/// only the flow resolve.
+pub(crate) fn exact_with_lender(
+    g: &Graph,
+    psi: &Pattern,
+    oracle: &dyn DensityOracle,
+    opts: ExactOpts,
+    lender: Option<&dyn NetworkLender>,
+) -> (DsdResult, ExactStats) {
     let n = g.num_vertices();
     let alive = VertexSet::full(n);
     let degrees = oracle.degrees(g, &alive);
@@ -95,9 +161,10 @@ pub fn exact_with(
     let gap = effective_gap(n, opts.tolerance);
     let budget = opts.step_budget.unwrap_or(usize::MAX);
     let members: Vec<VertexId> = g.vertices().collect();
-    // PExact uses the ungrouped Algorithm-8 network; construct+ belongs to
-    // CorePExact.
-    let mut net = build_network_for(g, &members, psi, false);
+    // Store-built (construct+-shaped) when the oracle materialized;
+    // otherwise PExact's ungrouped Algorithm-8 network — construct+
+    // grouping without a store belongs to CorePExact.
+    let mut net = acquire_network(g, &members, psi, false, oracle, lender);
     let outcome = alpha_search(
         &mut NetworkProbe::new(&mut net, opts.backend),
         bounds,
@@ -117,6 +184,7 @@ pub fn exact_with(
         best = net.solve(0.0, opts.backend).unwrap_or_default();
     }
     stats.absorb_flow(net.probe_stats());
+    release_network(&members, net, lender);
     debug_assert!(!best.is_empty(), "μ > 0 guarantees a feasible guess");
     best.sort_unstable();
     let set = VertexSet::from_members(n, &best);

@@ -1,21 +1,40 @@
 //! Flow-network constructions for the exact DSD algorithms.
 //!
-//! Three constructions from the paper, all sharing the same decision
-//! semantics — after a max-flow at guess density `α`, the source side `S`
-//! of a minimum st-cut satisfies `S ≠ {s}` iff some subgraph has density
-//! **strictly greater than** `α` (Lemma 14), and the graph vertices in
-//! `S \ {s}` induce such a subgraph:
+//! All constructions share the same decision semantics — after a max-flow
+//! at guess density `α`, the source side `S` of a minimum st-cut satisfies
+//! `S ≠ {s}` iff some subgraph has density **strictly greater than** `α`
+//! (Lemma 14), and the graph vertices in `S \ {s}` induce such a subgraph.
+//!
+//! The primary constructor is factorised: [`build_store_network`] reads a
+//! warm [`InstanceStore`]'s columns directly — each grouped row (a
+//! multiplicity-weighted vertex set) becomes one Λ-side node, its members
+//! CSR slice becomes the arcs, and the `s→v` capacities come from summing
+//! the weight column — so building a `construct+`-shaped network
+//! (Algorithm 7) costs one pass over the incidence CSR with **zero
+//! instance re-enumeration**. Component networks (`CoreExact`'s shrinking
+//! restarts) slice the same rows through the incidence CSR of the
+//! component's members instead of re-running kClist per restart.
+//!
+//! The enumeration constructors remain as the streaming fallbacks (no
+//! store materialized: byte budget exceeded, `u32` overflow, or a
+//! store-less oracle) and as the differential references the factorised
+//! path is tested bit-identical against:
 //!
 //! * [`build_edge_network`] — Goldberg's simplified network for h = 2
 //!   (Section 4.1's remark): `s→v` cap `m`, `v→t` cap `m + 2α − deg(v)`,
-//!   `u↔v` cap 1 per edge;
+//!   `u↔v` cap 1 per edge. Always used for h = 2: the graph's own CSR
+//!   already *is* the factorised representation of its edge set;
 //! * [`build_clique_network`] — Algorithm 1 lines 5–15 for h ≥ 3:
 //!   one node per (h−1)-clique instance ψ, `ψ→v` cap ∞ for `v ∈ ψ`,
 //!   `v→ψ` cap 1 when `ψ ∪ {v}` is an h-clique;
 //! * [`build_pattern_network`] — Algorithm 8 (one node per pattern
 //!   instance, `v→ψ` cap 1, `ψ→v` cap `|VΨ|−1`) and Algorithm 7's
-//!   `construct+` variant (one node per *group* of instances sharing a
-//!   vertex set, capacities scaled by `|g|`), selected by `grouped`.
+//!   historical materialize-then-hash-group `construct+` variant (one
+//!   node per *group* of instances sharing a vertex set, capacities
+//!   scaled by `|g|`), selected by `grouped`. Units are minted in
+//!   canonical vertex-set order, so node ids, checkpoints, and structure
+//!   fingerprints are stable across runs and identical to the
+//!   store-built network's.
 //!
 //! Only the `v→t` capacities depend on α — monotone *non-decreasingly* —
 //! so a network is built once per candidate subgraph and each
@@ -27,12 +46,21 @@
 //! dominates the checkpoint instead of paying a from-scratch max-flow —
 //! the Gallo–Grigoriadis–Tarjan amortization \[29\] the paper cites as
 //! the classical EDS machinery.
+//!
+//! Networks also outlive a single α-search: the engine's epoch-keyed
+//! `NetworkCache` lends them out through the crate-private
+//! `NetworkLender` trait, so a repeat
+//! request on the same (graph, Ψ) epoch warm-resolves an already-built
+//! network. [`DensityNetwork::bytes`] reports their resident size for the
+//! serving layer's byte governor; [`DensityNetwork::reset_probe_stats`]
+//! fences the reuse accounting between borrowing requests.
 
 use dsd_flow::{
     min_cut_source_side, Dinic, EdgeId, FlowNetwork, MaxFlow, NodeId, ParametricSolver,
     ResolveStats,
 };
 use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
+use dsd_motif::store::InstanceStore;
 use dsd_motif::{kclist, pattern_enum, Pattern};
 
 /// Which max-flow backend solves the min-cut probes.
@@ -97,6 +125,10 @@ pub struct DensityNetwork {
     checkpoint: Option<Checkpoint>,
     /// Reuse counters from solvers already retired (backend switches).
     retired_stats: ResolveStats,
+    /// Accounting already reported to earlier borrowers of a cached
+    /// network (see [`Self::reset_probe_stats`]); subtracted from
+    /// [`Self::probe_stats`] so each request reports only its own probes.
+    stats_baseline: ResolveStats,
     /// Scratch: edge ids whose capacity the current probe changed.
     changed: Vec<EdgeId>,
     /// All α-edge ids, precomputed for the checkpoint-restore path.
@@ -125,6 +157,7 @@ impl DensityNetwork {
             solver: None,
             checkpoint: None,
             retired_stats: ResolveStats::default(),
+            stats_baseline: ResolveStats::default(),
             changed: Vec::new(),
             all_alpha_ids,
         }
@@ -160,13 +193,90 @@ impl DensityNetwork {
         }
     }
 
-    /// Probe-reuse accounting across this network's whole probe sequence.
-    pub fn probe_stats(&self) -> ResolveStats {
+    /// Lifetime probe-reuse accounting, including probes already reported
+    /// to earlier borrowers of a cached network.
+    fn lifetime_stats(&self) -> ResolveStats {
         let mut stats = self.retired_stats;
         if let Some((_, solver)) = &self.solver {
             stats += solver.stats();
         }
         stats
+    }
+
+    /// Probe-reuse accounting since the last [`Self::reset_probe_stats`]
+    /// (network construction, if never reset) — the per-request view a
+    /// borrowing solver folds into its `ExactStats`.
+    pub fn probe_stats(&self) -> ResolveStats {
+        let total = self.lifetime_stats();
+        let base = self.stats_baseline;
+        ResolveStats {
+            probes: total.probes - base.probes,
+            resolve_hits: total.resolve_hits - base.resolve_hits,
+            augment_work: total.augment_work - base.augment_work,
+        }
+    }
+
+    /// Fences the probe accounting: later [`Self::probe_stats`] calls
+    /// report only probes run after this point. The network cache calls
+    /// this when lending a warm network out, so a request never
+    /// double-counts a previous borrower's probes.
+    pub fn reset_probe_stats(&mut self) {
+        self.stats_baseline = self.lifetime_stats();
+    }
+
+    /// Estimated resident heap bytes of the network: the edge/adjacency
+    /// arrays, member and α-edge tables, and any checkpointed flow. This
+    /// is what the engine's network cache reports into `resident_bytes`
+    /// for the serving layer's byte governor.
+    pub fn bytes(&self) -> usize {
+        // Forward + reverse edge records (`Edge {to: u32, cap: f64,
+        // flow: f64}` pads to 24 bytes) plus one u32 adjacency-list slot
+        // each, plus a Vec header per node.
+        let raw_edges = 2 * self.net.num_edges();
+        let mut bytes = raw_edges * (24 + std::mem::size_of::<EdgeId>())
+            + self.net.num_nodes() * std::mem::size_of::<Vec<EdgeId>>()
+            + self.members.len() * std::mem::size_of::<VertexId>()
+            + self.alpha_edges.len() * std::mem::size_of::<(EdgeId, f64)>()
+            + self.all_alpha_ids.len() * std::mem::size_of::<EdgeId>();
+        if let Some(ck) = &self.checkpoint {
+            bytes += ck.flows.len() * std::mem::size_of::<f64>();
+        }
+        bytes
+    }
+
+    /// FNV-1a fingerprint of the network's α-independent structure: node
+    /// count, terminals, α-scale, every forward edge (endpoints and base
+    /// capacity), the α-edge table, and the member mapping. Two builds of
+    /// the same logical network — enumeration-built or store-built —
+    /// must agree bit-for-bit; flow state and solver history are
+    /// excluded, so warm and cold copies of one network also agree.
+    pub fn structure_fingerprint(&self) -> u64 {
+        let mut is_alpha = vec![false; self.net.num_edges()];
+        for &(e, _) in &self.alpha_edges {
+            is_alpha[(e / 2) as usize] = true;
+        }
+        let mut h = Fnv::new();
+        h.write_u64(self.net.num_nodes() as u64);
+        h.write_u64(self.s as u64);
+        h.write_u64(self.t as u64);
+        h.write_u64(self.alpha_scale.to_bits());
+        for (i, (from, e)) in self.net.forward_edges().enumerate() {
+            h.write_u64(from as u64);
+            h.write_u64(e.to as u64);
+            // α-edges mutate their cap per probe; their α-free base is
+            // hashed from the table below instead.
+            if !is_alpha[i] {
+                h.write_u64(e.cap.to_bits());
+            }
+        }
+        for &(e, base) in &self.alpha_edges {
+            h.write_u64(e as u64);
+            h.write_u64(base.to_bits());
+        }
+        for &v in &self.members {
+            h.write_u64(v as u64);
+        }
+        h.finish()
     }
 
     /// Checkpoints the current flow state for parametric restarts.
@@ -299,6 +409,121 @@ impl DensityNetwork {
             Some(vertices)
         }
     }
+}
+
+/// Minimal FNV-1a accumulator for the structure fingerprints and the
+/// engine's network-cache member keys (stable across runs and processes,
+/// unlike the std `RandomState` hashers).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A pool lending out already-built [`DensityNetwork`]s, keyed by the
+/// member set (and pinned query set) the network was built over — the
+/// engine's epoch-keyed network cache implements this. `take` transfers
+/// ownership to the borrower (concurrent requests each get their own
+/// network or a miss, never a shared one); `put` returns it for the next
+/// request once the borrower's α-search is done.
+pub(crate) trait NetworkLender {
+    /// Removes and returns the cached network for `(members, pinned)`,
+    /// if one is resident. Implementations reset its probe accounting
+    /// before handing it out.
+    fn take(&self, members: &[VertexId], pinned: &[VertexId]) -> Option<DensityNetwork>;
+
+    /// Returns a network to the pool under `(members, pinned)`.
+    fn put(&self, members: &[VertexId], pinned: &[VertexId], net: DensityNetwork);
+}
+
+/// Builds the `construct+`-shaped network (Algorithm 7) for the store's Ψ
+/// over `g[members]` straight from the [`InstanceStore`] columns — the
+/// factorised path: no instance enumeration, no hash grouping. Each live
+/// store row whose members all lie in `members` becomes one unit node
+/// with its multiplicity as the weight; `s→v` capacities are the row
+/// weights summed per member. Rows are collected once each by walking the
+/// incidence CSR with min-member ownership and minted in canonical
+/// vertex-set order, so the result is structurally identical
+/// ([`DensityNetwork::structure_fingerprint`]) to
+/// [`build_pattern_network`]'s grouped network over the same subgraph.
+pub fn build_store_network(
+    g: &Graph,
+    members: &[VertexId],
+    store: &InstanceStore,
+) -> DensityNetwork {
+    let size = store.psi_size();
+    let mut members: Vec<VertexId> = members.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    let n = members.len();
+    let alive = VertexSet::from_members(g.num_vertices(), &members);
+    // Global→local vertex map; the map is monotone, so global id order
+    // (store rows are id-sorted) equals local id order and the minted
+    // units compare identically to the enumeration path's local-id sort.
+    let mut local = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in members.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    // Collect each live member-internal row exactly once: `v` owns the
+    // rows whose minimum member it is (members columns are id-sorted).
+    let mut rows: Vec<u32> = Vec::new();
+    for &v in &members {
+        for &row in store.incidence(v) {
+            let r = row as usize;
+            if store.members(r)[0] == v && store.row_live(r, &alive) {
+                rows.push(row);
+            }
+        }
+    }
+    // Canonical unit order: by vertex set. Grouped rows have distinct
+    // member sets, so the order (and thus every node id downstream) is a
+    // total order independent of CSR layout.
+    rows.sort_unstable_by(|&a, &b| store.members(a as usize).cmp(store.members(b as usize)));
+
+    let mut deg = vec![0u64; n];
+    for &row in &rows {
+        let r = row as usize;
+        let w = store.weight(r);
+        for &v in store.members(r) {
+            deg[local[v as usize] as usize] += w;
+        }
+    }
+
+    let s: NodeId = 0;
+    let t: NodeId = (n + rows.len() + 1) as NodeId;
+    let mut net = FlowNetwork::new(n + rows.len() + 2);
+    let mut alpha_edges = Vec::with_capacity(n);
+    for (v, &dv) in deg.iter().enumerate() {
+        let node = (v + 1) as NodeId;
+        net.add_edge(s, node, dv as f64);
+        let e = net.add_edge(node, t, 0.0);
+        alpha_edges.push((e, 0.0));
+    }
+    for (i, &row) in rows.iter().enumerate() {
+        let r = row as usize;
+        let unit_node = (n + 1 + i) as NodeId;
+        let weight = store.weight(r);
+        for &v in store.members(r) {
+            let node = (local[v as usize] + 1) as NodeId;
+            net.add_edge(node, unit_node, weight as f64);
+            net.add_edge(unit_node, node, (weight * (size as u64 - 1)) as f64);
+        }
+    }
+    DensityNetwork::new(net, s, t, members, alpha_edges, size as f64)
 }
 
 /// Builds Goldberg's h = 2 network over `g[members]`.
@@ -441,10 +666,17 @@ pub fn build_pattern_network(
 
     // (vertex set, weight |g|) per flow node: groups or single instances.
     let units: Vec<(Vec<VertexId>, u64)> = if grouped {
-        pattern_enum::group_instances(&instances)
+        let mut units: Vec<(Vec<VertexId>, u64)> = pattern_enum::group_instances(&instances)
             .into_iter()
             .map(|grp| (grp.vertices, grp.count))
-            .collect()
+            .collect();
+        // Mint unit nodes in canonical vertex-set order. Groups have
+        // distinct vertex sets, so this totally orders them regardless of
+        // how the grouping enumerated — node ids, checkpoints, and
+        // structure fingerprints become stable across runs and equal to
+        // the store-built network's ([`build_store_network`]).
+        units.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        units
     } else {
         instances
             .into_iter()

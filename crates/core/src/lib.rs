@@ -13,7 +13,7 @@
 //! | Algorithm 4 `CoreExact` | [`core_exact::core_exact`] | exact |
 //! | Algorithm 5 `IncApp` | [`approx::inc_app`] | approx |
 //! | Algorithm 6 `CoreApp` | [`approx::core_app`] | approx |
-//! | Algorithm 7 `construct+` | [`flownet::build_pattern_network`] | substrate |
+//! | Algorithm 7 `construct+` | [`flownet::build_pattern_network`] / [`flownet::build_store_network`] | substrate |
 //! | Algorithm 8 `PExact` | [`exact::exact`] (pattern Ψ) | exact |
 //! | `CorePExact` | [`core_exact::core_exact`] (pattern Ψ) | exact |
 //! | `Nucleus` baseline | [`nucleus::nucleus_app`] | approx |
@@ -105,6 +105,7 @@ pub use emcore::emcore_max_core;
 pub use engine::{
     pattern_key, ApplyStats, BoundRequest, CacheObserver, DsdEngine, DsdRequest, EngineCacheStats,
     GraphSnapshot, Guarantee, Objective, Outcome, PatternKey, RepairPolicy, Solution, SolveStats,
+    MULTI_EDGE_DELTA_MAX,
 };
 pub use exact::{exact, exact_with, ExactOpts, ExactStats};
 pub use flownet::FlowBackend;

@@ -93,6 +93,18 @@ pub trait DensityOracle: Send + Sync {
         0
     }
 
+    /// The materialized [`InstanceStore`] for `g`, when this oracle holds
+    /// one — the factorised flow-construction input: exact solvers build
+    /// their `DensityNetwork` straight from these columns
+    /// (`dsd_core::flownet::build_store_network`) instead of
+    /// re-enumerating instances. Materializes on first call for oracles
+    /// that build lazily; `None` keeps the caller on the enumeration
+    /// constructors (streaming oracles, or a build that fell back).
+    fn store(&self, g: &Graph) -> Option<&InstanceStore> {
+        let _ = g;
+        None
+    }
+
     /// Asks the oracle to carry its state across an edge batch instead of
     /// being dropped. `g_new` is the post-batch graph; `g_mid` is `g_new`
     /// minus the inserted edges (the caller passes `g_new` itself when
@@ -595,6 +607,10 @@ impl DensityOracle for MaterializedOracle {
             .get()
             .and_then(|s| s.store.as_ref())
             .map_or(0, |store| store.bytes() as u64)
+    }
+
+    fn store(&self, g: &Graph) -> Option<&InstanceStore> {
+        self.state(g).store.as_ref()
     }
 
     fn repair_for_update(

@@ -15,7 +15,7 @@
 use dsd_graph::{Graph, InducedSubgraph, VertexId, VertexSet};
 
 use crate::alpha_search::{alpha_search, density_gap, DecisionProbe, ExactStats};
-use crate::flownet::{build_query_network, DensityNetwork, FlowBackend};
+use crate::flownet::{build_query_network, DensityNetwork, FlowBackend, NetworkLender};
 use crate::kcore::{k_core_decomposition, KCoreDecomposition};
 use crate::types::DsdResult;
 
@@ -67,6 +67,21 @@ pub fn densest_with_query_from(
     query: &[VertexId],
     cores: &KCoreDecomposition,
     backend: FlowBackend,
+) -> Option<(DsdResult, ExactStats)> {
+    densest_with_query_lender(g, query, cores, backend, None)
+}
+
+/// [`densest_with_query_from`] with a network lender: the pinned network
+/// is borrowed from the lender's cache — keyed by the anchored-core
+/// member set *and* the pinned query set — when a warm one is resident,
+/// and returned afterwards. The Q-anchored peel re-derives the same
+/// member set on an unchanged graph, so repeat queries warm-resolve.
+pub(crate) fn densest_with_query_lender(
+    g: &Graph,
+    query: &[VertexId],
+    cores: &KCoreDecomposition,
+    backend: FlowBackend,
+    lender: Option<&dyn NetworkLender>,
 ) -> Option<(DsdResult, ExactStats)> {
     let n = g.num_vertices();
     if query.is_empty() || query.iter().any(|&q| q as usize >= n) {
@@ -128,7 +143,10 @@ pub fn densest_with_query_from(
         initial_bounds: (l, u),
         ..ExactStats::default()
     };
-    let mut net = build_query_network(&sub.graph, &local_query);
+    let mut net = match lender.and_then(|l| l.take(&sub.orig, query)) {
+        Some(net) => net,
+        None => build_query_network(&sub.graph, &local_query),
+    };
     stats.iterations += 1;
     stats.network_nodes.push(net.num_nodes());
     let seed = net.min_cut_side(l, backend);
@@ -148,6 +166,9 @@ pub fn densest_with_query_from(
         best = Some(side);
     }
     stats.absorb_flow(net.probe_stats());
+    if let Some(l) = lender {
+        l.put(&sub.orig, query, net);
+    }
 
     let side = best?;
     let mut vertices: Vec<VertexId> = side.iter().map(|&v| sub.to_parent(v)).collect();

@@ -541,7 +541,9 @@ fn run_job(shared: &Shared, job: Job) {
                     // sharded graph that's the spine plus every shard
                     // engine the scatter phase will touch. The query
                     // variant runs on the (in-place-repaired, unevicted)
-                    // classical k-core order and needs no pin.
+                    // classical k-core order and needs no pin; its cached
+                    // flow network is take/put (out of the cache while
+                    // lent), so eviction can never touch it mid-request.
                     let _leases: Vec<SubstrateLease> =
                         if matches!(req.objective_ref(), Objective::WithQuery(_)) {
                             Vec::new()

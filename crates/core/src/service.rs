@@ -125,9 +125,19 @@ pub struct BatchStats {
     /// Instance-store enumeration time paid by this batch (nanoseconds,
     /// same summation rule as [`BatchStats::store_bytes_built`]).
     pub store_build_nanos: u128,
+    /// Flow-network cache hits during the batch: solves whose
+    /// [`DensityNetwork`](crate::flownet::DensityNetwork) was taken warm
+    /// from an engine's epoch-keyed network cache instead of being
+    /// rebuilt from the instance store (summed over touched engines).
+    pub network_hits: usize,
+    /// Flow-network cache misses during the batch (cold network builds).
+    pub network_misses: usize,
     /// Resident substrate-cache bytes across the engines this batch
     /// touched, measured after the batch (stores + decompositions).
     pub substrate_bytes: u64,
+    /// Of [`BatchStats::substrate_bytes`], the portion held by cached
+    /// flow networks (already included in the total).
+    pub network_bytes: u64,
     /// Per-worker busy time (solving requests, not queue waits).
     pub worker_busy_nanos: Vec<u128>,
 }
@@ -446,9 +456,13 @@ impl DsdService {
         let after: Vec<_> = engines.values().map(|e| e.cache_stats()).collect();
         let mut substrate_builds = 0;
         let mut substrate_hits = 0;
+        let mut network_hits = 0;
+        let mut network_misses = 0;
         for (b, a) in before.iter().zip(&after) {
             substrate_builds += a.decomposition_builds - b.decomposition_builds;
             substrate_hits += a.decomposition_hits - b.decomposition_hits;
+            network_hits += a.network_hits - b.network_hits;
+            network_misses += a.network_misses - b.network_misses;
         }
 
         let solutions: Vec<Result<Solution, ServiceError>> = solutions
@@ -472,6 +486,7 @@ impl DsdService {
             }
         }
         let substrate_bytes: u64 = engines.values().map(|e| e.substrate_bytes()).sum();
+        let network_bytes: u64 = engines.values().map(|e| e.network_bytes()).sum();
 
         BatchOutcome {
             solutions,
@@ -485,7 +500,10 @@ impl DsdService {
                 flow_resolve_hits,
                 store_bytes_built,
                 store_build_nanos,
+                network_hits,
+                network_misses,
                 substrate_bytes,
+                network_bytes,
                 worker_busy_nanos,
             },
         }

@@ -15,8 +15,9 @@ use dsd_motif::Pattern;
 use crate::alpha_search::ExactStats;
 use crate::clique_core::CliqueCoreDecomposition;
 use crate::core_exact::{
-    core_exact_from_certified, core_exact_with, CoreExactConfig, RegionCertificates,
+    core_exact_certified_with_lender, core_exact_with, CoreExactConfig, RegionCertificates,
 };
+use crate::flownet::NetworkLender;
 use crate::oracle::DensityOracle;
 use crate::types::DsdResult;
 
@@ -73,6 +74,23 @@ pub fn top_k_densest_certified(
     dec: &CliqueCoreDecomposition,
     certs: Option<&RegionCertificates>,
 ) -> TopKScan {
+    top_k_certified_with_lender(g, psi, k, config, oracle, dec, certs, None)
+}
+
+/// [`top_k_densest_certified`] with a network lender for round 0 (the
+/// full-graph scan, where the warm substrates and cached networks apply);
+/// residual rounds delete vertices and always build cold.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_certified_with_lender(
+    g: &Graph,
+    psi: &Pattern,
+    k: usize,
+    config: CoreExactConfig,
+    oracle: &dyn DensityOracle,
+    dec: &CliqueCoreDecomposition,
+    certs: Option<&RegionCertificates>,
+    lender: Option<&dyn NetworkLender>,
+) -> TopKScan {
     let mut out = Vec::with_capacity(k);
     let mut alive = VertexSet::full(g.num_vertices());
     let mut exact = ExactStats::default();
@@ -81,7 +99,8 @@ pub fn top_k_densest_certified(
             break;
         }
         let (vertices, density) = if round == 0 {
-            let (first, stats) = core_exact_from_certified(g, psi, config, oracle, dec, certs);
+            let (first, stats) =
+                core_exact_certified_with_lender(g, psi, config, oracle, dec, certs, lender);
             exact.merge(&stats.exact);
             (first.vertices, first.density)
         } else {

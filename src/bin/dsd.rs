@@ -363,6 +363,12 @@ fn flush_requests(
         st.store_build_nanos as f64 / 1e6,
         st.substrate_bytes as f64 / 1024.0
     );
+    println!(
+        "networks: {} cache hits / {} misses, {:.1} KiB cached",
+        st.network_hits,
+        st.network_misses,
+        st.network_bytes as f64 / 1024.0
+    );
     failed
 }
 
@@ -776,6 +782,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     let server = DsdServer::new(config);
     let mut pending: std::collections::VecDeque<(PendingJob, Ticket)> =
         std::collections::VecDeque::new();
+    let mut registered: Vec<String> = Vec::new();
     let mut next_index = 0usize;
     let mut failed = 0usize;
     let mut bad_directives = 0usize;
@@ -819,6 +826,7 @@ fn run_serve(args: &[String]) -> ExitCode {
                         } else {
                             server.register(name, g);
                         }
+                        registered.push(name.to_string());
                     }
                     Err(e) => fail(format!("failed to read {file}: {e}")),
                 }
@@ -881,6 +889,26 @@ fn run_serve(args: &[String]) -> ExitCode {
         g.resident_bytes as f64 / 1024.0,
         g.peak_bytes as f64 / 1024.0,
         g.violations,
+    );
+    // Flow-network cache totals across every registered spine engine
+    // (networks are budgeted and evicted alongside the stores, but their
+    // hit/miss traffic is engine-side, not governor-side).
+    registered.sort_unstable();
+    registered.dedup();
+    let mut network_hits = 0usize;
+    let mut network_misses = 0usize;
+    let mut network_bytes = 0u64;
+    for name in &registered {
+        if let Some(engine) = server.engine(name) {
+            let cs = engine.cache_stats();
+            network_hits += cs.network_hits;
+            network_misses += cs.network_misses;
+            network_bytes += engine.network_bytes();
+        }
+    }
+    println!(
+        "networks: {network_hits} cache hits / {network_misses} misses, {:.1} KiB cached",
+        network_bytes as f64 / 1024.0
     );
 
     if failed > 0 || bad_directives > 0 {

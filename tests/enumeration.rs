@@ -280,16 +280,24 @@ fn single_edge_fast_path_defers_csr_and_stays_bit_identical() {
         }
         assert_eq!(deferred, 3);
 
-        // A multi-edge batch after fast-path batches takes the wholesale
-        // path (pending overlay + oracles dropped) and must still agree.
+        // A small mixed multi-edge batch also rides the delta-view fast
+        // path now (deletes replayed first, then inserts against prefix
+        // views) and must still agree with a cold engine bit for bit.
         let mut batch = Vec::new();
-        for _ in 0..4 {
+        for step in 0..4 {
             let u = rng.gen_range(0u32..n as u32);
             let v = rng.gen_range(0u32..n as u32);
             if u == v {
                 continue;
             }
             let key = (u.min(v), u.max(v));
+            if step == 0 {
+                // Bias one delete into the batch when possible.
+                if edges.remove(&key) {
+                    batch.push(GraphUpdate::Delete(key.0, key.1));
+                    continue;
+                }
+            }
             if edges.insert(key) {
                 batch.push(GraphUpdate::Insert(key.0, key.1));
             }
@@ -297,13 +305,13 @@ fn single_edge_fast_path_defers_csr_and_stays_bit_identical() {
         if batch.len() >= 2 {
             let stats = engine.apply(&batch);
             assert!(
-                !stats.csr_deferred,
-                "iter {iter}: multi-edge batch does not defer"
+                stats.csr_deferred,
+                "iter {iter}: small multi-edge batch must defer the CSR merge"
             );
             let now: Vec<_> = edges.iter().copied().collect();
             let cold = DsdEngine::new(Graph::from_edges(n, &now));
             assert_solutions_identical(
-                &format!("iter {iter}, wholesale"),
+                &format!("iter {iter}, multi-edge"),
                 &engine.solve(&req),
                 &cold.solve(&req),
             );
